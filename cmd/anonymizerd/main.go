@@ -1,0 +1,86 @@
+// Command anonymizerd runs the Location Anonymizer as a TCP service (the
+// trusted middle tier of Figure 1). Mobile users register privacy profiles
+// and send exact location updates here; only cloaked regions are forwarded
+// to the database server.
+//
+// Usage:
+//
+//	anonymizerd -addr :7071 -db localhost:7070 -alg quadtree -incremental
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/anonymizer"
+	"repro/internal/geo"
+	"repro/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", ":7071", "listen address")
+	dbAddr := flag.String("db", "localhost:7070", "database server address (empty = do not forward)")
+	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]²")
+	algName := flag.String("alg", "quadtree", "cloaking algorithm: quadtree|grid|grid-ml|naive|mbr")
+	gridLevel := flag.Int("grid-level", 6, "fixed level for grid cloaking")
+	pyramidHeight := flag.Int("pyramid-height", 10, "space partition depth")
+	incremental := flag.Bool("incremental", false, "enable incremental cloak maintenance")
+	flag.Parse()
+
+	var alg anonymizer.Algorithm
+	switch *algName {
+	case "quadtree":
+		alg = anonymizer.AlgQuadtree
+	case "grid":
+		alg = anonymizer.AlgGrid
+	case "grid-ml":
+		alg = anonymizer.AlgGridML
+	case "naive":
+		alg = anonymizer.AlgNaive
+	case "mbr":
+		alg = anonymizer.AlgMBR
+	default:
+		log.Fatalf("anonymizerd: unknown algorithm %q", *algName)
+	}
+
+	cfg := anonymizer.Config{
+		World:         geo.R(0, 0, *worldSize, *worldSize),
+		Algorithm:     alg,
+		GridLevel:     *gridLevel,
+		PyramidHeight: *pyramidHeight,
+		Incremental:   *incremental,
+	}
+	var db *protocol.DatabaseClient
+	if *dbAddr != "" {
+		var err error
+		db, err = protocol.DialDatabase(*dbAddr)
+		if err != nil {
+			log.Fatalf("anonymizerd: cannot reach database server at %s: %v", *dbAddr, err)
+		}
+		cfg.Forward = db.UpdatePrivate
+		log.Printf("anonymizerd: forwarding cloaked regions to %s", *dbAddr)
+	}
+
+	anon, err := anonymizer.New(cfg)
+	if err != nil {
+		log.Fatalf("anonymizerd: %v", err)
+	}
+	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf)
+	if err != nil {
+		log.Fatalf("anonymizerd: %v", err)
+	}
+	log.Printf("anonymizerd: location anonymizer (%v%s) listening on %s",
+		alg, map[bool]string{true: "+incremental", false: ""}[*incremental], svc.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("anonymizerd: shutting down (stats: %+v)", anon.Stats())
+	svc.Close()
+	if db != nil {
+		db.Close()
+	}
+}

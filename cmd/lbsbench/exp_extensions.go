@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/altpriv"
+	"repro/internal/attack"
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/track"
+)
+
+// expAlternatives (E12) compares spatial k-anonymity against the two
+// alternative mechanisms the paper surveys in Section 2.1 — false dummies
+// and landmark objects — under comparable adversaries, plus the service
+// cost each mechanism implies.
+func expAlternatives(cfg benchConfig) {
+	p := buildPopulation(cfg.n, mobility.Uniform, cfg.seed)
+	fmt.Printf("%d users, uniform distribution\n\n", cfg.n)
+
+	// k-anonymity reference rows (center attack, as in E2/E3).
+	t := newTable("mechanism", "param", "leakage", "exact-hit %", "notes")
+	for _, k := range []int{10, 50} {
+		q := &cloak.Quadtree{Pyr: p.pyr}
+		var sams []attack.Sample
+		stride := len(p.pts)/300 + 1
+		for i := 0; i < len(p.pts) && len(sams) < 300; i += stride {
+			res := q.Cloak(uint64(i+1), p.pts[i], reqK(k))
+			sams = append(sams, attack.Sample{Region: res.Region, TrueLoc: p.pts[i]})
+		}
+		rep := attack.Evaluate(attack.Center{}, sams, 0.005, cfg.seed)
+		t.row("k-anonymity (quadtree)", fmt.Sprintf("k=%d", k),
+			rep.Leakage, 100*rep.HitRate, "guaranteed ≥k users")
+	}
+
+	// False dummies: uniform-pick adversary.
+	for _, n := range []int{5, 20} {
+		g, err := altpriv.NewDummyGenerator(world, n, 0.01, cfg.seed)
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		var sams []altpriv.DummySample
+		stride := len(p.pts)/300 + 1
+		for i := 0; i < len(p.pts) && len(sams) < 300; i += stride {
+			repp, _ := g.Report(uint64(i+1), p.pts[i])
+			sams = append(sams, altpriv.DummySample{Report: repp, TrueLoc: p.pts[i]})
+		}
+		eval := altpriv.EvaluateDummies(sams, cfg.seed+1)
+		t.row("false dummies", fmt.Sprintf("n=%d", n),
+			eval.Leakage, 100*eval.PickRate,
+			fmt.Sprintf("n× query cost; motion filter below"))
+	}
+
+	// Landmarks: the adversary's guess IS the landmark.
+	for _, nl := range []int{100, 1000} {
+		lmPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+			N: nl, World: world, Dist: mobility.Uniform, Seed: cfg.seed + 9,
+		})
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		lm, err := altpriv.NewLandmarks(lmPts)
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		eval := altpriv.EvaluateLandmarks(lm, p.pts)
+		t.row("landmarks", fmt.Sprintf("|L|=%d", nl),
+			"-", "-",
+			fmt.Sprintf("err %.4f, mean cell pop %.1f, alone %.1f%%",
+				eval.MeanError, eval.MeanCellPopulation, 100*eval.AloneRate))
+	}
+	t.flush()
+
+	// The dummies' Achilles heel: a motion-model filter across updates.
+	fmt.Println("\nmotion-filter adversary vs dummies (20 updates, walking user):")
+	t2 := newTable("dummy style", "mean surviving candidates (of 8)", "true chain alive")
+	for _, style := range []struct {
+		name    string
+		walking bool
+	}{{"independent per update", false}, {"random-walk dummies", true}} {
+		var series []altpriv.DummyReport
+		var idxs []int
+		loc := geo.Pt(0.2, 0.2)
+		var g *altpriv.DummyGenerator
+		if style.walking {
+			g, _ = altpriv.NewDummyGenerator(world, 8, 0.005, cfg.seed+2)
+		}
+		for tick := 0; tick < 20; tick++ {
+			loc = world.ClampPoint(geo.Pt(loc.X+0.004, loc.Y+0.002))
+			gg := g
+			if !style.walking {
+				gg, _ = altpriv.NewDummyGenerator(world, 8, 0.01, cfg.seed+uint64(tick)*131)
+			}
+			rep, idx := gg.Report(1, loc)
+			series = append(series, rep)
+			idxs = append(idxs, idx)
+		}
+		surv, alive := altpriv.MotionFilterDummies(series, idxs, 0.015)
+		t2.row(style.name, surv, alive)
+	}
+	t2.flush()
+	fmt.Println("\nreading: dummies protect a snapshot (pick rate 1/n) but naive")
+	fmt.Println("dummies collapse under a motion filter; landmarks give uncontrolled")
+	fmt.Println("anonymity (rural users are alone at their landmark). k-anonymity is")
+	fmt.Println("the only mechanism with a per-user guarantee — the paper's position.")
+}
+
+// expTracking (E13) runs the trajectory-linking adversary against all
+// cloaking algorithms plus the incremental (frozen-region) defense.
+func expTracking(cfg benchConfig) {
+	p := buildPopulation(cfg.n, mobility.Uniform, cfg.seed)
+	const (
+		speed = 0.004
+		ticks = 40
+	)
+	fmt.Printf("%d users; tracked user walks %d ticks at speed %.3f, k=40\n\n", cfg.n, ticks, speed)
+
+	uid := uint64(cfg.n + 1)
+	start := geo.Pt(0.3, 0.5)
+	if err := p.pyr.Insert(uid, start); err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	p.gi.Upsert(uid, start)
+
+	trajectory := func(c cloak.Cloaker) []track.Step {
+		var steps []track.Step
+		loc := start
+		for i := 0; i < ticks; i++ {
+			loc = world.ClampPoint(geo.Pt(loc.X+speed, loc.Y+speed/3))
+			p.pyr.Move(uid, loc)
+			p.gi.Upsert(uid, loc)
+			res := c.Cloak(uid, loc, reqK(40))
+			steps = append(steps, track.Step{Region: res.Region, TrueLoc: loc})
+		}
+		return steps
+	}
+
+	t := newTable("cloaker", "mean shrink", "final shrink", "mean guess error", "violations")
+	cloakers := []namedCloaker{
+		{"naive", func(p population) cloak.Cloaker { return &cloak.Naive{Pop: p.pop} }},
+		{"mbr", func(p population) cloak.Cloaker { return &cloak.MBR{Pop: p.pop} }},
+		{"quadtree", func(p population) cloak.Cloaker { return &cloak.Quadtree{Pyr: p.pyr} }},
+		{"grid L5", func(p population) cloak.Cloaker { return &cloak.Grid{Pyr: p.pyr, Level: 5} }},
+	}
+	for _, nc := range cloakers {
+		rep, err := track.Evaluate(trajectory(nc.make(p)), speed*1.5)
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		t.row(nc.name, rep.MeanShrink, rep.FinalShrink, rep.MeanGuessError, rep.ContainmentViolations)
+	}
+	// Incremental defense: validate-and-reuse keeps the region frozen while
+	// the user stays inside, which blinds the linking adversary.
+	inc := cloak.NewIncremental(&cloak.Quadtree{Pyr: p.pyr},
+		func(region geo.Rect, req privacy.Requirement) (int, bool) {
+			n := p.gi.Count(region)
+			return n, n >= req.K
+		})
+	rep, err := track.Evaluate(trajectory(inc), speed*1.5)
+	if err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	t.row("quadtree+incremental", rep.MeanShrink, rep.FinalShrink, rep.MeanGuessError, rep.ContainmentViolations)
+	t.flush()
+	fmt.Println("\nreading: centered data-dependent regions are immune to linking but")
+	fmt.Println("leak instantly (guess error ≈ 0); static cells leak at every cell")
+	fmt.Println("transition (shrink < 1). Incremental reuse matches plain quadtree")
+	fmt.Println("here because an exit from the cached cell forces a recompute — a")
+	fmt.Println("truly link-resistant cloak must overlap old and new regions at the")
+	fmt.Println("transition, which is exactly the future work the paper gestures at")
+	fmt.Println("(regions frozen for a user who stays put do have shrink exactly 1;")
+	fmt.Println("see internal/track's tests).")
+}

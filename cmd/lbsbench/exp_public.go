@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// buildPrivateServer cloaks every user with the quadtree cloaker at the
+// given k and stores the regions in a fresh server; returns the server and
+// the exact locations (ground truth).
+func buildPrivateServer(cfg benchConfig, k int) (*server.Server, []geo.Point) {
+	p := buildPopulation(cfg.n, mobility.Uniform, cfg.seed)
+	srv, err := server.New(server.Config{World: world})
+	if err != nil {
+		panic(err)
+	}
+	q := &cloak.Quadtree{Pyr: p.pyr}
+	for i, loc := range p.pts {
+		res := q.Cloak(uint64(i+1), loc, reqK(k))
+		if err := srv.UpdatePrivate(uint64(i+1), res.Region); err != nil {
+			panic(err)
+		}
+	}
+	return srv, p.pts
+}
+
+// expPublicCount regenerates Figure 6a: probabilistic range counts over
+// cloaked users in the three answer formats, against the naive baseline.
+func expPublicCount(cfg benchConfig) {
+	fmt.Printf("%d users cloaked at several privacy levels; 30 random queries each\n\n", cfg.n)
+	t := newTable("k", "query side", "true count", "E[count]", "naive", "E err %", "naive err %", "interval width", "time")
+	src := rng.New(cfg.seed + 300)
+	for _, k := range []int{10, 50, 200} {
+		srv, exact := buildPrivateServer(cfg, k)
+		for _, side := range []float64{0.1, 0.25} {
+			var truthSum, naiveSum int
+			var expectSum, expErr, naiveErr, widthSum float64
+			var elapsed time.Duration
+			const trials = 30
+			for i := 0; i < trials; i++ {
+				c := geo.Pt(src.Range(side/2, 1-side/2), src.Range(side/2, 1-side/2))
+				query := geo.RectAround(c, side/2)
+				t0 := time.Now()
+				res, err := srv.PublicRangeCount(server.PublicRangeCountQuery{Query: query})
+				elapsed += time.Since(t0)
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+					return
+				}
+				truth := 0
+				for _, p := range exact {
+					if query.Contains(p) {
+						truth++
+					}
+				}
+				if truth < res.Answer.Lo || truth > res.Answer.Hi {
+					fmt.Printf("INTERVAL VIOLATION: [%d,%d] misses %d\n", res.Answer.Lo, res.Answer.Hi, truth)
+					return
+				}
+				truthSum += truth
+				naiveSum += res.NaiveCount
+				expectSum += res.Answer.Expected
+				expErr += math.Abs(res.Answer.Expected - float64(truth))
+				naiveErr += math.Abs(float64(res.NaiveCount) - float64(truth))
+				widthSum += float64(res.Answer.Hi - res.Answer.Lo)
+			}
+			meanTruth := float64(truthSum) / trials
+			t.row(k, side, meanTruth, expectSum/trials, float64(naiveSum)/trials,
+				100*expErr/trials/maxf(meanTruth, 1),
+				100*naiveErr/trials/maxf(meanTruth, 1),
+				widthSum/trials, elapsed/trials)
+		}
+	}
+	t.flush()
+	fmt.Println("\nreading: the expected-value answer tracks the truth closely while")
+	fmt.Println("the naive solid-object count over-counts — and the error and the")
+	fmt.Println("interval width both grow with k, quantifying the privacy cost.")
+}
+
+// expPublicNN regenerates Figure 6b: the e-coupon query — candidate-set
+// size after min–max pruning, and the quality of the probability
+// assignment against brute-force ground truth over many trials.
+func expPublicNN(cfg benchConfig) {
+	fmt.Printf("%d users; 25 random query points per privacy level\n\n", cfg.n)
+	t := newTable("k", "pruned", "candidates", "P(best is true NN)", "true NN in cands %", "time")
+	src := rng.New(cfg.seed + 400)
+	for _, k := range []int{10, 50, 200} {
+		srv, exact := buildPrivateServer(cfg, k)
+		var prunedSum, candSum int
+		var bestHit, containHit int
+		var elapsed time.Duration
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			q := geo.Pt(src.Float64(), src.Float64())
+			t0 := time.Now()
+			res, err := srv.PublicNN(server.PublicNNQuery{From: q, Samples: 2000, Seed: uint64(i + 1)})
+			elapsed += time.Since(t0)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				return
+			}
+			prunedSum += res.PrunedCount
+			candSum += len(res.Candidates)
+			// Ground truth.
+			bestD := math.Inf(1)
+			var trueNN uint64
+			for j, p := range exact {
+				if d := q.Dist2(p); d < bestD {
+					bestD, trueNN = d, uint64(j+1)
+				}
+			}
+			if _, ok := res.CandidateRegions[trueNN]; ok {
+				containHit++
+			}
+			if res.Best.ID == trueNN {
+				bestHit++
+			}
+		}
+		t.row(k, float64(prunedSum)/trials, float64(candSum)/trials,
+			float64(bestHit)/trials, 100*float64(containHit)/trials,
+			elapsed/trials)
+	}
+	t.flush()
+	fmt.Println("\nreading: min–max pruning discards almost the entire population")
+	fmt.Println("(targets A, B, C of Figure 6b) and the true nearest user is always")
+	fmt.Println("in the candidate set (I8). The highest-probability answer beats a")
+	fmt.Println("uniform guess over the candidates by an order of magnitude, but its")
+	fmt.Println("hit rate drops as k grows — cloaked regions blur who is closest,")
+	fmt.Println("which is exactly the privacy working as intended.")
+}

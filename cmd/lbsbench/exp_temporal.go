@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cloak"
+	"repro/internal/mobility"
+)
+
+// expTemporal (E14) studies spatio-temporal cloaking: the latency/area
+// trade-off against purely spatial k-anonymity. Spatial cloaking answers
+// instantly with a region big enough to hold k users *now*; temporal
+// cloaking answers with a small fixed cell but delays the answer until k
+// users have *visited* the cell.
+func expTemporal(cfg benchConfig) {
+	const (
+		ticks    = 400
+		maxDelay = 200
+		level    = 5 // 32×32 cells
+	)
+	for _, dist := range []mobility.Distribution{mobility.Uniform, mobility.Gaussian} {
+		sim, err := mobility.NewWaypointSim(mobility.WaypointConfig{
+			Population: mobility.PopulationSpec{
+				N: cfg.n, World: world, Dist: dist, Seed: cfg.seed,
+			},
+			MinSpeed: 0.002, MaxSpeed: 0.01,
+		})
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		p := buildPopulation(cfg.n, dist, cfg.seed)
+		tc, err := cloak.NewTemporal(p.pyr, level, maxDelay)
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		cellArea := p.pyr.CellArea(level)
+
+		fmt.Printf("\npopulation: %d users (%v), level-%d cells (area %.5f), %d ticks\n",
+			cfg.n, dist, level, cellArea, ticks)
+		t := newTable("k", "released %", "satisfied %", "mean delay (ticks)", "area vs spatial")
+
+		for _, k := range []int{10, 50, 200} {
+			// Fresh temporal cloaker per k to keep pending queues separate.
+			tc, err = cloak.NewTemporal(p.pyr, level, maxDelay)
+			if err != nil {
+				log.Fatalf("lbsbench: %v", err)
+			}
+			// Every 20th user requests temporal cloaking with this k; the
+			// rest only feed visit history.
+			requested := 0
+			released, satisfied := 0, 0
+			var delaySum int64
+			for tick := 0; tick < ticks; tick++ {
+				sim.Tick()
+				for i, u := range sim.Users() {
+					kk := 1
+					if i%20 == 0 && tick%25 == 0 {
+						kk = k
+						requested++
+					}
+					tc.Observe(u.ID, u.Loc, kk)
+				}
+				for _, rel := range tc.Tick() {
+					released++
+					if rel.Satisfied {
+						satisfied++
+						delaySum += rel.To - rel.From
+					}
+				}
+			}
+			meanDelay := 0.0
+			if satisfied > 0 {
+				meanDelay = float64(delaySum) / float64(satisfied)
+			}
+			// Spatial comparison: quadtree region area for the same k.
+			q := &cloak.Quadtree{Pyr: p.pyr}
+			var spatialArea float64
+			for i := 0; i < 100; i++ {
+				res := q.Cloak(uint64(i*31+1), p.pts[i*31%len(p.pts)], reqK(k))
+				spatialArea += res.Region.Area()
+			}
+			spatialArea /= 100
+			t.row(k,
+				100*float64(released)/maxf(float64(requested), 1),
+				100*float64(satisfied)/maxf(float64(released), 1),
+				meanDelay,
+				fmt.Sprintf("%.3fx", cellArea/spatialArea))
+		}
+		t.flush()
+	}
+	fmt.Println("\nreading: temporal cloaking holds the region at one small cell")
+	fmt.Println("(often far below the spatial region for the same k) and pays in")
+	fmt.Println("latency instead; sparse populations or large k push delays toward")
+	fmt.Println("the MaxDelay bound and satisfaction drops — the dual of the")
+	fmt.Println("spatial family's area blow-up.")
+}

@@ -1,0 +1,144 @@
+// Command lbsbench regenerates every experiment in EXPERIMENTS.md — one
+// per figure of the paper plus the Section 5.3 scalability studies. Each
+// experiment prints the table its EXPERIMENTS.md section records.
+//
+// Usage:
+//
+//	lbsbench                 # run everything
+//	lbsbench -exp E2,E3      # selected experiments
+//	lbsbench -n 50000        # larger population
+//	lbsbench -seed 7         # different reproducible seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// experiment is one reproducible study.
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg benchConfig)
+}
+
+// benchConfig carries the shared knobs.
+type benchConfig struct {
+	n    int    // mobile-user population
+	objs int    // public-object count
+	seed uint64 // base RNG seed
+}
+
+var experiments = []experiment{
+	{"E1", "Figure 2 — temporal privacy profiles", expProfiles},
+	{"E2", "Figure 3 — data-dependent cloaking (naive vs MBR)", expDataDependent},
+	{"E3", "Figure 4 — space-dependent cloaking (quadtree vs grid)", expSpaceDependent},
+	{"E4", "Figure 5a — private range queries over public data", expPrivateRange},
+	{"E5", "Figure 5b — private NN queries over public data", expPrivateNN},
+	{"E6", "Figure 6a — public probabilistic count over private data", expPublicCount},
+	{"E7", "Figure 6b — public NN over private data (e-coupon)", expPublicNN},
+	{"E8", "Section 5.3 — incremental cloak evaluation", expIncremental},
+	{"E9", "Section 5.3 — shared (batch) execution", expShared},
+	{"E10", "Section 5 — best-effort contradictory profiles", expBestEffort},
+	{"E11", "Figure 1 — three-tier deployment end to end (TCP)", expEndToEnd},
+	{"E12", "Section 2.1 — alternative mechanisms (dummies, landmarks)", expAlternatives},
+	{"E13", "Section 2.1 — trajectory-linking adversary", expTracking},
+	{"E14", "Section 2.1 — spatio-temporal cloaking (latency vs area)", expTemporal},
+	{"E15", "ablation — region index vs full scan", expRegionIndex},
+}
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	n := flag.Int("n", 10000, "mobile-user population")
+	objs := flag.Int("objs", 10000, "public-object count")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		known := map[string]bool{}
+		for _, e := range experiments {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range want {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			log.Fatalf("lbsbench: unknown experiments: %s", strings.Join(unknown, ", "))
+		}
+	}
+
+	cfg := benchConfig{n: *n, objs: *objs, seed: *seed}
+	start := time.Now()
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("\n=== %s: %s ===\n", e.id, e.title)
+		t0 := time.Now()
+		e.run(cfg)
+		fmt.Printf("--- %s done in %v ---\n", e.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "lbsbench: nothing to run")
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d experiment(s) in %v (n=%d, objs=%d, seed=%d)\n",
+		ran, time.Since(start).Round(time.Millisecond), cfg.n, cfg.objs, cfg.seed)
+}
+
+// table is a minimal column formatter over tabwriter.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(headers ...string) *table {
+	t := &table{w: tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)}
+	fmt.Fprintln(t.w, strings.Join(headers, "\t"))
+	sep := make([]string, len(headers))
+	for i, h := range headers {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(t.w, strings.Join(sep, "\t"))
+	return t
+}
+
+func (t *table) row(cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			parts[i] = v.Round(time.Microsecond).String()
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	fmt.Fprintln(t.w, strings.Join(parts, "\t"))
+}
+
+func (t *table) flush() { t.w.Flush() }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"log"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/mobility"
+	"repro/internal/pyramid"
+	"repro/internal/server"
+)
+
+// world is the unit square every experiment runs in.
+var world = geo.R(0, 0, 1, 1)
+
+// population bundles the two index views of a user population plus the raw
+// exact locations (the experiments' ground truth).
+type population struct {
+	pts []geo.Point
+	gi  *grid.Index
+	pyr *pyramid.Pyramid
+	pop cloak.GridPopulation
+}
+
+// buildPopulation generates n users and indexes them in both the grid and
+// the pyramid (height 10).
+func buildPopulation(n int, dist mobility.Distribution, seed uint64) population {
+	return buildPopulationH(n, dist, seed, 10)
+}
+
+// buildPopulationH is buildPopulation with an explicit pyramid height.
+func buildPopulationH(n int, dist mobility.Distribution, seed uint64, height int) population {
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: n, World: world, Dist: dist, Seed: seed,
+	})
+	if err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	gi, err := grid.New(world, 64, 64)
+	if err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	pyr, err := pyramid.New(world, height)
+	if err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	for i, p := range pts {
+		gi.Upsert(uint64(i+1), p)
+		if err := pyr.Insert(uint64(i+1), p); err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+	}
+	return population{pts: pts, gi: gi, pyr: pyr, pop: cloak.GridPopulation{Index: gi}}
+}
+
+// buildServerWithObjects creates a server loaded with uniform public
+// objects of class "gas" and returns the object list.
+func buildServerWithObjects(nObjs int, seed uint64) (*server.Server, []server.PublicObject) {
+	srv, err := server.New(server.Config{World: world})
+	if err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: nObjs, World: world, Dist: mobility.Uniform, Seed: seed,
+	})
+	if err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	objs := make([]server.PublicObject, nObjs)
+	for i, p := range pts {
+		objs[i] = server.PublicObject{ID: uint64(i + 1), Class: "gas", Loc: p}
+	}
+	if err := srv.LoadStationary(objs); err != nil {
+		log.Fatalf("lbsbench: %v", err)
+	}
+	return srv, objs
+}
+
+// cloakSamples runs a cloaker over sampled users and returns the regions
+// with true locations.
+type regionSample struct {
+	region geo.Rect
+	loc    geo.Point
+}
+
+func cloakSamples(c cloak.Cloaker, p population, k, count int) []regionSample {
+	out := make([]regionSample, 0, count)
+	stride := len(p.pts)/count + 1
+	for i := 0; i < len(p.pts) && len(out) < count; i += stride {
+		loc := p.pts[i]
+		res := c.Cloak(uint64(i+1), loc, reqK(k))
+		out = append(out, regionSample{region: res.Region, loc: loc})
+	}
+	return out
+}

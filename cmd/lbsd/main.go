@@ -1,0 +1,76 @@
+// Command lbsd runs the privacy-aware location-based database server as a
+// TCP service (the right-hand tier of Figure 1). It receives cloaked
+// regions from the anonymizer and serves private-over-public and
+// public-over-private queries.
+//
+// Usage:
+//
+//	lbsd -addr :7070 -world 1.0
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/geo"
+	"repro/internal/protocol"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]²")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written at shutdown")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{World: geo.R(0, 0, *worldSize, *worldSize)})
+	if err != nil {
+		log.Fatalf("lbsd: %v", err)
+	}
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := srv.Restore(f); err != nil {
+				log.Fatalf("lbsd: restore %s: %v", *snapshot, err)
+			}
+			f.Close()
+			log.Printf("lbsd: restored %d public objects, %d private users from %s",
+				srv.StationaryCount(), srv.PrivateUserCount(), *snapshot)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("lbsd: open snapshot: %v", err)
+		}
+	}
+	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf)
+	if err != nil {
+		log.Fatalf("lbsd: %v", err)
+	}
+	log.Printf("lbsd: privacy-aware database server listening on %s (world %.3g²)", svc.Addr(), *worldSize)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("lbsd: shutting down")
+	if err := svc.Close(); err != nil {
+		log.Printf("lbsd: close: %v", err)
+	}
+	if *snapshot != "" {
+		tmp := *snapshot + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Fatalf("lbsd: create snapshot: %v", err)
+		}
+		if err := srv.Snapshot(f); err != nil {
+			f.Close()
+			log.Fatalf("lbsd: snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("lbsd: close snapshot: %v", err)
+		}
+		if err := os.Rename(tmp, *snapshot); err != nil {
+			log.Fatalf("lbsd: publish snapshot: %v", err)
+		}
+		log.Printf("lbsd: state saved to %s", *snapshot)
+	}
+}

@@ -1,0 +1,112 @@
+// Command lbsgen emits reproducible synthetic workload traces as CSV:
+// either a static population of public objects or a mobile-user trace from
+// the random-waypoint (or road-network) simulator. The experiments in
+// EXPERIMENTS.md and external tooling can both consume its output.
+//
+// Usage:
+//
+//	lbsgen -kind objects -n 10000 -dist uniform -seed 1 > pois.csv
+//	lbsgen -kind trace -n 1000 -ticks 100 -model waypoint > trace.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+)
+
+func main() {
+	kind := flag.String("kind", "objects", "objects | trace")
+	n := flag.Int("n", 1000, "number of objects / users")
+	dist := flag.String("dist", "uniform", "uniform | gaussian | zipf")
+	clusters := flag.Int("clusters", 10, "cluster count for gaussian/zipf")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]²")
+	ticks := flag.Int("ticks", 100, "trace length in ticks")
+	model := flag.String("model", "waypoint", "trace model: waypoint | road")
+	roadGrid := flag.Int("road-grid", 16, "road network intersections per side")
+	flag.Parse()
+
+	world := geo.R(0, 0, *worldSize, *worldSize)
+	var d mobility.Distribution
+	switch *dist {
+	case "uniform":
+		d = mobility.Uniform
+	case "gaussian":
+		d = mobility.Gaussian
+	case "zipf":
+		d = mobility.ZipfClusters
+	default:
+		log.Fatalf("lbsgen: unknown distribution %q", *dist)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "objects":
+		pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+			N: *n, World: world, Dist: d, NumClusters: *clusters, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("lbsgen: %v", err)
+		}
+		fmt.Fprintln(w, "id,x,y")
+		for i, p := range pts {
+			fmt.Fprintf(w, "%d,%.9f,%.9f\n", i+1, p.X, p.Y)
+		}
+
+	case "trace":
+		fmt.Fprintln(w, "tick,id,x,y")
+		emit := func(tick int, users []mobility.User) {
+			for _, u := range users {
+				fmt.Fprintf(w, "%d,%d,%.9f,%.9f\n", tick, u.ID, u.Loc.X, u.Loc.Y)
+			}
+		}
+		switch *model {
+		case "waypoint":
+			sim, err := mobility.NewWaypointSim(mobility.WaypointConfig{
+				Population: mobility.PopulationSpec{
+					N: *n, World: world, Dist: d, NumClusters: *clusters, Seed: *seed,
+				},
+				MinSpeed: 0.001 * *worldSize,
+				MaxSpeed: 0.01 * *worldSize,
+				MaxPause: 5,
+			})
+			if err != nil {
+				log.Fatalf("lbsgen: %v", err)
+			}
+			emit(0, sim.Users())
+			for tick := 1; tick <= *ticks; tick++ {
+				sim.Tick()
+				emit(tick, sim.Users())
+			}
+		case "road":
+			net, err := mobility.NewRoadNetwork(world, *roadGrid, *roadGrid)
+			if err != nil {
+				log.Fatalf("lbsgen: %v", err)
+			}
+			sim, err := mobility.NewRoadSim(mobility.RoadConfig{
+				Net: net, N: *n, MinSpeed: 0.2, MaxSpeed: 0.8, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatalf("lbsgen: %v", err)
+			}
+			emit(0, sim.Users())
+			for tick := 1; tick <= *ticks; tick++ {
+				sim.Tick()
+				emit(tick, sim.Users())
+			}
+		default:
+			log.Fatalf("lbsgen: unknown model %q", *model)
+		}
+
+	default:
+		log.Fatalf("lbsgen: unknown kind %q", *kind)
+	}
+}

@@ -1,0 +1,252 @@
+// Command lbsload drives a running three-tier deployment with a synthetic
+// closed-loop workload and reports throughput and latency percentiles for
+// each flow — the capacity-check tool for the networked services.
+//
+// It either targets an existing deployment (-anon / -db addresses) or, with
+// -selfhost, spins the whole stack up in-process on loopback first.
+//
+// Usage:
+//
+//	lbsload -selfhost -users 2000 -workers 8 -duration 10s
+//	lbsload -anon localhost:7071 -db localhost:7070 -users 5000 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/anonymizer"
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	anonAddr := flag.String("anon", "localhost:7071", "anonymizer address")
+	dbAddr := flag.String("db", "localhost:7070", "database address")
+	selfhost := flag.Bool("selfhost", false, "start an in-process stack on loopback and load it")
+	users := flag.Int("users", 2000, "registered mobile users")
+	objs := flag.Int("objs", 2000, "public objects")
+	k := flag.Int("k", 25, "anonymity level")
+	workers := flag.Int("workers", 4, "concurrent closed-loop workers per flow")
+	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
+	queryPct := flag.Int("query-pct", 20, "percent of user operations that are NN queries (rest are updates)")
+	batch := flag.Int("batch", 1, "locations per update message (BatchUpdate when > 1)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	world := geo.R(0, 0, 1, 1)
+	quiet := func(string, ...interface{}) {}
+
+	if *selfhost {
+		srv, err := server.New(server.Config{World: world})
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet)
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		defer dbSvc.Close()
+		fwd, err := protocol.DialDatabase(dbSvc.Addr())
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		defer fwd.Close()
+		anon, err := anonymizer.New(anonymizer.Config{
+			World: world, Incremental: true, Forward: fwd.UpdatePrivate,
+		})
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		anonSvc, err := protocol.ServeAnonymizer("127.0.0.1:0", anon, quiet)
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		defer anonSvc.Close()
+		*anonAddr = anonSvc.Addr()
+		*dbAddr = dbSvc.Addr()
+		log.Printf("lbsload: self-hosted stack at anon=%s db=%s", *anonAddr, *dbAddr)
+	}
+
+	// Seed the deployment: public objects + registered users.
+	setup, err := protocol.DialDatabase(*dbAddr)
+	if err != nil {
+		log.Fatalf("lbsload: dial db: %v", err)
+	}
+	defer setup.Close()
+	objPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: *objs, World: world, Dist: mobility.Uniform, Seed: *seed + 1,
+	})
+	if err != nil {
+		log.Fatalf("lbsload: %v", err)
+	}
+	publicObjs := make([]server.PublicObject, len(objPts))
+	for i, p := range objPts {
+		publicObjs[i] = server.PublicObject{ID: uint64(i + 1), Class: "poi", Loc: p}
+	}
+	if err := setup.LoadStationary(publicObjs); err != nil {
+		log.Fatalf("lbsload: load objects: %v", err)
+	}
+
+	userPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: *users, World: world, Dist: mobility.Gaussian, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatalf("lbsload: %v", err)
+	}
+	reg, err := protocol.DialAnonymizer(*anonAddr)
+	if err != nil {
+		log.Fatalf("lbsload: dial anonymizer: %v", err)
+	}
+	prof := privacy.Constant(privacy.Requirement{K: *k})
+	t0 := time.Now()
+	for i, p := range userPts {
+		id := uint64(i + 1)
+		if err := reg.Register(id, prof); err != nil {
+			log.Fatalf("lbsload: register %d: %v", id, err)
+		}
+		if _, err := reg.Update(id, p); err != nil {
+			log.Fatalf("lbsload: seed update %d: %v", id, err)
+		}
+	}
+	reg.Close()
+	log.Printf("lbsload: seeded %d users, %d objects in %v", *users, *objs,
+		time.Since(t0).Round(time.Millisecond))
+
+	// Closed-loop user workers (updates + private NN queries) and one
+	// admin worker (counts + public NN).
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		updateLat stats.Latencies
+		queryLat  stats.Latencies
+		adminLat  stats.Latencies
+		errCount  atomic.Uint64
+		opCount   atomic.Uint64
+	)
+
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := protocol.DialAnonymizer(*anonAddr)
+			if err != nil {
+				log.Printf("lbsload: worker %d: %v", w, err)
+				return
+			}
+			defer conn.Close()
+			db, err := protocol.DialDatabase(*dbAddr)
+			if err != nil {
+				log.Printf("lbsload: worker %d: %v", w, err)
+				return
+			}
+			defer db.Close()
+			src := rng.New(*seed + uint64(w)*7919)
+			var myUpd, myQry stats.Latencies
+			for !stop.Load() {
+				id := uint64(src.Intn(*users)) + 1
+				loc := world.ClampPoint(geo.Pt(
+					userPts[id-1].X+src.Range(-0.01, 0.01),
+					userPts[id-1].Y+src.Range(-0.01, 0.01),
+				))
+				if src.Intn(100) < *queryPct {
+					t := time.Now()
+					res, err := conn.CloakQuery(id, loc)
+					if err == nil {
+						var nn server.PrivateNNResult
+						nn, err = db.PrivateNN(server.PrivateNNQuery{Region: res.Region, Class: "poi"})
+						if err == nil {
+							server.RefineNN(loc, nn.Candidates)
+						}
+					}
+					if err != nil {
+						errCount.Add(1)
+					} else {
+						myQry.Add(time.Since(t))
+					}
+				} else if *batch > 1 {
+					reqs := make([]cloak.Request, *batch)
+					for b := range reqs {
+						bid := uint64(src.Intn(*users)) + 1
+						reqs[b] = cloak.Request{ID: bid, Loc: world.ClampPoint(geo.Pt(
+							userPts[bid-1].X+src.Range(-0.01, 0.01),
+							userPts[bid-1].Y+src.Range(-0.01, 0.01),
+						))}
+					}
+					t := time.Now()
+					if _, err := conn.BatchUpdate(reqs); err != nil {
+						errCount.Add(1)
+					} else {
+						myUpd.Add(time.Since(t))
+					}
+					opCount.Add(uint64(*batch) - 1)
+				} else {
+					t := time.Now()
+					if _, err := conn.Update(id, loc); err != nil {
+						errCount.Add(1)
+					} else {
+						myUpd.Add(time.Since(t))
+					}
+				}
+				opCount.Add(1)
+			}
+			mu.Lock()
+			updateLat.Merge(&myUpd)
+			queryLat.Merge(&myQry)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		db, err := protocol.DialDatabase(*dbAddr)
+		if err != nil {
+			log.Printf("lbsload: admin worker: %v", err)
+			return
+		}
+		defer db.Close()
+		src := rng.New(*seed + 424242)
+		var my stats.Latencies
+		for !stop.Load() {
+			t := time.Now()
+			c := geo.Pt(src.Range(0.1, 0.9), src.Range(0.1, 0.9))
+			if _, err := db.PublicCount(geo.RectAround(c, 0.1).Clip(world)); err != nil {
+				errCount.Add(1)
+			} else {
+				my.Add(time.Since(t))
+			}
+			opCount.Add(1)
+		}
+		mu.Lock()
+		adminLat.Merge(&my)
+		mu.Unlock()
+	}()
+
+	log.Printf("lbsload: running %d+1 workers for %v ...", *workers, *duration)
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+
+	total := opCount.Load()
+	fmt.Printf("\nresults over %v (%d workers + 1 admin):\n", *duration, *workers)
+	fmt.Printf("  throughput : %.0f ops/sec (%d ops, %d errors)\n",
+		float64(total)/duration.Seconds(), total, errCount.Load())
+	if *batch > 1 {
+		fmt.Printf("  updates    : batches of %d — %s\n", *batch, updateLat.Summary())
+	} else {
+		fmt.Printf("  updates    : %s\n", updateLat.Summary())
+	}
+	fmt.Printf("  NN queries : %s\n", queryLat.Summary())
+	fmt.Printf("  admin count: %s\n", adminLat.Summary())
+}

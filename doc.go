@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "Towards
+// Privacy-Aware Location-Based Database Servers" (Mokbel, ICDE Workshops
+// 2006): a Location Anonymizer that blurs exact user locations into
+// k-anonymous cloaked regions under per-user temporal privacy profiles, and
+// a privacy-aware location-based database server that answers private
+// queries over public data and public queries over private data with
+// candidate sets and probabilistic answers.
+//
+// The implementation lives under internal/:
+//
+//   - core — the assembled three-tier system (start here);
+//   - anonymizer, cloak, privacy, attack — the trusted third party, the
+//     four cloaking algorithms of Figures 3–4, profiles, and the
+//     reverse-engineering adversaries;
+//   - server, prob — the privacy-aware query processors of Figures 5–6;
+//   - rtree, grid, pyramid, geo, rng, mobility — the substrates;
+//   - protocol — the wire protocol and TCP services of Figure 1.
+//
+// Runnable entry points: examples/* (five scenarios), cmd/lbsbench (the
+// experiment harness behind EXPERIMENTS.md), cmd/anonymizerd and cmd/lbsd
+// (the networked deployment), and cmd/lbsgen (workload traces). The
+// benchmarks in bench_test.go mirror the experiment suite one-to-one.
+package repro

@@ -1,0 +1,100 @@
+// Storefinder: the paper's motivating "find the nearest restaurant"
+// scenario. A user walks through town asking for nearby restaurants and
+// gas stations at increasing privacy levels, and the example prints how the
+// answer quality (candidate counts, transfer bytes) degrades as k grows —
+// the personal privacy/QoS trade-off of Section 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/server"
+)
+
+func main() {
+	world := geo.R(0, 0, 1, 1)
+	sys, err := core.NewSystem(core.Config{World: world})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A realistic downtown: restaurants cluster, gas stations spread out.
+	objs, err := mobility.GeneratePublicObjects(world, 42,
+		mobility.ObjectClass{Name: "restaurant", N: 800, Dist: mobility.Gaussian},
+		mobility.ObjectClass{Name: "gas", N: 200, Dist: mobility.Uniform},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pois := make([]server.PublicObject, len(objs))
+	for i, o := range objs {
+		pois[i] = server.PublicObject{ID: o.ID, Class: o.Class, Loc: o.Loc}
+	}
+	if err := sys.LoadPublicObjects(pois); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5000 other subscribers form the anonymity sets.
+	crowd, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 5000, World: world, Dist: mobility.Gaussian, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bg := privacy.Constant(privacy.Requirement{K: 10})
+	for i, p := range crowd {
+		id := uint64(i + 100)
+		if err := sys.RegisterUser(id, bg); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.UpdateLocation(id, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Our user tries the service at four privacy levels.
+	route := []geo.Point{{X: 0.31, Y: 0.44}, {X: 0.52, Y: 0.49}, {X: 0.68, Y: 0.61}}
+	fmt.Println("privacy level sweep — nearest restaurant along a walk:")
+	fmt.Printf("%-6s %-12s %-14s %-12s %-10s\n", "k", "stop", "nearest", "candidates", "bytes")
+	for _, k := range []int{1, 10, 100, 500} {
+		uid := uint64(1000000 + k) // a fresh identity per privacy level
+		if err := sys.RegisterUser(uid, privacy.Constant(privacy.Requirement{K: k})); err != nil {
+			log.Fatal(err)
+		}
+		for si, stop := range route {
+			if _, err := sys.UpdateLocation(uid, stop); err != nil {
+				log.Fatal(err)
+			}
+			best, stats, err := sys.FindNearest(uid, stop, "restaurant")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d stop %-7d #%-5d %.4f   %-12d %-10d\n",
+				k, si+1, best.ID, stop.Dist(best.Loc), stats.Candidates, stats.Bytes)
+		}
+	}
+
+	// Range query flavor: everything within walking distance.
+	fmt.Println("\ngas stations within 0.08 of the second stop (k=100):")
+	uid := uint64(1000100)
+	within, stats, err := sys.FindWithin(uid, route[1], 0.08, "gas")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, o := range within {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(within)-5)
+			break
+		}
+		fmt.Printf("  #%d at %v (%.4f away)\n", o.ID, o.Loc, route[1].Dist(o.Loc))
+	}
+	fmt.Printf("answer: %d stations from %d candidates (%d bytes shipped)\n",
+		len(within), stats.Candidates, stats.Bytes)
+	fmt.Println("\nnote how k=1 gets pinpoint answers with minimal transfer while")
+	fmt.Println("k=500 pays in candidates — the trade-off each profile entry tunes.")
+}

@@ -1,0 +1,150 @@
+// Package altpriv implements the two alternative location-privacy
+// mechanisms the paper surveys in Section 2.1 and argues against adopting:
+//
+//   - false dummies (Kido et al., cited as [31]): every update sends n
+//     locations of which one is real, so the server cannot tell which;
+//   - landmark objects (Hong & Landay, cited as [25]): the user reports the
+//     nearest landmark instead of her position.
+//
+// They are implemented as honest baselines so the experiments can compare
+// their privacy (under the same adversary machinery as the cloaking
+// algorithms) and their service cost against spatial k-anonymity — the
+// comparison the paper makes qualitatively when it says these techniques
+// "lack scalability and query processing" support.
+package altpriv
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/rtree"
+)
+
+// DummyReport is one false-dummies location report: N locations, exactly
+// one of which is the user's true position. The real index is NOT part of
+// the report (the server never learns it); it is returned separately to
+// the caller so experiments can evaluate adversaries with ground truth.
+type DummyReport struct {
+	Locations []geo.Point
+}
+
+// DummyGenerator produces dummy reports with a private reproducible
+// stream. Dummies perform a random walk so that consecutive reports stay
+// plausible (naive independent dummies are trivially filtered by a motion
+// model, which the tracking experiment demonstrates).
+type DummyGenerator struct {
+	world geo.Rect
+	n     int
+	src   *rng.Source
+	// walk state per user: previous dummy positions keyed by user id.
+	state map[uint64][]geo.Point
+	// step is the per-update walk step bound, mirroring user speed.
+	step float64
+}
+
+// NewDummyGenerator builds a generator emitting n-point reports (n ≥ 2;
+// one true location + n−1 dummies) whose dummies move at most step per
+// update.
+func NewDummyGenerator(world geo.Rect, n int, step float64, seed uint64) (*DummyGenerator, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("altpriv: dummy count %d must be ≥ 2", n)
+	}
+	if !world.Valid() || world.Area() <= 0 {
+		return nil, fmt.Errorf("altpriv: invalid world %v", world)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("altpriv: non-positive step %g", step)
+	}
+	return &DummyGenerator{
+		world: world,
+		n:     n,
+		src:   rng.New(seed),
+		state: make(map[uint64][]geo.Point),
+		step:  step,
+	}, nil
+}
+
+// Report produces the next report for a user at loc and the index of the
+// true location within it. The true location's slot is re-randomized every
+// update so position within the report carries no signal.
+func (g *DummyGenerator) Report(id uint64, loc geo.Point) (DummyReport, int) {
+	dummies, ok := g.state[id]
+	if !ok {
+		dummies = make([]geo.Point, g.n-1)
+		for i := range dummies {
+			dummies[i] = geo.Pt(
+				g.src.Range(g.world.Min.X, g.world.Max.X),
+				g.src.Range(g.world.Min.Y, g.world.Max.Y),
+			)
+		}
+	} else {
+		for i := range dummies {
+			dummies[i] = g.world.ClampPoint(geo.Pt(
+				dummies[i].X+g.src.Range(-g.step, g.step),
+				dummies[i].Y+g.src.Range(-g.step, g.step),
+			))
+		}
+	}
+	g.state[id] = dummies
+
+	trueIdx := g.src.Intn(g.n)
+	report := DummyReport{Locations: make([]geo.Point, 0, g.n)}
+	for i := 0; i < g.n; i++ {
+		switch {
+		case i == trueIdx:
+			report.Locations = append(report.Locations, loc)
+		case i < trueIdx:
+			report.Locations = append(report.Locations, dummies[i])
+		default:
+			report.Locations = append(report.Locations, dummies[i-1])
+		}
+	}
+	return report, trueIdx
+}
+
+// Forget drops a user's dummy walk state (deregistration).
+func (g *DummyGenerator) Forget(id uint64) { delete(g.state, id) }
+
+// Landmarks reports the nearest landmark instead of the exact location.
+// Privacy comes from the quantization: all users near a landmark are
+// indistinguishable. Unlike k-anonymity, the guarantee is population-
+// independent — a user alone in a rural cell is NOT protected, which is
+// one of the failure modes the experiments quantify.
+type Landmarks struct {
+	index *rtree.Tree
+	pts   []geo.Point
+}
+
+// NewLandmarks builds the snapping structure over the landmark set.
+func NewLandmarks(landmarks []geo.Point) (*Landmarks, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("altpriv: empty landmark set")
+	}
+	cp := append([]geo.Point(nil), landmarks...)
+	return &Landmarks{index: rtree.FromPoints(cp), pts: cp}, nil
+}
+
+// Len returns the number of landmarks.
+func (l *Landmarks) Len() int { return len(l.pts) }
+
+// Snap returns the landmark reported for a user at loc.
+func (l *Landmarks) Snap(loc geo.Point) geo.Point {
+	it, ok := l.index.NearestOne(loc)
+	if !ok {
+		return loc
+	}
+	return it.Loc
+}
+
+// CellOf returns the index of the landmark nearest to loc — the implicit
+// Voronoi cell the user's report reveals.
+func (l *Landmarks) CellOf(loc geo.Point) int {
+	it, _ := l.index.NearestOne(loc)
+	for i, p := range l.pts {
+		if p.Eq(it.Loc) {
+			return i
+		}
+	}
+	return -1
+}

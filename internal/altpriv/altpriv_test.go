@@ -1,0 +1,254 @@
+package altpriv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func TestNewDummyGeneratorValidation(t *testing.T) {
+	if _, err := NewDummyGenerator(world, 1, 0.01, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewDummyGenerator(geo.Rect{}, 5, 0.01, 1); err == nil {
+		t.Error("empty world accepted")
+	}
+	if _, err := NewDummyGenerator(world, 5, 0, 1); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestDummyReportShape(t *testing.T) {
+	g, err := NewDummyGenerator(world, 5, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := geo.Pt(0.3, 0.7)
+	rep, idx := g.Report(42, loc)
+	if len(rep.Locations) != 5 {
+		t.Fatalf("report has %d locations", len(rep.Locations))
+	}
+	if idx < 0 || idx >= 5 {
+		t.Fatalf("true index %d out of range", idx)
+	}
+	if !rep.Locations[idx].Eq(loc) {
+		t.Fatal("true slot does not hold the true location")
+	}
+	for _, p := range rep.Locations {
+		if !world.Contains(p) {
+			t.Fatalf("dummy %v outside world", p)
+		}
+	}
+}
+
+func TestDummyWalkContinuity(t *testing.T) {
+	const step = 0.01
+	g, err := NewDummyGenerator(world, 4, step, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := geo.Pt(0.5, 0.5)
+	prev, prevIdx := g.Report(1, loc)
+	for round := 0; round < 20; round++ {
+		cur, idx := g.Report(1, loc)
+		// Dummies (non-true slots) must each be within step of some dummy of
+		// the previous report (walk continuity).
+		var prevDummies []geo.Point
+		for i, p := range prev.Locations {
+			if i != prevIdx {
+				prevDummies = append(prevDummies, p)
+			}
+		}
+		for i, p := range cur.Locations {
+			if i == idx {
+				continue
+			}
+			ok := false
+			for _, q := range prevDummies {
+				// step bound per axis → Euclidean bound step*sqrt(2)
+				if p.Dist(q) <= step*math.Sqrt2+1e-12 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("round %d: dummy %v teleported", round, p)
+			}
+		}
+		prev, prevIdx = cur, idx
+	}
+}
+
+func TestDummyForget(t *testing.T) {
+	g, _ := NewDummyGenerator(world, 3, 0.01, 3)
+	g.Report(1, geo.Pt(0.5, 0.5))
+	g.Forget(1)
+	if len(g.state) != 0 {
+		t.Error("Forget did not clear state")
+	}
+}
+
+func TestEvaluateDummiesIdeal(t *testing.T) {
+	g, _ := NewDummyGenerator(world, 10, 0.01, 4)
+	var samples []DummySample
+	src := rng.New(5)
+	for i := 0; i < 2000; i++ {
+		loc := geo.Pt(src.Float64(), src.Float64())
+		rep, _ := g.Report(uint64(i+1), loc)
+		samples = append(samples, DummySample{Report: rep, TrueLoc: loc})
+	}
+	eval := EvaluateDummies(samples, 7)
+	// Uniform pick among 10: hit rate ≈ 1/10.
+	if math.Abs(eval.PickRate-0.1) > 0.03 {
+		t.Errorf("PickRate = %v, want ≈0.1", eval.PickRate)
+	}
+	// Leakage is bounded well below the cloaking strawmen (naive ≈ 0.98):
+	// the adversary wins fully only on the 1/n lucky pick, plus partial
+	// credit when the picked dummy happens to be nearer than average.
+	if eval.Leakage > 0.35 {
+		t.Errorf("Leakage = %v, want small", eval.Leakage)
+	}
+	if eval.MeanError <= 0 {
+		t.Error("MeanError should be positive")
+	}
+}
+
+func TestEvaluateDummiesEmpty(t *testing.T) {
+	eval := EvaluateDummies(nil, 1)
+	if eval.N != 0 || eval.PickRate != 0 {
+		t.Errorf("empty eval = %+v", eval)
+	}
+}
+
+// The motion-filter adversary: a fast-moving user with slow dummies is
+// progressively de-anonymized — the weakness that motivated cloaking.
+func TestMotionFilterPrunesTeleportingDummies(t *testing.T) {
+	// Construct reports where dummies jump around (step bound huge) while
+	// the user walks smoothly: use independent fresh generators per tick to
+	// simulate naive (non-walking) dummies.
+	world := geo.R(0, 0, 1, 1)
+	var series []DummyReport
+	var trueIdxs []int
+	loc := geo.Pt(0.2, 0.2)
+	for tick := 0; tick < 10; tick++ {
+		loc = world.ClampPoint(geo.Pt(loc.X+0.005, loc.Y+0.003))
+		// Fresh generator each tick → dummies uncorrelated across ticks.
+		g, _ := NewDummyGenerator(world, 8, 0.01, uint64(tick+1)*97)
+		rep, idx := g.Report(1, loc)
+		series = append(series, rep)
+		trueIdxs = append(trueIdxs, idx)
+	}
+	survivors, trueAlive := MotionFilterDummies(series, trueIdxs, 0.02)
+	if !trueAlive {
+		t.Fatal("the true chain must always survive a correct motion filter")
+	}
+	if survivors > 3 {
+		t.Errorf("naive dummies should be mostly filtered, %v survive", survivors)
+	}
+
+	// Walking dummies from one generator survive the same filter.
+	g, _ := NewDummyGenerator(world, 8, 0.005, 11)
+	series = series[:0]
+	trueIdxs = trueIdxs[:0]
+	loc = geo.Pt(0.2, 0.2)
+	for tick := 0; tick < 10; tick++ {
+		loc = world.ClampPoint(geo.Pt(loc.X+0.005, loc.Y+0.003))
+		rep, idx := g.Report(1, loc)
+		series = append(series, rep)
+		trueIdxs = append(trueIdxs, idx)
+	}
+	survivors, trueAlive = MotionFilterDummies(series, trueIdxs, 0.02)
+	if !trueAlive {
+		t.Fatal("true chain must survive")
+	}
+	if survivors < 6 {
+		t.Errorf("walking dummies should survive the filter, only %v do", survivors)
+	}
+}
+
+func TestMotionFilterShortSeries(t *testing.T) {
+	g, _ := NewDummyGenerator(world, 4, 0.01, 1)
+	rep, idx := g.Report(1, geo.Pt(0.5, 0.5))
+	survivors, alive := MotionFilterDummies([]DummyReport{rep}, []int{idx}, 0.01)
+	if survivors != 4 || !alive {
+		t.Errorf("single report filter = %v, %v", survivors, alive)
+	}
+}
+
+func TestNewLandmarksValidation(t *testing.T) {
+	if _, err := NewLandmarks(nil); err == nil {
+		t.Error("empty landmark set accepted")
+	}
+}
+
+func TestLandmarkSnap(t *testing.T) {
+	lms := []geo.Point{{X: 0.25, Y: 0.25}, {X: 0.75, Y: 0.75}}
+	l, err := NewLandmarks(lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Error("Len")
+	}
+	if got := l.Snap(geo.Pt(0.1, 0.1)); !got.Eq(lms[0]) {
+		t.Errorf("Snap = %v", got)
+	}
+	if got := l.Snap(geo.Pt(0.9, 0.9)); !got.Eq(lms[1]) {
+		t.Errorf("Snap = %v", got)
+	}
+	if l.CellOf(geo.Pt(0.1, 0.1)) != 0 || l.CellOf(geo.Pt(0.9, 0.9)) != 1 {
+		t.Error("CellOf")
+	}
+}
+
+func TestEvaluateLandmarks(t *testing.T) {
+	lms, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 50, World: world, Dist: mobility.Uniform, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLandmarks(lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, _ := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 2000, World: world, Dist: mobility.Uniform, Seed: 2,
+	})
+	eval := EvaluateLandmarks(l, users)
+	if eval.N != 2000 {
+		t.Error("N")
+	}
+	if eval.MeanError <= 0 {
+		t.Error("MeanError should be positive (users rarely sit on landmarks)")
+	}
+	// 2000 users over 50 cells: mean population well above 1, low alone rate.
+	if eval.MeanCellPopulation < 10 {
+		t.Errorf("MeanCellPopulation = %v", eval.MeanCellPopulation)
+	}
+	if eval.AloneRate > 0.05 {
+		t.Errorf("AloneRate = %v, want near 0 for dense users", eval.AloneRate)
+	}
+
+	// Sparse users: many are alone at their landmark — the failure mode.
+	few, _ := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 20, World: world, Dist: mobility.Uniform, Seed: 3,
+	})
+	sparse := EvaluateLandmarks(l, few)
+	if sparse.AloneRate < 0.3 {
+		t.Errorf("sparse AloneRate = %v, expected substantial", sparse.AloneRate)
+	}
+}
+
+func TestEvaluateLandmarksEmpty(t *testing.T) {
+	l, _ := NewLandmarks([]geo.Point{{X: 0.5, Y: 0.5}})
+	eval := EvaluateLandmarks(l, nil)
+	if eval.N != 0 {
+		t.Error("empty users eval")
+	}
+}

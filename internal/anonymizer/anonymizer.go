@@ -1,0 +1,550 @@
+// Package anonymizer implements the Location Anonymizer of Section 5: the
+// trusted third party standing between mobile users and the location-based
+// database server. It registers users with their privacy profiles, receives
+// exact location updates, cloaks them with a configurable algorithm from
+// the cloak package, and forwards only the cloaked regions downstream.
+//
+// Storage discipline follows the paper's design goal that the anonymizer
+// "does not need to store the exact location information": with a
+// space-dependent algorithm configured, the anonymizer keeps only pyramid
+// cell counters (metadata, in the paper's words). The data-dependent
+// algorithms of Figure 3 inherently require neighbor positions, so
+// selecting them keeps an exact-position index inside the trusted party —
+// StoresExactLocations reports which regime is active.
+package anonymizer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/privacy"
+	"repro/internal/pyramid"
+)
+
+// Algorithm selects the cloaking algorithm.
+type Algorithm uint8
+
+const (
+	// AlgQuadtree is the space-dependent top-down quadtree (Figure 4a).
+	// It is the default.
+	AlgQuadtree Algorithm = iota
+	// AlgGrid is the space-dependent fixed grid with merging (Figure 4b).
+	AlgGrid
+	// AlgGridML is AlgGrid with multi-level refinement.
+	AlgGridML
+	// AlgNaive is the data-dependent centered expansion (Figure 3a).
+	AlgNaive
+	// AlgMBR is the data-dependent k-nearest-neighbor MBR (Figure 3b).
+	AlgMBR
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgQuadtree:
+		return "quadtree"
+	case AlgGrid:
+		return "grid"
+	case AlgGridML:
+		return "grid-ml"
+	case AlgNaive:
+		return "naive"
+	case AlgMBR:
+		return "mbr"
+	default:
+		return fmt.Sprintf("algorithm(%d)", uint8(a))
+	}
+}
+
+// spaceDependent reports whether the algorithm works from aggregate counts
+// only.
+func (a Algorithm) spaceDependent() bool {
+	return a == AlgQuadtree || a == AlgGrid || a == AlgGridML
+}
+
+// Forwarder receives cloaked regions; the production implementation is the
+// database server (directly in-process, or via the wire protocol).
+type Forwarder func(id uint64, region geo.Rect) error
+
+// Config configures an Anonymizer.
+type Config struct {
+	// World bounds all locations. Required.
+	World geo.Rect
+	// Algorithm selects the cloaking algorithm (default AlgQuadtree).
+	Algorithm Algorithm
+	// PyramidHeight sets the space partition depth (default 10 → 512×512
+	// bottom cells).
+	PyramidHeight int
+	// GridLevel is the fixed level for AlgGrid/AlgGridML (default 6).
+	GridLevel int
+	// PopGridCols/Rows set the exact-position index resolution used by
+	// data-dependent algorithms (default 64×64).
+	PopGridCols, PopGridRows int
+	// Incremental enables Section 5.3 incremental evaluation: regions are
+	// reused across updates while they remain valid.
+	Incremental bool
+	// Forward receives every cloaked region. Optional; when nil regions are
+	// only returned to the caller.
+	Forward Forwarder
+	// Clock supplies the time for profile resolution (default time.Now).
+	Clock func() time.Time
+	// Tariff, when set, charges users per update as a function of their
+	// current requirement — the paper's note that the anonymizer "may charge
+	// the mobile users based on their required protection level".
+	Tariff func(req privacy.Requirement) float64
+}
+
+// Stats aggregates anonymizer activity counters.
+type Stats struct {
+	Registered  int
+	Updates     uint64
+	Queries     uint64
+	Reused      uint64
+	BestEffort  uint64
+	Forwarded   uint64
+	ForwardErrs uint64
+}
+
+// Anonymizer is the trusted third party. All methods are safe for
+// concurrent use.
+type Anonymizer struct {
+	mu  sync.Mutex
+	cfg Config
+
+	profiles map[uint64]*privacy.Profile
+	modes    map[uint64]privacy.Mode
+	charges  map[uint64]float64
+
+	pyr     *pyramid.Pyramid
+	pop     *grid.Index // nil when the algorithm is space-dependent
+	cloaker cloak.Cloaker
+	inc     *cloak.Incremental
+
+	stats Stats
+}
+
+// Common errors.
+var (
+	ErrUnknownUser   = errors.New("anonymizer: unknown user")
+	ErrPassive       = errors.New("anonymizer: user is passive at this time")
+	ErrDuplicateUser = errors.New("anonymizer: user already registered")
+)
+
+// New builds an anonymizer.
+func New(cfg Config) (*Anonymizer, error) {
+	if !cfg.World.Valid() || cfg.World.Area() <= 0 {
+		return nil, fmt.Errorf("anonymizer: invalid world %v", cfg.World)
+	}
+	if cfg.PyramidHeight <= 0 {
+		cfg.PyramidHeight = 10
+	}
+	if cfg.GridLevel <= 0 {
+		cfg.GridLevel = 6
+	}
+	if cfg.PopGridCols <= 0 {
+		cfg.PopGridCols = 64
+	}
+	if cfg.PopGridRows <= 0 {
+		cfg.PopGridRows = 64
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	pyr, err := pyramid.New(cfg.World, cfg.PyramidHeight)
+	if err != nil {
+		return nil, err
+	}
+	a := &Anonymizer{
+		cfg:      cfg,
+		profiles: make(map[uint64]*privacy.Profile),
+		modes:    make(map[uint64]privacy.Mode),
+		charges:  make(map[uint64]float64),
+		pyr:      pyr,
+	}
+	switch cfg.Algorithm {
+	case AlgQuadtree:
+		a.cloaker = &cloak.Quadtree{Pyr: pyr}
+	case AlgGrid:
+		a.cloaker = &cloak.Grid{Pyr: pyr, Level: cfg.GridLevel}
+	case AlgGridML:
+		a.cloaker = &cloak.Grid{Pyr: pyr, Level: cfg.GridLevel, MultiLevel: true}
+	case AlgNaive, AlgMBR:
+		pop, err := grid.New(cfg.World, cfg.PopGridCols, cfg.PopGridRows)
+		if err != nil {
+			return nil, err
+		}
+		a.pop = pop
+		gp := cloak.GridPopulation{Index: pop}
+		if cfg.Algorithm == AlgNaive {
+			a.cloaker = &cloak.Naive{Pop: gp}
+		} else {
+			a.cloaker = &cloak.MBR{Pop: gp}
+		}
+	default:
+		return nil, fmt.Errorf("anonymizer: unknown algorithm %v", cfg.Algorithm)
+	}
+	if cfg.Incremental {
+		a.inc = cloak.NewIncremental(a.cloaker, a.validateRegion)
+		// Re-tighten a cached region once it holds 8× the required k: keeps
+		// startup-era oversized regions from pinning quality of service low
+		// forever, while still reusing aggressively in the steady state.
+		a.inc.MaxSlack = 8
+	}
+	return a, nil
+}
+
+// validateRegion re-checks a cached region against the live population; it
+// runs with a.mu held (called from within Update).
+func (a *Anonymizer) validateRegion(region geo.Rect, req privacy.Requirement) (int, bool) {
+	var count int
+	if a.pop != nil {
+		count = a.pop.Count(region)
+	} else {
+		count = a.pyramidCount(region)
+	}
+	return count, count >= req.K
+}
+
+// pyramidCount counts users in an arbitrary rectangle from pyramid data by
+// recursive descent: cells fully inside the region contribute their whole
+// count, disjoint cells are skipped, and partially covered bottom cells are
+// excluded. The count is therefore a conservative lower bound — exactly
+// what k-anonymity validation needs — and costs O(perimeter) cells instead
+// of O(area), which keeps incremental validation cheaper than recloaking.
+func (a *Anonymizer) pyramidCount(region geo.Rect) int {
+	return a.pyramidCountRec(pyramid.Cell{}, region)
+}
+
+func (a *Anonymizer) pyramidCountRec(c pyramid.Cell, region geo.Rect) int {
+	r := a.pyr.Rect(c)
+	if !region.Intersects(r) {
+		return 0
+	}
+	if region.ContainsRect(r) {
+		return a.pyr.Count(c)
+	}
+	if c.Level == a.pyr.Height()-1 {
+		return 0 // partially covered bottom cell: conservative exclude
+	}
+	if a.pyr.Count(c) == 0 {
+		return 0
+	}
+	sum := 0
+	for dy := 0; dy < 2; dy++ {
+		for dx := 0; dx < 2; dx++ {
+			sum += a.pyramidCountRec(c.Child(dx, dy), region)
+		}
+	}
+	return sum
+}
+
+// StoresExactLocations reports whether the configured algorithm forces the
+// anonymizer to keep exact positions (data-dependent family).
+func (a *Anonymizer) StoresExactLocations() bool { return !a.cfg.Algorithm.spaceDependent() }
+
+// Algorithm returns the configured algorithm.
+func (a *Anonymizer) Algorithm() Algorithm { return a.cfg.Algorithm }
+
+// Register adds a user with her initial privacy profile in active mode.
+// Her location becomes known to the anonymizer on her first Update.
+func (a *Anonymizer) Register(id uint64, profile *privacy.Profile) error {
+	if profile == nil {
+		return fmt.Errorf("anonymizer: nil profile for user %d", id)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.profiles[id]; dup {
+		return ErrDuplicateUser
+	}
+	a.profiles[id] = profile
+	a.modes[id] = privacy.Active
+	a.stats.Registered++
+	return nil
+}
+
+// UpdateProfile replaces a user's profile ("mobile users have the ability
+// to change their privacy profiles at any time").
+func (a *Anonymizer) UpdateProfile(id uint64, profile *privacy.Profile) error {
+	if profile == nil {
+		return fmt.Errorf("anonymizer: nil profile for user %d", id)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.profiles[id]; !ok {
+		return ErrUnknownUser
+	}
+	a.profiles[id] = profile
+	if a.inc != nil {
+		a.inc.Invalidate(id)
+	}
+	return nil
+}
+
+// SetMode switches a user between passive, active and query modes. A
+// passive user's location is dropped from all indices.
+func (a *Anonymizer) SetMode(id uint64, m privacy.Mode) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.profiles[id]; !ok {
+		return ErrUnknownUser
+	}
+	prev := a.modes[id]
+	a.modes[id] = m
+	if m == privacy.Passive && prev != privacy.Passive {
+		a.dropLocationLocked(id)
+	}
+	return nil
+}
+
+// Mode returns the user's current mode.
+func (a *Anonymizer) Mode(id uint64) (privacy.Mode, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.modes[id]
+	if !ok {
+		return 0, ErrUnknownUser
+	}
+	return m, nil
+}
+
+// Deregister removes a user entirely.
+func (a *Anonymizer) Deregister(id uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.profiles[id]; !ok {
+		return false
+	}
+	a.dropLocationLocked(id)
+	delete(a.profiles, id)
+	delete(a.modes, id)
+	a.stats.Registered--
+	return true
+}
+
+func (a *Anonymizer) dropLocationLocked(id uint64) {
+	a.pyr.Remove(id)
+	if a.pop != nil {
+		a.pop.Delete(id)
+	}
+	if a.inc != nil {
+		a.inc.Invalidate(id)
+	}
+}
+
+// Update processes an exact location update from an active user: the
+// location refreshes the internal indices, is cloaked under the
+// requirement active right now, and the region is forwarded downstream.
+func (a *Anonymizer) Update(id uint64, loc geo.Point) (cloak.Result, error) {
+	return a.process(id, loc, false)
+}
+
+// CloakQuery cloaks a location for a query the user is about to issue
+// (query mode): identical pipeline, counted separately in the stats.
+func (a *Anonymizer) CloakQuery(id uint64, loc geo.Point) (cloak.Result, error) {
+	return a.process(id, loc, true)
+}
+
+func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Result, error) {
+	if !loc.Valid() || !a.cfg.World.Contains(loc) {
+		return cloak.Result{}, fmt.Errorf("anonymizer: location %v outside world", loc)
+	}
+	a.mu.Lock()
+	profile, ok := a.profiles[id]
+	if !ok {
+		a.mu.Unlock()
+		return cloak.Result{}, ErrUnknownUser
+	}
+	if a.modes[id] == privacy.Passive {
+		a.mu.Unlock()
+		return cloak.Result{}, ErrPassive
+	}
+	req, err := profile.At(a.cfg.Clock())
+	if err != nil {
+		// No entry covers the current time: the user is effectively passive.
+		a.mu.Unlock()
+		return cloak.Result{}, fmt.Errorf("%w: %v", ErrPassive, err)
+	}
+
+	// Refresh indices before cloaking so the user counts toward her own k.
+	if _, tracked := a.pyr.UserCell(id); tracked {
+		if _, err := a.pyr.Move(id, loc); err != nil {
+			a.mu.Unlock()
+			return cloak.Result{}, err
+		}
+	} else if err := a.pyr.Insert(id, loc); err != nil {
+		a.mu.Unlock()
+		return cloak.Result{}, err
+	}
+	if a.pop != nil {
+		a.pop.Upsert(id, loc)
+	}
+
+	var res cloak.Result
+	if a.inc != nil {
+		res = a.inc.Cloak(id, loc, req)
+	} else {
+		res = a.cloaker.Cloak(id, loc, req)
+	}
+
+	if isQuery {
+		a.stats.Queries++
+	} else {
+		a.stats.Updates++
+	}
+	if res.Reused {
+		a.stats.Reused++
+	}
+	if res.BestEffort() {
+		a.stats.BestEffort++
+	}
+	if a.cfg.Tariff != nil {
+		a.charges[id] += a.cfg.Tariff(req)
+	}
+	fwd := a.cfg.Forward
+	a.mu.Unlock()
+
+	// A reused region is byte-identical to what the server already stores,
+	// so incremental mode also saves the downstream message — half of the
+	// Section 5.3 win.
+	if res.Reused {
+		fwd = nil
+	}
+	if fwd != nil {
+		if err := fwd(id, res.Region); err != nil {
+			a.mu.Lock()
+			a.stats.ForwardErrs++
+			a.mu.Unlock()
+			return res, fmt.Errorf("anonymizer: forward failed: %w", err)
+		}
+		a.mu.Lock()
+		a.stats.Forwarded++
+		a.mu.Unlock()
+	}
+	return res, nil
+}
+
+// BatchUpdate processes many location updates in one shared pass (Section
+// 5.3). With a space-dependent algorithm, users in the same bottom pyramid
+// cell with the same active requirement share a single cloaking
+// computation; data-dependent algorithms fall back to per-user processing
+// (their regions depend on exact positions, so sharing would be unsound).
+// Results are returned in input order; a nil entry marks an update that
+// failed (unknown user, passive mode, out-of-world location).
+//
+// Forwarding is deduplicated: each distinct region is sent downstream once
+// per batch with the *first* user id that produced it, plus one message per
+// additional distinct (id, region) pair — matching what per-user updates
+// would have sent, minus exact duplicates.
+func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
+	results := make([]*cloak.Result, len(updates))
+
+	a.mu.Lock()
+	// Refresh indices and resolve requirements first so the shared pass
+	// sees the whole batch's occupancy (the paper's one-pass semantics).
+	now := a.cfg.Clock()
+	reqs := make([]cloak.Request, 0, len(updates))
+	slot := make([]int, 0, len(updates)) // reqs index -> updates index
+	for i, u := range updates {
+		if !u.Loc.Valid() || !a.cfg.World.Contains(u.Loc) {
+			continue
+		}
+		profile, ok := a.profiles[u.ID]
+		if !ok || a.modes[u.ID] == privacy.Passive {
+			continue
+		}
+		req, err := profile.At(now)
+		if err != nil {
+			continue
+		}
+		if _, tracked := a.pyr.UserCell(u.ID); tracked {
+			if _, err := a.pyr.Move(u.ID, u.Loc); err != nil {
+				continue
+			}
+		} else if err := a.pyr.Insert(u.ID, u.Loc); err != nil {
+			continue
+		}
+		if a.pop != nil {
+			a.pop.Upsert(u.ID, u.Loc)
+		}
+		reqs = append(reqs, cloak.Request{ID: u.ID, Loc: u.Loc, Req: req})
+		slot = append(slot, i)
+	}
+
+	var batchResults []cloak.Result
+	if q, ok := a.cloaker.(*cloak.Quadtree); ok {
+		bq := &cloak.BatchQuadtree{Pyr: q.Pyr}
+		batchResults, _ = bq.CloakAll(reqs)
+	} else {
+		batchResults = make([]cloak.Result, len(reqs))
+		for i, r := range reqs {
+			batchResults[i] = a.cloaker.Cloak(r.ID, r.Loc, r.Req)
+		}
+	}
+	for i := range batchResults {
+		res := batchResults[i]
+		results[slot[i]] = &res
+		a.stats.Updates++
+		if res.BestEffort() {
+			a.stats.BestEffort++
+		}
+		if a.cfg.Tariff != nil {
+			a.charges[reqs[i].ID] += a.cfg.Tariff(reqs[i].Req)
+		}
+	}
+	fwd := a.cfg.Forward
+	a.mu.Unlock()
+
+	if fwd == nil {
+		return results
+	}
+	type fwdKey struct {
+		id     uint64
+		region geo.Rect
+	}
+	sent := make(map[fwdKey]bool, len(reqs))
+	for i := range batchResults {
+		key := fwdKey{id: reqs[i].ID, region: batchResults[i].Region}
+		if sent[key] {
+			continue
+		}
+		sent[key] = true
+		if err := fwd(key.id, key.region); err != nil {
+			a.mu.Lock()
+			a.stats.ForwardErrs++
+			a.mu.Unlock()
+			continue
+		}
+		a.mu.Lock()
+		a.stats.Forwarded++
+		a.mu.Unlock()
+	}
+	return results
+}
+
+// Charges returns the accumulated fees of a user under the configured
+// tariff.
+func (a *Anonymizer) Charges(id uint64) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.charges[id]
+}
+
+// Stats returns a snapshot of the activity counters.
+func (a *Anonymizer) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Population returns the number of users currently tracked in the spatial
+// indices (those that sent at least one update while non-passive).
+func (a *Anonymizer) Population() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pyr.Len()
+}

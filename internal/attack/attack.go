@@ -1,0 +1,197 @@
+// Package attack implements the reverse-engineering adversaries the paper
+// argues about in Section 5: an adversary sees only the cloaked region and
+// tries to recover the exact user location. The package provides point-
+// guess attacks (center guess, boundary guess, uniform guess) and an
+// evaluator producing the leakage metrics of experiments E2/E3:
+//
+//   - guess error, normalized by the best-possible uniform-prior error
+//     (the RMS distance of a uniform point from the region center);
+//   - leakage score in [0,1]: 1 = exact recovery, 0 = no better than the
+//     uniform prior;
+//   - boundary proximity, the statistic that exposes the MBR cloak's
+//     "at least one user on each edge" leak.
+package attack
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Attack is a point-guess adversary: given only the cloaked region it
+// produces an estimate of the user's exact location. Randomized attacks
+// draw from src so experiments stay reproducible.
+type Attack interface {
+	Name() string
+	Guess(region geo.Rect, src *rng.Source) geo.Point
+}
+
+// Center guesses the center of the region — optimal under a uniform prior
+// and devastating against the naive cloaker, whose region is exactly
+// centered on the user.
+type Center struct{}
+
+// Name implements Attack.
+func (Center) Name() string { return "center" }
+
+// Guess implements Attack.
+func (Center) Guess(region geo.Rect, _ *rng.Source) geo.Point { return region.Center() }
+
+// Boundary guesses a uniformly distributed point on the region's boundary,
+// modeling the adversary who knows the region is a minimum bounding
+// rectangle of user locations and therefore has users on its edges.
+type Boundary struct{}
+
+// Name implements Attack.
+func (Boundary) Name() string { return "boundary" }
+
+// Guess implements Attack.
+func (Boundary) Guess(region geo.Rect, src *rng.Source) geo.Point {
+	w, h := region.Width(), region.Height()
+	per := 2 * (w + h)
+	if per == 0 {
+		return region.Min
+	}
+	d := src.Float64() * per
+	switch {
+	case d < w: // bottom edge
+		return geo.Pt(region.Min.X+d, region.Min.Y)
+	case d < w+h: // right edge
+		return geo.Pt(region.Max.X, region.Min.Y+(d-w))
+	case d < 2*w+h: // top edge
+		return geo.Pt(region.Min.X+(d-w-h), region.Max.Y)
+	default: // left edge
+		return geo.Pt(region.Min.X, region.Min.Y+(d-2*w-h))
+	}
+}
+
+// Uniform guesses a uniformly distributed point inside the region — the
+// no-information baseline every other attack is compared against.
+type Uniform struct{}
+
+// Name implements Attack.
+func (Uniform) Name() string { return "uniform" }
+
+// Guess implements Attack.
+func (Uniform) Guess(region geo.Rect, src *rng.Source) geo.Point {
+	return geo.Pt(
+		src.Range(region.Min.X, region.Max.X),
+		src.Range(region.Min.Y, region.Max.Y),
+	)
+}
+
+// PriorRMS returns the root-mean-square distance between the region's
+// center and a uniformly distributed point inside it: sqrt((w²+h²)/12).
+// It is the error a center guess achieves when the cloak is perfectly
+// space-dependent (user uniform in the region), and therefore the natural
+// normalizer for leakage.
+func PriorRMS(region geo.Rect) float64 {
+	w, h := region.Width(), region.Height()
+	return math.Sqrt((w*w + h*h) / 12)
+}
+
+// Sample is one observation for the evaluator: the cloaked region an
+// adversary saw and the exact location it was hiding. SetLocs optionally
+// carries the locations of every user inside the region (the anonymity
+// set), enabling the edge-gap metric.
+type Sample struct {
+	Region  geo.Rect
+	TrueLoc geo.Point
+	SetLocs []geo.Point
+}
+
+// Report aggregates leakage metrics over a set of samples.
+type Report struct {
+	Attack string
+	N      int
+	// MeanError is the mean Euclidean guess error in world units.
+	MeanError float64
+	// MeanNormError is the mean of error / PriorRMS(region); ≈1 means the
+	// attack does no better than the uniform prior, ≪1 means leakage.
+	MeanNormError float64
+	// Leakage is mean max(0, 1 − error/PriorRMS) ∈ [0,1].
+	Leakage float64
+	// HitRate is the fraction of guesses within HitEps of the true location.
+	HitRate float64
+	HitEps  float64
+	// MeanBoundaryDist is the mean distance from the true location to the
+	// region boundary, normalized by sqrt(region area).
+	MeanBoundaryDist float64
+	// MeanEdgeGap is the mean, over samples carrying SetLocs, of the minimum
+	// normalized distance from any anonymity-set member to the region
+	// boundary. A true MBR has a member on every edge, so its gap is exactly
+	// zero — the paper's "at least one data point on each edge" leak —
+	// while space-dependent cells keep members strictly interior on average.
+	MeanEdgeGap float64
+	// EdgeGapN counts the samples that carried SetLocs.
+	EdgeGapN int
+}
+
+// Evaluate runs the attack against every sample. hitEps is the absolute
+// distance within which a guess counts as a "hit" (exact recovery); pass
+// e.g. 1% of the world width.
+func Evaluate(a Attack, samples []Sample, hitEps float64, seed uint64) Report {
+	src := rng.New(seed)
+	rep := Report{Attack: a.Name(), N: len(samples), HitEps: hitEps}
+	if len(samples) == 0 {
+		return rep
+	}
+	for _, s := range samples {
+		g := a.Guess(s.Region, src)
+		err := g.Dist(s.TrueLoc)
+		rep.MeanError += err
+		if prior := PriorRMS(s.Region); prior > 0 {
+			norm := err / prior
+			rep.MeanNormError += norm
+			if norm < 1 {
+				rep.Leakage += 1 - norm
+			}
+		} else {
+			// Degenerate (point) region: total disclosure.
+			rep.MeanNormError += 0
+			rep.Leakage += 1
+		}
+		if err <= hitEps {
+			rep.HitRate++
+		}
+		rep.MeanBoundaryDist += normBoundaryDist(s.Region, s.TrueLoc)
+		if len(s.SetLocs) > 0 {
+			gap := math.Inf(1)
+			for _, p := range s.SetLocs {
+				if d := normBoundaryDist(s.Region, p); d < gap {
+					gap = d
+				}
+			}
+			rep.MeanEdgeGap += gap
+			rep.EdgeGapN++
+		}
+	}
+	n := float64(len(samples))
+	rep.MeanError /= n
+	rep.MeanNormError /= n
+	rep.Leakage /= n
+	rep.HitRate /= n
+	rep.MeanBoundaryDist /= n
+	if rep.EdgeGapN > 0 {
+		rep.MeanEdgeGap /= float64(rep.EdgeGapN)
+	}
+	return rep
+}
+
+// normBoundaryDist returns the distance from p to the boundary of r,
+// normalized by sqrt(area); 0 when p is on (or outside) the boundary.
+func normBoundaryDist(r geo.Rect, p geo.Point) float64 {
+	a := r.Area()
+	if a <= 0 {
+		return 0
+	}
+	d := math.Min(
+		math.Min(p.X-r.Min.X, r.Max.X-p.X),
+		math.Min(p.Y-r.Min.Y, r.Max.Y-p.Y),
+	)
+	if d < 0 {
+		d = 0
+	}
+	return d / math.Sqrt(a)
+}

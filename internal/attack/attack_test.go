@@ -1,0 +1,198 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/pyramid"
+	"repro/internal/rng"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func TestCenterGuess(t *testing.T) {
+	r := geo.R(2, 2, 4, 6)
+	if g := (Center{}).Guess(r, nil); !g.Eq(geo.Pt(3, 4)) {
+		t.Errorf("center guess = %v", g)
+	}
+}
+
+func TestBoundaryGuessOnBoundary(t *testing.T) {
+	r := geo.R(0, 0, 2, 1)
+	src := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		g := Boundary{}.Guess(r, src)
+		onX := g.X == r.Min.X || g.X == r.Max.X
+		onY := g.Y == r.Min.Y || g.Y == r.Max.Y
+		if !onX && !onY {
+			t.Fatalf("boundary guess %v not on boundary", g)
+		}
+		if !r.Contains(g) {
+			t.Fatalf("boundary guess %v outside rect", g)
+		}
+	}
+	// Degenerate rect.
+	if g := (Boundary{}).Guess(geo.PointRect(geo.Pt(1, 1)), src); !g.Eq(geo.Pt(1, 1)) {
+		t.Errorf("degenerate boundary guess = %v", g)
+	}
+}
+
+func TestUniformGuessInside(t *testing.T) {
+	r := geo.R(0.2, 0.3, 0.4, 0.9)
+	src := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		if g := (Uniform{}).Guess(r, src); !r.Contains(g) {
+			t.Fatalf("uniform guess %v outside", g)
+		}
+	}
+}
+
+func TestPriorRMS(t *testing.T) {
+	// Unit square: sqrt(2/12) ≈ 0.4082.
+	if got := PriorRMS(geo.R(0, 0, 1, 1)); math.Abs(got-math.Sqrt(1.0/6)) > 1e-12 {
+		t.Errorf("PriorRMS unit square = %v", got)
+	}
+	if got := PriorRMS(geo.PointRect(geo.Pt(1, 1))); got != 0 {
+		t.Errorf("PriorRMS point = %v", got)
+	}
+	// Monte-Carlo confirmation: RMS distance of uniform points from center.
+	r := geo.R(0, 0, 2, 1)
+	src := rng.New(3)
+	var sum2 float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		p := geo.Pt(src.Range(0, 2), src.Range(0, 1))
+		sum2 += p.Dist2(r.Center())
+	}
+	mc := math.Sqrt(sum2 / n)
+	if math.Abs(mc-PriorRMS(r)) > 0.003 {
+		t.Errorf("PriorRMS %v vs Monte-Carlo %v", PriorRMS(r), mc)
+	}
+}
+
+func TestNormBoundaryDist(t *testing.T) {
+	r := geo.R(0, 0, 1, 1)
+	if d := normBoundaryDist(r, geo.Pt(0.5, 0.5)); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("center boundary dist = %v, want 0.5", d)
+	}
+	if d := normBoundaryDist(r, geo.Pt(0, 0.5)); d != 0 {
+		t.Errorf("edge point boundary dist = %v", d)
+	}
+	if d := normBoundaryDist(geo.PointRect(geo.Pt(1, 1)), geo.Pt(1, 1)); d != 0 {
+		t.Errorf("degenerate region boundary dist = %v", d)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	rep := Evaluate(Center{}, nil, 0.01, 1)
+	if rep.N != 0 || rep.MeanError != 0 {
+		t.Errorf("empty evaluate = %+v", rep)
+	}
+}
+
+func TestEvaluateExactRecovery(t *testing.T) {
+	// User at center of every region: center attack has zero error and
+	// leakage 1.
+	samples := []Sample{
+		{Region: geo.R(0, 0, 0.2, 0.2), TrueLoc: geo.Pt(0.1, 0.1)},
+		{Region: geo.R(0.4, 0.4, 0.8, 0.6), TrueLoc: geo.Pt(0.6, 0.5)},
+	}
+	rep := Evaluate(Center{}, samples, 0.001, 1)
+	if rep.MeanError > 1e-12 || rep.Leakage < 1-1e-9 || rep.HitRate != 1 {
+		t.Errorf("exact recovery report = %+v", rep)
+	}
+}
+
+func TestEvaluateDegenerateRegion(t *testing.T) {
+	samples := []Sample{{Region: geo.PointRect(geo.Pt(0.5, 0.5)), TrueLoc: geo.Pt(0.5, 0.5)}}
+	rep := Evaluate(Center{}, samples, 0.001, 1)
+	if rep.Leakage != 1 {
+		t.Errorf("point region should be total disclosure: %+v", rep)
+	}
+}
+
+// End-to-end leakage ordering (the paper's core privacy claim):
+// naive ≫ MBR > space-dependent under the attacks that exploit them.
+func TestLeakageOrderingAcrossCloakers(t *testing.T) {
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 4000, World: world, Dist: mobility.Uniform, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, _ := grid.New(world, 32, 32)
+	pyr, _ := pyramid.New(world, 8)
+	for i, p := range pts {
+		gi.Upsert(uint64(i+1), p)
+		pyr.Insert(uint64(i+1), p)
+	}
+	pop := cloak.GridPopulation{Index: gi}
+	req := privacy.Requirement{K: 25}
+
+	collect := func(c cloak.Cloaker) []Sample {
+		var out []Sample
+		for i := 0; i < 300; i++ {
+			uid := uint64(i*13 + 1)
+			loc := pts[uid-1]
+			res := c.Cloak(uid, loc, req)
+			var set []geo.Point
+			for _, p := range pts {
+				if res.Region.Contains(p) {
+					set = append(set, p)
+				}
+			}
+			out = append(out, Sample{Region: res.Region, TrueLoc: loc, SetLocs: set})
+		}
+		return out
+	}
+
+	naive := Evaluate(Center{}, collect(&cloak.Naive{Pop: pop}), 0.005, 7)
+	mbr := Evaluate(Center{}, collect(&cloak.MBR{Pop: pop}), 0.005, 7)
+	quad := Evaluate(Center{}, collect(&cloak.Quadtree{Pyr: pyr}), 0.005, 7)
+
+	// Naive: center attack recovers users (allowing world-boundary clips).
+	if naive.Leakage < 0.9 {
+		t.Errorf("naive leakage under center attack = %v, want ≈1", naive.Leakage)
+	}
+	if naive.HitRate < 0.8 {
+		t.Errorf("naive hit rate = %v, want high", naive.HitRate)
+	}
+	// Space-dependent: center attack near the uniform prior.
+	if quad.Leakage > 0.45 {
+		t.Errorf("quadtree leakage = %v, want low", quad.Leakage)
+	}
+	if naive.Leakage <= mbr.Leakage {
+		t.Errorf("expected naive (%v) > MBR (%v) center leakage", naive.Leakage, mbr.Leakage)
+	}
+	if mbr.Leakage <= quad.Leakage {
+		t.Errorf("expected MBR (%v) > quadtree (%v) center leakage", mbr.Leakage, quad.Leakage)
+	}
+
+	// The MBR edge leak: an MBR has an anonymity-set member on every edge,
+	// so its edge gap is exactly zero, while quadtree cells keep members
+	// strictly interior on average.
+	mbrSamples := collect(&cloak.MBR{Pop: pop})
+	quadSamples := collect(&cloak.Quadtree{Pyr: pyr})
+	mbrB := Evaluate(Boundary{}, mbrSamples, 0.005, 9)
+	quadB := Evaluate(Boundary{}, quadSamples, 0.005, 9)
+	if mbrB.EdgeGapN == 0 || quadB.EdgeGapN == 0 {
+		t.Fatal("edge-gap samples missing SetLocs")
+	}
+	if mbrB.MeanEdgeGap > 1e-9 {
+		t.Errorf("MBR edge gap = %v, want 0 (members on every edge)", mbrB.MeanEdgeGap)
+	}
+	if quadB.MeanEdgeGap <= 1e-6 {
+		t.Errorf("quadtree edge gap = %v, want clearly positive", quadB.MeanEdgeGap)
+	}
+}
+
+func TestAttackNames(t *testing.T) {
+	if (Center{}).Name() != "center" || (Boundary{}).Name() != "boundary" || (Uniform{}).Name() != "uniform" {
+		t.Error("attack names wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package cloak
+
+import (
+	"repro/internal/geo"
+	"repro/internal/privacy"
+	"repro/internal/pyramid"
+)
+
+// Request is one user's cloaking request in a batch.
+type Request struct {
+	ID  uint64
+	Loc geo.Point
+	Req privacy.Requirement
+}
+
+// BatchQuadtree performs the Section 5.3 shared execution over the
+// space-dependent quadtree cloaker: users that fall into the same bottom
+// pyramid cell with the same requirement share one descent. In a typical
+// workload the number of distinct (cell, requirement) pairs is far smaller
+// than the number of users, so one pass serves everybody.
+type BatchQuadtree struct {
+	Pyr *pyramid.Pyramid
+}
+
+// batchKey identifies a shareable unit of work.
+type batchKey struct {
+	cell pyramid.Cell
+	req  privacy.Requirement
+}
+
+// CloakAll cloaks every request, sharing computation between users in the
+// same bottom cell with the same requirement. Results are returned in
+// request order. SharedHits reports how many requests were served from a
+// previously computed descent in this batch.
+func (b *BatchQuadtree) CloakAll(reqs []Request) (results []Result, sharedHits int) {
+	results = make([]Result, len(reqs))
+	memo := make(map[batchKey]Result, len(reqs)/2+1)
+	q := &Quadtree{Pyr: b.Pyr}
+	bottom := b.Pyr.Height() - 1
+	for i, r := range reqs {
+		key := batchKey{cell: b.Pyr.CellAt(bottom, r.Loc), req: r.Req}
+		if res, ok := memo[key]; ok {
+			results[i] = res
+			sharedHits++
+			continue
+		}
+		res := q.Cloak(r.ID, r.Loc, r.Req)
+		memo[key] = res
+		results[i] = res
+	}
+	return results, sharedHits
+}

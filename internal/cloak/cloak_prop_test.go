@@ -1,0 +1,85 @@
+package cloak
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+)
+
+// Skewed (Zipf) populations are the adversarial case for space-dependent
+// cloaking: hotspot cells are dense, tail cells nearly empty, forcing long
+// merge chains. The invariants must hold regardless.
+func TestPropGridCloakUnderZipfSkew(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, levelRaw uint8, userRaw uint16) bool {
+		k := int(kRaw%80) + 2
+		level := int(levelRaw%4) + 3 // levels 3..6
+		_, pyr, pts := population(t, 1200, mobility.ZipfClusters, seed)
+		uid := uint64(int(userRaw)%len(pts)) + 1
+		loc := pts[uid-1]
+		g := &Grid{Pyr: pyr, Level: level}
+		res := g.Cloak(uid, loc, privacy.Requirement{K: k})
+		if !res.Region.Contains(loc) {
+			return false
+		}
+		if got := bruteCount(pts, res.Region); got != res.K {
+			return false
+		}
+		// k ≤ population, so it must be satisfiable and satisfied.
+		return res.SatisfiedK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MBR cloaking under skew: the region is exactly the bounding box of the
+// k-nearest set, so its reported K can exceed k (other users fall inside)
+// but never goes below.
+func TestPropMBRCloakCountLowerBound(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, userRaw uint16) bool {
+		k := int(kRaw%60) + 1
+		pop, _, pts := population(t, 900, mobility.ZipfClusters, seed)
+		uid := uint64(int(userRaw)%len(pts)) + 1
+		m := &MBR{Pop: pop}
+		res := m.Cloak(uid, pts[uid-1], privacy.Requirement{K: k})
+		return res.K >= k && res.SatisfiedK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Incremental cloaking never returns a region violating the active
+// requirement when the validator is sound, across random micro-movements.
+func TestPropIncrementalAlwaysValid(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%40) + 2
+		_, pyr, pts := population(t, 1000, mobility.Gaussian, seed)
+		validate := func(region geo.Rect, req privacy.Requirement) (int, bool) {
+			n := bruteCount(pts, region)
+			return n, n >= req.K
+		}
+		inc := NewIncremental(&Quadtree{Pyr: pyr}, validate)
+		req := privacy.Requirement{K: k}
+		uid := uint64(7)
+		loc := pts[uid-1]
+		for step := 0; step < 15; step++ {
+			res := inc.Cloak(uid, loc, req)
+			if !res.Region.Contains(loc) {
+				return false
+			}
+			if bruteCount(pts, res.Region) < k {
+				return false
+			}
+			// Drift.
+			loc = geo.R(0, 0, 1, 1).ClampPoint(geo.Pt(loc.X+0.003, loc.Y-0.002))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

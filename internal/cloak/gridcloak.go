@@ -1,0 +1,124 @@
+package cloak
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/privacy"
+	"repro/internal/pyramid"
+)
+
+// Grid is the space-dependent cloaker of Figure 4b: the space is
+// partitioned into a fixed grid (one level of the pyramid); the cell g
+// containing the user is returned if it already satisfies the profile,
+// otherwise g is merged with adjacent cells until the merged block does.
+// With MultiLevel set, a cell that over-satisfies the profile is refined
+// into the sub-grid of deeper pyramid levels — the "fixed multi-level
+// grids" optimization the paper sketches at the end of Section 5.2.
+type Grid struct {
+	Pyr *pyramid.Pyramid
+	// Level is the fixed grid level in [1, Pyr.Height()-1].
+	Level int
+	// MultiLevel enables downward refinement when the level cell already
+	// satisfies the requirement with slack.
+	MultiLevel bool
+}
+
+// Name implements Cloaker.
+func (g *Grid) Name() string {
+	if g.MultiLevel {
+		return fmt.Sprintf("grid-ml(L%d)", g.Level)
+	}
+	return fmt.Sprintf("grid(L%d)", g.Level)
+}
+
+// Cloak implements Cloaker.
+func (g *Grid) Cloak(id uint64, loc geo.Point, req privacy.Requirement) Result {
+	level := g.Level
+	if level < 1 {
+		level = 1
+	}
+	if level >= g.Pyr.Height() {
+		level = g.Pyr.Height() - 1
+	}
+	cell := g.Pyr.CellAt(level, loc)
+
+	if g.Pyr.Count(cell) >= req.K && g.Pyr.CellArea(level) >= req.MinArea {
+		// The base cell satisfies the profile. Optionally refine downward
+		// while the child cell containing the user still satisfies it.
+		if g.MultiLevel {
+			for l := level + 1; l < g.Pyr.Height(); l++ {
+				child := g.Pyr.CellAt(l, loc)
+				if g.Pyr.Count(child) < req.K || g.Pyr.CellArea(l) < req.MinArea {
+					break
+				}
+				cell = child
+			}
+		}
+		region := g.Pyr.Rect(cell)
+		return finish(region, g.Pyr.Count(cell), req)
+	}
+
+	// Merge with adjacent grid cells until the block satisfies the profile.
+	col0, row0, col1, row1 := cell.Col, cell.Row, cell.Col, cell.Row
+	cellArea := g.Pyr.CellArea(level)
+	blockOK := func() bool {
+		cnt := g.Pyr.CountRegion(level, col0, row0, col1, row1)
+		area := float64((col1-col0+1)*(row1-row0+1)) * cellArea
+		return cnt >= req.K && area >= req.MinArea
+	}
+	for !blockOK() {
+		grew := g.growBlock(level, &col0, &row0, &col1, &row1)
+		if !grew {
+			break // the block covers the whole grid
+		}
+	}
+	region := g.Pyr.RegionRect(level, col0, row0, col1, row1)
+	count := g.Pyr.CountRegion(level, col0, row0, col1, row1)
+	return finish(region, count, req)
+}
+
+// growBlock expands the block one step in the direction that adds the most
+// users (ties: smallest area growth first, i.e. the shorter side). It
+// returns false when the block already spans the whole grid.
+//
+// The greedy choice uses only aggregate per-cell counts — never exact
+// positions — so the result remains space-dependent: the returned block is
+// a function of the occupancy histogram, not of the user's exact point.
+func (g *Grid) growBlock(level int, col0, row0, col1, row1 *int) bool {
+	side := 1 << level
+	type option struct {
+		gain  int
+		cells int
+		apply func()
+	}
+	var opts []option
+	if *col0 > 0 {
+		gain := g.Pyr.CountRegion(level, *col0-1, *row0, *col0-1, *row1)
+		opts = append(opts, option{gain, *row1 - *row0 + 1, func() { *col0-- }})
+	}
+	if *col1 < side-1 {
+		gain := g.Pyr.CountRegion(level, *col1+1, *row0, *col1+1, *row1)
+		opts = append(opts, option{gain, *row1 - *row0 + 1, func() { *col1++ }})
+	}
+	if *row0 > 0 {
+		gain := g.Pyr.CountRegion(level, *col0, *row0-1, *col1, *row0-1)
+		opts = append(opts, option{gain, *col1 - *col0 + 1, func() { *row0-- }})
+	}
+	if *row1 < side-1 {
+		gain := g.Pyr.CountRegion(level, *col0, *row1+1, *col1, *row1+1)
+		opts = append(opts, option{gain, *col1 - *col0 + 1, func() { *row1++ }})
+	}
+	if len(opts) == 0 {
+		return false
+	}
+	best := 0
+	for i := 1; i < len(opts); i++ {
+		if opts[i].gain > opts[best].gain ||
+			(opts[i].gain == opts[best].gain && opts[i].cells < opts[best].cells) {
+			best = i
+		}
+	}
+	opts[best].apply()
+	return true
+}

@@ -1,0 +1,83 @@
+package cloak
+
+import (
+	"repro/internal/geo"
+	"repro/internal/privacy"
+)
+
+// Validator re-checks whether a previously issued region still satisfies a
+// requirement against the current population — the cheap test that makes
+// incremental evaluation sound. Space-dependent cloakers validate against
+// pyramid counts; data-dependent ones against the population index.
+type Validator func(region geo.Rect, req privacy.Requirement) (count int, ok bool)
+
+// Incremental wraps any Cloaker with the Section 5.3 incremental
+// evaluation: the cloaked region computed at time t−1 is reused at time t
+// whenever (a) the user is still inside it and (b) it still satisfies her
+// requirement. Only when either check fails is the inner cloaker invoked.
+//
+// Reuse has a privacy side benefit the paper does not mention but the
+// experiments report: a stable region across updates leaks less movement
+// information than a region recentered on every update.
+type Incremental struct {
+	Inner Cloaker
+	// Validate re-checks a cached region. When nil, only containment of the
+	// new location is checked (cheapest, but may under-satisfy k after other
+	// users moved away).
+	Validate Validator
+	// MaxSlack, when positive, forces a recompute whenever the cached
+	// region's current population exceeds MaxSlack×k. Without it a region
+	// computed under a sparse population (e.g. the whole world during
+	// startup) would stay valid forever and quality of service would never
+	// recover; with it the region re-tightens once the population allows.
+	// Only effective when Validate is set (it supplies the count).
+	MaxSlack int
+
+	cache map[uint64]cached
+}
+
+type cached struct {
+	region geo.Rect
+	req    privacy.Requirement
+}
+
+// NewIncremental builds the wrapper.
+func NewIncremental(inner Cloaker, validate Validator) *Incremental {
+	return &Incremental{Inner: inner, Validate: validate, cache: make(map[uint64]cached)}
+}
+
+// Name implements Cloaker.
+func (c *Incremental) Name() string { return c.Inner.Name() + "+inc" }
+
+// Cloak implements Cloaker.
+func (c *Incremental) Cloak(id uint64, loc geo.Point, req privacy.Requirement) Result {
+	if prev, ok := c.cache[id]; ok && prev.req == req && prev.region.Contains(loc) {
+		if c.Validate == nil {
+			return Result{
+				Region:           prev.region,
+				K:                req.K, // unknown without validation; assume held
+				SatisfiedK:       true,
+				SatisfiedMinArea: prev.region.Area() >= req.MinArea,
+				SatisfiedMaxArea: prev.region.Area() <= req.EffectiveMaxArea(),
+				Reused:           true,
+			}
+		}
+		if count, valid := c.Validate(prev.region, req); valid {
+			if c.MaxSlack <= 0 || count <= c.MaxSlack*req.K {
+				r := finish(prev.region, count, req)
+				r.Reused = true
+				return r
+			}
+			// Over-slack: fall through to recompute a tighter region.
+		}
+	}
+	res := c.Inner.Cloak(id, loc, req)
+	c.cache[id] = cached{region: res.Region, req: req}
+	return res
+}
+
+// Invalidate drops the cached region of one user (e.g. on deregistration).
+func (c *Incremental) Invalidate(id uint64) { delete(c.cache, id) }
+
+// CacheSize returns the number of cached regions.
+func (c *Incremental) CacheSize() int { return len(c.cache) }

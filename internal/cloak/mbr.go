@@ -1,0 +1,74 @@
+package cloak
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/privacy"
+)
+
+// MBR is the data-dependent cloaker of Figure 3b (the approach of Gedik &
+// Liu's CliqueCloak lineage cited by the paper): the cloaked region is the
+// minimum bounding rectangle of the user and her k−1 nearest neighbors.
+//
+// The paper's critique, which the attack package quantifies: the MBR has at
+// least one user on each edge, so for small k an adversary guessing "the
+// user is on the boundary" does far better than random — information
+// leakage without full disclosure.
+type MBR struct {
+	Pop Population
+}
+
+// Name implements Cloaker.
+func (m *MBR) Name() string { return "mbr" }
+
+// Cloak implements Cloaker.
+func (m *MBR) Cloak(id uint64, loc geo.Point, req privacy.Requirement) Result {
+	neighbors := m.Pop.KNearest(loc, req.K)
+	region := geo.PointRect(loc)
+	for _, p := range neighbors {
+		region = region.UnionPoint(p)
+	}
+	if region.Area() < req.MinArea {
+		region = fitMinArea(region, m.Pop.World(), req.MinArea)
+	}
+	return finish(region, m.Pop.CountIn(region), req)
+}
+
+// expandDelta returns the per-side expansion d ≥ 0 such that
+// (w+2d)(h+2d) = targetArea. For w·h ≥ targetArea it returns 0.
+func expandDelta(w, h, targetArea float64) float64 {
+	if w*h >= targetArea {
+		return 0
+	}
+	// 4d² + 2(w+h)d + (wh − target) = 0, take the positive root.
+	b := 2 * (w + h)
+	c := w*h - targetArea
+	disc := b*b - 16*c
+	return (-b + math.Sqrt(disc)) / 8
+}
+
+// fitMinArea grows r to at least minArea while keeping it inside world and
+// still containing the original rectangle. Growth is symmetric first; when
+// a dimension hits the world's extent the other dimension compensates, and
+// the final placement is the world-clamped centering on r's center (which
+// provably contains r whenever the grown dimensions are ≥ r's).
+func fitMinArea(r, world geo.Rect, minArea float64) geo.Rect {
+	if r.Area() >= minArea {
+		return r
+	}
+	d := expandDelta(r.Width(), r.Height(), minArea)
+	w := math.Min(r.Width()+2*d, world.Width())
+	h := math.Min(r.Height()+2*d, world.Height())
+	if w*h < minArea {
+		// One axis was capped by the world; stretch the other.
+		h = math.Min(minArea/w, world.Height())
+		if w*h < minArea {
+			w = math.Min(minArea/h, world.Width())
+		}
+	}
+	c := r.Center()
+	minX := math.Min(math.Max(c.X-w/2, world.Min.X), world.Max.X-w)
+	minY := math.Min(math.Max(c.Y-h/2, world.Min.Y), world.Max.Y-h)
+	return geo.R(minX, minY, minX+w, minY+h)
+}

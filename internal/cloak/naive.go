@@ -1,0 +1,84 @@
+package cloak
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/privacy"
+)
+
+// Naive is the data-dependent cloaker of Figure 3a: it expands a square
+// centered at the exact user location equally in all directions until the
+// privacy requirement is satisfied. It is the paper's strawman — the
+// region's center *is* the exact location, so a center-point attack
+// recovers the user exactly (see package attack).
+type Naive struct {
+	Pop Population
+}
+
+// Name implements Cloaker.
+func (n *Naive) Name() string { return "naive" }
+
+// Cloak implements Cloaker. It binary-searches the smallest centered square
+// (clipped to the world) that contains at least req.K users and has area at
+// least req.MinArea; Amax is checked last and only flagged, because k is
+// the paper's hard minimum requirement.
+func (n *Naive) Cloak(id uint64, loc geo.Point, req privacy.Requirement) Result {
+	world := n.Pop.World()
+	// Half-width needed for the area constraint alone (unclipped square).
+	minHalf := math.Sqrt(req.MinArea) / 2
+
+	// The largest meaningful half-width covers the whole world from loc.
+	maxHalf := math.Max(
+		math.Max(loc.X-world.Min.X, world.Max.X-loc.X),
+		math.Max(loc.Y-world.Min.Y, world.Max.Y-loc.Y),
+	)
+
+	region := func(h float64) geo.Rect {
+		return geo.RectAround(loc, h).Clip(world)
+	}
+	satisfied := func(h float64) bool {
+		r := region(h)
+		return n.Pop.CountIn(r) >= req.K && r.Area() >= req.MinArea
+	}
+
+	if !satisfied(maxHalf) {
+		// Even the whole world misses a constraint: best effort.
+		r := region(maxHalf)
+		return finish(r, n.Pop.CountIn(r), req)
+	}
+
+	// Exponential probe up from the area-driven lower bound, then bisect.
+	lo, hi := minHalf, maxHalf
+	if lo > hi {
+		lo = hi
+	}
+	if !satisfied(lo) {
+		probe := lo
+		if probe == 0 {
+			probe = maxHalf / 1024
+		}
+		for probe < hi && !satisfied(probe) {
+			lo = probe
+			probe *= 2
+		}
+		if probe < hi {
+			hi = probe
+		}
+		// Invariant: !satisfied(lo) && satisfied(hi).
+		const iters = 48
+		for i := 0; i < iters && hi-lo > 1e-12*maxHalf; i++ {
+			mid := (lo + hi) / 2
+			if satisfied(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+	} else {
+		hi = lo
+	}
+
+	r := region(hi)
+	return finish(r, n.Pop.CountIn(r), req)
+}

@@ -1,0 +1,165 @@
+package cloak
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/pyramid"
+)
+
+// Temporal implements spatio-temporal cloaking in the Gruteser–Grunwald
+// style the paper builds on (its reference [18]): instead of enlarging the
+// spatial region until k users are inside *now*, an update is delayed and
+// released only once at least k distinct users have visited its cell since
+// the update arrived. The released answer blurs the user in space (the
+// cell) *and* time (the interval [ArrivedAt, ReleasedAt]) — anyone of the
+// k visitors could have been the reporter at some moment in the interval.
+//
+// Temporal cloaking trades latency for area: a dense cell releases almost
+// immediately, a sparse one accumulates visitors over time instead of
+// ballooning spatially. The MaxDelay bound keeps updates from starving; an
+// update that times out is released unsatisfied so the caller can fall
+// back to spatial cloaking.
+//
+// Time is modeled as integer ticks driven by the caller (the anonymizer's
+// update loop), keeping the component deterministic and testable.
+type Temporal struct {
+	pyr   *pyramid.Pyramid
+	level int
+	// MaxDelay is the maximum number of ticks an update may wait.
+	maxDelay int64
+
+	now      int64
+	pending  []*pendingUpdate
+	visitors map[pyramid.Cell]map[uint64]int64 // cell -> user -> last visit tick
+}
+
+type pendingUpdate struct {
+	id        uint64
+	cell      pyramid.Cell
+	k         int
+	arrivedAt int64
+}
+
+// TemporalRelease is one matured (or expired) update.
+type TemporalRelease struct {
+	ID     uint64
+	Region geo.Rect
+	// From/To is the temporal cloak: the reporter was in Region at some
+	// point within [From, To].
+	From, To int64
+	// K is the number of distinct visitors accumulated (including the
+	// reporter).
+	K int
+	// Satisfied is false when MaxDelay expired before k visitors arrived.
+	Satisfied bool
+}
+
+// NewTemporal builds a temporal cloaker over a fixed level of the pyramid
+// partition. The pyramid is used only for cell geometry; counts are
+// tracked internally because temporal cloaking needs *visit history*, not
+// instantaneous occupancy.
+func NewTemporal(pyr *pyramid.Pyramid, level int, maxDelay int) (*Temporal, error) {
+	if pyr == nil {
+		return nil, fmt.Errorf("cloak: nil pyramid")
+	}
+	if level < 0 || level >= pyr.Height() {
+		return nil, fmt.Errorf("cloak: temporal level %d outside [0,%d)", level, pyr.Height())
+	}
+	if maxDelay < 1 {
+		return nil, fmt.Errorf("cloak: MaxDelay %d must be ≥ 1", maxDelay)
+	}
+	return &Temporal{
+		pyr:      pyr,
+		level:    level,
+		maxDelay: int64(maxDelay),
+		visitors: make(map[pyramid.Cell]map[uint64]int64),
+	}, nil
+}
+
+// Now returns the current tick.
+func (t *Temporal) Now() int64 { return t.now }
+
+// PendingCount returns the number of updates waiting for release.
+func (t *Temporal) PendingCount() int { return len(t.pending) }
+
+// Observe records that the user is at loc on the current tick. If the user
+// requests anonymity k, her update is queued for release; k ≤ 1 means the
+// visit only feeds other users' anonymity sets.
+func (t *Temporal) Observe(id uint64, loc geo.Point, k int) {
+	cell := t.pyr.CellAt(t.level, loc)
+	m, ok := t.visitors[cell]
+	if !ok {
+		m = make(map[uint64]int64)
+		t.visitors[cell] = m
+	}
+	m[id] = t.now
+	if k > 1 {
+		t.pending = append(t.pending, &pendingUpdate{
+			id: id, cell: cell, k: k, arrivedAt: t.now,
+		})
+	}
+}
+
+// Tick advances time and returns the updates that matured (k distinct
+// visitors since arrival) or expired (MaxDelay reached) this tick.
+func (t *Temporal) Tick() []TemporalRelease {
+	t.now++
+	var released []TemporalRelease
+	remaining := t.pending[:0]
+	for _, p := range t.pending {
+		count := t.visitorsSince(p.cell, p.arrivedAt)
+		switch {
+		case count >= p.k:
+			released = append(released, TemporalRelease{
+				ID:        p.id,
+				Region:    t.pyr.Rect(p.cell),
+				From:      p.arrivedAt,
+				To:        t.now,
+				K:         count,
+				Satisfied: true,
+			})
+		case t.now-p.arrivedAt >= t.maxDelay:
+			released = append(released, TemporalRelease{
+				ID:        p.id,
+				Region:    t.pyr.Rect(p.cell),
+				From:      p.arrivedAt,
+				To:        t.now,
+				K:         count,
+				Satisfied: false,
+			})
+		default:
+			remaining = append(remaining, p)
+		}
+	}
+	t.pending = remaining
+	t.gc()
+	return released
+}
+
+// visitorsSince counts distinct users seen in the cell at or after tick.
+func (t *Temporal) visitorsSince(cell pyramid.Cell, tick int64) int {
+	n := 0
+	for _, last := range t.visitors[cell] {
+		if last >= tick {
+			n++
+		}
+	}
+	return n
+}
+
+// gc drops visitor records older than MaxDelay — they can never satisfy
+// any live or future pending update.
+func (t *Temporal) gc() {
+	horizon := t.now - t.maxDelay
+	for cell, m := range t.visitors {
+		for id, last := range m {
+			if last < horizon {
+				delete(m, id)
+			}
+		}
+		if len(m) == 0 {
+			delete(t.visitors, cell)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package cloak
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/pyramid"
+	"repro/internal/rng"
+)
+
+func newTemporal(t *testing.T, level, maxDelay int) (*Temporal, *pyramid.Pyramid) {
+	t.Helper()
+	pyr, err := pyramid.New(world, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTemporal(pyr, level, maxDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc, pyr
+}
+
+func TestNewTemporalValidation(t *testing.T) {
+	pyr, _ := pyramid.New(world, 4)
+	if _, err := NewTemporal(nil, 2, 5); err == nil {
+		t.Error("nil pyramid accepted")
+	}
+	if _, err := NewTemporal(pyr, -1, 5); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := NewTemporal(pyr, 9, 5); err == nil {
+		t.Error("too-deep level accepted")
+	}
+	if _, err := NewTemporal(pyr, 2, 0); err == nil {
+		t.Error("zero MaxDelay accepted")
+	}
+}
+
+func TestTemporalReleasesWhenKVisitorsArrive(t *testing.T) {
+	tc, pyr := newTemporal(t, 3, 100)
+	loc := geo.Pt(0.3, 0.3)
+	cell := pyr.CellAt(3, loc)
+	cellRect := pyr.Rect(cell)
+
+	tc.Observe(1, loc, 3) // user 1 wants k=3
+	if got := tc.PendingCount(); got != 1 {
+		t.Fatalf("pending = %d", got)
+	}
+	if rel := tc.Tick(); len(rel) != 0 {
+		t.Fatalf("released with only 1 visitor: %v", rel)
+	}
+	// Two more visitors to the same cell (any point inside it counts).
+	tc.Observe(2, cellRect.Center(), 1)
+	if rel := tc.Tick(); len(rel) != 0 {
+		t.Fatal("released with 2 visitors")
+	}
+	tc.Observe(3, geo.Pt(cellRect.Min.X+1e-6, cellRect.Min.Y+1e-6), 1)
+	rel := tc.Tick()
+	if len(rel) != 1 {
+		t.Fatalf("expected release, got %v", rel)
+	}
+	r := rel[0]
+	if r.ID != 1 || !r.Satisfied || r.K != 3 {
+		t.Errorf("release = %+v", r)
+	}
+	if !r.Region.Eq(cellRect) {
+		t.Errorf("region = %v, want cell %v", r.Region, cellRect)
+	}
+	if r.From != 0 || r.To != 3 {
+		t.Errorf("temporal interval = [%d,%d]", r.From, r.To)
+	}
+	if tc.PendingCount() != 0 {
+		t.Error("pending not drained")
+	}
+}
+
+func TestTemporalRequesterCountsTowardK(t *testing.T) {
+	tc, _ := newTemporal(t, 3, 100)
+	tc.Observe(1, geo.Pt(0.5, 0.5), 1) // k=1: no queueing, immediate anonymity
+	if tc.PendingCount() != 0 {
+		t.Error("k=1 update queued")
+	}
+	// k=2 with one other visitor releases on the next tick.
+	tc.Observe(2, geo.Pt(0.5, 0.5), 2)
+	rel := tc.Tick()
+	if len(rel) != 1 || !rel[0].Satisfied || rel[0].K != 2 {
+		t.Fatalf("release = %v", rel)
+	}
+}
+
+func TestTemporalExpiry(t *testing.T) {
+	tc, _ := newTemporal(t, 3, 5)
+	tc.Observe(1, geo.Pt(0.7, 0.7), 50) // k far beyond any visitors
+	var rel []TemporalRelease
+	for i := 0; i < 5; i++ {
+		rel = tc.Tick()
+		if i < 4 && len(rel) != 0 {
+			t.Fatalf("released early at tick %d", i+1)
+		}
+	}
+	if len(rel) != 1 {
+		t.Fatalf("expected expiry release, got %v", rel)
+	}
+	if rel[0].Satisfied {
+		t.Error("expired release marked satisfied")
+	}
+	if rel[0].K != 1 {
+		t.Errorf("expired K = %d, want 1 (only the requester)", rel[0].K)
+	}
+}
+
+func TestTemporalVisitorsMustBeAfterArrival(t *testing.T) {
+	tc, _ := newTemporal(t, 3, 100)
+	// Visitors BEFORE the update arrives must not count.
+	tc.Observe(10, geo.Pt(0.2, 0.2), 1)
+	tc.Observe(11, geo.Pt(0.2, 0.2), 1)
+	tc.Tick()
+	tc.Tick()
+	// gc horizon is generous (MaxDelay 100); old visits remain recorded but
+	// must be ignored because they precede the update's arrival... they are
+	// at ticks 0 < arrivedAt=2.
+	tc.Observe(1, geo.Pt(0.2, 0.2), 3)
+	rel := tc.Tick()
+	if len(rel) != 0 {
+		t.Fatalf("stale visitors satisfied the update: %v", rel)
+	}
+	// Fresh visits do count.
+	tc.Observe(10, geo.Pt(0.2, 0.2), 1)
+	tc.Observe(11, geo.Pt(0.2, 0.2), 1)
+	rel = tc.Tick()
+	if len(rel) != 1 || !rel[0].Satisfied {
+		t.Fatalf("fresh visitors did not release: %v", rel)
+	}
+}
+
+func TestTemporalDistinctVisitors(t *testing.T) {
+	tc, _ := newTemporal(t, 3, 100)
+	tc.Observe(1, geo.Pt(0.4, 0.4), 3)
+	// The same second user visiting repeatedly is still one visitor.
+	for i := 0; i < 10; i++ {
+		tc.Observe(2, geo.Pt(0.4, 0.4), 1)
+		if rel := tc.Tick(); len(rel) != 0 {
+			t.Fatalf("repeated visits of one user satisfied k=3: %v", rel)
+		}
+	}
+	tc.Observe(3, geo.Pt(0.4, 0.4), 1)
+	if rel := tc.Tick(); len(rel) != 1 {
+		t.Fatal("third distinct visitor should release")
+	}
+}
+
+func TestTemporalCellIsolation(t *testing.T) {
+	tc, _ := newTemporal(t, 3, 100)
+	// Visitors in a different cell do not help.
+	tc.Observe(1, geo.Pt(0.1, 0.1), 2)
+	tc.Observe(2, geo.Pt(0.9, 0.9), 1)
+	if rel := tc.Tick(); len(rel) != 0 {
+		t.Fatalf("cross-cell visitor counted: %v", rel)
+	}
+}
+
+func TestTemporalGC(t *testing.T) {
+	tc, _ := newTemporal(t, 3, 3)
+	tc.Observe(1, geo.Pt(0.5, 0.5), 1)
+	for i := 0; i < 10; i++ {
+		tc.Tick()
+	}
+	if len(tc.visitors) != 0 {
+		t.Errorf("visitor records not garbage collected: %d cells", len(tc.visitors))
+	}
+}
+
+// Dense cells release fast, sparse cells wait — the latency/privacy
+// trade-off temporal cloaking is about.
+func TestTemporalLatencyReflectsDensity(t *testing.T) {
+	tc, pyr := newTemporal(t, 2, 1000)
+	src := rng.New(3)
+	dense := pyr.Rect(pyr.CellAt(2, geo.Pt(0.1, 0.1)))
+	sparse := pyr.Rect(pyr.CellAt(2, geo.Pt(0.9, 0.9)))
+
+	tc.Observe(1, dense.Center(), 10)
+	tc.Observe(2, sparse.Center(), 10)
+
+	denseTick, sparseTick := int64(-1), int64(-1)
+	for tick := 0; tick < 300; tick++ {
+		// 5 visitors/tick in the dense cell, one every 10 ticks in sparse.
+		for v := 0; v < 5; v++ {
+			id := uint64(100 + src.Intn(50))
+			tc.Observe(id, geo.Pt(
+				src.Range(dense.Min.X, dense.Max.X),
+				src.Range(dense.Min.Y, dense.Max.Y),
+			), 1)
+		}
+		if tick%10 == 0 {
+			id := uint64(200 + tick/10)
+			tc.Observe(id, sparse.Center(), 1)
+		}
+		for _, rel := range tc.Tick() {
+			switch rel.ID {
+			case 1:
+				denseTick = rel.To
+			case 2:
+				sparseTick = rel.To
+			}
+		}
+		if denseTick >= 0 && sparseTick >= 0 {
+			break
+		}
+	}
+	if denseTick < 0 || sparseTick < 0 {
+		t.Fatalf("updates never released: dense=%d sparse=%d", denseTick, sparseTick)
+	}
+	if denseTick >= sparseTick {
+		t.Errorf("dense cell (%d) should release before sparse (%d)", denseTick, sparseTick)
+	}
+}
+
+func BenchmarkTemporalTick(b *testing.B) {
+	pyr, _ := pyramid.New(world, 6)
+	tc, err := NewTemporal(pyr, 4, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < 100; u++ {
+			id := uint64(src.Intn(1000)) + 1
+			k := 1
+			if u%10 == 0 {
+				k = 20
+			}
+			tc.Observe(id, geo.Pt(src.Float64(), src.Float64()), k)
+		}
+		tc.Tick()
+	}
+}

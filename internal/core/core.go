@@ -1,0 +1,260 @@
+// Package core assembles the paper's three-tier architecture (Figure 1) in
+// a single process: mobile users talk to a Location Anonymizer, which
+// forwards cloaked regions to the privacy-aware location-based database
+// server. It is the library's main entry point — examples, benchmarks and
+// the networked services are all built on this facade.
+//
+// The end-to-end flows it exposes map one-to-one onto the paper:
+//
+//   - RegisterUser / UpdateLocation — active-mode location reporting
+//     through the anonymizer (Sections 4–5);
+//   - FindNearest / FindWithin — private queries over public data with
+//     client-side refinement (Section 6.2.1, Figure 5);
+//   - CountUsersIn / NearestUser — public queries over private data with
+//     probabilistic answers (Section 6.2.2, Figure 6).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/anonymizer"
+	"repro/internal/geo"
+	"repro/internal/history"
+	"repro/internal/privacy"
+	"repro/internal/prob"
+	"repro/internal/server"
+)
+
+// Config configures a System.
+type Config struct {
+	// World bounds all locations. Required.
+	World geo.Rect
+	// Algorithm selects the cloaking algorithm (default quadtree).
+	Algorithm anonymizer.Algorithm
+	// Incremental enables incremental cloak maintenance (Section 5.3).
+	Incremental bool
+	// PyramidHeight and GridLevel tune the space partition (defaults 10 / 6).
+	PyramidHeight, GridLevel int
+	// Clock drives temporal privacy profiles (default time.Now).
+	Clock func() time.Time
+	// RecordHistory enables the historical store: every forwarded region is
+	// appended to the user's cloaked timeline, stamped with the system's
+	// logical tick (see AdvanceTime).
+	RecordHistory bool
+}
+
+// System is the assembled privacy-aware LBS stack.
+type System struct {
+	// Anonymizer is the trusted third party; callers needing low-level
+	// control (modes, tariffs, stats) use it directly.
+	Anonymizer *anonymizer.Anonymizer
+	// Server is the privacy-aware database server; admins query it directly.
+	Server *server.Server
+	// History holds cloaked timelines when Config.RecordHistory is set
+	// (nil otherwise). It never contains an exact location.
+	History *history.Store
+
+	tick atomic.Int64
+}
+
+// NewSystem wires an anonymizer to a server.
+func NewSystem(cfg Config) (*System, error) {
+	srv, err := server.New(server.Config{World: cfg.World})
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Server: srv}
+	forward := srv.UpdatePrivate
+	if cfg.RecordHistory {
+		sys.History = history.New()
+		forward = func(id uint64, region geo.Rect) error {
+			if err := srv.UpdatePrivate(id, region); err != nil {
+				return err
+			}
+			return sys.History.Record(id, region, sys.tick.Load())
+		}
+	}
+	anon, err := anonymizer.New(anonymizer.Config{
+		World:         cfg.World,
+		Algorithm:     cfg.Algorithm,
+		Incremental:   cfg.Incremental,
+		PyramidHeight: cfg.PyramidHeight,
+		GridLevel:     cfg.GridLevel,
+		Clock:         cfg.Clock,
+		Forward:       forward,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Anonymizer = anon
+	return sys, nil
+}
+
+// AdvanceTime moves the system's logical clock one tick forward and
+// returns the new tick. Historical records are stamped with this clock;
+// callers advance it once per simulation step (or wall-clock interval).
+func (s *System) AdvanceTime() int64 { return s.tick.Add(1) }
+
+// Now returns the current logical tick.
+func (s *System) Now() int64 { return s.tick.Load() }
+
+// HistoricalOccupancy answers "how many users were in this area during
+// [from, to)" from the cloaked timelines (requires RecordHistory).
+func (s *System) HistoricalOccupancy(area geo.Rect, from, to int64) (history.OccupancyAnswer, error) {
+	if s.History == nil {
+		return history.OccupancyAnswer{}, fmt.Errorf("core: history recording not enabled")
+	}
+	return s.History.Occupancy(area, from, to)
+}
+
+// --- Mobile-user flows ---
+
+// RegisterUser registers a mobile user with her privacy profile.
+func (s *System) RegisterUser(id uint64, profile *privacy.Profile) error {
+	return s.Anonymizer.Register(id, profile)
+}
+
+// UpdateLocation reports an exact location; the cloaked region lands at the
+// server. The returned area is the region's area — the user-visible
+// privacy/QoS indicator.
+func (s *System) UpdateLocation(id uint64, loc geo.Point) (regionArea float64, err error) {
+	res, err := s.Anonymizer.Update(id, loc)
+	if err != nil {
+		return 0, err
+	}
+	return res.Region.Area(), nil
+}
+
+// QueryStats reports the quality-of-service cost of a private query: how
+// many candidates the server shipped to the device, how many bytes that is,
+// and the cloaked region's area.
+type QueryStats struct {
+	Candidates  int
+	Bytes       int
+	RegionArea  float64
+	RegionReuse bool
+}
+
+// FindNearest answers "what is my nearest <class> object?" privately: the
+// exact location goes only to the anonymizer; the server sees the cloaked
+// region and returns candidates; the device refines locally.
+func (s *System) FindNearest(id uint64, loc geo.Point, class string) (server.PublicObject, QueryStats, error) {
+	res, err := s.Anonymizer.CloakQuery(id, loc)
+	if err != nil {
+		return server.PublicObject{}, QueryStats{}, err
+	}
+	nn, err := s.Server.PrivateNN(server.PrivateNNQuery{Region: res.Region, Class: class})
+	if err != nil {
+		return server.PublicObject{}, QueryStats{}, err
+	}
+	stats := QueryStats{
+		Candidates:  len(nn.Candidates),
+		Bytes:       server.TransmissionCost(nn.Candidates),
+		RegionArea:  res.Region.Area(),
+		RegionReuse: res.Reused,
+	}
+	ans, ok := server.RefineNN(loc, nn.Candidates)
+	if !ok {
+		return server.PublicObject{}, stats, fmt.Errorf("core: no %q objects available", class)
+	}
+	return ans, stats, nil
+}
+
+// FindWithin answers "which <class> objects are within radius of me?"
+// privately, with local refinement. The result is sorted by distance.
+func (s *System) FindWithin(id uint64, loc geo.Point, radius float64, class string) ([]server.PublicObject, QueryStats, error) {
+	res, err := s.Anonymizer.CloakQuery(id, loc)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	cands, err := s.Server.PrivateRange(server.PrivateRangeQuery{
+		Region: res.Region, Radius: radius, Class: class,
+	})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	stats := QueryStats{
+		Candidates:  len(cands),
+		Bytes:       server.TransmissionCost(cands),
+		RegionArea:  res.Region.Area(),
+		RegionReuse: res.Reused,
+	}
+	return server.RefineRange(loc, radius, cands), stats, nil
+}
+
+// --- Administrator / third-party flows (no anonymizer involved) ---
+
+// CountUsersIn is the public range count over private data: probabilistic
+// answers in all three formats plus the naive baseline.
+func (s *System) CountUsersIn(area geo.Rect) (server.PublicRangeCountResult, error) {
+	return s.Server.PublicRangeCount(server.PublicRangeCountQuery{Query: area})
+}
+
+// NearestUser is the public NN query over private data (the e-coupon
+// scenario of Figure 6b).
+func (s *System) NearestUser(from geo.Point) (server.PublicNNResult, error) {
+	return s.Server.PublicNN(server.PublicNNQuery{From: from})
+}
+
+// NeighborsNearMe is the private-over-private reduction: an anonymized user
+// asks how many other users are within radius of her.
+func (s *System) NeighborsNearMe(id uint64, loc geo.Point, radius float64) (prob.CountAnswer, error) {
+	res, err := s.Anonymizer.CloakQuery(id, loc)
+	if err != nil {
+		return prob.CountAnswer{}, err
+	}
+	return s.Server.PrivateCount(server.PrivateCountQuery{
+		Region: res.Region, Radius: radius, ExcludeID: id,
+	})
+}
+
+// LoadPublicObjects bulk-loads the public dataset (gas stations, ...).
+func (s *System) LoadPublicObjects(objs []server.PublicObject) error {
+	return s.Server.LoadStationary(objs)
+}
+
+// UpdateMover reports a moving public object's exact location (public data:
+// police cars, delivery trucks). Standing nearby-monitors update
+// incrementally.
+func (s *System) UpdateMover(id uint64, loc geo.Point) error {
+	return s.Server.UpdateMoving(id, loc)
+}
+
+// WatchNearby registers a continuous private monitor for a user: "keep
+// tracking public movers within radius of me". The server anchors the
+// standing query at the user's cloaked region; re-anchor with MoveWatch
+// when the user's region changes.
+func (s *System) WatchNearby(id uint64, loc geo.Point, radius float64) (uint64, error) {
+	res, err := s.Anonymizer.CloakQuery(id, loc)
+	if err != nil {
+		return 0, err
+	}
+	return s.Server.RegisterContinuousPrivateRange(res.Region, radius)
+}
+
+// MoveWatch re-anchors a standing nearby-monitor after the user moved.
+func (s *System) MoveWatch(watchID, userID uint64, loc geo.Point) error {
+	res, err := s.Anonymizer.CloakQuery(userID, loc)
+	if err != nil {
+		return err
+	}
+	return s.Server.MoveContinuousPrivateRange(watchID, res.Region)
+}
+
+// NearbyNow reads a standing monitor's candidate set and refines it on the
+// device against the exact location — the continuous analogue of
+// FindWithin.
+func (s *System) NearbyNow(watchID uint64, exact geo.Point, radius float64) ([]server.PublicObject, error) {
+	cands, ok := s.Server.ContinuousPrivateRange(watchID)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown watch %d", watchID)
+	}
+	return server.RefineRange(exact, radius, cands), nil
+}
+
+// StopWatch removes a standing monitor.
+func (s *System) StopWatch(watchID uint64) bool {
+	return s.Server.UnregisterContinuousPrivateRange(watchID)
+}

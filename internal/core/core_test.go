@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/anonymizer"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/server"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func noon() time.Time { return time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC) }
+
+// testSystem builds a system with nUsers anonymized users (constant k) and
+// nPOIs "gas" objects, returning the exact user locations.
+func testSystem(t testing.TB, nUsers, k, nPOIs int) (*System, []geo.Point) {
+	t.Helper()
+	sys, err := NewSystem(Config{World: world, Clock: noon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	userPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: nUsers, World: world, Dist: mobility.Uniform, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := privacy.Constant(privacy.Requirement{K: k})
+	for i, p := range userPts {
+		id := uint64(i + 1)
+		if err := sys.RegisterUser(id, prof); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.UpdateLocation(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poiPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: nPOIs, World: world, Dist: mobility.Uniform, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]server.PublicObject, nPOIs)
+	for i, p := range poiPts {
+		objs[i] = server.PublicObject{ID: uint64(i + 1), Class: "gas", Loc: p}
+	}
+	if err := sys.LoadPublicObjects(objs); err != nil {
+		t.Fatal(err)
+	}
+	return sys, userPts
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewSystem(Config{World: world, Algorithm: anonymizer.Algorithm(77)}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+func TestUpdateLocationForwardsToServer(t *testing.T) {
+	sys, pts := testSystem(t, 200, 10, 0)
+	if got := sys.Server.PrivateUserCount(); got != 200 {
+		t.Fatalf("server tracks %d users", got)
+	}
+	// Every stored region covers its user's exact location.
+	for i, p := range pts {
+		region, ok := sys.Server.PrivateRegion(uint64(i + 1))
+		if !ok || !region.Contains(p) {
+			t.Fatalf("server region for user %d wrong: %v %v", i+1, region, ok)
+		}
+	}
+	// Region areas reported back to users are nonzero for k>1.
+	area, err := sys.UpdateLocation(1, pts[0])
+	if err != nil || area <= 0 {
+		t.Errorf("UpdateLocation area = %v, %v", area, err)
+	}
+}
+
+// End-to-end Figure 5b: the refined private NN answer equals the true NN.
+func TestFindNearestExactness(t *testing.T) {
+	sys, pts := testSystem(t, 1000, 15, 500)
+	objs := sys.Server
+	_ = objs
+	all, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 500, World: world, Dist: mobility.Uniform, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		uid := uint64(trial*29 + 1)
+		loc := pts[uid-1]
+		got, stats, err := sys.FindNearest(uid, loc, "gas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates < 1 || stats.Bytes <= 0 || stats.RegionArea <= 0 {
+			t.Fatalf("stats = %+v", stats)
+		}
+		// Brute-force truth.
+		bestD := math.Inf(1)
+		for _, p := range all {
+			if d := loc.Dist2(p); d < bestD {
+				bestD = d
+			}
+		}
+		if loc.Dist2(got.Loc) != bestD {
+			t.Fatalf("trial %d: refined NN at d²=%v, truth d²=%v", trial, loc.Dist2(got.Loc), bestD)
+		}
+	}
+}
+
+// End-to-end Figure 5a: the refined private range answer equals brute force.
+func TestFindWithinExactness(t *testing.T) {
+	sys, pts := testSystem(t, 800, 10, 400)
+	all, _ := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 400, World: world, Dist: mobility.Uniform, Seed: 2,
+	})
+	const radius = 0.1
+	for trial := 0; trial < 20; trial++ {
+		uid := uint64(trial*37 + 1)
+		loc := pts[uid-1]
+		got, stats, err := sys.FindWithin(uid, loc, radius, "gas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, p := range all {
+			if loc.Dist(p) <= radius {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: FindWithin returned %d, brute %d", trial, len(got), want)
+		}
+		if stats.Candidates < len(got) {
+			t.Fatalf("candidates %d < refined answers %d", stats.Candidates, len(got))
+		}
+		// Results sorted by distance.
+		for i := 1; i < len(got); i++ {
+			if loc.Dist2(got[i].Loc) < loc.Dist2(got[i-1].Loc) {
+				t.Fatal("results not sorted")
+			}
+		}
+	}
+}
+
+func TestFindNearestNoObjects(t *testing.T) {
+	sys, pts := testSystem(t, 100, 5, 0)
+	if _, _, err := sys.FindNearest(1, pts[0], "gas"); err == nil {
+		t.Error("expected error with no public objects")
+	}
+}
+
+func TestCountUsersIn(t *testing.T) {
+	sys, pts := testSystem(t, 2000, 20, 0)
+	area := geo.R(0.25, 0.25, 0.75, 0.75)
+	res, err := sys.CountUsersIn(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0
+	for _, p := range pts {
+		if area.Contains(p) {
+			truth++
+		}
+	}
+	if truth < res.Answer.Lo || truth > res.Answer.Hi {
+		t.Fatalf("interval [%d,%d] misses truth %d", res.Answer.Lo, res.Answer.Hi, truth)
+	}
+	// Expected value within 15% of truth for this population size.
+	if math.Abs(res.Answer.Expected-float64(truth)) > 0.15*float64(truth) {
+		t.Errorf("Expected %v vs truth %d", res.Answer.Expected, truth)
+	}
+}
+
+func TestNearestUser(t *testing.T) {
+	sys, pts := testSystem(t, 500, 10, 0)
+	q := geo.Pt(0.5, 0.5)
+	res, err := sys.NearestUser(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The truly nearest user must be among the candidates.
+	bestD := math.Inf(1)
+	var bestID uint64
+	for i, p := range pts {
+		if d := q.Dist2(p); d < bestD {
+			bestD, bestID = d, uint64(i+1)
+		}
+	}
+	if _, ok := res.CandidateRegions[bestID]; !ok {
+		t.Errorf("true nearest user %d pruned", bestID)
+	}
+}
+
+func TestNeighborsNearMe(t *testing.T) {
+	sys, pts := testSystem(t, 1000, 10, 0)
+	uid := uint64(17)
+	ans, err := sys.NeighborsNearMe(uid, pts[uid-1], 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0
+	for i, p := range pts {
+		if uint64(i+1) == uid {
+			continue
+		}
+		if pts[uid-1].Dist(p) <= 0.1 {
+			truth++
+		}
+	}
+	// The conservative interval must include the truth.
+	if truth < ans.Lo || truth > ans.Hi {
+		t.Errorf("interval [%d,%d] misses truth %d", ans.Lo, ans.Hi, truth)
+	}
+	if ans.Expected <= 0 {
+		t.Error("expected count should be positive")
+	}
+}
+
+func TestQueryStatsReflectPrivacyTradeoff(t *testing.T) {
+	// Larger k ⇒ larger regions ⇒ more candidates (the paper's central
+	// trade-off) — measured end to end.
+	candidatesAt := func(k int) float64 {
+		sys, pts := testSystem(t, 2000, k, 1000)
+		total := 0
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			uid := uint64(i*53 + 1)
+			_, stats, err := sys.FindNearest(uid, pts[uid-1], "gas")
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += stats.Candidates
+		}
+		return float64(total) / trials
+	}
+	small := candidatesAt(5)
+	large := candidatesAt(200)
+	if large <= small {
+		t.Errorf("k=200 candidates (%v) should exceed k=5 (%v)", large, small)
+	}
+}
+
+func BenchmarkEndToEndFindNearest(b *testing.B) {
+	sys, pts := testSystem(b, 10000, 50, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uid := uint64(i%10000) + 1
+		if _, _, err := sys.FindNearest(uid, pts[uid-1], "gas"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWatchNearbyLifecycle(t *testing.T) {
+	sys, pts := testSystem(t, 500, 10, 0)
+	uid := uint64(33)
+	loc := pts[uid-1]
+	const radius = 0.1
+
+	watch, err := sys.WatchNearby(uid, loc, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No movers yet.
+	got, err := sys.NearbyNow(watch, loc, radius)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("initial nearby = %v, %v", got, err)
+	}
+	// A patrol car drives close.
+	if err := sys.UpdateMover(1, loc.Add(geo.Pt(0.02, 0))); err != nil {
+		t.Fatal(err)
+	}
+	got, err = sys.NearbyNow(watch, loc, radius)
+	if err != nil || len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("after mover enters = %v, %v", got, err)
+	}
+	// It drives away.
+	if err := sys.UpdateMover(1, geo.Pt(math.Mod(loc.X+0.5, 1), math.Mod(loc.Y+0.5, 1))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = sys.NearbyNow(watch, loc, radius)
+	if len(got) != 0 {
+		t.Fatalf("after mover leaves = %v", got)
+	}
+	// The user moves; re-anchor the watch.
+	newLoc := geo.Pt(math.Mod(loc.X+0.3, 1), loc.Y)
+	if err := sys.MoveWatch(watch, uid, newLoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.UpdateMover(2, newLoc.Add(geo.Pt(0.01, 0.01))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = sys.NearbyNow(watch, newLoc, radius)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("after re-anchor = %v", got)
+	}
+	if !sys.StopWatch(watch) || sys.StopWatch(watch) {
+		t.Error("StopWatch misbehaved")
+	}
+	if _, err := sys.NearbyNow(watch, newLoc, radius); err == nil {
+		t.Error("NearbyNow after stop should error")
+	}
+}
+
+// The continuous monitor's refined answers always equal a one-shot
+// FindWithin over the same data — completeness of the maintained set.
+func TestWatchNearbyMatchesOneShot(t *testing.T) {
+	sys, pts := testSystem(t, 800, 15, 0)
+	uid := uint64(5)
+	loc := pts[uid-1]
+	const radius = 0.12
+
+	watch, err := sys.WatchNearby(uid, loc, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive 50 movers around randomly.
+	moverPts, _ := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 50, World: world, Dist: mobility.Uniform, Seed: 99,
+	})
+	for round := 0; round < 10; round++ {
+		for i, p := range moverPts {
+			np := world.ClampPoint(geo.Pt(p.X+float64(round)*0.01, p.Y))
+			if err := sys.UpdateMover(uint64(i+1), np); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cont, err := sys.NearbyNow(watch, loc, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One-shot over the same movers ("" class includes moving objects).
+		oneShot, _, err := sys.FindWithin(uid, loc, radius, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cont) != len(oneShot) {
+			t.Fatalf("round %d: continuous %d != one-shot %d", round, len(cont), len(oneShot))
+		}
+	}
+}
+
+func TestHistoryRecording(t *testing.T) {
+	sys, err := NewSystem(Config{World: world, Clock: noon, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.History == nil {
+		t.Fatal("history not enabled")
+	}
+	prof := privacy.Constant(privacy.Requirement{K: 1})
+	// Background crowd so k can be met later if needed.
+	if err := sys.RegisterUser(1, prof); err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the user across the map over 10 ticks.
+	for i := 0; i < 10; i++ {
+		sys.AdvanceTime()
+		x := 0.05 + float64(i)*0.1
+		if _, err := sys.UpdateLocation(1, geo.Pt(x, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Now() != 10 {
+		t.Errorf("Now = %d", sys.Now())
+	}
+	tl := sys.History.Timeline(1, 0, 100)
+	if len(tl) != 10 {
+		t.Fatalf("timeline has %d spans, want 10", len(tl))
+	}
+	// Historical occupancy of the left half during the first half of the
+	// walk should far exceed the second half.
+	left := geo.R(0, 0, 0.5, 1)
+	early, err := sys.HistoricalOccupancy(left, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := sys.HistoricalOccupancy(left, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Expected <= late.Expected {
+		t.Errorf("early occupancy %v should exceed late %v", early.Expected, late.Expected)
+	}
+}
+
+func TestHistoryDisabledErrors(t *testing.T) {
+	sys, _ := NewSystem(Config{World: world, Clock: noon})
+	if sys.History != nil {
+		t.Error("history enabled without flag")
+	}
+	if _, err := sys.HistoricalOccupancy(world, 0, 10); err == nil {
+		t.Error("HistoricalOccupancy without history should error")
+	}
+}

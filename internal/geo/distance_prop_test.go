@@ -1,0 +1,140 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleRect deterministically samples points of a rect from two fractions.
+func sampleRect(r Rect, fx, fy float64) Point {
+	return Pt(r.Min.X+fx*r.Width(), r.Min.Y+fy*r.Height())
+}
+
+// fracs turns arbitrary uint16 fuzz into [0,1] fractions.
+func fracs(raw uint16) float64 { return float64(raw) / 65535 }
+
+// Property: MinDistRects is a true lower bound and MaxDistRects a true
+// upper bound on the distance between any sampled pair of points.
+func TestPropRectDistanceEnvelopes(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64, sa, sb [4]uint16) bool {
+		r, ok := clampRect(a0, a1, a2, a3)
+		if !ok {
+			return true
+		}
+		s, ok := clampRect(b0, b1, b2, b3)
+		if !ok {
+			return true
+		}
+		lo := MinDistRects(r, s)
+		hi := MaxDistRects(r, s)
+		if lo > hi+1e-9 {
+			return false
+		}
+		for i := 0; i < 2; i++ {
+			p := sampleRect(r, fracs(sa[2*i]), fracs(sa[2*i+1]))
+			q := sampleRect(s, fracs(sb[2*i]), fracs(sb[2*i+1]))
+			d := p.Dist(q)
+			if d < lo-1e-6 || d > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinMaxDist is attainable — there exists a point x in q whose
+// max distance to c equals the bound (we verify the closed-form minimizer
+// and that corners never beat it).
+func TestPropMinMaxDistAttained(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		q, ok := clampRect(a0, a1, a2, a3)
+		if !ok {
+			return true
+		}
+		c, ok := clampRect(b0, b1, b2, b3)
+		if !ok {
+			return true
+		}
+		bound := MinMaxDist(q, c)
+		// The minimizer's own max distance equals the bound.
+		x := q.ClampPoint(c.Center())
+		if math.Abs(MaxDist(x, c)-bound) > 1e-9 {
+			return false
+		}
+		// No corner of q does better.
+		for _, corner := range q.Corners() {
+			if MaxDist(corner, c) < bound-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Expand is monotone in its argument and MinDist to an expanded
+// rect shrinks by at most the expansion.
+func TestPropExpandMonotone(t *testing.T) {
+	f := func(x0, y0, x1, y1, d1Raw, d2Raw, px, py float64) bool {
+		r, ok := clampRect(x0, y0, x1, y1)
+		if !ok {
+			return true
+		}
+		p, ok := clampPt(px, py)
+		if !ok {
+			return true
+		}
+		d1 := math.Mod(math.Abs(d1Raw), 10)
+		d2 := math.Mod(math.Abs(d2Raw), 10)
+		if math.IsNaN(d1) || math.IsNaN(d2) {
+			return true
+		}
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		e1, e2 := r.Expand(d1), r.Expand(d2)
+		if !e2.ContainsRect(e1) {
+			return false
+		}
+		// Triangle-style bound: expanding by d cannot reduce the distance
+		// from p by more than d√2 (corner-wise L∞ growth).
+		before := MinDist(p, r)
+		after := MinDist(p, e1)
+		return after >= before-d1*math.Sqrt2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OverlapArea is bounded by both areas, and equals the area of
+// the Intersect rectangle when one exists.
+func TestPropOverlapAreaConsistent(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		r, ok := clampRect(a0, a1, a2, a3)
+		if !ok {
+			return true
+		}
+		s, ok := clampRect(b0, b1, b2, b3)
+		if !ok {
+			return true
+		}
+		ov := r.OverlapArea(s)
+		if ov < 0 || ov > r.Area()+1e-9 || ov > s.Area()+1e-9 {
+			return false
+		}
+		if inter, has := r.Intersect(s); has {
+			return math.Abs(ov-inter.Area()) < 1e-9
+		}
+		return ov == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,449 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := Pt(3, -1)
+	if got := p.Add(q); !got.Eq(Pt(4, 1)) {
+		t.Errorf("Add = %v, want (4,1)", got)
+	}
+	if got := p.Sub(q); !got.Eq(Pt(-2, 3)) {
+		t.Errorf("Sub = %v, want (-2,3)", got)
+	}
+	if got := p.Scale(2); !got.Eq(Pt(2, 4)) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	p := Pt(0, 0)
+	q := Pt(3, 4)
+	if got := p.Dist(q); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist2(q); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := p.Dist(p); got != 0 {
+		t.Errorf("Dist self = %v, want 0", got)
+	}
+}
+
+func TestPointLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); !got.Eq(p) {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); !got.Eq(q) {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	if got := p.Lerp(q, 0.5); !got.Eq(Pt(5, 10)) {
+		t.Errorf("Lerp(0.5) = %v, want (5,10)", got)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	if !Pt(1, 2).Valid() {
+		t.Error("finite point should be valid")
+	}
+	if Pt(math.NaN(), 0).Valid() {
+		t.Error("NaN point should be invalid")
+	}
+	if Pt(0, math.Inf(1)).Valid() {
+		t.Error("infinite point should be invalid")
+	}
+}
+
+func TestRNormalizes(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if !r.Min.Eq(Pt(1, 2)) || !r.Max.Eq(Pt(5, 7)) {
+		t.Errorf("R did not normalize: %v", r)
+	}
+	if !r.Valid() {
+		t.Errorf("normalized rect should be valid: %v", r)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 4, 2)
+	if got := r.Width(); got != 4 {
+		t.Errorf("Width = %v, want 4", got)
+	}
+	if got := r.Height(); got != 2 {
+		t.Errorf("Height = %v, want 2", got)
+	}
+	if got := r.Area(); got != 8 {
+		t.Errorf("Area = %v, want 8", got)
+	}
+	if got := r.Perimeter(); got != 12 {
+		t.Errorf("Perimeter = %v, want 12", got)
+	}
+	if got := r.Center(); !got.Eq(Pt(2, 1)) {
+		t.Errorf("Center = %v, want (2,1)", got)
+	}
+	if got := r.Diagonal(); math.Abs(got-math.Sqrt(20)) > 1e-12 {
+		t.Errorf("Diagonal = %v, want sqrt(20)", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(1, 1), true},
+		{Pt(0, 0), true},  // corner is inside (closed rect)
+		{Pt(2, 2), true},  // opposite corner
+		{Pt(2, 1), true},  // edge
+		{Pt(3, 1), false}, // outside x
+		{Pt(1, -0.1), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := R(0, 0, 10, 10)
+	if !outer.ContainsRect(R(1, 1, 9, 9)) {
+		t.Error("inner rect should be contained")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Error("rect should contain itself")
+	}
+	if outer.ContainsRect(R(1, 1, 11, 9)) {
+		t.Error("overhanging rect should not be contained")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	b := R(1, 1, 3, 3)
+	if !a.Intersects(b) {
+		t.Fatal("a and b should intersect")
+	}
+	got, ok := a.Intersect(b)
+	if !ok || !got.Eq(R(1, 1, 2, 2)) {
+		t.Errorf("Intersect = %v ok=%v, want [1,2]x[1,2]", got, ok)
+	}
+	c := R(5, 5, 6, 6)
+	if a.Intersects(c) {
+		t.Error("disjoint rects should not intersect")
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("Intersect of disjoint rects should report !ok")
+	}
+	// Edge touch counts as intersection but has zero area.
+	d := R(2, 0, 4, 2)
+	if !a.Intersects(d) {
+		t.Error("touching rects should intersect (closed)")
+	}
+	if got := a.OverlapArea(d); got != 0 {
+		t.Errorf("OverlapArea of touching rects = %v, want 0", got)
+	}
+}
+
+func TestRectOverlapArea(t *testing.T) {
+	a := R(0, 0, 4, 4)
+	b := R(2, 2, 6, 6)
+	if got := a.OverlapArea(b); got != 4 {
+		t.Errorf("OverlapArea = %v, want 4", got)
+	}
+	if got := a.OverlapArea(R(10, 10, 11, 11)); got != 0 {
+		t.Errorf("OverlapArea disjoint = %v, want 0", got)
+	}
+	if got := a.OverlapArea(a); got != a.Area() {
+		t.Errorf("OverlapArea self = %v, want %v", got, a.Area())
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := R(0, 0, 1, 1)
+	b := R(2, 2, 3, 3)
+	if got := a.Union(b); !got.Eq(R(0, 0, 3, 3)) {
+		t.Errorf("Union = %v, want [0,3]x[0,3]", got)
+	}
+	if got := a.UnionPoint(Pt(-1, 0.5)); !got.Eq(R(-1, 0, 1, 1)) {
+		t.Errorf("UnionPoint = %v", got)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := R(1, 1, 3, 3)
+	if got := r.Expand(1); !got.Eq(R(0, 0, 4, 4)) {
+		t.Errorf("Expand(1) = %v, want [0,4]x[0,4]", got)
+	}
+	// Shrinking past degeneracy collapses to the center line/point.
+	if got := r.Expand(-2); !got.IsPoint() || !got.Min.Eq(Pt(2, 2)) {
+		t.Errorf("Expand(-2) = %v, want point (2,2)", got)
+	}
+}
+
+func TestRectClampPoint(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	cases := []struct{ in, want Point }{
+		{Pt(1, 1), Pt(1, 1)},
+		{Pt(-1, 1), Pt(0, 1)},
+		{Pt(3, 3), Pt(2, 2)},
+		{Pt(1, -5), Pt(1, 0)},
+	}
+	for _, c := range cases {
+		if got := r.ClampPoint(c.in); !got.Eq(c.want) {
+			t.Errorf("ClampPoint(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRectClip(t *testing.T) {
+	world := R(0, 0, 10, 10)
+	if got := R(-1, -1, 3, 3).Clip(world); !got.Eq(R(0, 0, 3, 3)) {
+		t.Errorf("Clip = %v, want [0,3]x[0,3]", got)
+	}
+	// Disjoint clip collapses to a point on the world's boundary.
+	got := R(20, 20, 21, 21).Clip(world)
+	if !got.IsPoint() || !world.Contains(got.Min) {
+		t.Errorf("disjoint Clip = %v, want point inside world", got)
+	}
+}
+
+func TestRectCorners(t *testing.T) {
+	c := R(0, 0, 1, 2).Corners()
+	want := [4]Point{Pt(0, 0), Pt(1, 0), Pt(1, 2), Pt(0, 2)}
+	if c != want {
+		t.Errorf("Corners = %v, want %v", c, want)
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(Pt(5, 5), 2)
+	if !r.Eq(R(3, 3, 7, 7)) {
+		t.Errorf("RectAround = %v", r)
+	}
+	p := PointRect(Pt(1, 1))
+	if !p.IsPoint() || p.Area() != 0 {
+		t.Errorf("PointRect = %v", p)
+	}
+}
+
+func TestMinMaxDistPointCases(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	// Point inside: min 0, max to farthest corner.
+	if got := MinDist(Pt(3, 3), r); got != 0 {
+		t.Errorf("MinDist inside = %v, want 0", got)
+	}
+	if got := MaxDist(Pt(2, 2), r); math.Abs(got-math.Sqrt(8)) > 1e-12 {
+		t.Errorf("MaxDist corner = %v, want sqrt(8)", got)
+	}
+	// Point left of the rect.
+	if got := MinDist(Pt(0, 3), r); got != 2 {
+		t.Errorf("MinDist left = %v, want 2", got)
+	}
+	// Point diagonal from the rect.
+	if got := MinDist(Pt(0, 0), r); math.Abs(got-math.Sqrt(8)) > 1e-12 {
+		t.Errorf("MinDist diag = %v, want sqrt(8)", got)
+	}
+}
+
+func TestMinDistRects(t *testing.T) {
+	a := R(0, 0, 1, 1)
+	b := R(3, 0, 4, 1)
+	if got := MinDistRects(a, b); got != 2 {
+		t.Errorf("MinDistRects horizontal = %v, want 2", got)
+	}
+	c := R(3, 3, 4, 4)
+	if got := MinDistRects(a, c); math.Abs(got-math.Sqrt(8)) > 1e-12 {
+		t.Errorf("MinDistRects diagonal = %v, want sqrt(8)", got)
+	}
+	d := R(0.5, 0.5, 2, 2)
+	if got := MinDistRects(a, d); got != 0 {
+		t.Errorf("MinDistRects overlapping = %v, want 0", got)
+	}
+	if got := MaxDistRects(a, b); math.Abs(got-math.Sqrt(16+1)) > 1e-12 {
+		t.Errorf("MaxDistRects = %v, want sqrt(17)", got)
+	}
+}
+
+// clampRect converts arbitrary float inputs from testing/quick into a valid
+// rectangle within a sane range.
+func clampRect(x0, y0, x1, y1 float64) (Rect, bool) {
+	for _, v := range []float64{x0, y0, x1, y1} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+			return Rect{}, false
+		}
+	}
+	return R(x0, y0, x1, y1), true
+}
+
+func clampPt(x, y float64) (Point, bool) {
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 ||
+		math.IsNaN(y) || math.IsInf(y, 0) || math.Abs(y) > 1e6 {
+		return Point{}, false
+	}
+	return Pt(x, y), true
+}
+
+func TestPropMinDistLEMaxDist(t *testing.T) {
+	f := func(px, py, x0, y0, x1, y1 float64) bool {
+		p, ok := clampPt(px, py)
+		if !ok {
+			return true
+		}
+		r, ok := clampRect(x0, y0, x1, y1)
+		if !ok {
+			return true
+		}
+		return MinDist(p, r) <= MaxDist(p, r)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinDistZeroIffContains(t *testing.T) {
+	f := func(px, py, x0, y0, x1, y1 float64) bool {
+		p, ok := clampPt(px, py)
+		if !ok {
+			return true
+		}
+		r, ok := clampRect(x0, y0, x1, y1)
+		if !ok {
+			return true
+		}
+		return (MinDist(p, r) == 0) == r.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropClampPointIsNearest(t *testing.T) {
+	f := func(px, py, x0, y0, x1, y1 float64) bool {
+		p, ok := clampPt(px, py)
+		if !ok {
+			return true
+		}
+		r, ok := clampRect(x0, y0, x1, y1)
+		if !ok {
+			return true
+		}
+		c := r.ClampPoint(p)
+		if !r.Contains(c) {
+			return false
+		}
+		return math.Abs(p.Dist(c)-MinDist(p, r)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		a, ok := clampRect(a0, a1, a2, a3)
+		if !ok {
+			return true
+		}
+		b, ok := clampRect(b0, b1, b2, b3)
+		if !ok {
+			return true
+		}
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectionSymmetric(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		a, ok := clampRect(a0, a1, a2, a3)
+		if !ok {
+			return true
+		}
+		b, ok := clampRect(b0, b1, b2, b3)
+		if !ok {
+			return true
+		}
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		return math.Abs(a.OverlapArea(b)-b.OverlapArea(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropExpandContains(t *testing.T) {
+	f := func(x0, y0, x1, y1, d float64) bool {
+		r, ok := clampRect(x0, y0, x1, y1)
+		if !ok || math.IsNaN(d) || math.Abs(d) > 1e6 {
+			return true
+		}
+		e := r.Expand(math.Abs(d))
+		return e.ContainsRect(r) && e.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// MinMaxDist sanity: sampling x in q, max-dist to c must never fall below
+// the reported MinMaxDist (it is the minimum over all x).
+func TestPropMinMaxDistIsLowerEnvelope(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3, tx, ty float64) bool {
+		q, ok := clampRect(a0, a1, a2, a3)
+		if !ok {
+			return true
+		}
+		c, ok := clampRect(b0, b1, b2, b3)
+		if !ok {
+			return true
+		}
+		mmd := MinMaxDist(q, c)
+		// Sample an arbitrary point of q from the two extra floats.
+		fx := math.Abs(math.Mod(tx, 1))
+		fy := math.Abs(math.Mod(ty, 1))
+		if math.IsNaN(fx) || math.IsNaN(fy) {
+			return true
+		}
+		x := Pt(q.Min.X+fx*q.Width(), q.Min.Y+fy*q.Height())
+		return MaxDist(x, c) >= mmd-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxDistPointQuery(t *testing.T) {
+	// For a degenerate q, MinMaxDist must equal MaxDist from that point.
+	q := PointRect(Pt(1, 1))
+	c := R(4, 5, 6, 7)
+	if got, want := MinMaxDist(q, c), MaxDist(Pt(1, 1), c); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinMaxDist point = %v, want %v", got, want)
+	}
+	// q containing c: the optimum is at c's center.
+	q2 := R(0, 0, 10, 10)
+	c2 := R(4, 4, 6, 6)
+	if got, want := MinMaxDist(q2, c2), MaxDist(Pt(5, 5), c2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinMaxDist containing = %v, want %v", got, want)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Pt(1, 2).String(); s == "" {
+		t.Error("Point.String empty")
+	}
+	if s := R(0, 0, 1, 1).String(); s == "" {
+		t.Error("Rect.String empty")
+	}
+}

@@ -1,0 +1,295 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func mustNew(t testing.TB, cols, rows int) *Index {
+	t.Helper()
+	g, err := New(world, cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(world, 0, 10); err == nil {
+		t.Error("zero cols accepted")
+	}
+	if _, err := New(world, 10, -1); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if _, err := New(geo.Rect{}, 10, 10); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+func TestCellOfClamping(t *testing.T) {
+	g := mustNew(t, 10, 10)
+	cases := []struct {
+		p        geo.Point
+		col, row int
+	}{
+		{geo.Pt(0.05, 0.05), 0, 0},
+		{geo.Pt(0.95, 0.95), 9, 9},
+		{geo.Pt(1.0, 1.0), 9, 9},   // boundary clamps into last cell
+		{geo.Pt(-0.5, 0.5), 0, 5},  // outside clamps
+		{geo.Pt(0.5, 2.0), 5, 9},   // outside clamps
+		{geo.Pt(0.1, 0.1), 1, 1},   // exactly on a cell boundary
+		{geo.Pt(0.999, 0.0), 9, 0}, // edge
+	}
+	for _, c := range cases {
+		col, row := g.CellOf(c.p)
+		if col != c.col || row != c.row {
+			t.Errorf("CellOf(%v) = (%d,%d), want (%d,%d)", c.p, col, row, c.col, c.row)
+		}
+	}
+}
+
+func TestCellRectTilesWorld(t *testing.T) {
+	g := mustNew(t, 4, 3)
+	total := 0.0
+	for row := 0; row < 3; row++ {
+		for col := 0; col < 4; col++ {
+			r := g.CellRect(col, row)
+			total += r.Area()
+			if !world.ContainsRect(r) {
+				t.Errorf("cell (%d,%d) = %v escapes world", col, row, r)
+			}
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("cells tile area %v, want 1", total)
+	}
+}
+
+func TestUpsertAndSearch(t *testing.T) {
+	g := mustNew(t, 8, 8)
+	if !g.Upsert(1, geo.Pt(0.1, 0.1)) {
+		t.Error("first insert should report cell change")
+	}
+	if g.Len() != 1 {
+		t.Error("Len after insert")
+	}
+	// Move within the same cell: no cell change.
+	if g.Upsert(1, geo.Pt(0.11, 0.11)) {
+		t.Error("move within cell should report false")
+	}
+	// Move to another cell.
+	if !g.Upsert(1, geo.Pt(0.9, 0.9)) {
+		t.Error("move across cells should report true")
+	}
+	if g.Len() != 1 {
+		t.Error("Upsert duplicated the object")
+	}
+	got := g.Search(geo.R(0.8, 0.8, 1, 1), nil)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("Search = %v", got)
+	}
+	if len(g.Search(geo.R(0, 0, 0.2, 0.2), nil)) != 0 {
+		t.Error("object found at old cell")
+	}
+	if p, ok := g.Location(1); !ok || !p.Eq(geo.Pt(0.9, 0.9)) {
+		t.Errorf("Location = %v, %v", p, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	g := mustNew(t, 4, 4)
+	g.Upsert(7, geo.Pt(0.5, 0.5))
+	if !g.Delete(7) {
+		t.Error("Delete existing returned false")
+	}
+	if g.Delete(7) {
+		t.Error("Delete missing returned true")
+	}
+	if g.Len() != 0 {
+		t.Error("Len after delete")
+	}
+	if _, ok := g.Location(7); ok {
+		t.Error("Location after delete")
+	}
+}
+
+func TestSearchMatchesBrute(t *testing.T) {
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 3000, World: world, Dist: mobility.Gaussian, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustNew(t, 16, 16)
+	for i, p := range pts {
+		g.Upsert(uint64(i+1), p)
+	}
+	src := rng.New(17)
+	for q := 0; q < 50; q++ {
+		r := geo.R(src.Float64(), src.Float64(), src.Float64(), src.Float64())
+		want := 0
+		for _, p := range pts {
+			if r.Contains(p) {
+				want++
+			}
+		}
+		got := g.Search(r, nil)
+		if len(got) != want {
+			t.Fatalf("Search %v = %d, brute = %d", r, len(got), want)
+		}
+		if c := g.Count(r); c != want {
+			t.Fatalf("Count %v = %d, brute = %d", r, c, want)
+		}
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 2000, World: world, Dist: mobility.ZipfClusters, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustNew(t, 32, 32)
+	for i, p := range pts {
+		g.Upsert(uint64(i+1), p)
+	}
+	src := rng.New(23)
+	for q := 0; q < 30; q++ {
+		query := geo.Pt(src.Float64(), src.Float64())
+		for _, k := range []int{1, 5, 20} {
+			got := g.Nearest(query, k)
+			if len(got) != k {
+				t.Fatalf("Nearest(k=%d) returned %d", k, len(got))
+			}
+			d2 := make([]float64, len(pts))
+			for i, p := range pts {
+				d2[i] = query.Dist2(p)
+			}
+			sort.Float64s(d2)
+			for i := range got {
+				if query.Dist2(got[i].Loc) != d2[i] {
+					t.Fatalf("Nearest(k=%d)[%d]: dist %v, want %v",
+						k, i, query.Dist2(got[i].Loc), d2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	g := mustNew(t, 4, 4)
+	if got := g.Nearest(geo.Pt(0.5, 0.5), 3); got != nil {
+		t.Error("Nearest on empty grid should be nil")
+	}
+	g.Upsert(1, geo.Pt(0.2, 0.2))
+	if got := g.Nearest(geo.Pt(0.5, 0.5), 0); got != nil {
+		t.Error("Nearest k=0 should be nil")
+	}
+	got := g.Nearest(geo.Pt(0.9, 0.9), 10)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("Nearest k>size = %v", got)
+	}
+}
+
+func TestCellCountAndAll(t *testing.T) {
+	g := mustNew(t, 2, 2)
+	g.Upsert(1, geo.Pt(0.1, 0.1))
+	g.Upsert(2, geo.Pt(0.2, 0.2))
+	g.Upsert(3, geo.Pt(0.9, 0.9))
+	if got := g.CellCount(0, 0); got != 2 {
+		t.Errorf("CellCount(0,0) = %d", got)
+	}
+	if got := g.CellCount(1, 1); got != 1 {
+		t.Errorf("CellCount(1,1) = %d", got)
+	}
+	all := g.All(nil)
+	if len(all) != 3 {
+		t.Errorf("All returned %d", len(all))
+	}
+}
+
+func TestPropUpsertConsistency(t *testing.T) {
+	// Random streams of upserts/deletes keep Len, Location and Search
+	// consistent with a map-based model.
+	f := func(seed uint64, opsRaw uint16) bool {
+		src := rng.New(seed)
+		g, err := New(world, 8, 8)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]geo.Point{}
+		ops := int(opsRaw%500) + 50
+		for i := 0; i < ops; i++ {
+			id := uint64(src.Intn(30)) + 1
+			if src.Float64() < 0.3 {
+				delete(model, id)
+				g.Delete(id)
+			} else {
+				p := geo.Pt(src.Float64(), src.Float64())
+				model[id] = p
+				g.Upsert(id, p)
+			}
+		}
+		if g.Len() != len(model) {
+			return false
+		}
+		for id, p := range model {
+			got, ok := g.Location(id)
+			if !ok || !got.Eq(p) {
+				return false
+			}
+		}
+		return len(g.Search(world, nil)) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpsertMoving(b *testing.B) {
+	g := mustNew(b, 64, 64)
+	src := rng.New(1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		g.Upsert(uint64(i), geo.Pt(src.Float64(), src.Float64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i % n)
+		g.Upsert(id, geo.Pt(src.Float64(), src.Float64()))
+	}
+}
+
+func BenchmarkSearchGrid(b *testing.B) {
+	g := mustNew(b, 64, 64)
+	src := rng.New(2)
+	for i := 0; i < 10000; i++ {
+		g.Upsert(uint64(i), geo.Pt(src.Float64(), src.Float64()))
+	}
+	r := geo.R(0.4, 0.4, 0.6, 0.6)
+	var buf []Object
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Search(r, buf[:0])
+	}
+}
+
+func BenchmarkNearestGrid(b *testing.B) {
+	g := mustNew(b, 64, 64)
+	src := rng.New(3)
+	for i := 0; i < 10000; i++ {
+		g.Upsert(uint64(i), geo.Pt(src.Float64(), src.Float64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Nearest(geo.Pt(0.5, 0.5), 10)
+	}
+}

@@ -1,0 +1,276 @@
+// Package history is the historical side of the privacy-aware database
+// server: an append-only store of cloaked region *timelines*. The paper's
+// central storage argument — "we aim not to store the data at all.
+// Instead, we store perturbed version of the data ... the risk of privacy
+// threats can be minimized" — applies doubly to history: what is retained
+// about a user's past is the sequence of cloaked regions, never a point,
+// so a subpoena or a breach of the server recovers at most what the
+// anonymizer already chose to reveal.
+//
+// The store answers historical public queries over private data:
+// expected occupancy of an area over a time window, per-user visit
+// possibility, and timeline retrieval, all with the same
+// expected/interval answer discipline as the live query processors.
+// Time is a logical int64 tick supplied by the caller.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/prob"
+)
+
+// Span is one segment of a user's cloaked timeline: she was somewhere in
+// Region throughout [From, To). A span still open (the user's current
+// region) has To == OpenEnd.
+type Span struct {
+	From, To int64
+	Region   geo.Rect
+}
+
+// OpenEnd marks a span that has not been closed yet.
+const OpenEnd = int64(1<<62 - 1)
+
+// Store holds the timelines. All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	byUser map[uint64][]Span
+	// lastT tracks the largest timestamp seen, to reject time travel.
+	lastT int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byUser: make(map[uint64][]Span)}
+}
+
+// Record appends a region to a user's timeline at time t, closing her
+// previous span. Timestamps must be non-decreasing per store (a single
+// logical clock); equal timestamps replace the just-opened span, so a
+// same-tick correction does not create zero-length garbage.
+func (s *Store) Record(id uint64, region geo.Rect, t int64) error {
+	if !region.Valid() {
+		return fmt.Errorf("history: invalid region %v", region)
+	}
+	if t < 0 || t >= OpenEnd {
+		return fmt.Errorf("history: timestamp %d out of range", t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.lastT {
+		return fmt.Errorf("history: timestamp %d before store clock %d", t, s.lastT)
+	}
+	s.lastT = t
+	spans := s.byUser[id]
+	if n := len(spans); n > 0 {
+		last := &spans[n-1]
+		if last.To == OpenEnd {
+			if last.From == t {
+				// Same-tick correction: replace in place.
+				last.Region = region
+				return nil
+			}
+			last.To = t
+		}
+	}
+	s.byUser[id] = append(spans, Span{From: t, To: OpenEnd, Region: region})
+	return nil
+}
+
+// Close ends a user's open span at time t (deregistration); subsequent
+// queries treat her as absent after t.
+func (s *Store) Close(id uint64, t int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.lastT {
+		return fmt.Errorf("history: timestamp %d before store clock %d", t, s.lastT)
+	}
+	s.lastT = t
+	spans := s.byUser[id]
+	if n := len(spans); n > 0 && spans[n-1].To == OpenEnd {
+		if spans[n-1].From >= t {
+			// Zero-length residue: drop it.
+			s.byUser[id] = spans[:n-1]
+		} else {
+			spans[n-1].To = t
+		}
+	}
+	return nil
+}
+
+// Users returns the number of users with recorded history.
+func (s *Store) Users() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byUser)
+}
+
+// SpanCount returns the total number of stored spans.
+func (s *Store) SpanCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, spans := range s.byUser {
+		n += len(spans)
+	}
+	return n
+}
+
+// Timeline returns the user's spans overlapping [from, to), clipped to the
+// window, in chronological order.
+func (s *Store) Timeline(id uint64, from, to int64) []Span {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Span
+	for _, sp := range s.byUser[id] {
+		if sp.To <= from || sp.From >= to {
+			continue
+		}
+		c := sp
+		if c.From < from {
+			c.From = from
+		}
+		if c.To > to {
+			c.To = to
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// OccupancyAnswer is the historical aggregate: how many users were inside
+// an area, averaged over a time window.
+type OccupancyAnswer struct {
+	// Expected is the time-averaged expected number of users inside the
+	// area over the window (user-time mass / window length), under the
+	// uniform-within-region assumption.
+	Expected float64
+	// Lo counts users certainly inside for the entire window (every
+	// covering span's region lies within the area and the spans cover the
+	// whole window).
+	Lo int
+	// Hi counts users possibly inside at some instant (some overlapping
+	// span's region intersects the area).
+	Hi int
+}
+
+// Occupancy computes the historical occupancy of area over [from, to).
+func (s *Store) Occupancy(area geo.Rect, from, to int64) (OccupancyAnswer, error) {
+	if !area.Valid() {
+		return OccupancyAnswer{}, fmt.Errorf("history: invalid area %v", area)
+	}
+	if to <= from {
+		return OccupancyAnswer{}, fmt.Errorf("history: empty window [%d,%d)", from, to)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	window := float64(to - from)
+	var ans OccupancyAnswer
+	for _, spans := range s.byUser {
+		var mass float64     // expected user-time inside the area
+		var covered int64    // window time covered by any span
+		var insideAll = true // every covering span fully inside the area
+		possible := false
+		for _, sp := range spans {
+			oFrom, oTo := sp.From, sp.To
+			if oFrom < from {
+				oFrom = from
+			}
+			if oTo > to {
+				oTo = to
+			}
+			if oTo <= oFrom {
+				continue
+			}
+			dur := float64(oTo - oFrom)
+			covered += oTo - oFrom
+			p := prob.Overlap(sp.Region, area)
+			mass += dur * p
+			if p > 0 {
+				possible = true
+			}
+			if !area.ContainsRect(sp.Region) {
+				insideAll = false
+			}
+		}
+		if covered == 0 {
+			continue
+		}
+		ans.Expected += mass / window
+		if possible {
+			ans.Hi++
+		}
+		if insideAll && covered == to-from {
+			ans.Lo++
+		}
+	}
+	return ans, nil
+}
+
+// VisitProbability bounds the probability that the user was inside the
+// area at some instant of [from, to): 0 when no overlapping span's region
+// intersects the area, 1 when some overlapping span's region lies entirely
+// within it, and otherwise the maximum instantaneous overlap fraction
+// across her spans — a lower bound on the true visit probability (the
+// union over time can only be larger), paired with possible=true.
+func (s *Store) VisitProbability(id uint64, area geo.Rect, from, to int64) (lower float64, possible bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sp := range s.byUser[id] {
+		if sp.To <= from || sp.From >= to {
+			continue
+		}
+		p := prob.Overlap(sp.Region, area)
+		if p > lower {
+			lower = p
+		}
+		if p > 0 {
+			possible = true
+		}
+	}
+	return lower, possible
+}
+
+// Prune discards all spans that end at or before the horizon, bounding
+// retention — the privacy hygiene a real deployment needs.
+func (s *Store) Prune(horizon int64) (removed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, spans := range s.byUser {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.To > horizon {
+				kept = append(kept, sp)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.byUser, id)
+		} else {
+			s.byUser[id] = append([]Span(nil), kept...)
+		}
+	}
+	return removed
+}
+
+// ActiveAt returns the ids of users with a span covering instant t,
+// sorted — the historical analogue of the live private store.
+func (s *Store) ActiveAt(t int64) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []uint64
+	for id, spans := range s.byUser {
+		for _, sp := range spans {
+			if sp.From <= t && t < sp.To {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,288 @@
+package history
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func TestRecordValidation(t *testing.T) {
+	s := New()
+	if err := s.Record(1, geo.Rect{Min: geo.Pt(1, 1)}, 0); err == nil {
+		t.Error("invalid region accepted")
+	}
+	if err := s.Record(1, world, -1); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+	if err := s.Record(1, world, OpenEnd); err == nil {
+		t.Error("OpenEnd timestamp accepted")
+	}
+	if err := s.Record(1, world, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(1, world, 5); err == nil {
+		t.Error("time travel accepted")
+	}
+}
+
+func TestTimelineSpans(t *testing.T) {
+	s := New()
+	r1 := geo.R(0.1, 0.1, 0.2, 0.2)
+	r2 := geo.R(0.3, 0.3, 0.4, 0.4)
+	if err := s.Record(1, r1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(1, r2, 20); err != nil {
+		t.Fatal(err)
+	}
+	full := s.Timeline(1, 0, 100)
+	if len(full) != 2 {
+		t.Fatalf("timeline = %v", full)
+	}
+	if full[0].From != 10 || full[0].To != 20 || !full[0].Region.Eq(r1) {
+		t.Errorf("span 0 = %+v", full[0])
+	}
+	if full[1].From != 20 || full[1].To != 100 || !full[1].Region.Eq(r2) {
+		t.Errorf("span 1 = %+v (open span clipped to window)", full[1])
+	}
+	// Window clipping.
+	mid := s.Timeline(1, 15, 25)
+	if len(mid) != 2 || mid[0].From != 15 || mid[0].To != 20 || mid[1].From != 20 || mid[1].To != 25 {
+		t.Errorf("clipped timeline = %v", mid)
+	}
+	if got := s.Timeline(1, 0, 5); len(got) != 0 {
+		t.Errorf("pre-history timeline = %v", got)
+	}
+	if got := s.Timeline(99, 0, 100); len(got) != 0 {
+		t.Errorf("unknown user timeline = %v", got)
+	}
+}
+
+func TestSameTickCorrection(t *testing.T) {
+	s := New()
+	s.Record(1, geo.R(0, 0, 0.1, 0.1), 10)
+	s.Record(1, geo.R(0.5, 0.5, 0.6, 0.6), 10) // correction at the same tick
+	tl := s.Timeline(1, 0, 100)
+	if len(tl) != 1 || !tl[0].Region.Eq(geo.R(0.5, 0.5, 0.6, 0.6)) {
+		t.Errorf("same-tick correction produced %v", tl)
+	}
+	if s.SpanCount() != 1 {
+		t.Errorf("SpanCount = %d", s.SpanCount())
+	}
+}
+
+func TestClose(t *testing.T) {
+	s := New()
+	s.Record(1, world, 10)
+	if err := s.Close(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Timeline(1, 0, 100)
+	if len(tl) != 1 || tl[0].To != 20 {
+		t.Errorf("after close = %v", tl)
+	}
+	// Active set reflects the closure.
+	if ids := s.ActiveAt(15); len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("ActiveAt(15) = %v", ids)
+	}
+	if ids := s.ActiveAt(25); len(ids) != 0 {
+		t.Errorf("ActiveAt(25) = %v", ids)
+	}
+	// Closing an open span at its own start drops the residue.
+	s.Record(2, world, 30)
+	s.Close(2, 30)
+	if got := s.Timeline(2, 0, 100); len(got) != 0 {
+		t.Errorf("zero-length span kept: %v", got)
+	}
+	// Closing an unknown user is a no-op.
+	if err := s.Close(99, 40); err != nil {
+		t.Errorf("close unknown = %v", err)
+	}
+}
+
+func TestOccupancyValidation(t *testing.T) {
+	s := New()
+	if _, err := s.Occupancy(geo.Rect{Min: geo.Pt(1, 1)}, 0, 10); err == nil {
+		t.Error("invalid area accepted")
+	}
+	if _, err := s.Occupancy(world, 10, 10); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestOccupancyAnalytic(t *testing.T) {
+	s := New()
+	area := geo.R(0, 0, 0.5, 0.5)
+	// User 1: fully inside the area for the whole window.
+	s.Record(1, geo.R(0.1, 0.1, 0.2, 0.2), 0)
+	// User 2: region half-overlapping the area, whole window.
+	s.Record(2, geo.R(0.4, 0.1, 0.6, 0.2), 0)
+	// User 3: inside, but only for the second half of the window.
+	// (recorded later to respect the store clock)
+	// User 4: entirely outside.
+	s.Record(4, geo.R(0.8, 0.8, 0.9, 0.9), 0)
+	s.Record(3, geo.R(0.2, 0.2, 0.3, 0.3), 50)
+
+	ans, err := s.Occupancy(area, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: 1 (user1) + 0.5 (user2) + 0.5·1 (user3 half-window) = 2.0
+	if math.Abs(ans.Expected-2.0) > 1e-9 {
+		t.Errorf("Expected = %v, want 2.0", ans.Expected)
+	}
+	if ans.Lo != 1 {
+		t.Errorf("Lo = %d, want 1 (only user 1 is certain for the full window)", ans.Lo)
+	}
+	if ans.Hi != 3 {
+		t.Errorf("Hi = %d, want 3 (users 1,2,3 possible; 4 impossible)", ans.Hi)
+	}
+}
+
+func TestOccupancyBracketsGroundTruth(t *testing.T) {
+	// Simulated users with known exact positions; regions recorded as
+	// squares around them. The interval must always bracket the true
+	// time-averaged occupancy.
+	s := New()
+	src := rng.New(7)
+	const (
+		users = 200
+		ticks = 50
+		half  = 0.05
+	)
+	truth := 0.0
+	area := geo.R(0.3, 0.3, 0.7, 0.7)
+	locs := make([]geo.Point, users)
+	for i := range locs {
+		locs[i] = geo.Pt(src.Float64(), src.Float64())
+	}
+	for tick := 0; tick < ticks; tick++ {
+		for i := range locs {
+			locs[i] = world.ClampPoint(geo.Pt(
+				locs[i].X+src.Range(-0.01, 0.01),
+				locs[i].Y+src.Range(-0.01, 0.01),
+			))
+			region := geo.RectAround(locs[i], half).Clip(world)
+			if err := s.Record(uint64(i+1), region, int64(tick)); err != nil {
+				t.Fatal(err)
+			}
+			if area.Contains(locs[i]) {
+				truth++
+			}
+		}
+	}
+	truth /= ticks
+	ans, err := s.Occupancy(area, 0, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth < float64(ans.Lo) || truth > float64(ans.Hi) {
+		t.Fatalf("interval [%d,%d] misses truth %v", ans.Lo, ans.Hi, truth)
+	}
+	if math.Abs(ans.Expected-truth) > 0.25*truth {
+		t.Errorf("Expected %v vs truth %v", ans.Expected, truth)
+	}
+}
+
+func TestVisitProbability(t *testing.T) {
+	s := New()
+	area := geo.R(0, 0, 0.5, 0.5)
+	s.Record(1, geo.R(0.1, 0.1, 0.2, 0.2), 0) // inside
+	s.Record(2, geo.R(0.8, 0.8, 0.9, 0.9), 0) // outside
+	s.Record(3, geo.R(0.4, 0.4, 0.6, 0.6), 0) // partial (overlap 1/4)
+
+	if p, ok := s.VisitProbability(1, area, 0, 10); !ok || p != 1 {
+		t.Errorf("inside user: %v, %v", p, ok)
+	}
+	if p, ok := s.VisitProbability(2, area, 0, 10); ok || p != 0 {
+		t.Errorf("outside user: %v, %v", p, ok)
+	}
+	if p, ok := s.VisitProbability(3, area, 0, 10); !ok || math.Abs(p-0.25) > 1e-9 {
+		t.Errorf("partial user: %v, %v", p, ok)
+	}
+	// Window that misses the spans.
+	s.Close(1, 20)
+	if _, ok := s.VisitProbability(1, area, 30, 40); ok {
+		t.Error("visit possible outside the user's history")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	s := New()
+	s.Record(1, world, 0)
+	s.Record(1, world, 10)
+	s.Record(1, world, 20) // open span
+	s.Record(2, world, 25)
+	s.Close(2, 30)
+	removed := s.Prune(15)
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1 (the [0,10) span)", removed)
+	}
+	tl := s.Timeline(1, 0, 100)
+	if len(tl) != 2 {
+		t.Errorf("timeline after prune = %v", tl)
+	}
+	// An open span is the user's *current* region and survives any prune.
+	s.Prune(OpenEnd - 1)
+	if s.Users() != 1 {
+		t.Errorf("Users after pruning all closed spans = %d, want 1", s.Users())
+	}
+	tl = s.Timeline(1, 0, OpenEnd-2)
+	if len(tl) != 1 || tl[0].From != 20 {
+		t.Errorf("surviving span = %v, want the open one", tl)
+	}
+	// Once closed, it prunes away too.
+	s.Close(1, OpenEnd-2)
+	s.Prune(OpenEnd - 1)
+	if s.Users() != 0 {
+		t.Errorf("Users after closing and pruning = %d", s.Users())
+	}
+}
+
+func TestUsersAndSpanCount(t *testing.T) {
+	s := New()
+	s.Record(1, world, 0)
+	s.Record(2, world, 1)
+	s.Record(1, world, 2)
+	if s.Users() != 2 {
+		t.Errorf("Users = %d", s.Users())
+	}
+	if s.SpanCount() != 3 {
+		t.Errorf("SpanCount = %d", s.SpanCount())
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	s := New()
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := uint64(src.Intn(10000)) + 1
+		c := geo.Pt(src.Float64(), src.Float64())
+		if err := s.Record(id, geo.RectAround(c, 0.02), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOccupancy(b *testing.B) {
+	s := New()
+	src := rng.New(2)
+	for t := 0; t < 100; t++ {
+		for u := 0; u < 1000; u++ {
+			c := geo.Pt(src.Float64(), src.Float64())
+			s.Record(uint64(u+1), geo.RectAround(c, 0.02).Clip(world), int64(t))
+		}
+	}
+	area := geo.R(0.3, 0.3, 0.7, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Occupancy(area, 20, 80); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

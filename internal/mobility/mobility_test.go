@@ -1,0 +1,338 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func TestGeneratePointsUniform(t *testing.T) {
+	pts, err := GeneratePoints(PopulationSpec{N: 5000, World: world, Dist: Uniform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		if !world.Contains(p) {
+			t.Fatalf("point %v outside world", p)
+		}
+		sx += p.X
+		sy += p.Y
+	}
+	if math.Abs(sx/5000-0.5) > 0.02 || math.Abs(sy/5000-0.5) > 0.02 {
+		t.Errorf("uniform centroid off: (%v, %v)", sx/5000, sy/5000)
+	}
+}
+
+func TestGeneratePointsDeterministic(t *testing.T) {
+	spec := PopulationSpec{N: 100, World: world, Dist: Gaussian, Seed: 7}
+	a, err := GeneratePoints(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GeneratePoints(spec)
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatalf("non-deterministic generation at %d", i)
+		}
+	}
+	c, _ := GeneratePoints(PopulationSpec{N: 100, World: world, Dist: Gaussian, Seed: 8})
+	same := 0
+	for i := range a {
+		if a[i].Eq(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestGeneratePointsGaussianClustered(t *testing.T) {
+	pts, err := GeneratePoints(PopulationSpec{
+		N: 10000, World: world, Dist: Gaussian, NumClusters: 3, Stddev: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tiny stddev and 3 clusters, a 10×10 grid histogram should have
+	// most mass in few cells.
+	var hist [100]int
+	for _, p := range pts {
+		cx := int(p.X * 10)
+		cy := int(p.Y * 10)
+		if cx > 9 {
+			cx = 9
+		}
+		if cy > 9 {
+			cy = 9
+		}
+		hist[cy*10+cx]++
+	}
+	occupied := 0
+	for _, c := range hist {
+		if c > 100 {
+			occupied++
+		}
+	}
+	if occupied > 12 {
+		t.Errorf("gaussian population not clustered: %d dense cells", occupied)
+	}
+}
+
+func TestGeneratePointsZipfSkew(t *testing.T) {
+	pts, err := GeneratePoints(PopulationSpec{
+		N: 10000, World: world, Dist: ZipfClusters, NumClusters: 20, Stddev: 0.005, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !world.Contains(p) {
+			t.Fatal("zipf point outside world")
+		}
+	}
+}
+
+func TestGeneratePointsValidation(t *testing.T) {
+	if _, err := GeneratePoints(PopulationSpec{N: -1, World: world}); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := GeneratePoints(PopulationSpec{N: 10, World: geo.Rect{}}); err == nil {
+		t.Error("zero-area world accepted")
+	}
+	if _, err := GeneratePoints(PopulationSpec{N: 10, World: world, Dist: Distribution(99)}); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Gaussian, ZipfClusters, Distribution(42)} {
+		if d.String() == "" {
+			t.Errorf("empty string for %d", d)
+		}
+	}
+}
+
+func TestGeneratePublicObjects(t *testing.T) {
+	objs, err := GeneratePublicObjects(world, 9,
+		ObjectClass{Name: "gas", N: 50, Dist: Uniform},
+		ObjectClass{Name: "restaurant", N: 30, Dist: Gaussian},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 80 {
+		t.Fatalf("got %d objects, want 80", len(objs))
+	}
+	gas, rest := 0, 0
+	seen := map[uint64]bool{}
+	for _, o := range objs {
+		if seen[o.ID] {
+			t.Fatalf("duplicate object ID %d", o.ID)
+		}
+		seen[o.ID] = true
+		if !world.Contains(o.Loc) {
+			t.Fatalf("object outside world: %v", o)
+		}
+		switch o.Class {
+		case "gas":
+			gas++
+		case "restaurant":
+			rest++
+		default:
+			t.Fatalf("unknown class %q", o.Class)
+		}
+	}
+	if gas != 50 || rest != 30 {
+		t.Errorf("class counts: gas=%d restaurant=%d", gas, rest)
+	}
+}
+
+func TestWaypointSimMoves(t *testing.T) {
+	sim, err := NewWaypointSim(WaypointConfig{
+		Population: PopulationSpec{N: 200, World: world, Dist: Uniform, Seed: 2},
+		MinSpeed:   0.001, MaxSpeed: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]geo.Point, sim.Len())
+	for i, u := range sim.Users() {
+		before[i] = u.Loc
+	}
+	moved := sim.Tick()
+	if len(moved) != 200 {
+		t.Errorf("all users should move with MaxPause=0, got %d", len(moved))
+	}
+	anyMoved := false
+	for i, u := range sim.Users() {
+		if !world.Contains(u.Loc) {
+			t.Fatalf("user %d left the world: %v", i, u.Loc)
+		}
+		if !u.Loc.Eq(before[i]) {
+			anyMoved = true
+		}
+	}
+	if !anyMoved {
+		t.Error("no user moved after a tick")
+	}
+	if sim.TickCount() != 1 {
+		t.Errorf("TickCount = %d", sim.TickCount())
+	}
+}
+
+func TestWaypointSimStaysInWorldLong(t *testing.T) {
+	sim, err := NewWaypointSim(WaypointConfig{
+		Population: PopulationSpec{N: 50, World: world, Dist: Gaussian, Seed: 4},
+		MinSpeed:   0.01, MaxSpeed: 0.05, MaxPause: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 500; tick++ {
+		sim.Tick()
+	}
+	for i, u := range sim.Users() {
+		if !world.Contains(u.Loc) {
+			t.Fatalf("user %d escaped world after long run: %v", i, u.Loc)
+		}
+	}
+}
+
+func TestWaypointSimPause(t *testing.T) {
+	sim, err := NewWaypointSim(WaypointConfig{
+		Population: PopulationSpec{N: 100, World: world, Dist: Uniform, Seed: 6},
+		MinSpeed:   1.5, MaxSpeed: 2.0, // reach any waypoint in one step
+		MaxPause: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Tick() // everyone arrives and draws a pause
+	moved := sim.Tick()
+	if len(moved) == sim.Len() {
+		t.Error("expected some users pausing after arrival")
+	}
+}
+
+func TestWaypointSimSpeedBound(t *testing.T) {
+	const maxSpeed = 0.02
+	sim, err := NewWaypointSim(WaypointConfig{
+		Population: PopulationSpec{N: 100, World: world, Dist: Uniform, Seed: 8},
+		MinSpeed:   0.01, MaxSpeed: maxSpeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]geo.Point, sim.Len())
+	for i, u := range sim.Users() {
+		prev[i] = u.Loc
+	}
+	for tick := 0; tick < 50; tick++ {
+		sim.Tick()
+		for i, u := range sim.Users() {
+			if d := u.Loc.Dist(prev[i]); d > maxSpeed+1e-9 {
+				t.Fatalf("user %d moved %v > max speed %v in one tick", i, d, maxSpeed)
+			}
+			prev[i] = u.Loc
+		}
+	}
+}
+
+func TestWaypointConfigValidation(t *testing.T) {
+	base := PopulationSpec{N: 1, World: world, Seed: 1}
+	if _, err := NewWaypointSim(WaypointConfig{Population: base, MinSpeed: -1, MaxSpeed: 1}); err == nil {
+		t.Error("negative MinSpeed accepted")
+	}
+	if _, err := NewWaypointSim(WaypointConfig{Population: base, MinSpeed: 2, MaxSpeed: 1}); err == nil {
+		t.Error("MaxSpeed < MinSpeed accepted")
+	}
+	if _, err := NewWaypointSim(WaypointConfig{Population: base, MaxPause: -1}); err == nil {
+		t.Error("negative MaxPause accepted")
+	}
+}
+
+func TestRoadNetwork(t *testing.T) {
+	net, err := NewRoadNetwork(world, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := net.Intersection(0, 0); !p.Eq(geo.Pt(0, 0)) {
+		t.Errorf("corner intersection = %v", p)
+	}
+	if p := net.Intersection(4, 3); !p.Eq(geo.Pt(1, 1)) {
+		t.Errorf("far corner = %v", p)
+	}
+	rows, cols := net.Dims()
+	if rows != 5 || cols != 4 {
+		t.Errorf("Dims = %d,%d", rows, cols)
+	}
+	if _, err := NewRoadNetwork(world, 1, 5); err == nil {
+		t.Error("1-row network accepted")
+	}
+	if _, err := NewRoadNetwork(geo.Rect{}, 3, 3); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+func TestRoadSimOnRoads(t *testing.T) {
+	net, _ := NewRoadNetwork(world, 11, 11)
+	sim, err := NewRoadSim(RoadConfig{Net: net, N: 100, MinSpeed: 0.2, MaxSpeed: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 200; tick++ {
+		sim.Tick()
+		for i, u := range sim.Users() {
+			if !world.Contains(u.Loc) {
+				t.Fatalf("road user %d outside world: %v", i, u.Loc)
+			}
+			// On a Manhattan grid at least one coordinate must sit exactly on
+			// a grid line (users move along roads, turning at intersections).
+			fx := u.Loc.X * 10 // 11 columns -> spacing 0.1
+			fy := u.Loc.Y * 10
+			onVertical := math.Abs(fx-math.Round(fx)) < 1e-9
+			onHorizontal := math.Abs(fy-math.Round(fy)) < 1e-9
+			if !onVertical && !onHorizontal {
+				t.Fatalf("road user %d off-road at %v", i, u.Loc)
+			}
+		}
+	}
+	if sim.TickCount() != 200 {
+		t.Errorf("TickCount = %d", sim.TickCount())
+	}
+}
+
+func TestRoadSimValidation(t *testing.T) {
+	net, _ := NewRoadNetwork(world, 3, 3)
+	if _, err := NewRoadSim(RoadConfig{Net: nil, N: 1}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := NewRoadSim(RoadConfig{Net: net, N: -1}); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := NewRoadSim(RoadConfig{Net: net, N: 1, MinSpeed: 3, MaxSpeed: 1}); err == nil {
+		t.Error("bad speed range accepted")
+	}
+}
+
+func BenchmarkWaypointTick10k(b *testing.B) {
+	sim, err := NewWaypointSim(WaypointConfig{
+		Population: PopulationSpec{N: 10000, World: world, Dist: Uniform, Seed: 1},
+		MinSpeed:   0.001, MaxSpeed: 0.01,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Tick()
+	}
+}

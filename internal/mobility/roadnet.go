@@ -1,0 +1,184 @@
+package mobility
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// RoadNetwork is a synthetic Manhattan-style grid road network: Rows×Cols
+// intersections connected by axis-parallel road segments. Users constrained
+// to a road network produce the strongly linear location distributions that
+// stress rectangle-based cloaking (regions become long and thin).
+type RoadNetwork struct {
+	world      geo.Rect
+	rows, cols int
+}
+
+// NewRoadNetwork lays a rows×cols grid of intersections over the world.
+// rows and cols must each be at least 2.
+func NewRoadNetwork(world geo.Rect, rows, cols int) (*RoadNetwork, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("mobility: road grid needs ≥2 rows and cols, got %d×%d", rows, cols)
+	}
+	if !world.Valid() || world.Area() <= 0 {
+		return nil, fmt.Errorf("mobility: invalid world %v", world)
+	}
+	return &RoadNetwork{world: world, rows: rows, cols: cols}, nil
+}
+
+// Intersection returns the coordinates of intersection (r, c).
+func (n *RoadNetwork) Intersection(r, c int) geo.Point {
+	fx := float64(c) / float64(n.cols-1)
+	fy := float64(r) / float64(n.rows-1)
+	return geo.Pt(
+		n.world.Min.X+fx*n.world.Width(),
+		n.world.Min.Y+fy*n.world.Height(),
+	)
+}
+
+// Dims returns the number of rows and columns of intersections.
+func (n *RoadNetwork) Dims() (rows, cols int) { return n.rows, n.cols }
+
+// World returns the network bounds.
+func (n *RoadNetwork) World() geo.Rect { return n.world }
+
+// RoadSim moves users along the road network: each user walks along road
+// segments toward a destination intersection, turning at intersections.
+type RoadSim struct {
+	net   *RoadNetwork
+	src   *rng.Source
+	users []User
+	// Per-user state in grid coordinates: current position as fractional
+	// (row, col) along an axis-parallel segment, plus the destination.
+	row, col       []float64
+	dstRow, dstCol []int
+	speed          []float64 // in grid cells per tick
+	minSpd, maxSpd float64
+	tick           int
+}
+
+// RoadConfig configures a RoadSim.
+type RoadConfig struct {
+	Net *RoadNetwork
+	N   int
+	// MinSpeed and MaxSpeed are in grid cells per tick.
+	MinSpeed, MaxSpeed float64
+	Seed               uint64
+}
+
+// NewRoadSim places N users at random intersections of the network.
+func NewRoadSim(cfg RoadConfig) (*RoadSim, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("mobility: nil road network")
+	}
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("mobility: negative N %d", cfg.N)
+	}
+	if cfg.MinSpeed < 0 || cfg.MaxSpeed < cfg.MinSpeed {
+		return nil, fmt.Errorf("mobility: invalid speed range [%g,%g]", cfg.MinSpeed, cfg.MaxSpeed)
+	}
+	s := &RoadSim{
+		net:    cfg.Net,
+		src:    rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		users:  make([]User, cfg.N),
+		row:    make([]float64, cfg.N),
+		col:    make([]float64, cfg.N),
+		dstRow: make([]int, cfg.N),
+		dstCol: make([]int, cfg.N),
+		speed:  make([]float64, cfg.N),
+		minSpd: cfg.MinSpeed,
+		maxSpd: cfg.MaxSpeed,
+	}
+	rows, cols := cfg.Net.Dims()
+	for i := 0; i < cfg.N; i++ {
+		s.row[i] = float64(s.src.Intn(rows))
+		s.col[i] = float64(s.src.Intn(cols))
+		s.users[i] = User{ID: uint64(i) + 1, Loc: s.loc(i)}
+		s.newDest(i)
+	}
+	return s, nil
+}
+
+func (s *RoadSim) newDest(i int) {
+	rows, cols := s.net.Dims()
+	s.dstRow[i] = s.src.Intn(rows)
+	s.dstCol[i] = s.src.Intn(cols)
+	if s.maxSpd == s.minSpd {
+		s.speed[i] = s.minSpd
+	} else {
+		s.speed[i] = s.src.Range(s.minSpd, s.maxSpd)
+	}
+}
+
+// loc converts grid coordinates to world coordinates.
+func (s *RoadSim) loc(i int) geo.Point {
+	rows, cols := s.net.Dims()
+	fx := s.col[i] / float64(cols-1)
+	fy := s.row[i] / float64(rows-1)
+	w := s.net.World()
+	return geo.Pt(w.Min.X+fx*w.Width(), w.Min.Y+fy*w.Height())
+}
+
+// Len returns the number of users.
+func (s *RoadSim) Len() int { return len(s.users) }
+
+// Users returns the live user slice (read-only for callers).
+func (s *RoadSim) Users() []User { return s.users }
+
+// Tick advances every user one step along the roads (Manhattan routing:
+// first resolve the column difference, then the row difference) and returns
+// the indices of users that moved.
+func (s *RoadSim) Tick() []int {
+	moved := make([]int, 0, len(s.users))
+	for i := range s.users {
+		budget := s.speed[i]
+		for budget > 0 {
+			dc := float64(s.dstCol[i]) - s.col[i]
+			dr := float64(s.dstRow[i]) - s.row[i]
+			if dc == 0 && dr == 0 {
+				s.newDest(i)
+				// Destination may coincide with the current intersection; the
+				// fresh destination is attempted on the next tick to bound work.
+				break
+			}
+			if dc != 0 {
+				step := clampStep(dc, budget)
+				s.col[i] += step
+				budget -= abs(step)
+			} else {
+				step := clampStep(dr, budget)
+				s.row[i] += step
+				budget -= abs(step)
+			}
+		}
+		s.users[i].Loc = s.loc(i)
+		moved = append(moved, i)
+	}
+	s.tick++
+	return moved
+}
+
+// TickCount returns how many ticks have been simulated.
+func (s *RoadSim) TickCount() int { return s.tick }
+
+func clampStep(delta, budget float64) float64 {
+	if delta > 0 {
+		if delta < budget {
+			return delta
+		}
+		return budget
+	}
+	if -delta < budget {
+		return delta
+	}
+	return -budget
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package mobility
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// User is a simulated mobile user with an identity and a current exact
+// location. The anonymizer is the only component allowed to observe Loc;
+// the server only ever sees cloaked regions.
+type User struct {
+	ID  uint64
+	Loc geo.Point
+}
+
+// WaypointSim is a random-waypoint mobility simulator: every user walks
+// toward a uniformly chosen destination at an individual speed, pauses, and
+// picks a new destination. It is the standard synthetic model for
+// continuously-moving user populations and drives the incremental-cloaking
+// experiment (E8).
+type WaypointSim struct {
+	world geo.Rect
+	src   *rng.Source
+
+	users []User
+	dest  []geo.Point
+	speed []float64 // distance per tick
+	pause []int     // remaining pause ticks
+
+	minSpeed, maxSpeed float64
+	maxPause           int
+	tick               int
+}
+
+// WaypointConfig configures a WaypointSim.
+type WaypointConfig struct {
+	Population PopulationSpec
+	// MinSpeed and MaxSpeed are per-tick travel distances; each user draws a
+	// speed uniformly from the interval when choosing a waypoint.
+	MinSpeed, MaxSpeed float64
+	// MaxPause is the maximum number of ticks a user rests at a waypoint.
+	MaxPause int
+}
+
+// NewWaypointSim builds the simulator with users placed per the population
+// spec and initial destinations already assigned.
+func NewWaypointSim(cfg WaypointConfig) (*WaypointSim, error) {
+	if cfg.MinSpeed < 0 || cfg.MaxSpeed < cfg.MinSpeed {
+		return nil, fmt.Errorf("mobility: invalid speed range [%g,%g]", cfg.MinSpeed, cfg.MaxSpeed)
+	}
+	if cfg.MaxPause < 0 {
+		return nil, fmt.Errorf("mobility: negative MaxPause %d", cfg.MaxPause)
+	}
+	pts, err := GeneratePoints(cfg.Population)
+	if err != nil {
+		return nil, err
+	}
+	s := &WaypointSim{
+		world:    cfg.Population.World,
+		src:      rng.New(cfg.Population.Seed ^ 0xdeadbeefcafe),
+		users:    make([]User, len(pts)),
+		dest:     make([]geo.Point, len(pts)),
+		speed:    make([]float64, len(pts)),
+		pause:    make([]int, len(pts)),
+		minSpeed: cfg.MinSpeed,
+		maxSpeed: cfg.MaxSpeed,
+		maxPause: cfg.MaxPause,
+	}
+	for i, p := range pts {
+		s.users[i] = User{ID: uint64(i) + 1, Loc: p}
+		s.newWaypoint(i)
+	}
+	return s, nil
+}
+
+func (s *WaypointSim) newWaypoint(i int) {
+	s.dest[i] = geo.Pt(
+		s.src.Range(s.world.Min.X, s.world.Max.X),
+		s.src.Range(s.world.Min.Y, s.world.Max.Y),
+	)
+	if s.maxSpeed == s.minSpeed {
+		s.speed[i] = s.minSpeed
+	} else {
+		s.speed[i] = s.src.Range(s.minSpeed, s.maxSpeed)
+	}
+	if s.maxPause > 0 {
+		s.pause[i] = s.src.Intn(s.maxPause + 1)
+	}
+}
+
+// Len returns the number of simulated users.
+func (s *WaypointSim) Len() int { return len(s.users) }
+
+// Users returns the live user slice. Callers must treat it as read-only;
+// it is exposed without copying because experiments iterate it every tick.
+func (s *WaypointSim) Users() []User { return s.users }
+
+// User returns a copy of user i.
+func (s *WaypointSim) User(i int) User { return s.users[i] }
+
+// Tick advances the simulation one step and returns the indices of users
+// that moved (paused users do not move).
+func (s *WaypointSim) Tick() []int {
+	moved := make([]int, 0, len(s.users))
+	for i := range s.users {
+		if s.pause[i] > 0 {
+			s.pause[i]--
+			continue
+		}
+		u := &s.users[i]
+		d := s.dest[i]
+		dist := u.Loc.Dist(d)
+		if dist <= s.speed[i] {
+			u.Loc = d
+			s.newWaypoint(i)
+		} else {
+			u.Loc = u.Loc.Lerp(d, s.speed[i]/dist)
+		}
+		moved = append(moved, i)
+	}
+	s.tick++
+	return moved
+}
+
+// TickCount returns how many ticks have been simulated.
+func (s *WaypointSim) TickCount() int { return s.tick }
+
+// World returns the simulation bounds.
+func (s *WaypointSim) World() geo.Rect { return s.world }

@@ -1,0 +1,323 @@
+// Package privacy models the privacy profiles of mobile users described in
+// Section 4 of the paper: per-time-interval tuples of the anonymity level k,
+// the minimum cloaked area Amin, and the maximum cloaked area Amax, plus
+// the user modes (passive, active, query).
+//
+// A profile is a set of entries, each active during a daily time window.
+// Requirements may be contradictory (for example a large k together with a
+// tiny Amax); the anonymizer treats cloaking as best effort, and this
+// package provides the machinery to detect and order such conflicts.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mode is the participation mode of a mobile user (Section 4).
+type Mode uint8
+
+const (
+	// Passive users share their location with nobody.
+	Passive Mode = iota
+	// Active users continuously send location updates to the anonymizer.
+	Active
+	// Query users are active users currently issuing a spatio-temporal query.
+	Query
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Passive:
+		return "passive"
+	case Active:
+		return "active"
+	case Query:
+		return "query"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Requirement is one privacy requirement tuple (k, Amin, Amax).
+type Requirement struct {
+	// K is the anonymity level: the user must be indistinguishable among at
+	// least K users. K=1 means the user accepts revealing her exact location.
+	K int
+	// MinArea is the minimum area of the cloaked region (0 = no constraint).
+	MinArea float64
+	// MaxArea is the maximum area of the cloaked region
+	// (0 or +Inf = no constraint).
+	MaxArea float64
+}
+
+// String implements fmt.Stringer.
+func (r Requirement) String() string {
+	return fmt.Sprintf("k=%d Amin=%g Amax=%g", r.K, r.MinArea, r.MaxArea)
+}
+
+// Validate checks structural sanity of the requirement: K ≥ 1, non-negative
+// finite areas. It does not check satisfiability against a population; use
+// Contradiction for that.
+func (r Requirement) Validate() error {
+	if r.K < 1 {
+		return fmt.Errorf("privacy: k must be ≥ 1, got %d", r.K)
+	}
+	if r.MinArea < 0 || math.IsNaN(r.MinArea) || math.IsInf(r.MinArea, 0) {
+		return fmt.Errorf("privacy: invalid MinArea %g", r.MinArea)
+	}
+	if r.MaxArea < 0 || math.IsNaN(r.MaxArea) {
+		return fmt.Errorf("privacy: invalid MaxArea %g", r.MaxArea)
+	}
+	return nil
+}
+
+// EffectiveMaxArea returns MaxArea with the "no constraint" encodings (0 or
+// +Inf) normalized to +Inf.
+func (r Requirement) EffectiveMaxArea() float64 {
+	if r.MaxArea == 0 || math.IsInf(r.MaxArea, 1) {
+		return math.Inf(1)
+	}
+	return r.MaxArea
+}
+
+// Contradiction describes an internal conflict in a requirement.
+type Contradiction struct {
+	Req    Requirement
+	Reason string
+}
+
+func (c *Contradiction) Error() string {
+	return fmt.Sprintf("privacy: contradictory requirement %v: %s", c.Req, c.Reason)
+}
+
+// Contradicts reports whether the requirement's area bounds conflict with
+// each other (Amin > Amax). Conflicts between K and the area bounds depend
+// on the user density and can only be detected at cloak time; the
+// anonymizer then applies best-effort resolution preferring K.
+func (r Requirement) Contradicts() error {
+	if max := r.EffectiveMaxArea(); r.MinArea > max {
+		return &Contradiction{Req: r, Reason: fmt.Sprintf("MinArea %g > MaxArea %g", r.MinArea, max)}
+	}
+	return nil
+}
+
+// Stricter reports whether r demands at least as much privacy as s on every
+// axis and strictly more on at least one: larger K, larger MinArea, smaller
+// MaxArea all mean more restrictive privacy (Section 4).
+func (r Requirement) Stricter(s Requirement) bool {
+	ge := r.K >= s.K && r.MinArea >= s.MinArea && r.EffectiveMaxArea() <= s.EffectiveMaxArea()
+	gt := r.K > s.K || r.MinArea > s.MinArea || r.EffectiveMaxArea() < s.EffectiveMaxArea()
+	return ge && gt
+}
+
+// Entry is one line of a privacy profile: a requirement active during the
+// daily window [From, To). Windows may wrap past midnight (From > To), as
+// in the paper's example where the strictest entry runs 10:00 PM – 8:00 AM.
+type Entry struct {
+	// From and To are minutes since midnight in [0, 1440).
+	From, To int
+	Req      Requirement
+}
+
+// MinutesSinceMidnight converts a time to the profile's clock domain.
+func MinutesSinceMidnight(t time.Time) int {
+	return t.Hour()*60 + t.Minute()
+}
+
+// covers reports whether minute m falls inside the entry's window,
+// treating [From, To) as possibly wrapping midnight.
+func (e Entry) covers(m int) bool {
+	if e.From == e.To {
+		return true // full-day entry
+	}
+	if e.From < e.To {
+		return m >= e.From && m < e.To
+	}
+	return m >= e.From || m < e.To
+}
+
+// Validate checks the entry's window and requirement.
+func (e Entry) Validate() error {
+	if e.From < 0 || e.From >= 24*60 || e.To < 0 || e.To >= 24*60 {
+		return fmt.Errorf("privacy: entry window [%d,%d) outside [0,1440)", e.From, e.To)
+	}
+	return e.Req.Validate()
+}
+
+// ErrNoEntry is returned when a profile has no entry covering the requested
+// time. The anonymizer treats such users as passive for that instant.
+var ErrNoEntry = errors.New("privacy: no profile entry covers the requested time")
+
+// Profile is a mobile user's privacy profile: an ordered set of entries.
+// The zero value is an empty profile (always ErrNoEntry); users registering
+// directly with the server (willing to share exact locations) use Public().
+type Profile struct {
+	entries []Entry
+}
+
+// NewProfile builds a profile from entries, validating each.
+// Entries are kept in the order given; the first entry covering a time wins,
+// which lets callers express explicit precedence.
+func NewProfile(entries ...Entry) (*Profile, error) {
+	for i, e := range entries {
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	cp := make([]Entry, len(entries))
+	copy(cp, entries)
+	return &Profile{entries: cp}, nil
+}
+
+// MustProfile is NewProfile that panics on error, for tests and literals.
+func MustProfile(entries ...Entry) *Profile {
+	p, err := NewProfile(entries...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Constant returns a profile with a single requirement active at all times.
+func Constant(req Requirement) *Profile {
+	return &Profile{entries: []Entry{{From: 0, To: 0, Req: req}}}
+}
+
+// Public returns the profile of a user willing to reveal her exact location
+// at all times (k=1, no area constraints).
+func Public() *Profile { return Constant(Requirement{K: 1}) }
+
+// Entries returns a copy of the profile's entries.
+func (p *Profile) Entries() []Entry {
+	out := make([]Entry, len(p.entries))
+	copy(out, p.entries)
+	return out
+}
+
+// Len returns the number of entries.
+func (p *Profile) Len() int { return len(p.entries) }
+
+// At returns the requirement active at time t, or ErrNoEntry.
+func (p *Profile) At(t time.Time) (Requirement, error) {
+	return p.AtMinute(MinutesSinceMidnight(t))
+}
+
+// AtMinute returns the requirement active at the given minute of day.
+func (p *Profile) AtMinute(m int) (Requirement, error) {
+	if m < 0 || m >= 24*60 {
+		return Requirement{}, fmt.Errorf("privacy: minute %d outside [0,1440)", m)
+	}
+	for _, e := range p.entries {
+		if e.covers(m) {
+			return e.Req, nil
+		}
+	}
+	return Requirement{}, ErrNoEntry
+}
+
+// Strictest returns the most demanding requirement across all entries,
+// taking the max of K and MinArea and the min of MaxArea. It is the
+// worst-case privacy the system must be prepared to serve for this user.
+func (p *Profile) Strictest() (Requirement, error) {
+	if len(p.entries) == 0 {
+		return Requirement{}, ErrNoEntry
+	}
+	out := Requirement{K: 1, MaxArea: math.Inf(1)}
+	for _, e := range p.entries {
+		if e.Req.K > out.K {
+			out.K = e.Req.K
+		}
+		if e.Req.MinArea > out.MinArea {
+			out.MinArea = e.Req.MinArea
+		}
+		if m := e.Req.EffectiveMaxArea(); m < out.MaxArea {
+			out.MaxArea = m
+		}
+	}
+	return out, nil
+}
+
+// Coverage returns the number of minutes of the day covered by at least one
+// entry (0..1440). Full coverage means the user always has a requirement.
+func (p *Profile) Coverage() int {
+	covered := 0
+	for m := 0; m < 24*60; m++ {
+		for _, e := range p.entries {
+			if e.covers(m) {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}
+
+// Timeline returns the day partitioned into maximal runs of identical
+// effective requirements, sorted by start minute. Minutes with no entry are
+// reported with OK=false. It is used by the profile-resolution experiment
+// (Figure 2) and by the anonymizer's profile cache.
+type TimelineSegment struct {
+	From, To int // [From, To) in minutes since midnight
+	Req      Requirement
+	OK       bool // false when no entry covers the segment
+}
+
+// Timeline computes the segments. The result always covers [0,1440).
+func (p *Profile) Timeline() []TimelineSegment {
+	type state struct {
+		req Requirement
+		ok  bool
+	}
+	at := func(m int) state {
+		r, err := p.AtMinute(m)
+		return state{req: r, ok: err == nil}
+	}
+	var segs []TimelineSegment
+	cur := at(0)
+	start := 0
+	for m := 1; m < 24*60; m++ {
+		s := at(m)
+		if s != cur {
+			segs = append(segs, TimelineSegment{From: start, To: m, Req: cur.req, OK: cur.ok})
+			cur, start = s, m
+		}
+	}
+	segs = append(segs, TimelineSegment{From: start, To: 24 * 60, Req: cur.req, OK: cur.ok})
+	sort.Slice(segs, func(i, j int) bool { return segs[i].From < segs[j].From })
+	return segs
+}
+
+// PaperExample returns the profile of Figure 2 in the paper:
+//
+//	8:00 AM – 5:00 PM   k=1                      (reveal exact location)
+//	5:00 PM – 10:00 PM  k=100,  Amin=1,  Amax=3  (balanced trade-off)
+//	10:00 PM – 8:00 AM  k=1000, Amin=5, Amax=∞   (very restrictive)
+//
+// Areas are in the paper's "square miles" spirit; callers using the unit
+// square should scale with ScaleAreas.
+func PaperExample() *Profile {
+	return MustProfile(
+		Entry{From: 8 * 60, To: 17 * 60, Req: Requirement{K: 1}},
+		Entry{From: 17 * 60, To: 22 * 60, Req: Requirement{K: 100, MinArea: 1, MaxArea: 3}},
+		Entry{From: 22 * 60, To: 8 * 60, Req: Requirement{K: 1000, MinArea: 5}},
+	)
+}
+
+// ScaleAreas returns a copy of the profile with all area constraints
+// multiplied by f, converting between coordinate systems.
+func (p *Profile) ScaleAreas(f float64) *Profile {
+	out := &Profile{entries: make([]Entry, len(p.entries))}
+	for i, e := range p.entries {
+		e.Req.MinArea *= f
+		if e.Req.MaxArea != 0 && !math.IsInf(e.Req.MaxArea, 1) {
+			e.Req.MaxArea *= f
+		}
+		out.entries[i] = e
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package prob implements the probabilistic answer machinery of Section
+// 6.2.2 (Figure 6): public queries over private (cloaked) data return
+// answers as expected values, intervals, or full probability density
+// functions, under the paper's stated assumption that the exact location is
+// uniformly distributed inside its cloaked region.
+//
+// The range-count PDF is the Poisson–binomial distribution of the per-user
+// overlap probabilities, computed exactly by dynamic programming. The
+// nearest-neighbor probabilities over regions have no convenient closed
+// form, so they are estimated by seeded Monte-Carlo sampling (the ablation
+// bench quantifies the cost/accuracy trade-off against the DP's exactness).
+package prob
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Overlap returns P(user ∈ query) for a user uniformly distributed in
+// region: the ratio of the overlapped area to the region area (Figure 6a).
+// A degenerate (point) region yields 0 or 1.
+func Overlap(region, query geo.Rect) float64 {
+	a := region.Area()
+	if a == 0 {
+		if query.Contains(region.Min) {
+			return 1
+		}
+		return 0
+	}
+	return region.OverlapArea(query) / a
+}
+
+// CountAnswer is the paper's three answer formats for a probabilistic
+// range count, bundled: the absolute (expected) value, the interval
+// [Lo, Hi], and the PDF over possible counts (PDF[i] = P(count = i)).
+type CountAnswer struct {
+	Expected float64
+	Lo, Hi   int
+	PDF      []float64
+}
+
+// String implements fmt.Stringer.
+func (a CountAnswer) String() string {
+	return fmt.Sprintf("E=%.3f range=[%d,%d]", a.Expected, a.Lo, a.Hi)
+}
+
+// Mean returns the mean of the PDF; it equals Expected up to rounding and
+// is used as a self-check.
+func (a CountAnswer) Mean() float64 {
+	m := 0.0
+	for i, p := range a.PDF {
+		m += float64(i) * p
+	}
+	return m
+}
+
+// Mode returns the most likely count.
+func (a CountAnswer) Mode() int {
+	best, bestP := 0, -1.0
+	for i, p := range a.PDF {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// ProbAtLeast returns P(count ≥ n).
+func (a CountAnswer) ProbAtLeast(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	s := 0.0
+	for i := n; i < len(a.PDF); i++ {
+		s += a.PDF[i]
+	}
+	return s
+}
+
+// RangeCount combines per-user inclusion probabilities into a CountAnswer.
+// Probabilities outside [0,1] are clamped.
+func RangeCount(probs []float64) CountAnswer {
+	var ans CountAnswer
+	clamped := make([]float64, 0, len(probs))
+	for _, p := range probs {
+		if math.IsNaN(p) {
+			p = 0
+		}
+		p = math.Min(math.Max(p, 0), 1)
+		if p == 0 {
+			continue // zero-probability users affect nothing
+		}
+		clamped = append(clamped, p)
+		ans.Expected += p
+		if p == 1 {
+			ans.Lo++
+		}
+		ans.Hi++
+	}
+	ans.PDF = PoissonBinomial(clamped)
+	return ans
+}
+
+// PoissonBinomial returns the exact distribution of the number of
+// successes among independent Bernoulli trials with the given success
+// probabilities: out[i] = P(i successes). The DP is O(n²) time, O(n) space.
+func PoissonBinomial(probs []float64) []float64 {
+	pdf := make([]float64, 1, len(probs)+1)
+	pdf[0] = 1
+	for _, p := range probs {
+		pdf = append(pdf, 0)
+		for j := len(pdf) - 1; j >= 1; j-- {
+			pdf[j] = pdf[j]*(1-p) + pdf[j-1]*p
+		}
+		pdf[0] *= 1 - p
+	}
+	return pdf
+}
+
+// Candidate is a region-cloaked user entering a probabilistic NN query.
+type Candidate struct {
+	ID     uint64
+	Region geo.Rect
+}
+
+// NNProb holds the estimated probability that a candidate is the nearest
+// user to the query point.
+type NNProb struct {
+	ID   uint64
+	Prob float64
+}
+
+// NNProbabilities estimates, for each candidate, the probability that she
+// is the nearest user to q, assuming each user is independently uniform in
+// her region (Figure 6b). samples Monte-Carlo rounds are drawn from a
+// stream seeded with seed, so results are reproducible. Ties (measure-zero
+// under continuous positions, but possible with degenerate regions) are
+// credited to the earliest candidate.
+func NNProbabilities(q geo.Point, cands []Candidate, samples int, seed uint64) []NNProb {
+	out := make([]NNProb, len(cands))
+	for i, c := range cands {
+		out[i].ID = c.ID
+	}
+	if len(cands) == 0 || samples <= 0 {
+		return out
+	}
+	src := rng.New(seed)
+	wins := make([]int, len(cands))
+	for s := 0; s < samples; s++ {
+		best := -1
+		bestD := math.Inf(1)
+		for i, c := range cands {
+			p := samplePoint(c.Region, src)
+			// The explicit best==-1 arm keeps the round well-defined even
+			// when every distance overflows to +Inf (a query point at the
+			// float range edge): the first candidate wins the tie.
+			if d := q.Dist2(p); best == -1 || d < bestD {
+				bestD = d
+				best = i
+			}
+		}
+		wins[best]++
+	}
+	for i := range out {
+		out[i].Prob = float64(wins[i]) / float64(samples)
+	}
+	return out
+}
+
+// samplePoint draws a uniform point from a rectangle.
+func samplePoint(r geo.Rect, src *rng.Source) geo.Point {
+	return geo.Pt(src.Range(r.Min.X, r.Max.X), src.Range(r.Min.Y, r.Max.Y))
+}
+
+// Best returns the candidate with the highest probability (the paper's
+// "only one object with the highest probability" answer format) and false
+// when the slice is empty.
+func Best(probs []NNProb) (NNProb, bool) {
+	if len(probs) == 0 {
+		return NNProb{}, false
+	}
+	best := probs[0]
+	for _, p := range probs[1:] {
+		if p.Prob > best.Prob {
+			best = p
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,260 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func TestOverlap(t *testing.T) {
+	region := geo.R(0, 0, 2, 2)
+	cases := []struct {
+		query geo.Rect
+		want  float64
+	}{
+		{geo.R(0, 0, 2, 2), 1},            // full overlap
+		{geo.R(0, 0, 1, 2), 0.5},          // half
+		{geo.R(0, 0, 1, 1), 0.25},         // quarter
+		{geo.R(5, 5, 6, 6), 0},            // disjoint
+		{geo.R(-1, -1, 3, 3), 1},          // query contains region
+		{geo.R(1, 1, 1.5, 1.5), 1.0 / 16}, // interior sliver
+	}
+	for _, c := range cases {
+		if got := Overlap(region, c.query); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Overlap(%v) = %v, want %v", c.query, got, c.want)
+		}
+	}
+}
+
+func TestOverlapDegenerateRegion(t *testing.T) {
+	pt := geo.PointRect(geo.Pt(1, 1))
+	if got := Overlap(pt, geo.R(0, 0, 2, 2)); got != 1 {
+		t.Errorf("point inside query = %v, want 1", got)
+	}
+	if got := Overlap(pt, geo.R(5, 5, 6, 6)); got != 0 {
+		t.Errorf("point outside query = %v, want 0", got)
+	}
+}
+
+func TestPoissonBinomialKnownValues(t *testing.T) {
+	// Two fair coins: P = [0.25, 0.5, 0.25].
+	pdf := PoissonBinomial([]float64{0.5, 0.5})
+	want := []float64{0.25, 0.5, 0.25}
+	for i := range want {
+		if math.Abs(pdf[i]-want[i]) > 1e-12 {
+			t.Errorf("pdf[%d] = %v, want %v", i, pdf[i], want[i])
+		}
+	}
+	// Certain events shift the distribution.
+	pdf = PoissonBinomial([]float64{1, 1, 0.5})
+	if math.Abs(pdf[2]-0.5) > 1e-12 || math.Abs(pdf[3]-0.5) > 1e-12 {
+		t.Errorf("pdf with certainties = %v", pdf)
+	}
+	// Empty input: P(0 successes) = 1.
+	pdf = PoissonBinomial(nil)
+	if len(pdf) != 1 || pdf[0] != 1 {
+		t.Errorf("empty pdf = %v", pdf)
+	}
+}
+
+// The paper's Figure 6a worked example: probabilities 1, .75, .5, .2, .25
+// must give expected value 2.7 and interval [1, 5].
+func TestPaperFigure6aExample(t *testing.T) {
+	ans := RangeCount([]float64{1, 0.75, 0.5, 0.2, 0.25, 0})
+	if math.Abs(ans.Expected-2.7) > 1e-12 {
+		t.Errorf("Expected = %v, want 2.7", ans.Expected)
+	}
+	if ans.Lo != 1 || ans.Hi != 5 {
+		t.Errorf("interval = [%d,%d], want [1,5]", ans.Lo, ans.Hi)
+	}
+	if math.Abs(ans.Mean()-2.7) > 1e-9 {
+		t.Errorf("PDF mean = %v, want 2.7", ans.Mean())
+	}
+	// PDF sums to 1 and P(count=0) = 0 because one user is certain.
+	sum := 0.0
+	for _, p := range ans.PDF {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PDF sum = %v", sum)
+	}
+	if ans.PDF[0] != 0 {
+		t.Errorf("P(0) = %v, want 0", ans.PDF[0])
+	}
+	if ans.ProbAtLeast(1) < 1-1e-9 {
+		t.Errorf("P(≥1) = %v, want 1", ans.ProbAtLeast(1))
+	}
+	if ans.ProbAtLeast(6) != 0 {
+		t.Errorf("P(≥6) = %v, want 0", ans.ProbAtLeast(6))
+	}
+}
+
+func TestRangeCountClamping(t *testing.T) {
+	ans := RangeCount([]float64{-0.5, 1.5, math.NaN(), 0.5})
+	// -0.5 -> 0 (dropped), 1.5 -> 1, NaN -> 0 (dropped), 0.5 stays.
+	if ans.Lo != 1 || ans.Hi != 2 {
+		t.Errorf("clamped interval = [%d,%d], want [1,2]", ans.Lo, ans.Hi)
+	}
+	if math.Abs(ans.Expected-1.5) > 1e-12 {
+		t.Errorf("clamped Expected = %v, want 1.5", ans.Expected)
+	}
+}
+
+func TestCountAnswerMode(t *testing.T) {
+	ans := RangeCount([]float64{0.9, 0.9, 0.9})
+	if ans.Mode() != 3 {
+		t.Errorf("Mode = %d, want 3", ans.Mode())
+	}
+	if ans.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCountAnswerProbAtLeastNegative(t *testing.T) {
+	ans := RangeCount([]float64{0.5})
+	if got := ans.ProbAtLeast(-3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ProbAtLeast(-3) = %v, want 1", got)
+	}
+}
+
+// Property: for random probability vectors the PDF sums to 1, its mean
+// equals the expected value, and [Lo,Hi] brackets the support.
+func TestPropRangeCountConsistency(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		probs := make([]float64, len(raw))
+		for i, r := range raw {
+			probs[i] = float64(r) / 255
+		}
+		ans := RangeCount(probs)
+		sum := 0.0
+		for _, p := range ans.PDF {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		if math.Abs(ans.Mean()-ans.Expected) > 1e-6 {
+			return false
+		}
+		// Support within [Lo, Hi]: P(count < Lo) = P(count > Hi) = 0.
+		for i := 0; i < ans.Lo && i < len(ans.PDF); i++ {
+			if ans.PDF[i] > 1e-12 {
+				return false
+			}
+		}
+		for i := ans.Hi + 1; i < len(ans.PDF); i++ {
+			if ans.PDF[i] > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNNProbabilitiesDeterministic(t *testing.T) {
+	q := geo.Pt(0, 0)
+	cands := []Candidate{
+		{ID: 1, Region: geo.R(0.1, 0.1, 0.3, 0.3)},
+		{ID: 2, Region: geo.R(0.5, 0.5, 0.9, 0.9)},
+	}
+	a := NNProbabilities(q, cands, 2000, 7)
+	b := NNProbabilities(q, cands, 2000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different estimates")
+		}
+	}
+}
+
+func TestNNProbabilitiesDominance(t *testing.T) {
+	q := geo.Pt(0, 0)
+	// Candidate 1 is strictly closer than candidate 2 everywhere.
+	cands := []Candidate{
+		{ID: 1, Region: geo.R(0.1, 0.1, 0.2, 0.2)},
+		{ID: 2, Region: geo.R(0.8, 0.8, 0.9, 0.9)},
+	}
+	probs := NNProbabilities(q, cands, 5000, 3)
+	if probs[0].Prob != 1 || probs[1].Prob != 0 {
+		t.Errorf("dominated candidate got probability: %v", probs)
+	}
+	best, ok := Best(probs)
+	if !ok || best.ID != 1 {
+		t.Errorf("Best = %v, %v", best, ok)
+	}
+}
+
+func TestNNProbabilitiesSymmetric(t *testing.T) {
+	q := geo.Pt(0.5, 0)
+	// Two candidates mirror-symmetric about x=0.5: each should win ≈ half.
+	cands := []Candidate{
+		{ID: 1, Region: geo.R(0.0, 0.5, 0.4, 0.9)},
+		{ID: 2, Region: geo.R(0.6, 0.5, 1.0, 0.9)},
+	}
+	probs := NNProbabilities(q, cands, 40000, 11)
+	sum := probs[0].Prob + probs[1].Prob
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	if math.Abs(probs[0].Prob-0.5) > 0.02 {
+		t.Errorf("symmetric candidates: P1 = %v, want ≈0.5", probs[0].Prob)
+	}
+}
+
+func TestNNProbabilitiesEdgeCases(t *testing.T) {
+	if got := NNProbabilities(geo.Pt(0, 0), nil, 100, 1); len(got) != 0 {
+		t.Error("empty candidates")
+	}
+	cands := []Candidate{{ID: 1, Region: geo.PointRect(geo.Pt(0.5, 0.5))}}
+	got := NNProbabilities(geo.Pt(0, 0), cands, 0, 1)
+	if len(got) != 1 || got[0].Prob != 0 {
+		t.Errorf("zero samples should yield zero probs: %v", got)
+	}
+	if _, ok := Best(nil); ok {
+		t.Error("Best of empty reported ok")
+	}
+}
+
+func TestNNProbabilitiesDegenerateRegions(t *testing.T) {
+	// Exact-location users (k=1 cloaks) work: closest point region wins.
+	q := geo.Pt(0, 0)
+	cands := []Candidate{
+		{ID: 1, Region: geo.PointRect(geo.Pt(0.2, 0.2))},
+		{ID: 2, Region: geo.PointRect(geo.Pt(0.7, 0.7))},
+	}
+	probs := NNProbabilities(q, cands, 100, 5)
+	if probs[0].Prob != 1 || probs[1].Prob != 0 {
+		t.Errorf("degenerate regions: %v", probs)
+	}
+}
+
+func BenchmarkPoissonBinomial100(b *testing.B) {
+	probs := make([]float64, 100)
+	for i := range probs {
+		probs[i] = float64(i%10) / 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PoissonBinomial(probs)
+	}
+}
+
+func BenchmarkNNProbabilities(b *testing.B) {
+	q := geo.Pt(0.5, 0.5)
+	cands := make([]Candidate, 20)
+	for i := range cands {
+		f := float64(i) / 20
+		cands[i] = Candidate{ID: uint64(i + 1), Region: geo.R(f, f, f+0.1, f+0.1)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NNProbabilities(q, cands, 1000, 1)
+	}
+}

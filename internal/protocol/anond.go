@@ -1,0 +1,291 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/anonymizer"
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/privacy"
+	"repro/internal/prob"
+)
+
+func probNN(id uint64, p float64) prob.NNProb { return prob.NNProb{ID: id, Prob: p} }
+
+// ServeAnonymizer exposes an anonymizer.Anonymizer over TCP — the endpoint
+// mobile users send their exact locations and privacy profiles to.
+func ServeAnonymizer(addr string, anon *anonymizer.Anonymizer, logf func(string, ...interface{})) (*Service, error) {
+	h := &anonHandler{anon: anon}
+	return Serve(addr, h.handle, logf)
+}
+
+type anonHandler struct {
+	anon *anonymizer.Anonymizer
+}
+
+func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
+	d := NewDecoder(payload)
+	switch typ {
+	case MsgRegister:
+		id := d.U64()
+		profile, err := decodeProfile(d)
+		if err != nil {
+			return nil, err
+		}
+		return nil, h.anon.Register(id, profile)
+
+	case MsgUpdate, MsgCloakQuery:
+		id := d.U64()
+		loc := d.Point()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		var res cloak.Result
+		var err error
+		if typ == MsgUpdate {
+			res, err = h.anon.Update(id, loc)
+		} else {
+			res, err = h.anon.CloakQuery(id, loc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return encodeResult(res), nil
+
+	case MsgBatchUpdate:
+		n := int(d.U32())
+		reqs := make([]cloak.Request, 0, capHint(n, 24, d))
+		for i := 0; i < n && d.Err() == nil; i++ {
+			reqs = append(reqs, cloak.Request{ID: d.U64(), Loc: d.Point()})
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		results := h.anon.BatchUpdate(reqs)
+		var e Encoder
+		e.U32(uint32(len(results)))
+		for _, res := range results {
+			if res == nil {
+				e.U8(0)
+				continue
+			}
+			e.U8(1)
+			e.buf = append(e.buf, encodeResult(*res)...)
+		}
+		return e.Bytes(), nil
+
+	case MsgDeregister:
+		id := d.U64()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		h.anon.Deregister(id)
+		return nil, nil
+
+	case MsgAnonStats:
+		st := h.anon.Stats()
+		var e Encoder
+		e.U32(uint32(st.Registered))
+		e.U64(st.Updates).U64(st.Queries).U64(st.Reused)
+		e.U64(st.BestEffort).U64(st.Forwarded).U64(st.ForwardErrs)
+		return e.Bytes(), nil
+
+	case MsgSetMode:
+		id := d.U64()
+		mode := privacy.Mode(d.U8())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, h.anon.SetMode(id, mode)
+
+	default:
+		return nil, fmt.Errorf("protocol: anonymizer service: unknown message type %d", typ)
+	}
+}
+
+// encodeProfile flattens a profile into entries.
+func encodeProfile(e *Encoder, p *privacy.Profile) {
+	entries := p.Entries()
+	e.U16(uint16(len(entries)))
+	for _, en := range entries {
+		e.U16(uint16(en.From)).U16(uint16(en.To))
+		e.U32(uint32(en.Req.K))
+		e.F64(en.Req.MinArea)
+		// +Inf survives the float64 round trip, so "unconstrained" encodings
+		// are preserved exactly.
+		e.F64(en.Req.MaxArea)
+	}
+}
+
+func decodeProfile(d *Decoder) (*privacy.Profile, error) {
+	n := int(d.U16())
+	entries := make([]privacy.Entry, 0, capHint(n, 24, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		entries = append(entries, privacy.Entry{
+			From: int(d.U16()),
+			To:   int(d.U16()),
+			Req: privacy.Requirement{
+				K:       int(d.U32()),
+				MinArea: d.F64(),
+				MaxArea: d.F64(),
+			},
+		})
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return privacy.NewProfile(entries...)
+}
+
+// Result flags on the wire.
+const (
+	flagK       = 1 << 0
+	flagMinArea = 1 << 1
+	flagMaxArea = 1 << 2
+	flagReused  = 1 << 3
+)
+
+func encodeResult(res cloak.Result) []byte {
+	var e Encoder
+	e.Rect(res.Region)
+	e.U32(uint32(res.K))
+	var flags byte
+	if res.SatisfiedK {
+		flags |= flagK
+	}
+	if res.SatisfiedMinArea {
+		flags |= flagMinArea
+	}
+	if res.SatisfiedMaxArea {
+		flags |= flagMaxArea
+	}
+	if res.Reused {
+		flags |= flagReused
+	}
+	e.U8(flags)
+	return e.Bytes()
+}
+
+func decodeResult(d *Decoder) cloak.Result {
+	res := cloak.Result{
+		Region: d.Rect(),
+		K:      int(d.U32()),
+	}
+	flags := d.U8()
+	res.SatisfiedK = flags&flagK != 0
+	res.SatisfiedMinArea = flags&flagMinArea != 0
+	res.SatisfiedMaxArea = flags&flagMaxArea != 0
+	res.Reused = flags&flagReused != 0
+	return res
+}
+
+// AnonymizerClient is the mobile user's connection to the trusted third
+// party.
+type AnonymizerClient struct {
+	c *Client
+}
+
+// DialAnonymizer connects to an anonymizer service.
+func DialAnonymizer(addr string) (*AnonymizerClient, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &AnonymizerClient{c: c}, nil
+}
+
+// Close closes the connection.
+func (ac *AnonymizerClient) Close() error { return ac.c.Close() }
+
+// Register sends the privacy profile.
+func (ac *AnonymizerClient) Register(id uint64, profile *privacy.Profile) error {
+	var e Encoder
+	e.U64(id)
+	encodeProfile(&e, profile)
+	_, err := ac.c.Call(MsgRegister, e.Bytes())
+	return err
+}
+
+// Update reports an exact location and returns the cloaking result.
+func (ac *AnonymizerClient) Update(id uint64, loc geo.Point) (cloak.Result, error) {
+	return ac.locCall(MsgUpdate, id, loc)
+}
+
+// CloakQuery cloaks a location for an upcoming query.
+func (ac *AnonymizerClient) CloakQuery(id uint64, loc geo.Point) (cloak.Result, error) {
+	return ac.locCall(MsgCloakQuery, id, loc)
+}
+
+func (ac *AnonymizerClient) locCall(typ byte, id uint64, loc geo.Point) (cloak.Result, error) {
+	var e Encoder
+	e.U64(id).Point(loc)
+	resp, err := ac.c.Call(typ, e.Bytes())
+	if err != nil {
+		return cloak.Result{}, err
+	}
+	d := NewDecoder(resp)
+	res := decodeResult(d)
+	return res, d.Err()
+}
+
+// BatchUpdate reports many exact locations in one round trip. The returned
+// slice parallels the input; nil entries mark updates the anonymizer
+// rejected (unknown user, passive mode, out-of-world location).
+func (ac *AnonymizerClient) BatchUpdate(reqs []cloak.Request) ([]*cloak.Result, error) {
+	var e Encoder
+	e.U32(uint32(len(reqs)))
+	for _, r := range reqs {
+		e.U64(r.ID).Point(r.Loc)
+	}
+	resp, err := ac.c.Call(MsgBatchUpdate, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := NewDecoder(resp)
+	n := int(d.U32())
+	out := make([]*cloak.Result, 0, capHint(n, 1, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		if d.U8() == 0 {
+			out = append(out, nil)
+			continue
+		}
+		res := decodeResult(d)
+		out = append(out, &res)
+	}
+	return out, d.Err()
+}
+
+// Deregister removes the user.
+func (ac *AnonymizerClient) Deregister(id uint64) error {
+	var e Encoder
+	e.U64(id)
+	_, err := ac.c.Call(MsgDeregister, e.Bytes())
+	return err
+}
+
+// Stats reads the anonymizer's activity counters.
+func (ac *AnonymizerClient) Stats() (anonymizer.Stats, error) {
+	resp, err := ac.c.Call(MsgAnonStats, nil)
+	if err != nil {
+		return anonymizer.Stats{}, err
+	}
+	d := NewDecoder(resp)
+	st := anonymizer.Stats{
+		Registered:  int(d.U32()),
+		Updates:     d.U64(),
+		Queries:     d.U64(),
+		Reused:      d.U64(),
+		BestEffort:  d.U64(),
+		Forwarded:   d.U64(),
+		ForwardErrs: d.U64(),
+	}
+	return st, d.Err()
+}
+
+// SetMode switches the user's participation mode.
+func (ac *AnonymizerClient) SetMode(id uint64, m privacy.Mode) error {
+	var e Encoder
+	e.U64(id).U8(byte(m))
+	_, err := ac.c.Call(MsgSetMode, e.Bytes())
+	return err
+}

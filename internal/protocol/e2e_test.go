@@ -1,0 +1,385 @@
+package protocol
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/anonymizer"
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/server"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func quiet(string, ...interface{}) {}
+
+// threeTier brings up the full Figure 1 deployment over loopback TCP:
+// database service, anonymizer service forwarding to it through a
+// DatabaseClient, and clients for both.
+func threeTier(t *testing.T) (*AnonymizerClient, *DatabaseClient, func()) {
+	t.Helper()
+	srv, err := server.New(server.Config{World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbSvc, err := ServeDatabase("127.0.0.1:0", srv, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdClient, err := DialDatabase(dbSvc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := anonymizer.New(anonymizer.Config{
+		World:   world,
+		Forward: fwdClient.UpdatePrivate,
+		Clock:   func() time.Time { return time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonSvc, err := ServeAnonymizer("127.0.0.1:0", anon, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userClient, err := DialAnonymizer(anonSvc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminClient, err := DialDatabase(dbSvc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		userClient.Close()
+		adminClient.Close()
+		fwdClient.Close()
+		anonSvc.Close()
+		dbSvc.Close()
+	}
+	return userClient, adminClient, cleanup
+}
+
+func TestEndToEndThreeTier(t *testing.T) {
+	user, admin, cleanup := threeTier(t)
+	defer cleanup()
+
+	// Load public data through the admin connection.
+	pois, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 500, World: world, Dist: mobility.Uniform, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]server.PublicObject, len(pois))
+	for i, p := range pois {
+		objs[i] = server.PublicObject{ID: uint64(i + 1), Class: "gas", Loc: p}
+	}
+	if err := admin.LoadStationary(objs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register mobile users and stream location updates through the
+	// anonymizer.
+	userPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 300, World: world, Dist: mobility.Uniform, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := privacy.Constant(privacy.Requirement{K: 10})
+	for i, p := range userPts {
+		id := uint64(i + 1)
+		if err := user.Register(id, prof); err != nil {
+			t.Fatal(err)
+		}
+		res, err := user.Update(id, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Region.Contains(p) {
+			t.Fatalf("cloaked region excludes user %d", id)
+		}
+		if !res.SatisfiedK && i >= 10 {
+			t.Fatalf("k unsatisfied for user %d with population %d", id, i+1)
+		}
+	}
+
+	// The server now tracks everyone.
+	stationary, private, err := admin.Stats()
+	if err != nil || stationary != 500 || private != 300 {
+		t.Fatalf("Stats = %d, %d, %v", stationary, private, err)
+	}
+
+	// Private NN query end to end: cloak, query, refine, verify vs brute.
+	uid := uint64(42)
+	loc := userPts[uid-1]
+	cres, err := user.CloakQuery(uid, loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := admin.PrivateNN(server.PrivateNNQuery{Region: cres.Region, Class: "gas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, ok := server.RefineNN(loc, nn.Candidates)
+	if !ok {
+		t.Fatal("no NN candidates")
+	}
+	bestD := math.Inf(1)
+	for _, p := range pois {
+		if d := loc.Dist2(p); d < bestD {
+			bestD = d
+		}
+	}
+	if loc.Dist2(ans.Loc) != bestD {
+		t.Fatal("refined networked NN is not the true NN")
+	}
+
+	// Private range query end to end.
+	cands, err := admin.PrivateRange(server.PrivateRangeQuery{
+		Region: cres.Region, Radius: 0.1, Class: "gas",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := server.RefineRange(loc, 0.1, cands)
+	want := 0
+	for _, p := range pois {
+		if loc.Dist(p) <= 0.1 {
+			want++
+		}
+	}
+	if len(refined) != want {
+		t.Fatalf("networked range: %d, brute %d", len(refined), want)
+	}
+
+	// Public probabilistic count.
+	area := geo.R(0.25, 0.25, 0.75, 0.75)
+	cnt, err := admin.PublicCount(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0
+	for _, p := range userPts {
+		if area.Contains(p) {
+			truth++
+		}
+	}
+	if truth < cnt.Answer.Lo || truth > cnt.Answer.Hi {
+		t.Fatalf("networked count interval [%d,%d] misses %d", cnt.Answer.Lo, cnt.Answer.Hi, truth)
+	}
+	if len(cnt.Answer.PDF) == 0 {
+		t.Fatal("PDF not transferred")
+	}
+
+	// Public NN (e-coupon).
+	pnn, err := admin.PublicNN(server.PublicNNQuery{From: geo.Pt(0.5, 0.5), Samples: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pnn.Candidates) == 0 || pnn.Best.ID == 0 {
+		t.Fatalf("networked public NN = %+v", pnn)
+	}
+	sum := 0.0
+	for _, c := range pnn.Candidates {
+		sum += c.Prob
+		if _, ok := pnn.CandidateRegions[c.ID]; !ok {
+			t.Fatal("candidate region missing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("networked NN probabilities sum to %v", sum)
+	}
+
+	// Mode switching and deregistration over the wire.
+	if err := user.SetMode(uid, privacy.Passive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.Update(uid, loc); !errors.Is(err, ErrRemote) {
+		t.Fatalf("passive update should fail remotely: %v", err)
+	}
+	if err := user.Deregister(uid); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.RemovePrivate(uid); err != nil {
+		t.Fatal(err)
+	}
+	_, private, _ = admin.Stats()
+	if private != 299 {
+		t.Fatalf("private count after removal = %d", private)
+	}
+}
+
+func TestEndToEndErrorPropagation(t *testing.T) {
+	user, admin, cleanup := threeTier(t)
+	defer cleanup()
+	// Update for unknown user: remote error.
+	if _, err := user.Update(77, geo.Pt(0.5, 0.5)); !errors.Is(err, ErrRemote) {
+		t.Errorf("unknown user update = %v", err)
+	}
+	// Invalid query region: remote error.
+	if _, err := admin.PrivateNN(server.PrivateNNQuery{
+		Region: geo.Rect{Min: geo.Pt(1, 1), Max: geo.Pt(0, 0)},
+	}); !errors.Is(err, ErrRemote) {
+		t.Errorf("invalid region query = %v", err)
+	}
+}
+
+func BenchmarkEndToEndUpdate(b *testing.B) {
+	srv, _ := server.New(server.Config{World: world})
+	dbSvc, err := ServeDatabase("127.0.0.1:0", srv, quiet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dbSvc.Close()
+	fwd, _ := DialDatabase(dbSvc.Addr())
+	defer fwd.Close()
+	anon, _ := anonymizer.New(anonymizer.Config{World: world, Forward: fwd.UpdatePrivate})
+	anonSvc, err := ServeAnonymizer("127.0.0.1:0", anon, quiet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer anonSvc.Close()
+	user, _ := DialAnonymizer(anonSvc.Addr())
+	defer user.Close()
+
+	prof := privacy.Constant(privacy.Requirement{K: 5})
+	pts, _ := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 1000, World: world, Dist: mobility.Uniform, Seed: 1,
+	})
+	for i := range pts {
+		user.Register(uint64(i+1), prof)
+		user.Update(uint64(i+1), pts[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i%1000) + 1
+		if _, err := user.Update(id, pts[id-1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestContinuousCountOverTheWire(t *testing.T) {
+	user, admin, cleanup := threeTier(t)
+	defer cleanup()
+
+	prof := privacy.Constant(privacy.Requirement{K: 1})
+	if err := user.Register(1, prof); err != nil {
+		t.Fatal(err)
+	}
+
+	area := geo.R(0.2, 0.2, 0.6, 0.6)
+	qid, err := admin.RegisterContinuousCount(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := admin.ContinuousCount(qid)
+	if err != nil || ans.Hi != 0 {
+		t.Fatalf("initial answer = %+v, %v", ans, err)
+	}
+	// The user enters the monitored area (k=1: degenerate region inside).
+	if _, err := user.Update(1, geo.Pt(0.4, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	ans, err = admin.ContinuousCount(qid)
+	if err != nil || ans.Lo != 1 || ans.Hi != 1 {
+		t.Fatalf("after enter = %+v, %v", ans, err)
+	}
+	// She leaves.
+	if _, err := user.Update(1, geo.Pt(0.9, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	ans, err = admin.ContinuousCount(qid)
+	if err != nil || ans.Hi != 0 {
+		t.Fatalf("after leave = %+v, %v", ans, err)
+	}
+	if err := admin.UnregisterContinuousCount(qid); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.UnregisterContinuousCount(qid); !errors.Is(err, ErrRemote) {
+		t.Fatalf("double unregister = %v", err)
+	}
+	if _, err := admin.ContinuousCount(qid); !errors.Is(err, ErrRemote) {
+		t.Fatalf("read after unregister = %v", err)
+	}
+	// Moving public objects over the wire.
+	if err := admin.UpdateMoving(500, geo.Pt(0.3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.UpdateMoving(500, geo.Pt(5, 5)); !errors.Is(err, ErrRemote) {
+		t.Fatalf("out-of-world moving update = %v", err)
+	}
+}
+
+func TestBatchUpdateOverTheWire(t *testing.T) {
+	user, admin, cleanup := threeTier(t)
+	defer cleanup()
+
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 200, World: world, Dist: mobility.Gaussian, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := privacy.Constant(privacy.Requirement{K: 10})
+	reqs := make([]cloak.Request, len(pts))
+	for i, p := range pts {
+		id := uint64(i + 1)
+		if err := user.Register(id, prof); err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = cloak.Request{ID: id, Loc: p}
+	}
+	// One entry is bogus (unknown user) and must come back nil.
+	reqs = append(reqs, cloak.Request{ID: 9999, Loc: geo.Pt(0.5, 0.5)})
+
+	results, err := user.BatchUpdate(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i := 0; i < len(pts); i++ {
+		if results[i] == nil {
+			t.Fatalf("valid request %d returned nil", i)
+		}
+		if !results[i].Region.Contains(pts[i]) {
+			t.Fatalf("batch region %d excludes the user", i)
+		}
+	}
+	if results[len(results)-1] != nil {
+		t.Fatal("bogus request did not return nil")
+	}
+	// The server received everyone.
+	_, private, err := admin.Stats()
+	if err != nil || private != len(pts) {
+		t.Fatalf("server tracks %d users, want %d (%v)", private, len(pts), err)
+	}
+}
+
+func TestAnonStatsOverTheWire(t *testing.T) {
+	user, _, cleanup := threeTier(t)
+	defer cleanup()
+	prof := privacy.Constant(privacy.Requirement{K: 1})
+	user.Register(1, prof)
+	user.Update(1, geo.Pt(0.5, 0.5))
+	user.CloakQuery(1, geo.Pt(0.5, 0.5))
+	st, err := user.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registered != 1 || st.Updates != 1 || st.Queries != 1 {
+		t.Errorf("wire stats = %+v", st)
+	}
+	if st.Forwarded != 2 {
+		t.Errorf("Forwarded = %d, want 2 (update + cloak query)", st.Forwarded)
+	}
+}

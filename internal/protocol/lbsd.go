@@ -1,0 +1,395 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/server"
+)
+
+// ServeDatabase exposes a server.Server over TCP. The service accepts only
+// region-typed private updates — exactly the paper's trust boundary.
+func ServeDatabase(addr string, srv *server.Server, logf func(string, ...interface{})) (*Service, error) {
+	h := &dbHandler{srv: srv}
+	return Serve(addr, h.handle, logf)
+}
+
+type dbHandler struct {
+	srv *server.Server
+}
+
+func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
+	d := NewDecoder(payload)
+	switch typ {
+	case MsgUpdatePrivate:
+		id := d.U64()
+		region := d.Rect()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, h.srv.UpdatePrivate(id, region)
+
+	case MsgRemovePrivate:
+		id := d.U64()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		h.srv.RemovePrivate(id)
+		return nil, nil
+
+	case MsgLoadStationary:
+		n := int(d.U32())
+		// Each object needs ≥ 26 bytes on the wire; cap both the loop and
+		// the preallocation so a forged count cannot balloon memory.
+		objs := make([]server.PublicObject, 0, capHint(n, 26, d))
+		for i := 0; i < n && d.Err() == nil; i++ {
+			objs = append(objs, server.PublicObject{
+				ID:    d.U64(),
+				Class: d.Str(),
+				Loc:   d.Point(),
+			})
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, h.srv.LoadStationary(objs)
+
+	case MsgPrivateRange:
+		q := server.PrivateRangeQuery{
+			Region: d.Rect(),
+			Radius: d.F64(),
+			Class:  d.Str(),
+			Mode:   server.RangeMode(d.U8()),
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		objs, err := h.srv.PrivateRange(q)
+		if err != nil {
+			return nil, err
+		}
+		return encodeObjects(objs), nil
+
+	case MsgPrivateNN:
+		q := server.PrivateNNQuery{Region: d.Rect(), Class: d.Str()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		res, err := h.srv.PrivateNN(q)
+		if err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.U32(uint32(res.SupersetSize))
+		e.buf = append(e.buf, encodeObjects(res.Candidates)...)
+		return e.Bytes(), nil
+
+	case MsgPublicCount:
+		q := server.PublicRangeCountQuery{Query: d.Rect()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		res, err := h.srv.PublicRangeCount(q)
+		if err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.F64(res.Answer.Expected)
+		e.U32(uint32(res.Answer.Lo)).U32(uint32(res.Answer.Hi))
+		e.U32(uint32(res.NaiveCount))
+		e.U32(uint32(len(res.Answer.PDF)))
+		for _, p := range res.Answer.PDF {
+			e.F64(p)
+		}
+		return e.Bytes(), nil
+
+	case MsgPublicNN:
+		q := server.PublicNNQuery{
+			From:    d.Point(),
+			Samples: int(d.U32()),
+			Seed:    d.U64(),
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		// Clamp the Monte-Carlo effort a remote peer can demand.
+		const maxSamples = 100000
+		if q.Samples > maxSamples {
+			q.Samples = maxSamples
+		}
+		res, err := h.srv.PublicNN(q)
+		if err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.U32(uint32(res.PrunedCount))
+		e.U32(uint32(len(res.Candidates)))
+		for _, c := range res.Candidates {
+			e.U64(c.ID).F64(c.Prob).Rect(res.CandidateRegions[c.ID])
+		}
+		return e.Bytes(), nil
+
+	case MsgStats:
+		var e Encoder
+		e.U32(uint32(h.srv.StationaryCount()))
+		e.U32(uint32(h.srv.PrivateUserCount()))
+		return e.Bytes(), nil
+
+	case MsgRegContCount:
+		query := d.Rect()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		id, err := h.srv.RegisterContinuousCount(query)
+		if err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.U64(id)
+		return e.Bytes(), nil
+
+	case MsgContCount:
+		id := d.U64()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		ans, ok := h.srv.ContinuousCount(id)
+		if !ok {
+			return nil, fmt.Errorf("protocol: unknown continuous query %d", id)
+		}
+		var e Encoder
+		e.F64(ans.Expected).U32(uint32(ans.Lo)).U32(uint32(ans.Hi))
+		return e.Bytes(), nil
+
+	case MsgUnregContCount:
+		id := d.U64()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if !h.srv.UnregisterContinuousCount(id) {
+			return nil, fmt.Errorf("protocol: unknown continuous query %d", id)
+		}
+		return nil, nil
+
+	case MsgUpdateMoving:
+		id := d.U64()
+		loc := d.Point()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, h.srv.UpdateMoving(id, loc)
+
+	default:
+		return nil, fmt.Errorf("protocol: database service: unknown message type %d", typ)
+	}
+}
+
+func encodeObjects(objs []server.PublicObject) []byte {
+	var e Encoder
+	e.U32(uint32(len(objs)))
+	for _, o := range objs {
+		e.U64(o.ID).Str(o.Class).Point(o.Loc)
+	}
+	return e.Bytes()
+}
+
+func decodeObjects(d *Decoder) []server.PublicObject {
+	n := int(d.U32())
+	objs := make([]server.PublicObject, 0, capHint(n, 26, d))
+	for i := 0; i < n; i++ {
+		objs = append(objs, server.PublicObject{ID: d.U64(), Class: d.Str(), Loc: d.Point()})
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return objs
+}
+
+// capHint bounds a length prefix by what the remaining payload could
+// possibly hold, given a minimum per-element encoding size. It protects
+// every decode loop from forged counts.
+func capHint(n, minBytes int, d *Decoder) int {
+	if n < 0 {
+		return 0
+	}
+	max := d.Remaining() / minBytes
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// DatabaseClient is the typed client for the database service, used by
+// untrusted third parties (admins) and by the anonymizer's forwarder.
+type DatabaseClient struct {
+	c *Client
+}
+
+// DialDatabase connects to a database service.
+func DialDatabase(addr string) (*DatabaseClient, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &DatabaseClient{c: c}, nil
+}
+
+// Close closes the connection.
+func (dc *DatabaseClient) Close() error { return dc.c.Close() }
+
+// UpdatePrivate forwards a cloaked region (the anonymizer's sink).
+func (dc *DatabaseClient) UpdatePrivate(id uint64, region geo.Rect) error {
+	var e Encoder
+	e.U64(id).Rect(region)
+	_, err := dc.c.Call(MsgUpdatePrivate, e.Bytes())
+	return err
+}
+
+// RemovePrivate removes a user's region.
+func (dc *DatabaseClient) RemovePrivate(id uint64) error {
+	var e Encoder
+	e.U64(id)
+	_, err := dc.c.Call(MsgRemovePrivate, e.Bytes())
+	return err
+}
+
+// LoadStationary bulk-loads public objects.
+func (dc *DatabaseClient) LoadStationary(objs []server.PublicObject) error {
+	var e Encoder
+	e.U32(uint32(len(objs)))
+	for _, o := range objs {
+		e.U64(o.ID).Str(o.Class).Point(o.Loc)
+	}
+	_, err := dc.c.Call(MsgLoadStationary, e.Bytes())
+	return err
+}
+
+// PrivateRange runs a private range query.
+func (dc *DatabaseClient) PrivateRange(q server.PrivateRangeQuery) ([]server.PublicObject, error) {
+	var e Encoder
+	e.Rect(q.Region).F64(q.Radius).Str(q.Class).U8(byte(q.Mode))
+	resp, err := dc.c.Call(MsgPrivateRange, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := NewDecoder(resp)
+	objs := decodeObjects(d)
+	return objs, d.Err()
+}
+
+// PrivateNN runs a private nearest-neighbor query.
+func (dc *DatabaseClient) PrivateNN(q server.PrivateNNQuery) (server.PrivateNNResult, error) {
+	var e Encoder
+	e.Rect(q.Region).Str(q.Class)
+	resp, err := dc.c.Call(MsgPrivateNN, e.Bytes())
+	if err != nil {
+		return server.PrivateNNResult{}, err
+	}
+	d := NewDecoder(resp)
+	res := server.PrivateNNResult{SupersetSize: int(d.U32())}
+	res.Candidates = decodeObjects(d)
+	return res, d.Err()
+}
+
+// PublicCount runs a public probabilistic count.
+func (dc *DatabaseClient) PublicCount(query geo.Rect) (server.PublicRangeCountResult, error) {
+	var e Encoder
+	e.Rect(query)
+	resp, err := dc.c.Call(MsgPublicCount, e.Bytes())
+	if err != nil {
+		return server.PublicRangeCountResult{}, err
+	}
+	d := NewDecoder(resp)
+	var res server.PublicRangeCountResult
+	res.Answer.Expected = d.F64()
+	res.Answer.Lo = int(d.U32())
+	res.Answer.Hi = int(d.U32())
+	res.NaiveCount = int(d.U32())
+	n := int(d.U32())
+	res.Answer.PDF = make([]float64, 0, capHint(n, 8, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		res.Answer.PDF = append(res.Answer.PDF, d.F64())
+	}
+	return res, d.Err()
+}
+
+// PublicNN runs a public nearest-neighbor query over private data.
+func (dc *DatabaseClient) PublicNN(q server.PublicNNQuery) (server.PublicNNResult, error) {
+	var e Encoder
+	e.Point(q.From).U32(uint32(q.Samples)).U64(q.Seed)
+	resp, err := dc.c.Call(MsgPublicNN, e.Bytes())
+	if err != nil {
+		return server.PublicNNResult{}, err
+	}
+	d := NewDecoder(resp)
+	res := server.PublicNNResult{CandidateRegions: make(map[uint64]geo.Rect)}
+	res.PrunedCount = int(d.U32())
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		id := d.U64()
+		p := d.F64()
+		r := d.Rect()
+		res.Candidates = append(res.Candidates, probNN(id, p))
+		res.CandidateRegions[id] = r
+	}
+	if len(res.Candidates) > 0 {
+		res.Best = res.Candidates[0]
+	}
+	return res, d.Err()
+}
+
+// RegisterContinuousCount installs a standing count query remotely.
+func (dc *DatabaseClient) RegisterContinuousCount(query geo.Rect) (uint64, error) {
+	var e Encoder
+	e.Rect(query)
+	resp, err := dc.c.Call(MsgRegContCount, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := NewDecoder(resp)
+	id := d.U64()
+	return id, d.Err()
+}
+
+// ContinuousCount reads a standing query's maintained answer.
+func (dc *DatabaseClient) ContinuousCount(id uint64) (server.ContinuousCountAnswer, error) {
+	var e Encoder
+	e.U64(id)
+	resp, err := dc.c.Call(MsgContCount, e.Bytes())
+	if err != nil {
+		return server.ContinuousCountAnswer{}, err
+	}
+	d := NewDecoder(resp)
+	ans := server.ContinuousCountAnswer{
+		Expected: d.F64(),
+		Lo:       int(d.U32()),
+		Hi:       int(d.U32()),
+	}
+	return ans, d.Err()
+}
+
+// UnregisterContinuousCount removes a standing query.
+func (dc *DatabaseClient) UnregisterContinuousCount(id uint64) error {
+	var e Encoder
+	e.U64(id)
+	_, err := dc.c.Call(MsgUnregContCount, e.Bytes())
+	return err
+}
+
+// UpdateMoving upserts a moving public object (exact location: public data).
+func (dc *DatabaseClient) UpdateMoving(id uint64, loc geo.Point) error {
+	var e Encoder
+	e.U64(id).Point(loc)
+	_, err := dc.c.Call(MsgUpdateMoving, e.Bytes())
+	return err
+}
+
+// Stats returns (stationary objects, private users).
+func (dc *DatabaseClient) Stats() (stationary, private int, err error) {
+	resp, err := dc.c.Call(MsgStats, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := NewDecoder(resp)
+	return int(d.U32()), int(d.U32()), d.Err()
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+)
+
+// Handler processes one request frame and returns the response payload.
+type Handler func(typ byte, payload []byte) ([]byte, error)
+
+// Service is a generic framed request/response TCP server shared by the
+// anonymizer and database services.
+type Service struct {
+	ln      net.Listener
+	handler Handler
+	logf    func(format string, args ...interface{})
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting connections on addr ("host:port"; ":0" picks a
+// free port) and dispatches frames to the handler. It returns immediately;
+// use Addr for the bound address and Close to stop.
+func Serve(addr string, handler Handler, logf func(string, ...interface{})) (*Service, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Service{ln: ln, handler: handler, logf: logf, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Service) Addr() string { return s.ln.Addr().String() }
+
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Service) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		resp, herr := s.handler(typ, payload)
+		if herr != nil {
+			var e Encoder
+			e.Str(herr.Error())
+			if WriteFrame(conn, msgErr, e.Bytes()) != nil {
+				return
+			}
+			continue
+		}
+		if WriteFrame(conn, msgOK, resp) != nil {
+			return
+		}
+	}
+}
+
+// Close stops the service and closes all live connections.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous framed request/response TCP client. It is safe
+// for concurrent use; requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a Service.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// ErrRemote wraps an error string returned by the peer.
+var ErrRemote = errors.New("protocol: remote error")
+
+// Call sends one request and waits for its response payload.
+func (c *Client) Call(typ byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, typ, payload); err != nil {
+		return nil, err
+	}
+	rtyp, resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch rtyp {
+	case msgOK:
+		return resp, nil
+	case msgErr:
+		d := NewDecoder(resp)
+		msg := d.Str()
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	default:
+		return nil, fmt.Errorf("protocol: unexpected response type %d", rtyp)
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,218 @@
+// Package protocol implements the three-tier deployment of Figure 1 as
+// real TCP services: a compact length-prefixed binary wire format, the
+// anonymizer service (which users send exact locations to), the database
+// service (which only ever receives cloaked regions), and the matching
+// clients. The separation mirrors the paper's trust model — the only
+// message type carrying an exact location terminates at the anonymizer.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Message types. Requests 1–9 are served by the anonymizer; 10+ by the
+// database server. Type 0/1 are the generic OK/error responses.
+const (
+	msgOK  byte = 0
+	msgErr byte = 1
+
+	// Anonymizer service.
+	MsgRegister    byte = 2
+	MsgUpdate      byte = 3
+	MsgCloakQuery  byte = 4
+	MsgDeregister  byte = 5
+	MsgSetMode     byte = 6
+	MsgBatchUpdate byte = 7
+	MsgAnonStats   byte = 8
+
+	// Database service.
+	MsgUpdatePrivate  byte = 10
+	MsgRemovePrivate  byte = 11
+	MsgPrivateRange   byte = 12
+	MsgPrivateNN      byte = 13
+	MsgPublicCount    byte = 14
+	MsgPublicNN       byte = 15
+	MsgLoadStationary byte = 16
+	MsgStats          byte = 17
+	MsgRegContCount   byte = 18
+	MsgContCount      byte = 19
+	MsgUnregContCount byte = 20
+	MsgUpdateMoving   byte = 21
+)
+
+// maxFrame bounds a frame to keep a misbehaving peer from ballooning
+// memory: 16 MiB fits any realistic candidate list.
+const maxFrame = 16 << 20
+
+// WriteFrame writes [u32 length][type][payload].
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("protocol: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("protocol: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Encoder builds a payload. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v byte) *Encoder { e.buf = append(e.buf, v); return e }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) *Encoder {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+	return e
+}
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) *Encoder {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+	return e
+}
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) *Encoder {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+	return e
+}
+
+// F64 appends an IEEE-754 float64.
+func (e *Encoder) F64(v float64) *Encoder { return e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed UTF-8 string (≤ 64 KiB).
+func (e *Encoder) Str(s string) *Encoder {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	e.U16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+	return e
+}
+
+// Point appends a point.
+func (e *Encoder) Point(p geo.Point) *Encoder { return e.F64(p.X).F64(p.Y) }
+
+// Rect appends a rectangle.
+func (e *Encoder) Rect(r geo.Rect) *Encoder { return e.Point(r.Min).Point(r.Max) }
+
+// ErrShortPayload reports a truncated or malformed payload.
+var ErrShortPayload = errors.New("protocol: short or malformed payload")
+
+// Decoder consumes a payload; the first decoding error sticks and every
+// subsequent read returns zero values, so call Err once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the sticky error, nil if all reads were in bounds.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		if d.err == nil {
+			d.err = ErrShortPayload
+		}
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := int(d.U16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Point reads a point.
+func (d *Decoder) Point() geo.Point { return geo.Point{X: d.F64(), Y: d.F64()} }
+
+// Rect reads a rectangle.
+func (d *Decoder) Rect() geo.Rect { return geo.Rect{Min: d.Point(), Max: d.Point()} }

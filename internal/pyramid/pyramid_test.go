@@ -1,0 +1,301 @@
+package pyramid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func mustNew(t testing.TB, h int) *Pyramid {
+	t.Helper()
+	p, err := New(world, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(world, 0); err == nil {
+		t.Error("height 0 accepted")
+	}
+	if _, err := New(world, MaxHeight+1); err == nil {
+		t.Error("excessive height accepted")
+	}
+	if _, err := New(geo.Rect{}, 4); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+func TestCellNesting(t *testing.T) {
+	c := Cell{Level: 3, Col: 5, Row: 6}
+	p := c.Parent()
+	if p != (Cell{Level: 2, Col: 2, Row: 3}) {
+		t.Errorf("Parent = %v", p)
+	}
+	if c.Parent().Child(1, 0) != c {
+		t.Errorf("Child(1,0) of parent != c: %v", c.Parent().Child(1, 0))
+	}
+	root := Cell{}
+	if root.Parent() != root {
+		t.Error("root parent should be root")
+	}
+	if AncestorAt(c, 0) != root {
+		t.Errorf("AncestorAt(0) = %v", AncestorAt(c, 0))
+	}
+	if AncestorAt(c, 3) != c {
+		t.Error("AncestorAt(same level) should be identity")
+	}
+}
+
+func TestCellAtAndRectRoundTrip(t *testing.T) {
+	p := mustNew(t, 6)
+	src := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		pt := geo.Pt(src.Float64(), src.Float64())
+		for l := 0; l < 6; l++ {
+			c := p.CellAt(l, pt)
+			r := p.Rect(c)
+			if !r.Contains(pt) {
+				t.Fatalf("cell %v rect %v does not contain %v", c, r, pt)
+			}
+		}
+	}
+	// Boundary clamping.
+	c := p.CellAt(5, geo.Pt(1, 1))
+	if c.Col != 31 || c.Row != 31 {
+		t.Errorf("boundary point cell = %v", c)
+	}
+	c = p.CellAt(5, geo.Pt(-1, 2))
+	if c.Col != 0 || c.Row != 31 {
+		t.Errorf("outside point cell = %v", c)
+	}
+}
+
+func TestCellArea(t *testing.T) {
+	p := mustNew(t, 4)
+	if a := p.CellArea(0); a != 1 {
+		t.Errorf("level-0 area = %v", a)
+	}
+	if a := p.CellArea(3); a != 1.0/64 {
+		t.Errorf("level-3 area = %v, want 1/64", a)
+	}
+	// CellArea must agree with Rect().Area().
+	for l := 0; l < 4; l++ {
+		r := p.Rect(Cell{Level: l, Col: 0, Row: 0})
+		if got, want := r.Area(), p.CellArea(l); got < want*0.999 || got > want*1.001 {
+			t.Errorf("level %d: Rect area %v != CellArea %v", l, got, want)
+		}
+	}
+}
+
+func TestInsertMoveRemove(t *testing.T) {
+	p := mustNew(t, 5)
+	if err := p.Insert(1, geo.Pt(0.1, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(1, geo.Pt(0.2, 0.2)); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if p.Len() != 1 {
+		t.Error("Len after insert")
+	}
+	if got := p.Count(Cell{}); got != 1 {
+		t.Errorf("root count = %d", got)
+	}
+	bottom := p.CellAt(4, geo.Pt(0.1, 0.1))
+	if got := p.Count(bottom); got != 1 {
+		t.Errorf("bottom count = %d", got)
+	}
+	// Move across cells.
+	changed, err := p.Move(1, geo.Pt(0.9, 0.9))
+	if err != nil || !changed {
+		t.Fatalf("Move = %v, %v", changed, err)
+	}
+	if got := p.Count(bottom); got != 0 {
+		t.Errorf("old bottom count after move = %d", got)
+	}
+	// Move within the same bottom cell.
+	changed, err = p.Move(1, geo.Pt(0.905, 0.905))
+	if err != nil || changed {
+		t.Fatalf("intra-cell Move = %v, %v", changed, err)
+	}
+	if _, err := p.Move(99, geo.Pt(0.5, 0.5)); err == nil {
+		t.Error("Move of unknown user accepted")
+	}
+	if !p.Remove(1) {
+		t.Error("Remove existing returned false")
+	}
+	if p.Remove(1) {
+		t.Error("Remove missing returned true")
+	}
+	if err := p.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUserCell(t *testing.T) {
+	p := mustNew(t, 4)
+	p.Insert(5, geo.Pt(0.3, 0.7))
+	c, ok := p.UserCell(5)
+	if !ok || c != p.CellAt(3, geo.Pt(0.3, 0.7)) {
+		t.Errorf("UserCell = %v, %v", c, ok)
+	}
+	if _, ok := p.UserCell(6); ok {
+		t.Error("UserCell of unknown user ok")
+	}
+}
+
+func TestCountsMatchBrute(t *testing.T) {
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 2000, World: world, Dist: mobility.Gaussian, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustNew(t, 6)
+	for i, pt := range pts {
+		if err := p.Insert(uint64(i+1), pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Count of each cell at level 3 matches a brute-force scan of its rect.
+	for row := 0; row < 8; row++ {
+		for col := 0; col < 8; col++ {
+			c := Cell{Level: 3, Col: col, Row: row}
+			want := 0
+			for _, pt := range pts {
+				if p.CellAt(3, pt) == c {
+					want++
+				}
+			}
+			if got := p.Count(c); got != want {
+				t.Fatalf("cell %v count %d, brute %d", c, got, want)
+			}
+		}
+	}
+}
+
+func TestCountOutOfRangeCells(t *testing.T) {
+	p := mustNew(t, 3)
+	if p.Count(Cell{Level: -1}) != 0 {
+		t.Error("negative level count")
+	}
+	if p.Count(Cell{Level: 9}) != 0 {
+		t.Error("too-deep level count")
+	}
+	if p.Count(Cell{Level: 2, Col: 4, Row: 0}) != 0 {
+		t.Error("out-of-range col count")
+	}
+}
+
+func TestCountRegion(t *testing.T) {
+	p := mustNew(t, 4)
+	// Place one user in each of the four corner bottom cells.
+	p.Insert(1, geo.Pt(0.01, 0.01))
+	p.Insert(2, geo.Pt(0.99, 0.01))
+	p.Insert(3, geo.Pt(0.01, 0.99))
+	p.Insert(4, geo.Pt(0.99, 0.99))
+	if got := p.CountRegion(3, 0, 0, 7, 7); got != 4 {
+		t.Errorf("full region count = %d", got)
+	}
+	if got := p.CountRegion(3, 0, 0, 3, 3); got != 1 {
+		t.Errorf("quadrant count = %d", got)
+	}
+	// Normalized (swapped) ranges and clamped out-of-range indices.
+	if got := p.CountRegion(3, 7, 7, 0, 0); got != 4 {
+		t.Errorf("swapped region count = %d", got)
+	}
+	if got := p.CountRegion(3, -5, -5, 20, 20); got != 4 {
+		t.Errorf("clamped region count = %d", got)
+	}
+}
+
+func TestRegionRect(t *testing.T) {
+	p := mustNew(t, 3)
+	r := p.RegionRect(2, 0, 0, 1, 1)
+	if !r.Eq(geo.R(0, 0, 0.5, 0.5)) {
+		t.Errorf("RegionRect = %v", r)
+	}
+	// Swapped range normalizes.
+	r2 := p.RegionRect(2, 1, 1, 0, 0)
+	if !r2.Eq(r) {
+		t.Errorf("swapped RegionRect = %v", r2)
+	}
+}
+
+func TestPropInvariantsUnderChurn(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		src := rng.New(seed)
+		p, err := New(world, 5)
+		if err != nil {
+			return false
+		}
+		present := map[uint64]bool{}
+		ops := int(opsRaw%400) + 50
+		for i := 0; i < ops; i++ {
+			id := uint64(src.Intn(40)) + 1
+			pt := geo.Pt(src.Float64(), src.Float64())
+			switch {
+			case !present[id]:
+				if p.Insert(id, pt) != nil {
+					return false
+				}
+				present[id] = true
+			case src.Float64() < 0.3:
+				if !p.Remove(id) {
+					return false
+				}
+				delete(present, id)
+			default:
+				if _, err := p.Move(id, pt); err != nil {
+					return false
+				}
+			}
+		}
+		return p.checkInvariants() == nil && p.Len() == len(present)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if (Cell{Level: 2, Col: 1, Row: 3}).String() == "" {
+		t.Error("empty cell string")
+	}
+}
+
+func BenchmarkMove(b *testing.B) {
+	p := mustNew(b, 10)
+	src := rng.New(1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		p.Insert(uint64(i+1), geo.Pt(src.Float64(), src.Float64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i%n) + 1
+		p.Move(id, geo.Pt(src.Float64(), src.Float64()))
+	}
+}
+
+func BenchmarkCountRegion(b *testing.B) {
+	p := mustNew(b, 8)
+	src := rng.New(2)
+	for i := 0; i < 10000; i++ {
+		p.Insert(uint64(i+1), geo.Pt(src.Float64(), src.Float64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CountRegion(7, 10, 10, 40, 40)
+	}
+}

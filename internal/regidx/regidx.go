@@ -1,0 +1,175 @@
+// Package regidx is a coarse-grid index over rectangles — the server's
+// index for cloaked regions. Point indexes (R-tree, uniform grid) don't
+// fit private data because every entry is a region, and cloaked regions
+// vary from degenerate points (k=1 profiles) to whole-world rectangles
+// (best-effort cloaks), so the index buckets each region under every
+// coarse cell it touches and answers "which regions could intersect this
+// query" by visiting only the query's cells.
+//
+// The index is intentionally approximate: Query returns a superset of the
+// intersecting regions (exact filtering is one rectangle test per
+// candidate, done by the caller), which keeps updates O(cells touched)
+// and avoids any geometry in the hot path.
+package regidx
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// Index buckets rectangles by coarse grid cell. Mutations require external
+// serialization; Query is read-only, so any number of queries may run
+// concurrently under a shared (read) lock.
+type Index struct {
+	world      geo.Rect
+	cols, rows int
+	cells      [][]uint64
+	regions    map[uint64]geo.Rect
+}
+
+// New builds an empty index with the given resolution.
+func New(world geo.Rect, cols, rows int) (*Index, error) {
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("regidx: non-positive resolution %d×%d", cols, rows)
+	}
+	if !world.Valid() || world.Area() <= 0 {
+		return nil, fmt.Errorf("regidx: invalid world %v", world)
+	}
+	return &Index{
+		world:   world,
+		cols:    cols,
+		rows:    rows,
+		cells:   make([][]uint64, cols*rows),
+		regions: make(map[uint64]geo.Rect),
+	}, nil
+}
+
+// Len returns the number of indexed regions.
+func (x *Index) Len() int { return len(x.regions) }
+
+// Region returns the stored rectangle for an id.
+func (x *Index) Region(id uint64) (geo.Rect, bool) {
+	r, ok := x.regions[id]
+	return r, ok
+}
+
+func (x *Index) cellRange(r geo.Rect) (c0, r0, c1, r1 int) {
+	clampCol := func(x0 float64, world geo.Rect, cols int) int {
+		c := int((x0 - world.Min.X) / world.Width() * float64(cols))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	clampRow := func(y0 float64, world geo.Rect, rows int) int {
+		c := int((y0 - world.Min.Y) / world.Height() * float64(rows))
+		if c < 0 {
+			c = 0
+		}
+		if c >= rows {
+			c = rows - 1
+		}
+		return c
+	}
+	return clampCol(r.Min.X, x.world, x.cols), clampRow(r.Min.Y, x.world, x.rows),
+		clampCol(r.Max.X, x.world, x.cols), clampRow(r.Max.Y, x.world, x.rows)
+}
+
+func (x *Index) forEachCell(r geo.Rect, fn func(ci int)) {
+	c0, r0, c1, r1 := x.cellRange(r)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			fn(row*x.cols + col)
+		}
+	}
+}
+
+// Upsert inserts or replaces a region.
+func (x *Index) Upsert(id uint64, region geo.Rect) error {
+	if !region.Valid() {
+		return fmt.Errorf("regidx: invalid region %v", region)
+	}
+	if old, ok := x.regions[id]; ok {
+		// Fast path: same cell range means the buckets are already right.
+		oc0, or0, oc1, or1 := x.cellRange(old)
+		nc0, nr0, nc1, nr1 := x.cellRange(region)
+		if oc0 == nc0 && or0 == nr0 && oc1 == nc1 && or1 == nr1 {
+			x.regions[id] = region
+			return nil
+		}
+		x.removeFromCells(id, old)
+	}
+	x.forEachCell(region, func(ci int) {
+		x.cells[ci] = append(x.cells[ci], id)
+	})
+	x.regions[id] = region
+	return nil
+}
+
+// Delete removes a region; it reports whether it existed.
+func (x *Index) Delete(id uint64) bool {
+	old, ok := x.regions[id]
+	if !ok {
+		return false
+	}
+	x.removeFromCells(id, old)
+	delete(x.regions, id)
+	return true
+}
+
+func (x *Index) removeFromCells(id uint64, region geo.Rect) {
+	x.forEachCell(region, func(ci int) {
+		cell := x.cells[ci]
+		for i, v := range cell {
+			if v == id {
+				cell[i] = cell[len(cell)-1]
+				x.cells[ci] = cell[:len(cell)-1]
+				return
+			}
+		}
+	})
+}
+
+// Query appends to dst the ids of all regions intersecting q (exactly —
+// the per-candidate rectangle test is applied here) and returns dst.
+// Query does not mutate the index, so concurrent queries are safe under a
+// shared lock. A dedup set is allocated only when the query spans more
+// than one cell (ids within a single cell are already unique).
+func (x *Index) Query(q geo.Rect, dst []uint64) []uint64 {
+	c0, r0, c1, r1 := x.cellRange(q)
+	if c0 == c1 && r0 == r1 {
+		for _, id := range x.cells[r0*x.cols+c0] {
+			if x.regions[id].Intersects(q) {
+				dst = append(dst, id)
+			}
+		}
+		return dst
+	}
+	seen := make(map[uint64]struct{})
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, id := range x.cells[row*x.cols+col] {
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				if x.regions[id].Intersects(q) {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// All appends every (id, region) pair's id to dst.
+func (x *Index) All(dst []uint64) []uint64 {
+	for id := range x.regions {
+		dst = append(dst, id)
+	}
+	return dst
+}

@@ -1,0 +1,192 @@
+package regidx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func mustNew(t testing.TB) *Index {
+	t.Helper()
+	x, err := New(world, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(world, 0, 4); err == nil {
+		t.Error("zero cols accepted")
+	}
+	if _, err := New(geo.Rect{}, 4, 4); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+func TestUpsertDeleteBasics(t *testing.T) {
+	x := mustNew(t)
+	r := geo.R(0.1, 0.1, 0.3, 0.3)
+	if err := x.Upsert(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 1 {
+		t.Error("Len")
+	}
+	got, ok := x.Region(1)
+	if !ok || !got.Eq(r) {
+		t.Errorf("Region = %v, %v", got, ok)
+	}
+	if err := x.Upsert(1, geo.Rect{Min: geo.Pt(1, 1)}); err == nil {
+		t.Error("invalid region accepted")
+	}
+	if !x.Delete(1) || x.Delete(1) {
+		t.Error("Delete misbehaved")
+	}
+	if x.Len() != 0 {
+		t.Error("Len after delete")
+	}
+}
+
+func TestQueryExactness(t *testing.T) {
+	x := mustNew(t)
+	x.Upsert(1, geo.R(0.1, 0.1, 0.2, 0.2))
+	x.Upsert(2, geo.R(0.5, 0.5, 0.7, 0.7))
+	x.Upsert(3, geo.R(0.0, 0.0, 1.0, 1.0)) // world-sized region
+
+	got := x.Query(geo.R(0.15, 0.15, 0.16, 0.16), nil)
+	want := map[uint64]bool{1: true, 3: true}
+	if len(got) != 2 {
+		t.Fatalf("Query = %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected id %d", id)
+		}
+	}
+	// No duplicates for multi-cell regions.
+	got = x.Query(world, nil)
+	seen := map[uint64]int{}
+	for _, id := range got {
+		seen[id]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("id %d returned %d times", id, n)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("world query found %d regions", len(seen))
+	}
+}
+
+func TestUpsertMoveRebuckets(t *testing.T) {
+	x := mustNew(t)
+	x.Upsert(1, geo.R(0.0, 0.0, 0.1, 0.1))
+	x.Upsert(1, geo.R(0.8, 0.8, 0.9, 0.9)) // move across buckets
+	if got := x.Query(geo.R(0, 0, 0.2, 0.2), nil); len(got) != 0 {
+		t.Errorf("stale bucket: %v", got)
+	}
+	if got := x.Query(geo.R(0.75, 0.75, 1, 1), nil); len(got) != 1 || got[0] != 1 {
+		t.Errorf("new bucket: %v", got)
+	}
+	// Same-bucket move keeps the entry findable.
+	x.Upsert(1, geo.R(0.81, 0.81, 0.89, 0.89))
+	if got := x.Query(geo.R(0.75, 0.75, 1, 1), nil); len(got) != 1 {
+		t.Errorf("after same-bucket move: %v", got)
+	}
+}
+
+// Property: Query always equals the brute-force intersection scan.
+func TestPropQueryMatchesBrute(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		src := rng.New(seed)
+		x, err := New(world, 8, 8)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]geo.Rect{}
+		ops := int(opsRaw%300) + 30
+		for i := 0; i < ops; i++ {
+			id := uint64(src.Intn(40)) + 1
+			switch {
+			case src.Float64() < 0.2:
+				delete(model, id)
+				x.Delete(id)
+			default:
+				c := geo.Pt(src.Float64(), src.Float64())
+				r := geo.RectAround(c, 0.01+0.2*src.Float64()).Clip(world)
+				model[id] = r
+				if x.Upsert(id, r) != nil {
+					return false
+				}
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := geo.RectAround(geo.Pt(src.Float64(), src.Float64()), 0.05+0.2*src.Float64()).Clip(world)
+			got := map[uint64]bool{}
+			for _, id := range x.Query(q, nil) {
+				got[id] = true
+			}
+			want := 0
+			for id, r := range model {
+				if r.Intersects(q) {
+					want++
+					if !got[id] {
+						return false
+					}
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAll(t *testing.T) {
+	x := mustNew(t)
+	x.Upsert(1, geo.R(0, 0, 0.1, 0.1))
+	x.Upsert(2, geo.R(0.5, 0.5, 0.6, 0.6))
+	if got := x.All(nil); len(got) != 2 {
+		t.Errorf("All = %v", got)
+	}
+}
+
+func BenchmarkQuerySmall(b *testing.B) {
+	x, _ := New(world, 32, 32)
+	src := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		c := geo.Pt(src.Float64(), src.Float64())
+		x.Upsert(uint64(i+1), geo.RectAround(c, 0.02).Clip(world))
+	}
+	q := geo.R(0.45, 0.45, 0.55, 0.55)
+	var buf []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = x.Query(q, buf[:0])
+	}
+}
+
+func BenchmarkUpsertChurn(b *testing.B) {
+	x, _ := New(world, 32, 32)
+	src := rng.New(2)
+	for i := 0; i < 10000; i++ {
+		c := geo.Pt(src.Float64(), src.Float64())
+		x.Upsert(uint64(i+1), geo.RectAround(c, 0.02).Clip(world))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i%10000) + 1
+		c := geo.Pt(src.Float64(), src.Float64())
+		x.Upsert(id, geo.RectAround(c, 0.02).Clip(world))
+	}
+}

@@ -1,0 +1,101 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive (STR)
+// packing, which produces near-optimally packed leaves and is the standard
+// way to load a static public-data set (the store-finder datasets in the
+// experiments). The input slice is not retained but is reordered in place.
+func BulkLoad(items []Item) *Tree {
+	t := &Tree{}
+	if len(items) == 0 {
+		return t
+	}
+	leaves := strPack(items)
+	t.size = len(items)
+	// Build upper levels by packing nodes the same way until one root remains.
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level)
+	}
+	t.root = level[0]
+	return t
+}
+
+// strPack tiles the items into leaves: sort by x, cut into vertical slices
+// of ~sqrt(n/M) each, sort each slice by y, and emit runs of up to M items.
+func strPack(items []Item) []*node {
+	n := len(items)
+	leafCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlice := sliceCount * maxEntries
+
+	sort.Slice(items, func(i, j int) bool { return items[i].Loc.X < items[j].Loc.X })
+	var leaves []*node
+	for start := 0; start < n; start += perSlice {
+		end := start + perSlice
+		if end > n {
+			end = n
+		}
+		slice := items[start:end]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Loc.Y < slice[j].Loc.Y })
+		for ls := 0; ls < len(slice); ls += maxEntries {
+			le := ls + maxEntries
+			if le > len(slice) {
+				le = len(slice)
+			}
+			leaf := &node{leaf: true, items: append([]Item(nil), slice[ls:le]...)}
+			leaf.recomputeBounds()
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packNodes groups a level of nodes into parents using the same STR tiling
+// over node centers.
+func packNodes(level []*node) []*node {
+	n := len(level)
+	parentCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	perSlice := sliceCount * maxEntries
+
+	sort.Slice(level, func(i, j int) bool {
+		return level[i].bounds.Center().X < level[j].bounds.Center().X
+	})
+	var parents []*node
+	for start := 0; start < n; start += perSlice {
+		end := start + perSlice
+		if end > n {
+			end = n
+		}
+		slice := level[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].bounds.Center().Y < slice[j].bounds.Center().Y
+		})
+		for ls := 0; ls < len(slice); ls += maxEntries {
+			le := ls + maxEntries
+			if le > len(slice) {
+				le = len(slice)
+			}
+			p := &node{leaf: false, children: append([]*node(nil), slice[ls:le]...)}
+			p.recomputeBounds()
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// FromPoints is a convenience bulk loader assigning IDs 1..n in input order.
+func FromPoints(pts []geo.Point) *Tree {
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{ID: uint64(i) + 1, Loc: p}
+	}
+	return BulkLoad(items)
+}

@@ -1,0 +1,138 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geo"
+)
+
+// queueEntry is an element of the best-first search frontier: either a node
+// (item == nil semantics via isItem) or a concrete item, keyed by minimum
+// squared distance to the query.
+type queueEntry struct {
+	dist2  float64
+	node   *node
+	item   Item
+	isItem bool
+}
+
+type distQueue []queueEntry
+
+func (q distQueue) Len() int            { return len(q) }
+func (q distQueue) Less(i, j int) bool  { return q[i].dist2 < q[j].dist2 }
+func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(queueEntry)) }
+func (q *distQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Browser yields the indexed items in non-decreasing distance from a query
+// point or rectangle — Hjaltason–Samet incremental distance browsing. The
+// private-NN candidate computation pulls neighbors until its stop condition
+// fires, which is why an incremental iterator (rather than a fixed-k query)
+// is the core primitive.
+type Browser struct {
+	q      distQueue
+	origin func(*node) float64 // min dist² from query to a node's bounds
+	opoint func(Item) float64  // dist² from query to an item
+}
+
+// NewPointBrowser starts distance browsing from a point query.
+func (t *Tree) NewPointBrowser(p geo.Point) *Browser {
+	b := &Browser{
+		origin: func(n *node) float64 { return geo.MinDist2(p, n.bounds) },
+		opoint: func(it Item) float64 { return p.Dist2(it.Loc) },
+	}
+	if t.root != nil && t.size > 0 {
+		heap.Push(&b.q, queueEntry{dist2: b.origin(t.root), node: t.root})
+	}
+	return b
+}
+
+// NewRectBrowser starts distance browsing ordered by minimum distance from
+// a rectangle query (distance 0 for items inside the rectangle).
+func (t *Tree) NewRectBrowser(r geo.Rect) *Browser {
+	b := &Browser{
+		origin: func(n *node) float64 { return geo.MinDistRects2(r, n.bounds) },
+		opoint: func(it Item) float64 { return geo.MinDist2(it.Loc, r) },
+	}
+	if t.root != nil && t.size > 0 {
+		heap.Push(&b.q, queueEntry{dist2: b.origin(t.root), node: t.root})
+	}
+	return b
+}
+
+// Next returns the next-nearest item and its squared distance, or ok=false
+// when the index is exhausted.
+func (b *Browser) Next() (it Item, dist2 float64, ok bool) {
+	for b.q.Len() > 0 {
+		e := heap.Pop(&b.q).(queueEntry)
+		if e.isItem {
+			return e.item, e.dist2, true
+		}
+		n := e.node
+		if n.leaf {
+			for _, item := range n.items {
+				heap.Push(&b.q, queueEntry{dist2: b.opoint(item), item: item, isItem: true})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(&b.q, queueEntry{dist2: b.origin(c), node: c})
+		}
+	}
+	return Item{}, 0, false
+}
+
+// Peek2 returns the squared distance of the next item without consuming it.
+// It reports ok=false when the browser is exhausted.
+func (b *Browser) Peek2() (dist2 float64, ok bool) {
+	for b.q.Len() > 0 {
+		if b.q[0].isItem {
+			return b.q[0].dist2, true
+		}
+		e := heap.Pop(&b.q).(queueEntry)
+		n := e.node
+		if n.leaf {
+			for _, item := range n.items {
+				heap.Push(&b.q, queueEntry{dist2: b.opoint(item), item: item, isItem: true})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(&b.q, queueEntry{dist2: b.origin(c), node: c})
+		}
+	}
+	return 0, false
+}
+
+// Nearest returns the k items nearest to p in increasing distance order
+// (fewer if the tree holds fewer than k items).
+func (t *Tree) Nearest(p geo.Point, k int) []Item {
+	if k <= 0 {
+		return nil
+	}
+	b := t.NewPointBrowser(p)
+	out := make([]Item, 0, k)
+	for len(out) < k {
+		it, _, ok := b.Next()
+		if !ok {
+			break
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// NearestOne returns the single nearest item and whether one exists.
+func (t *Tree) NearestOne(p geo.Point) (Item, bool) {
+	r := t.Nearest(p, 1)
+	if len(r) == 0 {
+		return Item{}, false
+	}
+	return r[0], true
+}

@@ -1,0 +1,475 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func testPoints(t testing.TB, n int, seed uint64) []geo.Point {
+	t.Helper()
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: n, World: world, Dist: mobility.Uniform, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func bruteRange(items []Item, r geo.Rect) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, it := range items {
+		if r.Contains(it.Loc) {
+			out[it.ID] = true
+		}
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Error("empty tree has bounds")
+	}
+	if got := tr.Search(world, nil); len(got) != 0 {
+		t.Error("empty tree search returned items")
+	}
+	if got := tr.Count(world); got != 0 {
+		t.Error("empty tree count != 0")
+	}
+	if _, ok := tr.NearestOne(geo.Pt(0.5, 0.5)); ok {
+		t.Error("empty tree returned a nearest item")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	pts := []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.9}, {X: 0.5, Y: 0.5}}
+	for i, p := range pts {
+		tr.Insert(Item{ID: uint64(i + 1), Loc: p})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Search(geo.R(0, 0, 0.6, 0.6), nil)
+	ids := map[uint64]bool{}
+	for _, it := range got {
+		ids[it.ID] = true
+	}
+	if !ids[1] || !ids[3] || ids[2] {
+		t.Errorf("search got %v", ids)
+	}
+}
+
+func TestInsertManyMatchesBrute(t *testing.T) {
+	pts := testPoints(t, 2000, 1)
+	tr := New()
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{ID: uint64(i + 1), Loc: p}
+		tr.Insert(items[i])
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(99)
+	for q := 0; q < 50; q++ {
+		r := geo.R(src.Float64(), src.Float64(), src.Float64(), src.Float64())
+		want := bruteRange(items, r)
+		got := tr.Search(r, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d items, want %d", r, len(got), len(want))
+		}
+		for _, it := range got {
+			if !want[it.ID] {
+				t.Fatalf("query %v returned wrong item %d", r, it.ID)
+			}
+		}
+		if c := tr.Count(r); c != len(want) {
+			t.Fatalf("Count = %d, want %d", c, len(want))
+		}
+	}
+}
+
+func TestBulkLoadMatchesBrute(t *testing.T) {
+	pts := testPoints(t, 5000, 2)
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{ID: uint64(i + 1), Loc: p}
+	}
+	// BulkLoad reorders its input; keep a copy for brute-force checking.
+	ref := append([]Item(nil), items...)
+	tr := BulkLoad(items)
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	for q := 0; q < 50; q++ {
+		r := geo.R(src.Float64(), src.Float64(), src.Float64(), src.Float64())
+		want := bruteRange(ref, r)
+		got := tr.Search(r, nil)
+		if len(got) != len(want) {
+			t.Fatalf("bulk query %v: got %d, want %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	if tr := BulkLoad(nil); tr.Len() != 0 {
+		t.Error("empty bulk load nonzero Len")
+	}
+	tr := BulkLoad([]Item{{ID: 1, Loc: geo.Pt(0.5, 0.5)}})
+	if tr.Len() != 1 {
+		t.Error("single-item bulk load")
+	}
+	if it, ok := tr.NearestOne(geo.Pt(0, 0)); !ok || it.ID != 1 {
+		t.Error("single-item nearest")
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	tr := FromPoints([]geo.Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.2}})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	all := tr.All(nil)
+	ids := map[uint64]bool{}
+	for _, it := range all {
+		ids[it.ID] = true
+	}
+	if !ids[1] || !ids[2] {
+		t.Errorf("FromPoints ids = %v", ids)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts := testPoints(t, 1000, 3)
+	tr := New()
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{ID: uint64(i + 1), Loc: p}
+		tr.Insert(items[i])
+	}
+	// Delete half, in random order.
+	perm := make([]int, len(items))
+	rng.New(7).Perm(perm)
+	deleted := map[uint64]bool{}
+	for _, i := range perm[:500] {
+		if !tr.Delete(items[i].ID, items[i].Loc) {
+			t.Fatalf("Delete(%d) failed", items[i].ID)
+		}
+		deleted[items[i].ID] = true
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Search(world, nil)
+	if len(got) != 500 {
+		t.Fatalf("search after deletes returned %d", len(got))
+	}
+	for _, it := range got {
+		if deleted[it.ID] {
+			t.Fatalf("deleted item %d still present", it.ID)
+		}
+	}
+	// Deleting a missing item returns false.
+	if tr.Delete(999999, geo.Pt(0.5, 0.5)) {
+		t.Error("Delete of missing item returned true")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	pts := testPoints(t, 300, 11)
+	tr := New()
+	for i, p := range pts {
+		tr.Insert(Item{ID: uint64(i + 1), Loc: p})
+	}
+	for i, p := range pts {
+		if !tr.Delete(uint64(i+1), p) {
+			t.Fatalf("delete %d failed", i+1)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after deleting all = %d", tr.Len())
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Error("bounds nonempty after deleting all")
+	}
+	// Tree remains usable.
+	tr.Insert(Item{ID: 1, Loc: geo.Pt(0.5, 0.5)})
+	if tr.Len() != 1 {
+		t.Error("insert after full delete failed")
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	pts := testPoints(t, 3000, 4)
+	tr := FromPoints(pts)
+	src := rng.New(13)
+	for q := 0; q < 30; q++ {
+		query := geo.Pt(src.Float64(), src.Float64())
+		got := tr.Nearest(query, 10)
+		if len(got) != 10 {
+			t.Fatalf("Nearest returned %d items", len(got))
+		}
+		// Brute force.
+		type pd struct {
+			id uint64
+			d  float64
+		}
+		all := make([]pd, len(pts))
+		for i, p := range pts {
+			all[i] = pd{uint64(i + 1), query.Dist2(p)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := range got {
+			if got[i].Loc.Dist2(query) != all[i].d {
+				t.Fatalf("Nearest[%d] dist %v, want %v", i, got[i].Loc.Dist2(query), all[i].d)
+			}
+		}
+		// Distances must be sorted.
+		for i := 1; i < len(got); i++ {
+			if query.Dist2(got[i].Loc) < query.Dist2(got[i-1].Loc) {
+				t.Fatal("Nearest not sorted by distance")
+			}
+		}
+	}
+}
+
+func TestBrowserExhaustsAllSorted(t *testing.T) {
+	pts := testPoints(t, 500, 6)
+	tr := FromPoints(pts)
+	b := tr.NewPointBrowser(geo.Pt(0.3, 0.7))
+	var prev float64 = -1
+	n := 0
+	for {
+		_, d2, ok := b.Next()
+		if !ok {
+			break
+		}
+		if d2 < prev {
+			t.Fatalf("browser out of order: %v after %v", d2, prev)
+		}
+		prev = d2
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("browser yielded %d items, want 500", n)
+	}
+}
+
+func TestBrowserPeek(t *testing.T) {
+	tr := FromPoints([]geo.Point{{X: 0.1, Y: 0}, {X: 0.5, Y: 0}})
+	b := tr.NewPointBrowser(geo.Pt(0, 0))
+	d2, ok := b.Peek2()
+	if !ok || math.Abs(d2-0.01) > 1e-12 {
+		t.Fatalf("Peek2 = %v, %v", d2, ok)
+	}
+	it, d2b, _ := b.Next()
+	if d2b != d2 || it.Loc.X != 0.1 {
+		t.Fatal("Peek did not match Next")
+	}
+	b.Next()
+	if _, ok := b.Peek2(); ok {
+		t.Error("Peek2 on exhausted browser reported ok")
+	}
+}
+
+func TestRectBrowser(t *testing.T) {
+	pts := testPoints(t, 1000, 8)
+	tr := FromPoints(pts)
+	q := geo.R(0.4, 0.4, 0.6, 0.6)
+	b := tr.NewRectBrowser(q)
+	var prev float64 = -1
+	inside := 0
+	for {
+		it, d2, ok := b.Next()
+		if !ok {
+			break
+		}
+		if d2 < prev {
+			t.Fatal("rect browser out of order")
+		}
+		prev = d2
+		if q.Contains(it.Loc) {
+			if d2 != 0 {
+				t.Fatalf("item inside rect has dist2 %v", d2)
+			}
+			inside++
+		}
+	}
+	if want := tr.Count(q); inside != want {
+		t.Fatalf("rect browser found %d inside, Count says %d", inside, want)
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := FromPoints([]geo.Point{{X: 0.5, Y: 0.5}})
+	if got := tr.Nearest(geo.Pt(0, 0), 0); got != nil {
+		t.Error("Nearest k=0 should be nil")
+	}
+	if got := tr.Nearest(geo.Pt(0, 0), 5); len(got) != 1 {
+		t.Errorf("Nearest k>size returned %d", len(got))
+	}
+}
+
+func TestDuplicateLocations(t *testing.T) {
+	tr := New()
+	p := geo.Pt(0.5, 0.5)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Item{ID: uint64(i + 1), Loc: p})
+	}
+	if tr.Len() != 100 {
+		t.Fatal("duplicate-location inserts lost items")
+	}
+	got := tr.Search(geo.RectAround(p, 0.01), nil)
+	if len(got) != 100 {
+		t.Fatalf("search found %d of 100 co-located items", len(got))
+	}
+	// Delete one specific ID among duplicates.
+	if !tr.Delete(50, p) {
+		t.Fatal("delete among duplicates failed")
+	}
+	if tr.Count(geo.RectAround(p, 0.01)) != 99 {
+		t.Fatal("wrong count after deleting one duplicate")
+	}
+}
+
+func TestPropInsertedAlwaysFindable(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+			N: n, World: world, Dist: mobility.Gaussian, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		tr := New()
+		for i, p := range pts {
+			tr.Insert(Item{ID: uint64(i + 1), Loc: p})
+		}
+		if tr.checkInvariants() != nil {
+			return false
+		}
+		// Every inserted point must be findable by a point query.
+		for i, p := range pts {
+			found := false
+			for _, it := range tr.Search(geo.PointRect(p), nil) {
+				if it.ID == uint64(i+1) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNearestOneIsTrueMinimum(t *testing.T) {
+	f := func(seed uint64, qx, qy float64) bool {
+		if math.IsNaN(qx) || math.IsNaN(qy) || math.IsInf(qx, 0) || math.IsInf(qy, 0) {
+			return true
+		}
+		qx = math.Mod(math.Abs(qx), 1)
+		qy = math.Mod(math.Abs(qy), 1)
+		pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+			N: 200, World: world, Dist: mobility.Uniform, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		tr := FromPoints(pts)
+		q := geo.Pt(qx, qy)
+		got, ok := tr.NearestOne(q)
+		if !ok {
+			return false
+		}
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := q.Dist2(p); d < best {
+				best = d
+			}
+		}
+		return q.Dist2(got.Loc) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if New().Depth() != 0 {
+		t.Error("empty depth != 0")
+	}
+	tr := FromPoints(testPoints(t, 10000, 10))
+	d := tr.Depth()
+	if d < 3 || d > 6 {
+		t.Errorf("10k-item tree depth = %d, expected a packed shallow tree", d)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	pts := testPoints(b, 100000, 1)
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		tr.Insert(Item{ID: uint64(i), Loc: p})
+	}
+}
+
+func BenchmarkSearch10k(b *testing.B) {
+	tr := FromPoints(testPoints(b, 10000, 2))
+	r := geo.R(0.4, 0.4, 0.6, 0.6)
+	var buf []Item
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.Search(r, buf[:0])
+	}
+}
+
+func BenchmarkNearest10k(b *testing.B) {
+	tr := FromPoints(testPoints(b, 10000, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(geo.Pt(0.5, 0.5), 10)
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	pts := testPoints(b, 10000, 4)
+	items := make([]Item, len(pts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range pts {
+			items[j] = Item{ID: uint64(j + 1), Loc: p}
+		}
+		BulkLoad(items)
+	}
+}

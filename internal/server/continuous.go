@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/prob"
+)
+
+// ContinuousCountAnswer is the incrementally maintained state of one
+// continuous count query: the expected value and interval are updated in
+// O(1) per affected location update; the full PDF is derived on demand.
+type ContinuousCountAnswer struct {
+	Expected float64
+	Lo, Hi   int
+}
+
+// continuousEngine implements the Section 5.3 shared, incremental
+// evaluation for continuous public count queries over private data.
+// Instead of re-running every query on every location update, the engine
+// keeps, per query, each contributing user's inclusion probability; an
+// update touches only the queries whose rectangles intersect the user's
+// old or new region, and each of those is adjusted by the probability
+// delta in O(1).
+//
+// The engine's methods are called with the server mutex held.
+type continuousEngine struct {
+	s       *Server
+	nextID  uint64
+	queries map[uint64]*contQuery
+}
+
+type contQuery struct {
+	id    uint64
+	query geo.Rect
+	// probs holds the current nonzero inclusion probability of each user.
+	probs    map[uint64]float64
+	expected float64
+	lo, hi   int
+}
+
+func newContinuousEngine(s *Server) *continuousEngine {
+	return &continuousEngine{s: s, queries: make(map[uint64]*contQuery)}
+}
+
+// RegisterContinuousCount installs a continuous count query over the given
+// rectangle and returns its handle. The initial answer is computed from the
+// current private data.
+func (s *Server) RegisterContinuousCount(query geo.Rect) (uint64, error) {
+	if !query.Valid() {
+		return 0, fmt.Errorf("server: invalid continuous query %v", query)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cont.nextID++
+	cq := &contQuery{
+		id:    s.cont.nextID,
+		query: query,
+		probs: make(map[uint64]float64),
+	}
+	for uid, region := range s.private {
+		if p := prob.Overlap(region, query); p > 0 {
+			cq.apply(uid, 0, p)
+		}
+	}
+	s.cont.queries[cq.id] = cq
+	return cq.id, nil
+}
+
+// UnregisterContinuousCount removes a continuous query.
+func (s *Server) UnregisterContinuousCount(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cont.queries[id]; !ok {
+		return false
+	}
+	delete(s.cont.queries, id)
+	return true
+}
+
+// ContinuousCount reads the current incrementally-maintained answer.
+func (s *Server) ContinuousCount(id uint64) (ContinuousCountAnswer, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cq, ok := s.cont.queries[id]
+	if !ok {
+		return ContinuousCountAnswer{}, false
+	}
+	s.met.continuousReads.Add(1)
+	return ContinuousCountAnswer{Expected: cq.expected, Lo: cq.lo, Hi: cq.hi}, true
+}
+
+// ContinuousCountPDF materializes the full PDF of a continuous query from
+// its maintained per-user probabilities.
+func (s *Server) ContinuousCountPDF(id uint64) (prob.CountAnswer, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cq, ok := s.cont.queries[id]
+	if !ok {
+		return prob.CountAnswer{}, false
+	}
+	probs := make([]float64, 0, len(cq.probs))
+	for _, p := range cq.probs {
+		probs = append(probs, p)
+	}
+	return prob.RangeCount(probs), true
+}
+
+// ContinuousQueryCount returns the number of registered continuous queries.
+func (s *Server) ContinuousQueryCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.cont.queries)
+}
+
+// apply moves user uid's inclusion probability from old to new, adjusting
+// the aggregates in O(1).
+func (cq *contQuery) apply(uid uint64, old, new float64) {
+	if old == new {
+		return
+	}
+	cq.expected += new - old
+	if old == 1 {
+		cq.lo--
+	}
+	if new == 1 {
+		cq.lo++
+	}
+	if old > 0 && new == 0 {
+		cq.hi--
+		delete(cq.probs, uid)
+	}
+	if old == 0 && new > 0 {
+		cq.hi++
+	}
+	if new > 0 {
+		cq.probs[uid] = new
+	}
+	// Guard against floating-point drift pulling Expected negative.
+	if cq.expected < 0 && cq.expected > -1e-9 {
+		cq.expected = 0
+	}
+}
+
+// onPrivateUpdate is called (mutex held) when a user's region changes.
+func (e *continuousEngine) onPrivateUpdate(uid uint64, old, new geo.Rect, had bool) {
+	for _, cq := range e.queries {
+		var po float64
+		if had {
+			po = prob.Overlap(old, cq.query)
+		}
+		pn := prob.Overlap(new, cq.query)
+		cq.apply(uid, po, pn)
+	}
+}
+
+// onPrivateRemove is called (mutex held) when a user deregisters.
+func (e *continuousEngine) onPrivateRemove(uid uint64, old geo.Rect) {
+	for _, cq := range e.queries {
+		if po := prob.Overlap(old, cq.query); po > 0 {
+			cq.apply(uid, po, 0)
+		}
+	}
+}

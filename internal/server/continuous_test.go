@@ -1,0 +1,171 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func TestContinuousCountLifecycle(t *testing.T) {
+	s := newServer(t)
+	q := geo.R(0.2, 0.2, 0.6, 0.6)
+	id, err := s.RegisterContinuousCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ContinuousQueryCount() != 1 {
+		t.Error("query count")
+	}
+	ans, ok := s.ContinuousCount(id)
+	if !ok || ans.Expected != 0 || ans.Hi != 0 {
+		t.Errorf("initial answer = %+v, %v", ans, ok)
+	}
+	if !s.UnregisterContinuousCount(id) || s.UnregisterContinuousCount(id) {
+		t.Error("unregister misbehaved")
+	}
+	if _, ok := s.ContinuousCount(id); ok {
+		t.Error("answer after unregister")
+	}
+	if _, err := s.RegisterContinuousCount(geo.Rect{Min: geo.Pt(1, 1)}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestContinuousCountSeesExistingUsers(t *testing.T) {
+	s := newServer(t)
+	if err := s.UpdatePrivate(1, geo.R(0.3, 0.3, 0.4, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.RegisterContinuousCount(geo.R(0.2, 0.2, 0.6, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := s.ContinuousCount(id)
+	if ans.Expected != 1 || ans.Lo != 1 || ans.Hi != 1 {
+		t.Errorf("answer = %+v, want certain 1", ans)
+	}
+}
+
+func TestContinuousCountTracksUpdates(t *testing.T) {
+	s := newServer(t)
+	query := geo.R(0.0, 0.0, 0.5, 0.5)
+	id, _ := s.RegisterContinuousCount(query)
+
+	// Enter fully.
+	s.UpdatePrivate(1, geo.R(0.1, 0.1, 0.2, 0.2))
+	ans, _ := s.ContinuousCount(id)
+	if ans.Expected != 1 || ans.Lo != 1 || ans.Hi != 1 {
+		t.Fatalf("after enter: %+v", ans)
+	}
+	// Move to straddle: 50% overlap.
+	s.UpdatePrivate(1, geo.R(0.4, 0.1, 0.6, 0.2))
+	ans, _ = s.ContinuousCount(id)
+	if math.Abs(ans.Expected-0.5) > 1e-9 || ans.Lo != 0 || ans.Hi != 1 {
+		t.Fatalf("after straddle: %+v", ans)
+	}
+	// Leave entirely.
+	s.UpdatePrivate(1, geo.R(0.7, 0.7, 0.8, 0.8))
+	ans, _ = s.ContinuousCount(id)
+	if ans.Expected != 0 || ans.Hi != 0 {
+		t.Fatalf("after leave: %+v", ans)
+	}
+	// Come back and deregister.
+	s.UpdatePrivate(1, geo.R(0.1, 0.1, 0.2, 0.2))
+	s.RemovePrivate(1)
+	ans, _ = s.ContinuousCount(id)
+	if ans.Expected != 0 || ans.Hi != 0 {
+		t.Fatalf("after remove: %+v", ans)
+	}
+}
+
+// The maintained answer must always equal a from-scratch evaluation —
+// incremental ≡ recompute, the continuous-query analogue of invariant I10.
+func TestContinuousMatchesSnapshotUnderChurn(t *testing.T) {
+	s := newServer(t)
+	queries := []geo.Rect{
+		geo.R(0, 0, 0.5, 0.5),
+		geo.R(0.25, 0.25, 0.75, 0.75),
+		geo.R(0.6, 0.1, 0.9, 0.9),
+	}
+	ids := make([]uint64, len(queries))
+	for i, q := range queries {
+		id, err := s.RegisterContinuousCount(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	src := rng.New(31)
+	for step := 0; step < 2000; step++ {
+		uid := uint64(src.Intn(50)) + 1
+		if src.Float64() < 0.1 {
+			s.RemovePrivate(uid)
+		} else {
+			c := geo.Pt(src.Float64(), src.Float64())
+			half := 0.01 + 0.1*src.Float64()
+			s.UpdatePrivate(uid, geo.RectAround(c, half).Clip(world))
+		}
+		if step%200 != 0 {
+			continue
+		}
+		for i, q := range queries {
+			inc, _ := s.ContinuousCount(ids[i])
+			fresh, err := s.PublicRangeCount(PublicRangeCountQuery{Query: q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(inc.Expected-fresh.Answer.Expected) > 1e-6 {
+				t.Fatalf("step %d query %d: incremental E=%v fresh E=%v",
+					step, i, inc.Expected, fresh.Answer.Expected)
+			}
+			if inc.Lo != fresh.Answer.Lo || inc.Hi != fresh.Answer.Hi {
+				t.Fatalf("step %d query %d: incremental [%d,%d] fresh [%d,%d]",
+					step, i, inc.Lo, inc.Hi, fresh.Answer.Lo, fresh.Answer.Hi)
+			}
+		}
+	}
+}
+
+func TestContinuousCountPDF(t *testing.T) {
+	s := newServer(t)
+	id, _ := s.RegisterContinuousCount(geo.R(0, 0, 0.5, 0.5))
+	s.UpdatePrivate(1, geo.R(0.1, 0.1, 0.2, 0.2)) // p=1
+	s.UpdatePrivate(2, geo.R(0.4, 0.1, 0.6, 0.2)) // p=0.5
+	ans, ok := s.ContinuousCountPDF(id)
+	if !ok {
+		t.Fatal("missing PDF")
+	}
+	if math.Abs(ans.Expected-1.5) > 1e-9 {
+		t.Errorf("PDF Expected = %v", ans.Expected)
+	}
+	if len(ans.PDF) != 3 || math.Abs(ans.PDF[1]-0.5) > 1e-9 || math.Abs(ans.PDF[2]-0.5) > 1e-9 {
+		t.Errorf("PDF = %v", ans.PDF)
+	}
+	if _, ok := s.ContinuousCountPDF(999); ok {
+		t.Error("PDF for unknown query")
+	}
+}
+
+func BenchmarkContinuousUpdates(b *testing.B) {
+	s := newServer(b)
+	src := rng.New(7)
+	// 100 standing queries, 10k users.
+	for i := 0; i < 100; i++ {
+		c := geo.Pt(src.Float64(), src.Float64())
+		if _, err := s.RegisterContinuousCount(geo.RectAround(c, 0.05).Clip(world)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		c := geo.Pt(src.Float64(), src.Float64())
+		s.UpdatePrivate(uint64(i+1), geo.RectAround(c, 0.02).Clip(world))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uid := uint64(i%10000) + 1
+		c := geo.Pt(src.Float64(), src.Float64())
+		s.UpdatePrivate(uid, geo.RectAround(c, 0.02).Clip(world))
+	}
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Continuous private range queries monitor moving public objects (police
+// cars, delivery trucks) for a cloaked user: "keep me posted on patrol
+// cars within r of wherever I am". The server maintains, per query, the
+// candidate set over the user's expanded region incrementally as moving
+// objects report — the continuous flavor of Figure 5a, executed with the
+// shared philosophy of Section 5.3: each moving-object update only touches
+// the queries whose filter rectangles it enters or leaves, found through a
+// coarse query index instead of a scan of all standing queries.
+
+// contPrivQuery is one standing private range query over moving objects.
+type contPrivQuery struct {
+	id     uint64
+	region geo.Rect
+	radius float64
+	filter geo.Rect // region expanded by radius — the candidate predicate
+	// members holds the ids of moving objects currently inside filter.
+	members map[uint64]geo.Point
+}
+
+// contPrivEngine indexes standing queries in a coarse grid so updates
+// touch only nearby queries. Methods run with the server mutex held.
+type contPrivEngine struct {
+	s       *Server
+	nextID  uint64
+	queries map[uint64]*contPrivQuery
+	// cells buckets query ids by coarse cell; a query appears in every cell
+	// its filter intersects.
+	cols, rows int
+	cells      [][]uint64
+}
+
+func newContPrivEngine(s *Server) *contPrivEngine {
+	const res = 16
+	return &contPrivEngine{
+		s:       s,
+		queries: make(map[uint64]*contPrivQuery),
+		cols:    res,
+		rows:    res,
+		cells:   make([][]uint64, res*res),
+	}
+}
+
+func (e *contPrivEngine) cellRange(r geo.Rect) (c0, r0, c1, r1 int) {
+	world := e.s.world
+	fx := func(x float64) int {
+		c := int((x - world.Min.X) / world.Width() * float64(e.cols))
+		if c < 0 {
+			c = 0
+		}
+		if c >= e.cols {
+			c = e.cols - 1
+		}
+		return c
+	}
+	fy := func(y float64) int {
+		c := int((y - world.Min.Y) / world.Height() * float64(e.rows))
+		if c < 0 {
+			c = 0
+		}
+		if c >= e.rows {
+			c = e.rows - 1
+		}
+		return c
+	}
+	return fx(r.Min.X), fy(r.Min.Y), fx(r.Max.X), fy(r.Max.Y)
+}
+
+func (e *contPrivEngine) insertIndex(q *contPrivQuery) {
+	c0, r0, c1, r1 := e.cellRange(q.filter)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			i := row*e.cols + col
+			e.cells[i] = append(e.cells[i], q.id)
+		}
+	}
+}
+
+func (e *contPrivEngine) removeIndex(q *contPrivQuery) {
+	c0, r0, c1, r1 := e.cellRange(q.filter)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			i := row*e.cols + col
+			cell := e.cells[i]
+			for j, id := range cell {
+				if id == q.id {
+					cell[j] = cell[len(cell)-1]
+					e.cells[i] = cell[:len(cell)-1]
+					break
+				}
+			}
+		}
+	}
+}
+
+// queriesNear returns the ids of queries whose filters may cover p.
+func (e *contPrivEngine) queriesNear(p geo.Point) []uint64 {
+	c0, r0, _, _ := e.cellRange(geo.PointRect(p))
+	return e.cells[r0*e.cols+c0]
+}
+
+// onMovingUpdate reconciles query memberships for one moving object.
+func (e *contPrivEngine) onMovingUpdate(id uint64, old geo.Point, hadOld bool, new geo.Point) {
+	touch := func(p geo.Point) {
+		for _, qid := range e.queriesNear(p) {
+			q := e.queries[qid]
+			if q == nil {
+				continue
+			}
+			if q.filter.Contains(new) {
+				q.members[id] = new
+			} else {
+				delete(q.members, id)
+			}
+		}
+	}
+	if hadOld {
+		touch(old)
+	}
+	touch(new)
+}
+
+// onMovingRemove drops the object from every query near its last position.
+func (e *contPrivEngine) onMovingRemove(id uint64, last geo.Point) {
+	for _, qid := range e.queriesNear(last) {
+		if q := e.queries[qid]; q != nil {
+			delete(q.members, id)
+		}
+	}
+}
+
+// RegisterContinuousPrivateRange installs a standing private range query:
+// the cloaked user's region plus her radius. The initial candidate set is
+// built from the current moving objects; updates maintain it incrementally.
+func (s *Server) RegisterContinuousPrivateRange(region geo.Rect, radius float64) (uint64, error) {
+	if !region.Valid() {
+		return 0, fmt.Errorf("server: invalid region %v", region)
+	}
+	if radius < 0 {
+		return 0, fmt.Errorf("server: negative radius %g", radius)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.contPriv.nextID++
+	q := &contPrivQuery{
+		id:      s.contPriv.nextID,
+		region:  region,
+		radius:  radius,
+		filter:  region.Expand(radius),
+		members: make(map[uint64]geo.Point),
+	}
+	for _, o := range s.moving.Search(q.filter, nil) {
+		q.members[o.ID] = o.Loc
+	}
+	s.contPriv.queries[q.id] = q
+	s.contPriv.insertIndex(q)
+	return q.id, nil
+}
+
+// UnregisterContinuousPrivateRange removes a standing private query.
+func (s *Server) UnregisterContinuousPrivateRange(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.contPriv.queries[id]
+	if !ok {
+		return false
+	}
+	s.contPriv.removeIndex(q)
+	delete(s.contPriv.queries, id)
+	return true
+}
+
+// ContinuousPrivateRange reads the maintained candidate set, sorted by id.
+// The mobile client refines it against her exact location as usual.
+func (s *Server) ContinuousPrivateRange(id uint64) ([]PublicObject, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	q, ok := s.contPriv.queries[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]PublicObject, 0, len(q.members))
+	for oid, loc := range q.members {
+		out = append(out, PublicObject{ID: oid, Loc: loc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, true
+}
+
+// MoveContinuousPrivateRange re-anchors a standing query when the user's
+// cloaked region changes (she moved enough for the anonymizer to emit a
+// new region). The candidate set is rebuilt for the new filter.
+func (s *Server) MoveContinuousPrivateRange(id uint64, region geo.Rect) error {
+	if !region.Valid() {
+		return fmt.Errorf("server: invalid region %v", region)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.contPriv.queries[id]
+	if !ok {
+		return fmt.Errorf("server: unknown continuous private query %d", id)
+	}
+	s.contPriv.removeIndex(q)
+	q.region = region
+	q.filter = region.Expand(q.radius)
+	q.members = make(map[uint64]geo.Point)
+	for _, o := range s.moving.Search(q.filter, nil) {
+		q.members[o.ID] = o.Loc
+	}
+	s.contPriv.insertIndex(q)
+	return nil
+}
+
+// ContinuousPrivateQueryCount returns the number of standing private
+// queries.
+func (s *Server) ContinuousPrivateQueryCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.contPriv.queries)
+}

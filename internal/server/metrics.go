@@ -1,0 +1,50 @@
+package server
+
+import "sync/atomic"
+
+// Metrics are the server's monotonically increasing operation counters,
+// readable without taking the server mutex. They are the observability
+// surface a deployment scrapes (the database service exposes them through
+// its stats message).
+type Metrics struct {
+	PrivateUpdates  uint64
+	PrivateRemovals uint64
+	MovingUpdates   uint64
+	PrivateRangeQs  uint64
+	PrivateNNQs     uint64
+	PublicCountQs   uint64
+	PublicNNQs      uint64
+	ContinuousReads uint64
+	SnapshotsTaken  uint64
+	RestoresApplied uint64
+}
+
+// metrics is the internal atomic representation.
+type metrics struct {
+	privateUpdates  atomic.Uint64
+	privateRemovals atomic.Uint64
+	movingUpdates   atomic.Uint64
+	privateRangeQs  atomic.Uint64
+	privateNNQs     atomic.Uint64
+	publicCountQs   atomic.Uint64
+	publicNNQs      atomic.Uint64
+	continuousReads atomic.Uint64
+	snapshotsTaken  atomic.Uint64
+	restoresApplied atomic.Uint64
+}
+
+// Metrics returns a snapshot of the counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		PrivateUpdates:  s.met.privateUpdates.Load(),
+		PrivateRemovals: s.met.privateRemovals.Load(),
+		MovingUpdates:   s.met.movingUpdates.Load(),
+		PrivateRangeQs:  s.met.privateRangeQs.Load(),
+		PrivateNNQs:     s.met.privateNNQs.Load(),
+		PublicCountQs:   s.met.publicCountQs.Load(),
+		PublicNNQs:      s.met.publicNNQs.Load(),
+		ContinuousReads: s.met.continuousReads.Load(),
+		SnapshotsTaken:  s.met.snapshotsTaken.Load(),
+		RestoresApplied: s.met.restoresApplied.Load(),
+	}
+}

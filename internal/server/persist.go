@@ -1,0 +1,343 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/prob"
+	"repro/internal/regidx"
+	"repro/internal/rtree"
+)
+
+// Snapshot / Restore persist the server's full state — stationary objects,
+// moving objects, private regions, and standing continuous queries — in a
+// versioned little-endian binary format. A snapshot taken under load is
+// consistent: it is produced under the server mutex.
+//
+// Layout (version 1):
+//
+//	magic "PALB" | u16 version
+//	u32 nStationary | (u64 id, u16 classLen, class, f64 x, f64 y)*
+//	u32 nMoving     | (u64 id, f64 x, f64 y)*
+//	u32 nPrivate    | (u64 id, rect)*
+//	u32 nContCount  | (u64 id, rect)*
+//	u32 nContPriv   | (u64 id, rect region, f64 radius)*
+//
+// Continuous answers and candidate sets are not stored; they are
+// deterministically rebuilt from the data on restore.
+
+var snapshotMagic = [4]byte{'P', 'A', 'L', 'B'}
+
+const snapshotVersion = 1
+
+type snapWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (sw *snapWriter) bytes(b []byte) {
+	if sw.err == nil {
+		_, sw.err = sw.w.Write(b)
+	}
+}
+
+func (sw *snapWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	sw.bytes(b[:])
+}
+
+func (sw *snapWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	sw.bytes(b[:])
+}
+
+func (sw *snapWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	sw.bytes(b[:])
+}
+
+func (sw *snapWriter) f64(v float64) { sw.u64(math.Float64bits(v)) }
+
+func (sw *snapWriter) str(s string) {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	sw.u16(uint16(len(s)))
+	sw.bytes([]byte(s))
+}
+
+func (sw *snapWriter) rect(r geo.Rect) {
+	sw.f64(r.Min.X)
+	sw.f64(r.Min.Y)
+	sw.f64(r.Max.X)
+	sw.f64(r.Max.Y)
+}
+
+// Snapshot writes the server's state to w.
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	sw := &snapWriter{w: bufio.NewWriter(w)}
+	sw.bytes(snapshotMagic[:])
+	sw.u16(snapshotVersion)
+
+	// Stationary objects (from metadata, which carries classes).
+	sw.u32(uint32(len(s.stationaryMeta)))
+	// Iterate the R-tree for deterministic order independence is not
+	// required; the map order varies but Restore is order-insensitive.
+	for _, o := range s.stationaryMeta {
+		sw.u64(o.ID)
+		sw.str(o.Class)
+		sw.f64(o.Loc.X)
+		sw.f64(o.Loc.Y)
+	}
+
+	moving := s.moving.All(nil)
+	sw.u32(uint32(len(moving)))
+	for _, o := range moving {
+		sw.u64(o.ID)
+		sw.f64(o.Loc.X)
+		sw.f64(o.Loc.Y)
+	}
+
+	sw.u32(uint32(len(s.private)))
+	for id, r := range s.private {
+		sw.u64(id)
+		sw.rect(r)
+	}
+
+	sw.u32(uint32(len(s.cont.queries)))
+	for id, q := range s.cont.queries {
+		sw.u64(id)
+		sw.rect(q.query)
+	}
+
+	sw.u32(uint32(len(s.contPriv.queries)))
+	for id, q := range s.contPriv.queries {
+		sw.u64(id)
+		sw.rect(q.region)
+		sw.f64(q.radius)
+	}
+
+	if sw.err != nil {
+		return fmt.Errorf("server: snapshot: %w", sw.err)
+	}
+	s.met.snapshotsTaken.Add(1)
+	return sw.w.Flush()
+}
+
+type snapReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (sr *snapReader) bytes(n int) []byte {
+	if sr.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, b); err != nil {
+		sr.err = err
+		return nil
+	}
+	return b
+}
+
+func (sr *snapReader) u16() uint16 {
+	b := sr.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (sr *snapReader) u32() uint32 {
+	b := sr.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (sr *snapReader) u64() uint64 {
+	b := sr.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (sr *snapReader) f64() float64 { return math.Float64frombits(sr.u64()) }
+
+func (sr *snapReader) str() string {
+	n := int(sr.u16())
+	b := sr.bytes(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (sr *snapReader) rect() geo.Rect {
+	return geo.Rect{
+		Min: geo.Point{X: sr.f64(), Y: sr.f64()},
+		Max: geo.Point{X: sr.f64(), Y: sr.f64()},
+	}
+}
+
+// Restore replaces the server's state with a snapshot previously written
+// by Snapshot. On error the server is left unchanged.
+func (s *Server) Restore(r io.Reader) error {
+	sr := &snapReader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	copy(magic[:], sr.bytes(4))
+	if sr.err == nil && magic != snapshotMagic {
+		return fmt.Errorf("server: restore: bad magic %q", magic[:])
+	}
+	if v := sr.u16(); sr.err == nil && v != snapshotVersion {
+		return fmt.Errorf("server: restore: unsupported version %d", v)
+	}
+
+	// Decode everything before touching server state.
+	nStat := int(sr.u32())
+	stationary := make([]PublicObject, 0, nStat)
+	for i := 0; i < nStat && sr.err == nil; i++ {
+		stationary = append(stationary, PublicObject{
+			ID:    sr.u64(),
+			Class: sr.str(),
+			Loc:   geo.Point{X: sr.f64(), Y: sr.f64()},
+		})
+	}
+	nMov := int(sr.u32())
+	type movObj struct {
+		id  uint64
+		loc geo.Point
+	}
+	moving := make([]movObj, 0, nMov)
+	for i := 0; i < nMov && sr.err == nil; i++ {
+		moving = append(moving, movObj{id: sr.u64(), loc: geo.Point{X: sr.f64(), Y: sr.f64()}})
+	}
+	nPriv := int(sr.u32())
+	private := make(map[uint64]geo.Rect, nPriv)
+	for i := 0; i < nPriv && sr.err == nil; i++ {
+		id := sr.u64()
+		private[id] = sr.rect()
+	}
+	nCont := int(sr.u32())
+	type contQ struct {
+		id uint64
+		q  geo.Rect
+	}
+	contQueries := make([]contQ, 0, nCont)
+	for i := 0; i < nCont && sr.err == nil; i++ {
+		contQueries = append(contQueries, contQ{id: sr.u64(), q: sr.rect()})
+	}
+	nCP := int(sr.u32())
+	type cpQ struct {
+		id     uint64
+		region geo.Rect
+		radius float64
+	}
+	cpQueries := make([]cpQ, 0, nCP)
+	for i := 0; i < nCP && sr.err == nil; i++ {
+		cpQueries = append(cpQueries, cpQ{id: sr.u64(), region: sr.rect(), radius: sr.f64()})
+	}
+	if sr.err != nil {
+		return fmt.Errorf("server: restore: %w", sr.err)
+	}
+
+	// Validate before committing.
+	for _, o := range stationary {
+		if !s.world.Contains(o.Loc) {
+			return fmt.Errorf("server: restore: stationary %d outside world", o.ID)
+		}
+	}
+	for _, m := range moving {
+		if !s.world.Contains(m.loc) {
+			return fmt.Errorf("server: restore: moving %d outside world", m.id)
+		}
+	}
+	for id, r := range private {
+		if !r.Valid() || !s.world.Intersects(r) {
+			return fmt.Errorf("server: restore: private region %d invalid", id)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	items := make([]rtree.Item, len(stationary))
+	meta := make(map[uint64]PublicObject, len(stationary))
+	for i, o := range stationary {
+		items[i] = rtree.Item{ID: o.ID, Loc: o.Loc}
+		meta[o.ID] = o
+	}
+	s.stationary = rtree.BulkLoad(items)
+	s.stationaryMeta = meta
+
+	cols, rows := s.moving.Dims()
+	fresh, err := grid.New(s.world, cols, rows)
+	if err != nil {
+		return err
+	}
+	s.moving = fresh
+	for _, m := range moving {
+		s.moving.Upsert(m.id, m.loc)
+	}
+
+	s.private = private
+	freshIdx, err := regidx.New(s.world, 32, 32)
+	if err != nil {
+		return err
+	}
+	s.privIdx = freshIdx
+	for id, r := range private {
+		if err := s.privIdx.Upsert(id, r); err != nil {
+			return err
+		}
+	}
+
+	// Rebuild continuous engines deterministically from data.
+	s.cont = newContinuousEngine(s)
+	for _, cq := range contQueries {
+		q := &contQuery{id: cq.id, query: cq.q, probs: make(map[uint64]float64)}
+		for uid, region := range s.private {
+			if p := prob.Overlap(region, cq.q); p > 0 {
+				q.apply(uid, 0, p)
+			}
+		}
+		s.cont.queries[cq.id] = q
+		if cq.id > s.cont.nextID {
+			s.cont.nextID = cq.id
+		}
+	}
+	s.contPriv = newContPrivEngine(s)
+	for _, cq := range cpQueries {
+		q := &contPrivQuery{
+			id:      cq.id,
+			region:  cq.region,
+			radius:  cq.radius,
+			filter:  cq.region.Expand(cq.radius),
+			members: make(map[uint64]geo.Point),
+		}
+		for _, o := range s.moving.Search(q.filter, nil) {
+			q.members[o.ID] = o.Loc
+		}
+		s.contPriv.queries[cq.id] = q
+		s.contPriv.insertIndex(q)
+		if cq.id > s.contPriv.nextID {
+			s.contPriv.nextID = cq.id
+		}
+	}
+	s.met.restoresApplied.Add(1)
+	return nil
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// buildLoadedServer populates a server with all kinds of state.
+func buildLoadedServer(t *testing.T) *Server {
+	t.Helper()
+	s := newServer(t)
+	loadObjects(t, s, 500, "gas", 1)
+	src := rng.New(2)
+	for i := 0; i < 200; i++ {
+		if err := s.UpdateMoving(uint64(i+1), geo.Pt(src.Float64(), src.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		c := geo.Pt(src.Float64(), src.Float64())
+		if err := s.UpdatePrivate(uint64(i+1), geo.RectAround(c, 0.03).Clip(world)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.RegisterContinuousCount(geo.R(0.2, 0.2, 0.6, 0.6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterContinuousCount(geo.R(0.5, 0.1, 0.9, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterContinuousPrivateRange(geo.R(0.4, 0.4, 0.5, 0.5), 0.05); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	orig := buildLoadedServer(t)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newServer(t)
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.StationaryCount() != orig.StationaryCount() {
+		t.Errorf("stationary: %d vs %d", restored.StationaryCount(), orig.StationaryCount())
+	}
+	if restored.MovingCount() != orig.MovingCount() {
+		t.Errorf("moving: %d vs %d", restored.MovingCount(), orig.MovingCount())
+	}
+	if restored.PrivateUserCount() != orig.PrivateUserCount() {
+		t.Errorf("private: %d vs %d", restored.PrivateUserCount(), orig.PrivateUserCount())
+	}
+	if restored.ContinuousQueryCount() != orig.ContinuousQueryCount() {
+		t.Errorf("cont queries: %d vs %d", restored.ContinuousQueryCount(), orig.ContinuousQueryCount())
+	}
+	if restored.ContinuousPrivateQueryCount() != orig.ContinuousPrivateQueryCount() {
+		t.Errorf("cont private queries: %d vs %d",
+			restored.ContinuousPrivateQueryCount(), orig.ContinuousPrivateQueryCount())
+	}
+
+	// Every private region survives byte-exact.
+	for _, rec := range orig.privateSnapshot() {
+		got, ok := restored.PrivateRegion(rec.ID)
+		if !ok || !got.Eq(rec.Region) {
+			t.Fatalf("private region %d lost or changed", rec.ID)
+		}
+	}
+
+	// Queries answer identically.
+	q := PrivateRangeQuery{Region: geo.R(0.4, 0.4, 0.5, 0.5), Radius: 0.08, Class: "gas"}
+	a, err := orig.PrivateRange(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.PrivateRange(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("private range answers differ: %d vs %d", len(a), len(b))
+	}
+	ca, _ := orig.PublicRangeCount(PublicRangeCountQuery{Query: geo.R(0.3, 0.3, 0.7, 0.7)})
+	cb, _ := restored.PublicRangeCount(PublicRangeCountQuery{Query: geo.R(0.3, 0.3, 0.7, 0.7)})
+	if math.Abs(ca.Answer.Expected-cb.Answer.Expected) > 1e-9 ||
+		ca.Answer.Lo != cb.Answer.Lo || ca.Answer.Hi != cb.Answer.Hi {
+		t.Fatalf("public count differs: %+v vs %+v", ca.Answer, cb.Answer)
+	}
+
+	// Continuous count answers were rebuilt and match fresh evaluation.
+	for id := uint64(1); id <= 2; id++ {
+		ans, ok := restored.ContinuousCount(id)
+		if !ok {
+			t.Fatalf("continuous query %d missing after restore", id)
+		}
+		orig, _ := orig.ContinuousCount(id)
+		if math.Abs(ans.Expected-orig.Expected) > 1e-9 || ans.Lo != orig.Lo || ans.Hi != orig.Hi {
+			t.Fatalf("continuous answer differs: %+v vs %+v", ans, orig)
+		}
+	}
+
+	// The restored server remains fully functional: updates feed the
+	// rebuilt continuous engines.
+	preAns, _ := restored.ContinuousCount(1)
+	if err := restored.UpdatePrivate(9999, geo.R(0.3, 0.3, 0.4, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	postAns, _ := restored.ContinuousCount(1)
+	if postAns.Expected <= preAns.Expected {
+		t.Error("restored continuous engine did not see the new user")
+	}
+}
+
+func TestSnapshotDeterministicState(t *testing.T) {
+	// Two servers built identically produce snapshots that restore to the
+	// same query answers (byte equality is not required — map iteration
+	// varies — but semantic equality is).
+	a := buildLoadedServer(t)
+	var bufA bytes.Buffer
+	if err := a.Snapshot(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	restored := newServer(t)
+	if err := restored.Restore(bytes.NewReader(bufA.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var bufB bytes.Buffer
+	if err := restored.Snapshot(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot of the restored server has the same length (same content up
+	// to map ordering).
+	if bufA.Len() != bufB.Len() {
+		t.Errorf("second-generation snapshot size %d != %d", bufB.Len(), bufA.Len())
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := newServer(t)
+	if err := s.Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := s.Restore(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Bad version.
+	bad := append([]byte("PALB"), 0xff, 0xff)
+	if err := s.Restore(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated stream.
+	orig := buildLoadedServer(t)
+	var buf bytes.Buffer
+	orig.Snapshot(&buf)
+	if err := s.Restore(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	// The failed restores left the server empty and usable.
+	if s.StationaryCount() != 0 || s.PrivateUserCount() != 0 {
+		t.Error("failed restore mutated server state")
+	}
+	if err := s.UpdatePrivate(1, geo.R(0.1, 0.1, 0.2, 0.2)); err != nil {
+		t.Errorf("server unusable after failed restore: %v", err)
+	}
+}
+
+func TestRestoreRejectsOutOfWorldData(t *testing.T) {
+	// Snapshot from a larger world cannot restore into a smaller one.
+	big, err := New(Config{World: geo.R(0, 0, 10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.AddStationary(PublicObject{ID: 1, Class: "gas", Loc: geo.Pt(5, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := big.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small := newServer(t)
+	if err := small.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("out-of-world snapshot accepted")
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	s, err := New(Config{World: world})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		c := geo.Pt(src.Float64(), src.Float64())
+		s.UpdatePrivate(uint64(i+1), geo.RectAround(c, 0.02).Clip(world))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func TestPrivateRangeValidation(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.PrivateRange(PrivateRangeQuery{Region: geo.Rect{Min: geo.Pt(1, 1)}, Radius: 0.1}); err == nil {
+		t.Error("invalid region accepted")
+	}
+	if _, err := s.PrivateRange(PrivateRangeQuery{Region: geo.R(0, 0, 0.1, 0.1), Radius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := s.PrivateRange(PrivateRangeQuery{Region: geo.R(0, 0, 0.1, 0.1), Radius: math.NaN()}); err == nil {
+		t.Error("NaN radius accepted")
+	}
+}
+
+// Invariant I5: the candidate set contains every object within radius of
+// every point of the region. Verified against brute force over a lattice of
+// query positions.
+func TestPrivateRangeCompleteness(t *testing.T) {
+	s := newServer(t)
+	objs := loadObjects(t, s, 2000, "gas", 2)
+	region := geo.R(0.42, 0.31, 0.55, 0.46)
+	const radius = 0.08
+	got, err := s.PrivateRange(PrivateRangeQuery{Region: region, Radius: radius})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCand := map[uint64]bool{}
+	for _, o := range got {
+		inCand[o.ID] = true
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := geo.Pt(
+				region.Min.X+region.Width()*float64(i)/(n-1),
+				region.Min.Y+region.Height()*float64(j)/(n-1),
+			)
+			for _, o := range objs {
+				if p.Dist(o.Loc) <= radius && !inCand[o.ID] {
+					t.Fatalf("object %d within radius of %v missing from candidates", o.ID, p)
+				}
+			}
+		}
+	}
+}
+
+func TestPrivateRangeRoundedTighterThanMBR(t *testing.T) {
+	s := newServer(t)
+	loadObjects(t, s, 5000, "gas", 3)
+	region := geo.R(0.4, 0.4, 0.5, 0.5)
+	rounded, err := s.PrivateRange(PrivateRangeQuery{Region: region, Radius: 0.1, Mode: RangeRounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbr, err := s.PrivateRange(PrivateRangeQuery{Region: region, Radius: 0.1, Mode: RangeMBR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounded) >= len(mbr) {
+		t.Errorf("rounded (%d) should be tighter than MBR (%d)", len(rounded), len(mbr))
+	}
+	// Rounded candidates all satisfy the exact predicate.
+	for _, o := range rounded {
+		if geo.MinDist(o.Loc, region) > 0.1+1e-12 {
+			t.Fatalf("rounded candidate %d violates predicate", o.ID)
+		}
+	}
+	// Every rounded candidate also appears in the MBR superset.
+	inMBR := map[uint64]bool{}
+	for _, o := range mbr {
+		inMBR[o.ID] = true
+	}
+	for _, o := range rounded {
+		if !inMBR[o.ID] {
+			t.Fatalf("rounded candidate %d missing from MBR superset", o.ID)
+		}
+	}
+}
+
+func TestPrivateRangeClassFilterAndMoving(t *testing.T) {
+	s := newServer(t)
+	if err := s.LoadStationary([]PublicObject{
+		{ID: 1, Class: "gas", Loc: geo.Pt(0.5, 0.5)},
+		{ID: 2, Class: "cafe", Loc: geo.Pt(0.51, 0.51)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateMoving(100, geo.Pt(0.52, 0.52)); err != nil {
+		t.Fatal(err)
+	}
+	q := PrivateRangeQuery{Region: geo.R(0.45, 0.45, 0.55, 0.55), Radius: 0.1}
+
+	all, _ := s.PrivateRange(q)
+	if len(all) != 3 {
+		t.Errorf("unfiltered candidates = %d, want 3 (2 stationary + 1 moving)", len(all))
+	}
+	q.Class = "gas"
+	gas, _ := s.PrivateRange(q)
+	if len(gas) != 1 || gas[0].ID != 1 {
+		t.Errorf("gas candidates = %v", gas)
+	}
+}
+
+func TestPrivateRangeDegenerateRegion(t *testing.T) {
+	// k=1 users send their exact point; the query degenerates to a classic
+	// range query.
+	s := newServer(t)
+	objs := loadObjects(t, s, 1000, "gas", 4)
+	p := geo.Pt(0.5, 0.5)
+	got, err := s.PrivateRange(PrivateRangeQuery{Region: geo.PointRect(p), Radius: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, o := range objs {
+		if p.Dist(o.Loc) <= 0.1 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("degenerate private range = %d, brute = %d", len(got), want)
+	}
+}
+
+func TestPrivateNNValidation(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.PrivateNN(PrivateNNQuery{Region: geo.Rect{Min: geo.Pt(1, 1)}}); err == nil {
+		t.Error("invalid region accepted")
+	}
+}
+
+func TestPrivateNNEmptyServer(t *testing.T) {
+	s := newServer(t)
+	res, err := s.PrivateNN(PrivateNNQuery{Region: geo.R(0.4, 0.4, 0.6, 0.6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 0 {
+		t.Error("candidates from empty server")
+	}
+}
+
+// Invariant I6: the candidate set contains the exact NN of every point of
+// the region.
+func TestPrivateNNCompleteness(t *testing.T) {
+	s := newServer(t)
+	objs := loadObjects(t, s, 3000, "gas", 5)
+	src := rng.New(77)
+	for trial := 0; trial < 25; trial++ {
+		cx, cy := src.Float64()*0.8+0.1, src.Float64()*0.8+0.1
+		w, h := src.Float64()*0.15, src.Float64()*0.15
+		region := geo.R(cx, cy, cx+w, cy+h)
+		res, err := s.PrivateNN(PrivateNNQuery{Region: region})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Candidates) == 0 {
+			t.Fatal("no candidates")
+		}
+		if res.SupersetSize < len(res.Candidates) {
+			t.Fatalf("superset %d < candidates %d", res.SupersetSize, len(res.Candidates))
+		}
+		if !CandidateCompleteness(region, 15, res.Candidates, objs) {
+			t.Fatalf("trial %d: candidate set misses a true NN (region %v, %d candidates)",
+				trial, region, len(res.Candidates))
+		}
+	}
+}
+
+// Every candidate that survives pruning should be the refined NN for some
+// sampled position — pruning is not so weak that the set is bloated with
+// obviously dominated objects. (The set may legitimately contain a few
+// non-winners because pairwise dominance is a relaxation of joint
+// dominance, so this checks the refinement path rather than exact
+// minimality.)
+func TestPrivateNNRefinementConsistency(t *testing.T) {
+	s := newServer(t)
+	objs := loadObjects(t, s, 2000, "gas", 6)
+	region := geo.R(0.3, 0.3, 0.45, 0.4)
+	res, err := s.PrivateNN(PrivateNNQuery{Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refinement at dense sample points must always pick a candidate that
+	// matches the brute-force NN.
+	const n = 12
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := geo.Pt(
+				region.Min.X+region.Width()*float64(i)/(n-1),
+				region.Min.Y+region.Height()*float64(j)/(n-1),
+			)
+			got, ok := RefineNN(p, res.Candidates)
+			if !ok {
+				t.Fatal("refinement found no candidate")
+			}
+			bestD := math.Inf(1)
+			var bestID uint64
+			for _, o := range objs {
+				if d := p.Dist2(o.Loc); d < bestD {
+					bestD, bestID = d, o.ID
+				}
+			}
+			if got.ID != bestID && p.Dist2(got.Loc) != bestD {
+				t.Fatalf("refined NN %d (d²=%v) != brute NN %d (d²=%v) at %v",
+					got.ID, p.Dist2(got.Loc), bestID, bestD, p)
+			}
+		}
+	}
+}
+
+func TestPrivateNNClassFilter(t *testing.T) {
+	s := newServer(t)
+	if err := s.LoadStationary([]PublicObject{
+		{ID: 1, Class: "gas", Loc: geo.Pt(0.9, 0.9)},
+		{ID: 2, Class: "cafe", Loc: geo.Pt(0.52, 0.52)}, // nearer but wrong class
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.PrivateNN(PrivateNNQuery{Region: geo.R(0.45, 0.45, 0.55, 0.55), Class: "gas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 || res.Candidates[0].ID != 1 {
+		t.Errorf("class-filtered NN = %v", res.Candidates)
+	}
+}
+
+func TestPrivateNNDegenerateRegionIsExact(t *testing.T) {
+	s := newServer(t)
+	objs := loadObjects(t, s, 1000, "gas", 7)
+	p := geo.Pt(0.37, 0.62)
+	res, err := s.PrivateNN(PrivateNNQuery{Region: geo.PointRect(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a point region the candidate set should collapse to the exact NN
+	// (plus possible exact ties).
+	bestD := math.Inf(1)
+	for _, o := range objs {
+		if d := p.Dist2(o.Loc); d < bestD {
+			bestD = d
+		}
+	}
+	for _, c := range res.Candidates {
+		if p.Dist2(c.Loc) != bestD {
+			t.Fatalf("degenerate-region candidate %d is not the exact NN", c.ID)
+		}
+	}
+	if len(res.Candidates) < 1 {
+		t.Fatal("no candidate for point region")
+	}
+}
+
+// Growth property (the privacy/QoS trade-off of E5): candidate sets grow
+// with the region.
+func TestPrivateNNCandidatesGrowWithRegion(t *testing.T) {
+	s := newServer(t)
+	loadObjects(t, s, 5000, "gas", 8)
+	sizes := []float64{0.01, 0.05, 0.1, 0.2}
+	prev := 0
+	for _, half := range sizes {
+		region := geo.RectAround(geo.Pt(0.5, 0.5), half)
+		res, err := s.PrivateNN(PrivateNNQuery{Region: region})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Candidates) < prev {
+			t.Errorf("candidates shrank when region grew: %d -> %d at half=%v",
+				prev, len(res.Candidates), half)
+		}
+		prev = len(res.Candidates)
+	}
+	if prev < 4 {
+		t.Errorf("largest region produced only %d candidates", prev)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	corners := geo.R(0, 0, 1, 1).Corners()
+	// A point inside dominated by... nothing trivially; use collinear setup:
+	// b=(2,0.5) vs a=(5,0.5): b is closer to every corner.
+	if !dominates(geo.Pt(2, 0.5), geo.Pt(5, 0.5), corners) {
+		t.Error("b should dominate a")
+	}
+	if dominates(geo.Pt(5, 0.5), geo.Pt(2, 0.5), corners) {
+		t.Error("a should not dominate b")
+	}
+	// Equal points never dominate (no strict corner).
+	if dominates(geo.Pt(3, 3), geo.Pt(3, 3), corners) {
+		t.Error("identical points must not dominate")
+	}
+	// Opposite sides: neither dominates.
+	if dominates(geo.Pt(-1, 0.5), geo.Pt(2, 0.5), corners) ||
+		dominates(geo.Pt(2, 0.5), geo.Pt(-1, 0.5), corners) {
+		t.Error("objects on opposite sides should not dominate each other")
+	}
+}
+
+func TestRangeModeString(t *testing.T) {
+	if RangeRounded.String() != "rounded" || RangeMBR.String() != "mbr" {
+		t.Error("mode strings")
+	}
+	if RangeMode(9).String() == "" {
+		t.Error("unknown mode string")
+	}
+}
+
+// Property: over random regions the private-NN candidate set always
+// contains the brute-force NN of the region's center and corners.
+func TestPropPrivateNNContainsKeyPoints(t *testing.T) {
+	s := newServer(t)
+	objs := loadObjects(t, s, 1500, "gas", 9)
+	f := func(cxRaw, cyRaw, wRaw, hRaw uint16) bool {
+		cx := 0.1 + 0.8*float64(cxRaw)/65535
+		cy := 0.1 + 0.8*float64(cyRaw)/65535
+		w := 0.001 + 0.15*float64(wRaw)/65535
+		h := 0.001 + 0.15*float64(hRaw)/65535
+		region := geo.R(cx, cy, math.Min(cx+w, 1), math.Min(cy+h, 1))
+		res, err := s.PrivateNN(PrivateNNQuery{Region: region})
+		if err != nil {
+			return false
+		}
+		inCand := map[uint64]bool{}
+		for _, c := range res.Candidates {
+			inCand[c.ID] = true
+		}
+		corners := region.Corners()
+		probes := append(corners[:], region.Center())
+		for _, p := range probes {
+			bestD := math.Inf(1)
+			var bestID uint64
+			for _, o := range objs {
+				if d := p.Dist2(o.Loc); d < bestD {
+					bestD, bestID = d, o.ID
+				}
+			}
+			if !inCand[bestID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPrivateRange(b *testing.B) {
+	s := newServer(b)
+	loadObjects(b, s, 10000, "gas", 1)
+	q := PrivateRangeQuery{Region: geo.R(0.45, 0.45, 0.55, 0.55), Radius: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PrivateRange(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrivateNN(b *testing.B) {
+	s := newServer(b)
+	loadObjects(b, s, 10000, "gas", 2)
+	q := PrivateNNQuery{Region: geo.R(0.45, 0.45, 0.55, 0.55)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PrivateNN(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/prob"
+)
+
+// PublicRangeCountQuery is a public query over private data (Figure 6a):
+// "how many mobile users are inside this rectangle?". The querier knows
+// its exact rectangle; the server knows only cloaked regions.
+type PublicRangeCountQuery struct {
+	Query geo.Rect
+}
+
+// PublicRangeCountResult bundles the paper's answer formats plus the naive
+// strawman for comparison.
+type PublicRangeCountResult struct {
+	// Answer carries the expected value, the interval [Lo,Hi], and the PDF.
+	Answer prob.CountAnswer
+	// NaiveCount treats every cloaked region as a solid object and counts
+	// all regions overlapping the query — the paper's "totally inaccurate"
+	// baseline (it would report 5 in Figure 6a where the truth is ≈2.7).
+	NaiveCount int
+}
+
+// PublicRangeCount evaluates the query. The region index prunes users whose
+// cloaked regions cannot intersect the query, so the cost scales with the
+// overlapping population rather than with everyone (the full-scan variant
+// is kept as publicRangeCountScan for the equivalence test and ablation).
+func (s *Server) PublicRangeCount(q PublicRangeCountQuery) (PublicRangeCountResult, error) {
+	if !q.Query.Valid() {
+		return PublicRangeCountResult{}, fmt.Errorf("server: invalid query %v", q.Query)
+	}
+	s.met.publicCountQs.Add(1)
+	s.mu.RLock()
+	ids := s.privIdx.Query(q.Query, nil)
+	probs := make([]float64, 0, len(ids))
+	naive := 0
+	for _, id := range ids {
+		p := prob.Overlap(s.private[id], q.Query)
+		if p > 0 {
+			probs = append(probs, p)
+			naive++
+		}
+	}
+	s.mu.RUnlock()
+	// Sort for determinism: map/bucket order must not influence the PDF's
+	// floating-point accumulation.
+	sort.Float64s(probs)
+	return PublicRangeCountResult{Answer: prob.RangeCount(probs), NaiveCount: naive}, nil
+}
+
+// PublicRangeCountScanForBench exposes the unindexed baseline for the
+// region-index ablation (experiment E15). Production callers use
+// PublicRangeCount.
+func (s *Server) PublicRangeCountScanForBench(q PublicRangeCountQuery) (PublicRangeCountResult, error) {
+	return s.publicRangeCountScan(q)
+}
+
+// publicRangeCountScan is the unindexed baseline.
+func (s *Server) publicRangeCountScan(q PublicRangeCountQuery) (PublicRangeCountResult, error) {
+	if !q.Query.Valid() {
+		return PublicRangeCountResult{}, fmt.Errorf("server: invalid query %v", q.Query)
+	}
+	records := s.privateSnapshot()
+	probs := make([]float64, 0, len(records))
+	naive := 0
+	for _, rec := range records {
+		p := prob.Overlap(rec.Region, q.Query)
+		if p > 0 {
+			probs = append(probs, p)
+			naive++
+		}
+	}
+	sort.Float64s(probs)
+	return PublicRangeCountResult{Answer: prob.RangeCount(probs), NaiveCount: naive}, nil
+}
+
+// PublicNNQuery is a public nearest-neighbor query over private data
+// (Figure 6b): a public object (e.g. a gas station) asks for its nearest
+// mobile user, e.g. to send an e-coupon.
+type PublicNNQuery struct {
+	From geo.Point
+	// Samples controls the Monte-Carlo probability estimation
+	// (default 2000).
+	Samples int
+	// Seed makes the estimate reproducible (default derived from From).
+	Seed uint64
+}
+
+// PublicNNResult carries all three answer formats of Figure 6b.
+type PublicNNResult struct {
+	// Candidates are the users that could be nearest, with probabilities
+	// (the PDF format), sorted by decreasing probability.
+	Candidates []prob.NNProb
+	// Best is the single most likely nearest user.
+	Best prob.NNProb
+	// CandidateRegions maps candidate ids to their cloaked regions, for
+	// clients that need the geometry.
+	CandidateRegions map[uint64]geo.Rect
+	// PrunedCount is how many users min–max dominance eliminated (targets
+	// A, B, C in Figure 6b).
+	PrunedCount int
+}
+
+// PublicNN evaluates the query. Candidate selection follows Figure 6b
+// exactly: with T = min over users of MaxDist(From, region), every user
+// whose MinDist exceeds T is eliminated — some user is certainly closer
+// wherever the eliminated user actually is (invariant I8). Probabilities
+// for the survivors are estimated by seeded Monte Carlo under the uniform-
+// position assumption.
+func (s *Server) PublicNN(q PublicNNQuery) (PublicNNResult, error) {
+	if !q.From.Valid() {
+		return PublicNNResult{}, fmt.Errorf("server: invalid query point %v", q.From)
+	}
+	if !s.world.Contains(q.From) {
+		return PublicNNResult{}, fmt.Errorf("server: query point %v outside world", q.From)
+	}
+	s.met.publicNNQs.Add(1)
+	records := s.privateSnapshot()
+	if len(records) == 0 {
+		return PublicNNResult{CandidateRegions: map[uint64]geo.Rect{}}, nil
+	}
+
+	bound := math.Inf(1)
+	for _, rec := range records {
+		if d := geo.MaxDist2(q.From, rec.Region); d < bound {
+			bound = d
+		}
+	}
+	var cands []prob.Candidate
+	regions := make(map[uint64]geo.Rect)
+	for _, rec := range records {
+		if geo.MinDist2(q.From, rec.Region) <= bound {
+			cands = append(cands, prob.Candidate{ID: rec.ID, Region: rec.Region})
+			regions[rec.ID] = rec.Region
+		}
+	}
+
+	samples := q.Samples
+	if samples <= 0 {
+		samples = 2000
+	}
+	seed := q.Seed
+	if seed == 0 {
+		seed = math.Float64bits(q.From.X) ^ math.Float64bits(q.From.Y)
+	}
+	probs := prob.NNProbabilities(q.From, cands, samples, seed)
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].Prob != probs[j].Prob {
+			return probs[i].Prob > probs[j].Prob
+		}
+		return probs[i].ID < probs[j].ID
+	})
+	res := PublicNNResult{
+		Candidates:       probs,
+		CandidateRegions: regions,
+		PrunedCount:      len(records) - len(cands),
+	}
+	if best, ok := prob.Best(probs); ok {
+		res.Best = best
+	}
+	return res, nil
+}
+
+// PrivateCountQuery is the reduction the paper mentions for private queries
+// over private data: an anonymized user asks how many other mobile users
+// are within Radius of her — the server sees only her cloaked region, so
+// the effective query area is the region expanded by Radius, and the answer
+// is probabilistic on both sides.
+type PrivateCountQuery struct {
+	Region geo.Rect
+	Radius float64
+	// ExcludeID drops the querying user from the count (she would otherwise
+	// always contribute probability 1 to her own expanded region).
+	ExcludeID uint64
+}
+
+// PrivateCount evaluates the reduced query: a probabilistic count over the
+// expanded region. The interval semantics are conservative: Hi counts every
+// user who could possibly be in range of any position of the querier.
+func (s *Server) PrivateCount(q PrivateCountQuery) (prob.CountAnswer, error) {
+	if !q.Region.Valid() {
+		return prob.CountAnswer{}, fmt.Errorf("server: invalid region %v", q.Region)
+	}
+	if q.Radius < 0 || math.IsNaN(q.Radius) {
+		return prob.CountAnswer{}, fmt.Errorf("server: invalid radius %g", q.Radius)
+	}
+	expanded := q.Region.Expand(q.Radius)
+	s.mu.RLock()
+	ids := s.privIdx.Query(expanded, nil)
+	probs := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		if id == q.ExcludeID {
+			continue
+		}
+		if p := prob.Overlap(s.private[id], expanded); p > 0 {
+			probs = append(probs, p)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Float64s(probs)
+	return prob.RangeCount(probs), nil
+}

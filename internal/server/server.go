@@ -1,0 +1,286 @@
+// Package server implements the privacy-aware location-based database
+// server of Section 6: it stores public data with exact locations
+// (stationary objects in an R-tree, moving objects in a grid index) and
+// private data as cloaked regions only, and processes the paper's two novel
+// query classes — private queries over public data (Figure 5) and public
+// queries over private data (Figure 6) — plus continuous count queries with
+// the incremental shared execution of Section 5.3.
+//
+// The server never sees an exact location of an anonymized user: the only
+// private-data write path accepts rectangles. That invariant (I9 in
+// DESIGN.md) is enforced by construction and asserted in tests.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/regidx"
+	"repro/internal/rtree"
+)
+
+// PublicObject is a public-data item: exact location, never hidden.
+type PublicObject struct {
+	ID    uint64
+	Class string
+	Loc   geo.Point
+}
+
+// PrivateRecord is what the server stores about an anonymized user: her
+// cloaked region and nothing else.
+type PrivateRecord struct {
+	ID     uint64
+	Region geo.Rect
+}
+
+// Server is the privacy-aware location-based database server. All methods
+// are safe for concurrent use.
+type Server struct {
+	mu    sync.RWMutex
+	world geo.Rect
+
+	// Public data.
+	stationary     *rtree.Tree
+	stationaryMeta map[uint64]PublicObject
+	moving         *grid.Index
+
+	// Private data: user id -> cloaked region, plus a coarse rectangle
+	// index that lets range-shaped public queries skip non-intersecting
+	// users entirely.
+	private map[uint64]geo.Rect
+	privIdx *regidx.Index
+
+	// Continuous queries (continuous.go, contprivate.go).
+	cont     *continuousEngine
+	contPriv *contPrivEngine
+
+	// Operation counters (metrics.go).
+	met metrics
+}
+
+// Config configures a Server.
+type Config struct {
+	// World bounds all data. Required.
+	World geo.Rect
+	// MovingGridCols/Rows set the moving-object index resolution
+	// (default 64×64).
+	MovingGridCols, MovingGridRows int
+}
+
+// New builds an empty server.
+func New(cfg Config) (*Server, error) {
+	if !cfg.World.Valid() || cfg.World.Area() <= 0 {
+		return nil, fmt.Errorf("server: invalid world %v", cfg.World)
+	}
+	cols, rows := cfg.MovingGridCols, cfg.MovingGridRows
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 64
+	}
+	mov, err := grid.New(cfg.World, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	pidx, err := regidx.New(cfg.World, 32, 32)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		world:          cfg.World,
+		stationary:     rtree.New(),
+		stationaryMeta: make(map[uint64]PublicObject),
+		moving:         mov,
+		private:        make(map[uint64]geo.Rect),
+		privIdx:        pidx,
+	}
+	s.cont = newContinuousEngine(s)
+	s.contPriv = newContPrivEngine(s)
+	return s, nil
+}
+
+// World returns the server's world bounds.
+func (s *Server) World() geo.Rect { return s.world }
+
+// --- Public data management ---
+
+// LoadStationary bulk-loads stationary public objects, replacing any
+// previously loaded set.
+func (s *Server) LoadStationary(objs []PublicObject) error {
+	items := make([]rtree.Item, len(objs))
+	meta := make(map[uint64]PublicObject, len(objs))
+	for i, o := range objs {
+		if _, dup := meta[o.ID]; dup {
+			return fmt.Errorf("server: duplicate stationary object id %d", o.ID)
+		}
+		if !s.world.Contains(o.Loc) {
+			return fmt.Errorf("server: object %d at %v outside world", o.ID, o.Loc)
+		}
+		items[i] = rtree.Item{ID: o.ID, Loc: o.Loc}
+		meta[o.ID] = o
+	}
+	tree := rtree.BulkLoad(items)
+	s.mu.Lock()
+	s.stationary = tree
+	s.stationaryMeta = meta
+	s.mu.Unlock()
+	return nil
+}
+
+// AddStationary inserts one stationary object.
+func (s *Server) AddStationary(o PublicObject) error {
+	if !s.world.Contains(o.Loc) {
+		return fmt.Errorf("server: object %d at %v outside world", o.ID, o.Loc)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.stationaryMeta[o.ID]; dup {
+		return fmt.Errorf("server: duplicate stationary object id %d", o.ID)
+	}
+	s.stationary.Insert(rtree.Item{ID: o.ID, Loc: o.Loc})
+	s.stationaryMeta[o.ID] = o
+	return nil
+}
+
+// RemoveStationary deletes a stationary object; it reports whether it
+// existed.
+func (s *Server) RemoveStationary(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.stationaryMeta[id]
+	if !ok {
+		return false
+	}
+	s.stationary.Delete(id, o.Loc)
+	delete(s.stationaryMeta, id)
+	return true
+}
+
+// StationaryCount returns the number of stationary public objects.
+func (s *Server) StationaryCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stationary.Len()
+}
+
+// UpdateMoving upserts a moving public object (e.g. a police car): public
+// data carries exact locations by definition.
+func (s *Server) UpdateMoving(id uint64, loc geo.Point) error {
+	if !s.world.Contains(loc) {
+		return fmt.Errorf("server: moving object %d at %v outside world", id, loc)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met.movingUpdates.Add(1)
+	old, had := s.moving.Location(id)
+	s.moving.Upsert(id, loc)
+	s.contPriv.onMovingUpdate(id, old, had, loc)
+	return nil
+}
+
+// RemoveMoving deletes a moving public object.
+func (s *Server) RemoveMoving(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	last, had := s.moving.Location(id)
+	if !s.moving.Delete(id) {
+		return false
+	}
+	if had {
+		s.contPriv.onMovingRemove(id, last)
+	}
+	return true
+}
+
+// MovingCount returns the number of moving public objects.
+func (s *Server) MovingCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.moving.Len()
+}
+
+// --- Private data management ---
+
+// UpdatePrivate stores the cloaked region of an anonymized user — the only
+// write path for private data, and it accepts regions, never points
+// (degenerate rectangles do occur for k=1 profiles, by the user's own
+// choice). Continuous queries affected by the change are re-evaluated
+// incrementally.
+func (s *Server) UpdatePrivate(id uint64, region geo.Rect) error {
+	if !region.Valid() {
+		return fmt.Errorf("server: invalid region %v for user %d", region, id)
+	}
+	if !s.world.Intersects(region) {
+		return fmt.Errorf("server: region %v for user %d outside world", region, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met.privateUpdates.Add(1)
+	old, had := s.private[id]
+	s.private[id] = region
+	if err := s.privIdx.Upsert(id, region); err != nil {
+		return err
+	}
+	if had {
+		s.cont.onPrivateUpdate(id, old, region, true)
+	} else {
+		s.cont.onPrivateUpdate(id, geo.Rect{}, region, false)
+	}
+	return nil
+}
+
+// RemovePrivate deletes a user's cloaked region (deregistration).
+func (s *Server) RemovePrivate(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.private[id]
+	if !ok {
+		return false
+	}
+	s.met.privateRemovals.Add(1)
+	delete(s.private, id)
+	s.privIdx.Delete(id)
+	s.cont.onPrivateRemove(id, old)
+	return true
+}
+
+// PrivateUserCount returns the number of tracked anonymized users.
+func (s *Server) PrivateUserCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.private)
+}
+
+// PrivateRegion returns the stored region of one user.
+func (s *Server) PrivateRegion(id uint64) (geo.Rect, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.private[id]
+	return r, ok
+}
+
+// privateSnapshot returns the private records sorted by id; callers hold no
+// lock. Sorting keeps downstream computations deterministic.
+func (s *Server) privateSnapshot() []PrivateRecord {
+	s.mu.RLock()
+	out := make([]PrivateRecord, 0, len(s.private))
+	for id, r := range s.private {
+		out = append(out, PrivateRecord{ID: id, Region: r})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// publicObject resolves item metadata; returns a synthesized record for
+// moving objects (which have no class).
+func (s *Server) publicObjectLocked(id uint64, loc geo.Point) PublicObject {
+	if o, ok := s.stationaryMeta[id]; ok {
+		return o
+	}
+	return PublicObject{ID: id, Loc: loc}
+}

@@ -1,0 +1,71 @@
+// Package stats provides the small numeric summaries the load tools and
+// experiments report: latency percentiles and throughput windows.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Latencies collects duration samples and reports percentiles.
+// The zero value is ready to use. Not safe for concurrent use; each worker
+// keeps its own and merges at the end.
+type Latencies struct {
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) { l.samples = append(l.samples, d) }
+
+// Merge absorbs another collector.
+func (l *Latencies) Merge(o *Latencies) { l.samples = append(l.samples, o.samples...) }
+
+// N returns the number of samples.
+func (l *Latencies) N() int { return len(l.samples) }
+
+// Percentile returns the p-th percentile (p in [0,100]) using the
+// nearest-rank method, or 0 with no samples. The collector is sorted as a
+// side effect.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	if p <= 0 {
+		return l.samples[0]
+	}
+	if p >= 100 {
+		return l.samples[len(l.samples)-1]
+	}
+	rank := int(p/100*float64(len(l.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(l.samples) {
+		rank = len(l.samples) - 1
+	}
+	return l.samples[rank]
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (l *Latencies) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Summary formats the standard report line.
+func (l *Latencies) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		l.N(), l.Mean().Round(time.Microsecond),
+		l.Percentile(50).Round(time.Microsecond),
+		l.Percentile(95).Round(time.Microsecond),
+		l.Percentile(99).Round(time.Microsecond),
+		l.Percentile(100).Round(time.Microsecond))
+}

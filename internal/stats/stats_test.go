@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var l Latencies
+	if l.N() != 0 || l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Error("empty collector should report zeros")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := l.Percentile(c.p); got != c.want {
+			t.Errorf("p%g = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestPercentileClamping(t *testing.T) {
+	var l Latencies
+	l.Add(5 * time.Millisecond)
+	if l.Percentile(-10) != 5*time.Millisecond || l.Percentile(200) != 5*time.Millisecond {
+		t.Error("out-of-range percentiles should clamp")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Latencies
+	a.Add(1 * time.Millisecond)
+	b.Add(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.N() != 2 {
+		t.Errorf("merged N = %d", a.N())
+	}
+	if a.Mean() != 2*time.Millisecond {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var l Latencies
+	l.Add(time.Millisecond)
+	s := l.Summary()
+	for _, want := range []string{"n=1", "p50=", "p99="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package svg is a minimal SVG canvas over world coordinates, used by
+// cmd/lbsfig to regenerate the paper's illustrative figures (cloaking
+// regions, candidate sets, query geometry) from live runs of the actual
+// algorithms. It maps a geo.Rect world onto pixel space with the y axis
+// flipped (SVG grows downward, the world grows upward).
+package svg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// Canvas accumulates SVG elements. Construct with New.
+type Canvas struct {
+	width, height int
+	world         geo.Rect
+	buf           bytes.Buffer
+}
+
+// New creates a canvas of the given pixel size mapping the world rect.
+func New(width, height int, world geo.Rect) (*Canvas, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("svg: non-positive canvas %dx%d", width, height)
+	}
+	if !world.Valid() || world.Area() <= 0 {
+		return nil, fmt.Errorf("svg: invalid world %v", world)
+	}
+	c := &Canvas{width: width, height: height, world: world}
+	fmt.Fprintf(&c.buf,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&c.buf, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	return c, nil
+}
+
+// xy maps a world point to pixel coordinates.
+func (c *Canvas) xy(p geo.Point) (float64, float64) {
+	x := (p.X - c.world.Min.X) / c.world.Width() * float64(c.width)
+	y := (1 - (p.Y-c.world.Min.Y)/c.world.Height()) * float64(c.height)
+	return x, y
+}
+
+// Rect draws a world rectangle. Pass fill "none" for outline only;
+// opacity applies to the fill.
+func (c *Canvas) Rect(r geo.Rect, stroke, fill string, opacity float64) {
+	x0, y1 := c.xy(r.Min) // world min maps to bottom-left
+	x1, y0 := c.xy(r.Max)
+	fmt.Fprintf(&c.buf,
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" stroke="%s" stroke-width="1.5" fill="%s" fill-opacity="%.2f"/>`+"\n",
+		x0, y0, x1-x0, y1-y0, stroke, fill, opacity)
+}
+
+// Dot draws a filled circle of pixel radius rad at a world point.
+func (c *Canvas) Dot(p geo.Point, rad float64, fill string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.buf, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, rad, fill)
+}
+
+// Ring draws an unfilled circle (pixel radius) at a world point.
+func (c *Canvas) Ring(p geo.Point, rad float64, stroke string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.buf,
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+		x, y, rad, stroke)
+}
+
+// Line draws a segment between world points.
+func (c *Canvas) Line(a, b geo.Point, stroke string) {
+	x0, y0 := c.xy(a)
+	x1, y1 := c.xy(b)
+	fmt.Fprintf(&c.buf,
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+		x0, y0, x1, y1, stroke)
+}
+
+// Text places a label at a world point (pixel font size).
+func (c *Canvas) Text(p geo.Point, size int, fill, s string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.buf,
+		`<text x="%.2f" y="%.2f" font-size="%d" font-family="sans-serif" fill="%s">%s</text>`+"\n",
+		x, y, size, fill, escape(s))
+}
+
+// TitleBar writes a caption across the top of the canvas.
+func (c *Canvas) TitleBar(s string) {
+	fmt.Fprintf(&c.buf,
+		`<text x="8" y="18" font-size="14" font-family="sans-serif" font-weight="bold" fill="black">%s</text>`+"\n",
+		escape(s))
+}
+
+func escape(s string) string {
+	var b bytes.Buffer
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WriteTo finalizes the document and writes it out. The canvas can be
+// written once; further element calls after WriteTo are lost.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	n1, err := w.Write(c.buf.Bytes())
+	if err != nil {
+		return int64(n1), err
+	}
+	n2, err := io.WriteString(w, "</svg>\n")
+	return int64(n1 + n2), err
+}

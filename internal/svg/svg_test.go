@@ -1,0 +1,97 @@
+package svg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func render(t *testing.T, draw func(c *Canvas)) string {
+	t.Helper()
+	c, err := New(400, 400, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw(c)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 100, world); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(100, -1, world); err == nil {
+		t.Error("negative height accepted")
+	}
+	if _, err := New(100, 100, geo.Rect{}); err == nil {
+		t.Error("empty world accepted")
+	}
+}
+
+func TestDocumentStructure(t *testing.T) {
+	out := render(t, func(c *Canvas) {})
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Errorf("malformed document:\n%s", out)
+	}
+	if !strings.Contains(out, `width="400"`) {
+		t.Error("dimensions missing")
+	}
+}
+
+func TestCoordinateFlip(t *testing.T) {
+	// World (0,0) is the bottom-left: pixel y = canvas height.
+	out := render(t, func(c *Canvas) {
+		c.Dot(geo.Pt(0, 0), 2, "black")
+		c.Dot(geo.Pt(1, 1), 2, "red")
+	})
+	if !strings.Contains(out, `cx="0.00" cy="400.00"`) {
+		t.Errorf("origin not at bottom-left:\n%s", out)
+	}
+	if !strings.Contains(out, `cx="400.00" cy="0.00"`) {
+		t.Errorf("world max not at top-right:\n%s", out)
+	}
+}
+
+func TestRectMapping(t *testing.T) {
+	out := render(t, func(c *Canvas) {
+		c.Rect(geo.R(0.25, 0.25, 0.75, 0.75), "black", "gray", 0.5)
+	})
+	// x from 100, y from 100 (flipped), 200×200.
+	if !strings.Contains(out, `x="100.00" y="100.00" width="200.00" height="200.00"`) {
+		t.Errorf("rect mapping wrong:\n%s", out)
+	}
+}
+
+func TestElements(t *testing.T) {
+	out := render(t, func(c *Canvas) {
+		c.Line(geo.Pt(0, 0), geo.Pt(1, 1), "blue")
+		c.Ring(geo.Pt(0.5, 0.5), 10, "green")
+		c.Text(geo.Pt(0.1, 0.9), 12, "black", "label")
+		c.TitleBar("caption")
+	})
+	for _, want := range []string{"<line", "<circle", ">label</text>", ">caption</text>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	out := render(t, func(c *Canvas) {
+		c.Text(geo.Pt(0.5, 0.5), 10, "black", "a<b & c>d")
+	})
+	if !strings.Contains(out, "a&lt;b &amp; c&gt;d") {
+		t.Errorf("text not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "a<b") {
+		t.Error("raw markup leaked")
+	}
+}

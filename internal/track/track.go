@@ -1,0 +1,127 @@
+// Package track implements the trajectory-linking adversary behind the
+// paper's Section 2.1 discussion of location tracking: even when every
+// individual region is k-anonymous, an adversary who watches one user's
+// *sequence* of regions and knows a bound on movement speed can intersect
+// each region with the reachable dilation of the previous feasible set,
+// and the intersection may shrink far below the region — snapshot
+// anonymity does not compose over time.
+//
+// The feasible set is maintained as a rectangle (the intersection of
+// rectangles with rectangle dilations stays a rectangle), which makes the
+// attack conservative: the true feasible set is a subset, so any shrinkage
+// reported here is a lower bound on the actual leak.
+package track
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// Linker maintains the adversary's feasible set for one user.
+type Linker struct {
+	maxSpeed float64
+	feasible geo.Rect
+	started  bool
+}
+
+// NewLinker builds a linker assuming the user moves at most maxSpeed
+// (Euclidean distance) between consecutive observations.
+func NewLinker(maxSpeed float64) (*Linker, error) {
+	if maxSpeed < 0 {
+		return nil, fmt.Errorf("track: negative maxSpeed %g", maxSpeed)
+	}
+	return &Linker{maxSpeed: maxSpeed}, nil
+}
+
+// Observe feeds the next published region and returns the updated feasible
+// set: region ∩ dilate(previous feasible, maxSpeed). Correctness: the true
+// location at time t lies in the region (cloak containment) and within
+// maxSpeed of the previous true location, which lay in the previous
+// feasible set — so it lies in the intersection. If the intersection is
+// empty the speed assumption was violated and the linker resets to the
+// bare region.
+func (l *Linker) Observe(region geo.Rect) geo.Rect {
+	if !l.started {
+		l.feasible = region
+		l.started = true
+		return l.feasible
+	}
+	reachable := l.feasible.Expand(l.maxSpeed)
+	if inter, ok := region.Intersect(reachable); ok {
+		l.feasible = inter
+	} else {
+		l.feasible = region
+	}
+	return l.feasible
+}
+
+// Feasible returns the current feasible set; ok is false before the first
+// observation.
+func (l *Linker) Feasible() (geo.Rect, bool) { return l.feasible, l.started }
+
+// Reset clears the linker's state.
+func (l *Linker) Reset() { l.started = false; l.feasible = geo.Rect{} }
+
+// Step is one observation of a tracked user with ground truth attached.
+type Step struct {
+	Region  geo.Rect
+	TrueLoc geo.Point
+}
+
+// Report aggregates linking success over one trajectory.
+type Report struct {
+	Steps int
+	// MeanShrink is the mean of feasible-area / region-area over all steps
+	// after the first; 1 means the sequence leaks nothing beyond each
+	// snapshot, values ≪ 1 mean the trajectory is being narrowed down.
+	MeanShrink float64
+	// FinalShrink is the ratio at the last step.
+	FinalShrink float64
+	// MeanGuessError is the mean distance from the feasible-set center to
+	// the true location, in world units.
+	MeanGuessError float64
+	// ContainmentViolations counts steps where the true location fell
+	// outside the feasible set — zero whenever the speed bound holds, so a
+	// nonzero value flags a misconfigured attack, not a safe user.
+	ContainmentViolations int
+}
+
+// Evaluate replays a trajectory against a fresh linker.
+func Evaluate(steps []Step, maxSpeed float64) (Report, error) {
+	l, err := NewLinker(maxSpeed)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Steps: len(steps)}
+	if len(steps) == 0 {
+		return rep, nil
+	}
+	counted := 0
+	for i, s := range steps {
+		f := l.Observe(s.Region)
+		if !f.Contains(s.TrueLoc) {
+			rep.ContainmentViolations++
+		}
+		rep.MeanGuessError += f.Center().Dist(s.TrueLoc)
+		if i > 0 {
+			ratio := 1.0
+			if a := s.Region.Area(); a > 0 {
+				ratio = f.Area() / a
+			} else if f.IsPoint() {
+				ratio = 1
+			}
+			rep.MeanShrink += ratio
+			rep.FinalShrink = ratio
+			counted++
+		}
+	}
+	rep.MeanGuessError /= float64(len(steps))
+	if counted > 0 {
+		rep.MeanShrink /= float64(counted)
+	} else {
+		rep.MeanShrink = 1
+		rep.FinalShrink = 1
+	}
+	return rep, nil
+}

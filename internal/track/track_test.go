@@ -1,0 +1,178 @@
+package track
+
+import (
+	"testing"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/pyramid"
+)
+
+var world = geo.R(0, 0, 1, 1)
+
+func TestNewLinkerValidation(t *testing.T) {
+	if _, err := NewLinker(-1); err == nil {
+		t.Error("negative maxSpeed accepted")
+	}
+}
+
+func TestLinkerBasics(t *testing.T) {
+	l, err := NewLinker(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Feasible(); ok {
+		t.Error("feasible before first observation")
+	}
+	r1 := geo.R(0.2, 0.2, 0.4, 0.4)
+	if f := l.Observe(r1); !f.Eq(r1) {
+		t.Errorf("first feasible = %v, want the region", f)
+	}
+	// Second region far to the right, reachable only in its left sliver.
+	r2 := geo.R(0.45, 0.2, 0.65, 0.4)
+	f := l.Observe(r2)
+	want := geo.R(0.45, 0.2, 0.5, 0.4) // r2 ∩ r1.Expand(0.1)
+	if !f.Eq(want) {
+		t.Errorf("feasible = %v, want %v", f, want)
+	}
+	l.Reset()
+	if _, ok := l.Feasible(); ok {
+		t.Error("feasible after reset")
+	}
+}
+
+func TestLinkerResetsOnImpossibleJump(t *testing.T) {
+	l, _ := NewLinker(0.01)
+	l.Observe(geo.R(0, 0, 0.1, 0.1))
+	far := geo.R(0.8, 0.8, 0.9, 0.9)
+	if f := l.Observe(far); !f.Eq(far) {
+		t.Errorf("impossible jump should reset to the region, got %v", f)
+	}
+}
+
+func TestEvaluateEmptyAndSingle(t *testing.T) {
+	rep, err := Evaluate(nil, 0.1)
+	if err != nil || rep.Steps != 0 {
+		t.Errorf("empty eval = %+v, %v", rep, err)
+	}
+	rep, err = Evaluate([]Step{{
+		Region: geo.R(0, 0, 0.2, 0.2), TrueLoc: geo.Pt(0.1, 0.1),
+	}}, 0.1)
+	if err != nil || rep.MeanShrink != 1 || rep.ContainmentViolations != 0 {
+		t.Errorf("single eval = %+v", rep)
+	}
+}
+
+// The linking attack exposes a different weakness ordering than the
+// snapshot attack (experiment E13's core finding):
+//
+//   - naive regions move smoothly with the user, so intersection gains
+//     almost nothing (shrink ≈ 1) — but the region center IS the user, so
+//     the guess error is near zero anyway: the leak is instantaneous;
+//   - quadtree cells are static, so the feasible set collapses to a
+//     boundary sliver every time the user crosses into a new cell
+//     (transition leakage), yet the guess error stays far above naive's;
+//   - a frozen (incrementally reused) region leaks nothing to linking:
+//     shrink stays exactly 1.
+func TestLinkingSeparatesCloakers(t *testing.T) {
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: 4000, World: world, Dist: mobility.Uniform, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, _ := grid.New(world, 32, 32)
+	pyr, _ := pyramid.New(world, 8)
+	for i, p := range pts {
+		gi.Upsert(uint64(i+1), p)
+		pyr.Insert(uint64(i+1), p)
+	}
+	pop := cloak.GridPopulation{Index: gi}
+	req := privacy.Requirement{K: 40}
+	const speed = 0.004
+	uid := uint64(4001)
+	pyr.Insert(uid, geo.Pt(0.3, 0.5))
+	gi.Upsert(uid, geo.Pt(0.3, 0.5))
+
+	trajectory := func(c cloak.Cloaker) []Step {
+		var steps []Step
+		loc := geo.Pt(0.3, 0.5)
+		for i := 0; i < 40; i++ {
+			loc = world.ClampPoint(geo.Pt(loc.X+speed, loc.Y))
+			pyr.Move(uid, loc)
+			gi.Upsert(uid, loc)
+			res := c.Cloak(uid, loc, req)
+			steps = append(steps, Step{Region: res.Region, TrueLoc: loc})
+		}
+		return steps
+	}
+
+	naiveRep, err := Evaluate(trajectory(&cloak.Naive{Pop: pop}), speed*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quadRep, err := Evaluate(trajectory(&cloak.Quadtree{Pyr: pyr}), speed*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if naiveRep.ContainmentViolations != 0 || quadRep.ContainmentViolations != 0 {
+		t.Fatalf("containment violated: naive=%d quad=%d",
+			naiveRep.ContainmentViolations, quadRep.ContainmentViolations)
+	}
+	// Naive: linking gains nothing (the region tracks the user)...
+	if naiveRep.MeanShrink < 0.9 {
+		t.Errorf("naive shrink = %v, expected ≈1 (region moves with the user)", naiveRep.MeanShrink)
+	}
+	// ...but the instantaneous leak makes tracking trivial regardless.
+	if naiveRep.MeanGuessError > 0.01 {
+		t.Errorf("naive guess error = %v, expected ≈0", naiveRep.MeanGuessError)
+	}
+	// Quadtree: transition leakage shrinks the feasible set below the cell...
+	if quadRep.MeanShrink > 0.95 {
+		t.Errorf("quadtree shrink = %v, expected visible transition leakage", quadRep.MeanShrink)
+	}
+	// ...while absolute tracking stays far worse than against naive.
+	if quadRep.MeanGuessError < 5*naiveRep.MeanGuessError {
+		t.Errorf("quadtree guess error %v should far exceed naive %v",
+			quadRep.MeanGuessError, naiveRep.MeanGuessError)
+	}
+
+	// A frozen region (what incremental reuse produces) defeats linking
+	// completely: shrink is exactly 1.
+	frozen := geo.R(0.3, 0.4, 0.5, 0.6)
+	var frozenSteps []Step
+	loc := geo.Pt(0.35, 0.5)
+	for i := 0; i < 20; i++ {
+		loc = frozen.ClampPoint(geo.Pt(loc.X+speed, loc.Y))
+		frozenSteps = append(frozenSteps, Step{Region: frozen, TrueLoc: loc})
+	}
+	frozenRep, err := Evaluate(frozenSteps, speed*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozenRep.MeanShrink != 1 || frozenRep.ContainmentViolations != 0 {
+		t.Errorf("frozen-region report = %+v, want shrink exactly 1", frozenRep)
+	}
+}
+
+// The true location always stays inside the feasible set when the speed
+// bound is honest (the attack is sound) — checked on random walks.
+func TestLinkingSoundness(t *testing.T) {
+	const speed = 0.01
+	l, _ := NewLinker(speed * 1.42) // L∞ dilation covers Euclidean steps with slack
+	loc := geo.Pt(0.5, 0.5)
+	for i := 0; i < 200; i++ {
+		dx := speed * float64((i%3)-1)
+		dy := speed * float64(((i/3)%3)-1)
+		loc = world.ClampPoint(geo.Pt(loc.X+dx, loc.Y+dy))
+		region := geo.RectAround(loc, 0.05).Clip(world)
+		f := l.Observe(region)
+		if !f.Contains(loc) {
+			t.Fatalf("step %d: feasible %v excludes true %v", i, f, loc)
+		}
+	}
+}
