@@ -3,9 +3,16 @@
 // and send exact location updates here; only cloaked regions are forwarded
 // to the database server.
 //
+// With -metrics-addr set, an operational HTTP endpoint serves /metrics
+// (Prometheus text format: the anon_* cloaking series — per-algorithm
+// latency, cloaked-area and achieved-k distributions, reuse rate — and the
+// proto_* wire series), /healthz, and the net/http/pprof profiling
+// endpoints under /debug/pprof/. The same series are answered over TCP to
+// MsgMetrics requests, which is how lbsload prints live percentile tables.
+//
 // Usage:
 //
-//	anonymizerd -addr :7071 -db localhost:7070 -alg quadtree -incremental
+//	anonymizerd -addr :7071 -db localhost:7070 -alg quadtree -incremental -metrics-addr :9091
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"repro/internal/anonymizer"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -28,6 +36,7 @@ func main() {
 	gridLevel := flag.Int("grid-level", 6, "fixed level for grid cloaking")
 	pyramidHeight := flag.Int("pyramid-height", 10, "space partition depth")
 	incremental := flag.Bool("incremental", false, "enable incremental cloak maintenance")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	var alg anonymizer.Algorithm
@@ -46,12 +55,14 @@ func main() {
 		log.Fatalf("anonymizerd: unknown algorithm %q", *algName)
 	}
 
+	reg := obs.NewRegistry()
 	cfg := anonymizer.Config{
 		World:         geo.R(0, 0, *worldSize, *worldSize),
 		Algorithm:     alg,
 		GridLevel:     *gridLevel,
 		PyramidHeight: *pyramidHeight,
 		Incremental:   *incremental,
+		Metrics:       reg,
 	}
 	var db *protocol.DatabaseClient
 	if *dbAddr != "" {
@@ -68,17 +79,28 @@ func main() {
 	if err != nil {
 		log.Fatalf("anonymizerd: %v", err)
 	}
-	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf)
+	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf, protocol.WithMetrics(reg))
 	if err != nil {
 		log.Fatalf("anonymizerd: %v", err)
 	}
 	log.Printf("anonymizerd: location anonymizer (%v%s) listening on %s",
 		alg, map[bool]string{true: "+incremental", false: ""}[*incremental], svc.Addr())
+	var metricsSrv *obs.MetricsServer
+	if *metricsAddr != "" {
+		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("anonymizerd: metrics endpoint: %v", err)
+		}
+		log.Printf("anonymizerd: metrics on http://%s/metrics (pprof under /debug/pprof/)", metricsSrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("anonymizerd: shutting down (stats: %+v)", anon.Stats())
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	svc.Close()
 	if db != nil {
 		db.Close()

@@ -3,12 +3,14 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/anonymizer"
 	"repro/internal/cloak"
 	"repro/internal/geo"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/protocol"
 	"repro/internal/server"
@@ -174,14 +176,17 @@ func expShared(cfg benchConfig) {
 }
 
 // expEndToEnd regenerates the Figure 1 architecture as a live TCP
-// deployment and measures end-to-end latencies of each flow.
+// deployment and measures end-to-end latencies of each flow, then asks the
+// daemons for their own request histograms (MsgMetrics) so the client and
+// server views of the same latencies sit side by side.
 func expEndToEnd(cfg benchConfig) {
-	srv, err := server.New(server.Config{World: world})
+	dbReg := obs.NewRegistry()
+	srv, err := server.New(server.Config{World: world, Metrics: dbReg})
 	if err != nil {
 		log.Fatalf("lbsbench: %v", err)
 	}
 	quiet := func(string, ...interface{}) {}
-	dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet)
+	dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet, protocol.WithMetrics(dbReg))
 	if err != nil {
 		log.Fatalf("lbsbench: %v", err)
 	}
@@ -191,11 +196,12 @@ func expEndToEnd(cfg benchConfig) {
 		log.Fatalf("lbsbench: %v", err)
 	}
 	defer fwd.Close()
-	anon, err := anonymizer.New(anonymizer.Config{World: world, Forward: fwd.UpdatePrivate})
+	anonReg := obs.NewRegistry()
+	anon, err := anonymizer.New(anonymizer.Config{World: world, Forward: fwd.UpdatePrivate, Metrics: anonReg})
 	if err != nil {
 		log.Fatalf("lbsbench: %v", err)
 	}
-	anonSvc, err := protocol.ServeAnonymizer("127.0.0.1:0", anon, quiet)
+	anonSvc, err := protocol.ServeAnonymizer("127.0.0.1:0", anon, quiet, protocol.WithMetrics(anonReg))
 	if err != nil {
 		log.Fatalf("lbsbench: %v", err)
 	}
@@ -280,4 +286,41 @@ func expEndToEnd(cfg benchConfig) {
 	t.flush()
 	fmt.Printf("\nthree-tier deployment on loopback TCP: anonymizer %s, database %s\n",
 		anonSvc.Addr(), dbSvc.Addr())
+
+	// The daemons' own per-message-type request histograms, fetched over the
+	// wire — the server-side complement of the client-side table above.
+	t2 := newTable("tier", "message", "count", "p50", "p95", "p99")
+	for _, tier := range []struct {
+		name  string
+		fetch func() ([]obs.MetricSnapshot, error)
+	}{
+		{"anonymizer", user.Metrics},
+		{"database", admin.Metrics},
+	} {
+		series, err := tier.fetch()
+		if err != nil {
+			log.Printf("lbsbench: %s metrics: %v", tier.name, err)
+			continue
+		}
+		for _, s := range series {
+			if s.Name != "proto_request_seconds" || s.Hist.Count() == 0 {
+				continue
+			}
+			msg := ""
+			for _, l := range s.Labels {
+				if l.Key == "type" {
+					msg = l.Value
+				}
+			}
+			if strings.HasPrefix(msg, "metrics") {
+				continue // the fetch itself
+			}
+			t2.row(tier.name, msg, s.Hist.Count(),
+				s.Hist.QuantileDuration(50).Round(time.Microsecond),
+				s.Hist.QuantileDuration(95).Round(time.Microsecond),
+				s.Hist.QuantileDuration(99).Round(time.Microsecond))
+		}
+	}
+	fmt.Println("\ndaemon-side request latency (proto_request_seconds):")
+	t2.flush()
 }

@@ -3,9 +3,15 @@
 // regions from the anonymizer and serves private-over-public and
 // public-over-private queries.
 //
+// With -metrics-addr set, an operational HTTP endpoint serves /metrics
+// (Prometheus text format: the lbs_* server series and proto_* wire
+// series), /healthz, and the net/http/pprof profiling endpoints under
+// /debug/pprof/. The same series are answered over TCP to MsgMetrics
+// requests, which is how lbsload prints live percentile tables.
+//
 // Usage:
 //
-//	lbsd -addr :7070 -world 1.0
+//	lbsd -addr :7070 -world 1.0 -metrics-addr :9090
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"syscall"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/server"
 )
@@ -24,9 +31,11 @@ func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]²")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written at shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
-	srv, err := server.New(server.Config{World: geo.R(0, 0, *worldSize, *worldSize)})
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{World: geo.R(0, 0, *worldSize, *worldSize), Metrics: reg})
 	if err != nil {
 		log.Fatalf("lbsd: %v", err)
 	}
@@ -42,16 +51,27 @@ func main() {
 			log.Fatalf("lbsd: open snapshot: %v", err)
 		}
 	}
-	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf)
+	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf, protocol.WithMetrics(reg))
 	if err != nil {
 		log.Fatalf("lbsd: %v", err)
 	}
 	log.Printf("lbsd: privacy-aware database server listening on %s (world %.3g²)", svc.Addr(), *worldSize)
+	var metricsSrv *obs.MetricsServer
+	if *metricsAddr != "" {
+		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("lbsd: metrics endpoint: %v", err)
+		}
+		log.Printf("lbsd: metrics on http://%s/metrics (pprof under /debug/pprof/)", metricsSrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("lbsd: shutting down")
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	if err := svc.Close(); err != nil {
 		log.Printf("lbsd: close: %v", err)
 	}

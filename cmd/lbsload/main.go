@@ -3,7 +3,11 @@
 // each flow — the capacity-check tool for the networked services.
 //
 // It either targets an existing deployment (-anon / -db addresses) or, with
-// -selfhost, spins the whole stack up in-process on loopback first.
+// -selfhost, spins the whole stack up in-process on loopback first. At the
+// end of the run it asks each daemon for its metric snapshot (MsgMetrics)
+// and prints the daemons' own histogram percentiles next to the
+// client-side numbers; peers running uninstrumented builds reject the
+// message and the tables are skipped.
 //
 // Usage:
 //
@@ -15,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,12 +28,49 @@ import (
 	"repro/internal/cloak"
 	"repro/internal/geo"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
+
+// printLiveMetrics prints a percentile table for every histogram with
+// observations in a daemon's wire snapshot. *_seconds histograms format as
+// durations; size/area/ratio histograms print raw quantiles.
+func printLiveMetrics(name string, series []obs.MetricSnapshot, err error) {
+	if err != nil {
+		log.Printf("lbsload: %s metrics unavailable (uninstrumented peer?): %v", name, err)
+		return
+	}
+	fmt.Printf("\n%s histograms (from the daemon's own registry):\n", name)
+	any := false
+	for _, s := range series {
+		if s.Kind != obs.KindHistogram || s.Hist.Count() == 0 {
+			continue
+		}
+		any = true
+		label := s.Name
+		if len(s.Labels) > 0 {
+			parts := make([]string, len(s.Labels))
+			for i, l := range s.Labels {
+				parts[i] = l.Key + "=" + l.Value
+			}
+			label += "{" + strings.Join(parts, ",") + "}"
+		}
+		if strings.HasSuffix(s.Name, "_seconds") {
+			fmt.Printf("  %-44s %s\n", label, s.Hist.Summary())
+		} else {
+			fmt.Printf("  %-44s n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
+				label, s.Hist.Count(), s.Hist.Mean(),
+				s.Hist.Quantile(50), s.Hist.Quantile(95), s.Hist.Quantile(99))
+		}
+	}
+	if !any {
+		fmt.Printf("  (no observations)\n")
+	}
+}
 
 func main() {
 	anonAddr := flag.String("anon", "localhost:7071", "anonymizer address")
@@ -48,11 +90,12 @@ func main() {
 	quiet := func(string, ...interface{}) {}
 
 	if *selfhost {
-		srv, err := server.New(server.Config{World: world})
+		dbReg := obs.NewRegistry()
+		srv, err := server.New(server.Config{World: world, Metrics: dbReg})
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
-		dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet)
+		dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet, protocol.WithMetrics(dbReg))
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
@@ -62,13 +105,14 @@ func main() {
 			log.Fatalf("lbsload: %v", err)
 		}
 		defer fwd.Close()
+		anonReg := obs.NewRegistry()
 		anon, err := anonymizer.New(anonymizer.Config{
-			World: world, Incremental: true, Forward: fwd.UpdatePrivate,
+			World: world, Incremental: true, Forward: fwd.UpdatePrivate, Metrics: anonReg,
 		})
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
-		anonSvc, err := protocol.ServeAnonymizer("127.0.0.1:0", anon, quiet)
+		anonSvc, err := protocol.ServeAnonymizer("127.0.0.1:0", anon, quiet, protocol.WithMetrics(anonReg))
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
@@ -249,4 +293,16 @@ func main() {
 	}
 	fmt.Printf("  NN queries : %s\n", queryLat.Summary())
 	fmt.Printf("  admin count: %s\n", adminLat.Summary())
+
+	// Daemon-side percentile tables over the wire.
+	if ac, err := protocol.DialAnonymizer(*anonAddr); err == nil {
+		series, merr := ac.Metrics()
+		printLiveMetrics("anonymizer", series, merr)
+		ac.Close()
+	}
+	if dc, err := protocol.DialDatabase(*dbAddr); err == nil {
+		series, merr := dc.Metrics()
+		printLiveMetrics("database", series, merr)
+		dc.Close()
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cloak"
 	"repro/internal/geo"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/pyramid"
 )
@@ -97,6 +98,10 @@ type Config struct {
 	// current requirement — the paper's note that the anonymizer "may charge
 	// the mobile users based on their required protection level".
 	Tariff func(req privacy.Requirement) float64
+	// Metrics is the registry the anonymizer registers its anon_* series
+	// in. Optional; a private registry is created when nil, so
+	// instrumentation is always live and Registry() always works.
+	Metrics *obs.Registry
 }
 
 // Stats aggregates anonymizer activity counters.
@@ -126,6 +131,7 @@ type Anonymizer struct {
 	inc     *cloak.Incremental
 
 	stats Stats
+	met   *anonMetrics
 }
 
 // Common errors.
@@ -165,6 +171,7 @@ func New(cfg Config) (*Anonymizer, error) {
 		modes:    make(map[uint64]privacy.Mode),
 		charges:  make(map[uint64]float64),
 		pyr:      pyr,
+		met:      newAnonMetrics(cfg.Metrics, cfg.Algorithm),
 	}
 	switch cfg.Algorithm {
 	case AlgQuadtree:
@@ -264,6 +271,7 @@ func (a *Anonymizer) Register(id uint64, profile *privacy.Profile) error {
 	a.profiles[id] = profile
 	a.modes[id] = privacy.Active
 	a.stats.Registered++
+	a.met.registered.Set(float64(a.stats.Registered))
 	return nil
 }
 
@@ -323,6 +331,8 @@ func (a *Anonymizer) Deregister(id uint64) bool {
 	delete(a.profiles, id)
 	delete(a.modes, id)
 	a.stats.Registered--
+	a.met.registered.Set(float64(a.stats.Registered))
+	a.met.tracked.Set(float64(a.pyr.Len()))
 	return true
 }
 
@@ -383,18 +393,24 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	if a.pop != nil {
 		a.pop.Upsert(id, loc)
 	}
+	a.met.tracked.Set(float64(a.pyr.Len()))
 
+	t0 := time.Now()
 	var res cloak.Result
 	if a.inc != nil {
 		res = a.inc.Cloak(id, loc, req)
 	} else {
 		res = a.cloaker.Cloak(id, loc, req)
 	}
+	a.met.cloakLat.Since(t0)
+	a.met.observeResult(res)
 
 	if isQuery {
 		a.stats.Queries++
+		a.met.queries.Inc()
 	} else {
 		a.stats.Updates++
+		a.met.updates.Inc()
 	}
 	if res.Reused {
 		a.stats.Reused++
@@ -402,6 +418,7 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	if res.BestEffort() {
 		a.stats.BestEffort++
 	}
+	a.met.setReuseRate(a.stats)
 	if a.cfg.Tariff != nil {
 		a.charges[id] += a.cfg.Tariff(req)
 	}
@@ -419,11 +436,13 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 			a.mu.Lock()
 			a.stats.ForwardErrs++
 			a.mu.Unlock()
+			a.met.forwardErrs.Inc()
 			return res, fmt.Errorf("anonymizer: forward failed: %w", err)
 		}
 		a.mu.Lock()
 		a.stats.Forwarded++
 		a.mu.Unlock()
+		a.met.forwarded.Inc()
 	}
 	return res, nil
 }
@@ -475,6 +494,9 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 		slot = append(slot, i)
 	}
 
+	a.met.tracked.Set(float64(a.pyr.Len()))
+
+	t0 := time.Now()
 	var batchResults []cloak.Result
 	if q, ok := a.cloaker.(*cloak.Quadtree); ok {
 		bq := &cloak.BatchQuadtree{Pyr: q.Pyr}
@@ -485,10 +507,13 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 			batchResults[i] = a.cloaker.Cloak(r.ID, r.Loc, r.Req)
 		}
 	}
+	a.met.batchLat.Since(t0)
 	for i := range batchResults {
 		res := batchResults[i]
 		results[slot[i]] = &res
 		a.stats.Updates++
+		a.met.updates.Inc()
+		a.met.observeResult(res)
 		if res.BestEffort() {
 			a.stats.BestEffort++
 		}
@@ -496,6 +521,7 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 			a.charges[reqs[i].ID] += a.cfg.Tariff(reqs[i].Req)
 		}
 	}
+	a.met.setReuseRate(a.stats)
 	fwd := a.cfg.Forward
 	a.mu.Unlock()
 
@@ -517,11 +543,13 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 			a.mu.Lock()
 			a.stats.ForwardErrs++
 			a.mu.Unlock()
+			a.met.forwardErrs.Inc()
 			continue
 		}
 		a.mu.Lock()
 		a.stats.Forwarded++
 		a.mu.Unlock()
+		a.met.forwarded.Inc()
 	}
 	return results
 }

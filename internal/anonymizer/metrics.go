@@ -1,0 +1,92 @@
+package anonymizer
+
+import (
+	"repro/internal/cloak"
+	"repro/internal/obs"
+)
+
+// anonMetrics holds the anonymizer's registered obs series. The cloaking
+// algorithm is fixed per Anonymizer, so the per-algorithm label is bound
+// once at construction and the hot path pays only atomic operations.
+type anonMetrics struct {
+	reg *obs.Registry
+
+	cloakLat *obs.Histogram // anon_cloak_seconds{alg}
+	batchLat *obs.Histogram // anon_batch_seconds{alg}
+	area     *obs.Histogram // anon_cloak_area{alg}
+	k        *obs.Histogram // anon_cloak_k{alg}
+
+	updates     *obs.Counter
+	queries     *obs.Counter
+	relaxations *obs.Counter // best-effort results (some constraint missed)
+	kMissed     *obs.Counter // k-anonymity itself missed — the hard failure
+	reuseHits   *obs.Counter
+	forwarded   *obs.Counter
+	forwardErrs *obs.Counter
+
+	registered *obs.Gauge
+	tracked    *obs.Gauge
+	reuseRate  *obs.Gauge // reused / (updates+queries), 0..1
+}
+
+// newAnonMetrics registers the anonymizer's series in reg (a fresh private
+// registry when nil), labelling the per-cloak distributions with alg.
+func newAnonMetrics(reg *obs.Registry, alg Algorithm) *anonMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	l := obs.L("alg", alg.String())
+	return &anonMetrics{
+		reg: reg,
+
+		cloakLat: reg.Histogram("anon_cloak_seconds",
+			"Latency of one cloaking computation.", obs.DefaultLatencyBuckets, l),
+		batchLat: reg.Histogram("anon_batch_seconds",
+			"Latency of one shared (batch) cloaking pass.", obs.DefaultLatencyBuckets, l),
+		area: reg.Histogram("anon_cloak_area",
+			"Cloaked-region area (world units squared).", obs.AreaBuckets, l),
+		k: reg.Histogram("anon_cloak_k",
+			"Anonymity actually achieved (users in the cloaked region).", obs.CountBuckets, l),
+
+		updates:     reg.Counter("anon_updates_total", "Location updates processed."),
+		queries:     reg.Counter("anon_queries_total", "Query cloaks processed."),
+		relaxations: reg.Counter("anon_cloak_relaxations_total", "Cloaks that missed at least one profile constraint (best effort)."),
+		kMissed:     reg.Counter("anon_cloak_k_missed_total", "Cloaks that missed the k-anonymity requirement itself."),
+		reuseHits:   reg.Counter("anon_reuse_hits_total", "Updates served from a still-valid incremental region."),
+		forwarded:   reg.Counter("anon_forwarded_total", "Cloaked regions forwarded downstream."),
+		forwardErrs: reg.Counter("anon_forward_errors_total", "Downstream forward failures."),
+
+		registered: reg.Gauge("anon_registered_users", "Users registered with a privacy profile."),
+		tracked:    reg.Gauge("anon_tracked_users", "Users currently present in the spatial indices."),
+		reuseRate:  reg.Gauge("anon_reuse_rate", "Incremental-reuse hit rate over all processed operations (0..1)."),
+	}
+}
+
+// observeResult records the per-cloak distributions for one result.
+func (m *anonMetrics) observeResult(res cloak.Result) {
+	m.area.Observe(res.Region.Area())
+	m.k.Observe(float64(res.K))
+	if res.BestEffort() {
+		m.relaxations.Inc()
+	}
+	if !res.SatisfiedK {
+		m.kMissed.Inc()
+	}
+	if res.Reused {
+		m.reuseHits.Inc()
+	}
+}
+
+// setReuseRate refreshes the hit-rate gauge from the activity counters;
+// called with the anonymizer mutex held.
+func (m *anonMetrics) setReuseRate(st Stats) {
+	total := st.Updates + st.Queries
+	if total > 0 {
+		m.reuseRate.Set(float64(st.Reused) / float64(total))
+	}
+}
+
+// Registry returns the registry the anonymizer's series live in — the
+// handle a daemon mounts on its /metrics endpoint and exposes over the
+// wire.
+func (a *Anonymizer) Registry() *obs.Registry { return a.met.reg }

@@ -1,0 +1,172 @@
+package obs_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// hist builds a registered histogram without touching unexported APIs.
+func hist(bounds []float64) (*obs.Registry, *obs.Histogram) {
+	reg := obs.NewRegistry()
+	return reg, reg.Histogram("h", "test histogram", bounds)
+}
+
+func snapshot(reg *obs.Registry) obs.HistogramSnapshot {
+	s, ok := reg.Find("h")
+	if !ok {
+		panic("histogram not registered")
+	}
+	return s.Hist
+}
+
+// TestBucketBoundaries pins the le semantics: an observation equal to a
+// bound lands in that bound's bucket, anything above the last bound lands
+// in the +Inf overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	reg, h := hist([]float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.5, 2, 3, 4, 4.0001, 100} {
+		h.Observe(v)
+	}
+	s := snapshot(reg)
+	want := []uint64{2, 2, 2, 2} // {0,1} {1.5,2} {3,4} {4.0001,100}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("len(Counts) = %d, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count() = %d, want 8", s.Count())
+	}
+	if wantSum := 0.0 + 1 + 1.5 + 2 + 3 + 4 + 4.0001 + 100; s.Sum != wantSum {
+		t.Errorf("Sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	regA, a := hist([]float64{1, 2})
+	regB, b := hist([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(1.5)
+	b.Observe(10)
+	sa, sb := snapshot(regA), snapshot(regB)
+	if err := sa.Merge(sb); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if got, want := sa.Counts, []uint64{1, 2, 1}; got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("merged counts = %v, want %v", got, want)
+	}
+	if sa.Sum != 0.5+1.5+1.5+10 {
+		t.Errorf("merged sum = %g", sa.Sum)
+	}
+	// Merging must not corrupt the live histogram the snapshot came from.
+	if live := snapshot(regA); live.Counts[1] != 1 {
+		t.Errorf("live histogram mutated by snapshot merge: %v", live.Counts)
+	}
+
+	regC, _ := hist([]float64{1, 3})
+	sc := snapshot(regC)
+	if err := sa.Merge(sc); err == nil {
+		t.Fatal("merging mismatched bucket layouts must fail")
+	}
+	regD, _ := hist([]float64{1})
+	sd := snapshot(regD)
+	if err := sa.Merge(sd); err == nil {
+		t.Fatal("merging different bucket counts must fail")
+	}
+}
+
+func TestQuantileEmptyAndOverflow(t *testing.T) {
+	reg, h := hist([]float64{1, 2})
+	if q := snapshot(reg).Quantile(50); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+	h.Observe(50) // overflow only
+	if q := snapshot(reg).Quantile(99); q != 2 {
+		t.Errorf("overflow quantile = %g, want last finite bound 2", q)
+	}
+}
+
+// TestQuantileAgreesWithStats checks the promoted-rank contract: for any
+// sample set, the histogram's quantile must land inside the bucket that
+// holds the exact nearest-rank sample reported by stats.Latencies.
+func TestQuantileAgreesWithStats(t *testing.T) {
+	bounds := obs.DefaultLatencyBuckets
+	reg, h := hist(bounds)
+	var lat stats.Latencies
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over ~1µs .. ~1s.
+		d := time.Duration(float64(time.Microsecond) * (1 + r.ExpFloat64()*20000))
+		lat.Add(d)
+		h.ObserveDuration(d)
+	}
+	s := snapshot(reg)
+	for _, p := range []float64{1, 25, 50, 90, 95, 99, 99.9} {
+		exact := lat.Percentile(p).Seconds()
+		got := s.Quantile(p)
+		lo, hi := 0.0, bounds[len(bounds)-1]
+		for i, b := range bounds {
+			if exact <= b {
+				hi = b
+				if i > 0 {
+					lo = bounds[i-1]
+				}
+				break
+			}
+		}
+		if got <= lo || got > hi {
+			t.Errorf("p%g: histogram quantile %g outside bucket (%g, %g] of exact sample %g",
+				p, got, lo, hi, exact)
+		}
+	}
+}
+
+func TestSinceAndObserveDuration(t *testing.T) {
+	reg, h := hist(nil) // DefaultLatencyBuckets
+	h.ObserveDuration(3 * time.Millisecond)
+	h.Since(time.Now().Add(-2 * time.Millisecond))
+	s := snapshot(reg)
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2", s.Count())
+	}
+	if s.Sum < 0.004 || s.Sum > 0.1 {
+		t.Errorf("sum = %gs, want ≈ 5ms", s.Sum)
+	}
+	if d := s.QuantileDuration(100); d < 2*time.Millisecond || d > time.Second {
+		t.Errorf("QuantileDuration(100) = %v", d)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := obs.ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets with factor <= 1 must panic")
+		}
+	}()
+	obs.ExpBuckets(1, 1, 4)
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds must panic")
+		}
+	}()
+	reg.Histogram("bad", "h", []float64{1, 1, 2})
+}

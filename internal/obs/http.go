@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux returns the operational HTTP handler for a daemon: /metrics in
+// Prometheus text format, /healthz returning "ok", and the standard
+// net/http/pprof endpoints under /debug/pprof/.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsServer is a running operational HTTP endpoint.
+type MetricsServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.addr }
+
+// Close shuts the endpoint down immediately.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// ServeMetrics binds addr and serves NewMux(reg) in a background goroutine.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{srv: srv, addr: ln.Addr().String()}, nil
+}

@@ -1,0 +1,93 @@
+// Package obs is the observability layer shared by every tier of the
+// deployment: lock-free counters, gauges and fixed-bucket latency
+// histograms behind a named-metric registry, with Prometheus text
+// exposition and an operational HTTP endpoint (/metrics, /healthz,
+// net/http/pprof).
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost must be a handful of atomic operations — the anonymizer
+//     and database server record a sample on every update and query, and
+//     the Section 5.3 goal is scaling to a large mobile population.
+//   - Snapshots must be mergeable, so per-daemon histograms can travel over
+//     the wire protocol and be combined by the load tools.
+//   - Quantiles must use the same definition everywhere: the nearest-rank
+//     rule promoted from internal/stats lives here as Rank, and both the
+//     in-memory sample collector and the bucketed histograms derive their
+//     percentiles from it.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; all methods are safe for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (population sizes, active
+// connections, hit rates). The zero value is ready to use; all methods are
+// safe for concurrent use and lock-free.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (possibly negative) with a compare-and-swap loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Rank returns the 0-based index of the p-th percentile (p in [0,100]) in a
+// sorted set of n samples under the nearest-rank rule — the quantile
+// definition previously private to internal/stats, promoted here so the
+// bench tools and the runtime histograms report identical percentiles.
+// It returns 0 for n <= 0.
+func Rank(n int, p float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 100 {
+		return n - 1
+	}
+	rank := int(p/100*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}

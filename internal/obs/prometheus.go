@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers per metric family,
+// cumulative le-bucket lines plus _sum and _count for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Export())
+}
+
+// WritePrometheus renders already-exported snapshots; the load tools use it
+// to print snapshots fetched over the wire.
+func WritePrometheus(w io.Writer, series []MetricSnapshot) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, s := range series {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if s.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, escapeHelp(s.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Kind)
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", s.Name, labelString(s.Labels, "", 0), formatValue(s.Value))
+		case KindHistogram:
+			var cum uint64
+			for i, c := range s.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Hist.Bounds) {
+					le = formatValue(s.Hist.Bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", s.Name, labelString(s.Labels, le, 1), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.Name, labelString(s.Labels, "", 0), formatValue(s.Hist.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.Name, labelString(s.Labels, "", 0), cum)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...}; mode 1 appends le="bound".
+func labelString(labels []Label, le string, mode int) string {
+	if len(labels) == 0 && mode == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if mode == 1 {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,59 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWritePrometheusGolden pins the exposition format: HELP/TYPE per
+// family, cumulative le buckets with an implicit +Inf, _sum and _count,
+// families sorted by name.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("test_requests_total", "Requests served.", obs.L("type", "update")).Add(3)
+	reg.Gauge("test_active", "Active connections.").Set(1.5)
+	h := reg.Histogram("test_latency_seconds", "Request latency.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2.25)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_active Active connections.
+# TYPE test_active gauge
+test_active 1.5
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.5"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 3.25
+test_latency_seconds_count 3
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{type="update"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("esc_total", "line\nbreak \\ slash", obs.L("q", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total line\nbreak \\ slash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{q="a\"b\\c\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}

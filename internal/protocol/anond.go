@@ -13,10 +13,11 @@ import (
 func probNN(id uint64, p float64) prob.NNProb { return prob.NNProb{ID: id, Prob: p} }
 
 // ServeAnonymizer exposes an anonymizer.Anonymizer over TCP — the endpoint
-// mobile users send their exact locations and privacy profiles to.
-func ServeAnonymizer(addr string, anon *anonymizer.Anonymizer, logf func(string, ...interface{})) (*Service, error) {
+// mobile users send their exact locations and privacy profiles to. Pass
+// WithMetrics to instrument the wire layer and answer MsgMetrics.
+func ServeAnonymizer(addr string, anon *anonymizer.Anonymizer, logf func(string, ...interface{}), opts ...Option) (*Service, error) {
 	h := &anonHandler{anon: anon}
-	return Serve(addr, h.handle, logf)
+	return Serve(addr, h.handle, logf, opts...)
 }
 
 type anonHandler struct {

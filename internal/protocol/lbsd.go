@@ -8,10 +8,11 @@ import (
 )
 
 // ServeDatabase exposes a server.Server over TCP. The service accepts only
-// region-typed private updates — exactly the paper's trust boundary.
-func ServeDatabase(addr string, srv *server.Server, logf func(string, ...interface{})) (*Service, error) {
+// region-typed private updates — exactly the paper's trust boundary. Pass
+// WithMetrics to instrument the wire layer and answer MsgMetrics.
+func ServeDatabase(addr string, srv *server.Server, logf func(string, ...interface{}), opts ...Option) (*Service, error) {
 	h := &dbHandler{srv: srv}
-	return Serve(addr, h.handle, logf)
+	return Serve(addr, h.handle, logf, opts...)
 }
 
 type dbHandler struct {

@@ -3,13 +3,53 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler processes one request frame and returns the response payload.
 type Handler func(typ byte, payload []byte) ([]byte, error)
+
+// svcMetrics holds the protocol tier's registered obs series. Per-message-
+// type series are looked up lazily from the registry (get-or-create), so
+// only types actually seen appear on /metrics.
+type svcMetrics struct {
+	reg        *obs.Registry
+	active     *obs.Gauge
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	dropped    *obs.Counter
+	errs       *obs.Counter
+	frameBytes *obs.Histogram
+}
+
+func newSvcMetrics(reg *obs.Registry) *svcMetrics {
+	return &svcMetrics{
+		reg:      reg,
+		active:   reg.Gauge("proto_active_connections", "Live TCP connections."),
+		bytesIn:  reg.Counter("proto_bytes_read_total", "Frame bytes read, headers included."),
+		bytesOut: reg.Counter("proto_bytes_written_total", "Frame bytes written, headers included."),
+		dropped:  reg.Counter("proto_dropped_frames_total", "Connections dropped on malformed or unreadable frames."),
+		errs:     reg.Counter("proto_handler_errors_total", "Requests answered with an error frame."),
+		// 16 B .. 16 MiB in ×4 steps — the frame cap is maxFrame.
+		frameBytes: reg.Histogram("proto_frame_bytes",
+			"Size of request frames read, headers included.", obs.ExpBuckets(16, 4, 11)),
+	}
+}
+
+// observe records one served request.
+func (m *svcMetrics) observe(typ byte, d time.Duration) {
+	name := MessageName(typ)
+	m.reg.Counter("proto_requests_total", "Requests served by message type.",
+		obs.L("type", name)).Inc()
+	m.reg.Histogram("proto_request_seconds", "Request service latency by message type.",
+		obs.DefaultLatencyBuckets, obs.L("type", name)).ObserveDuration(d)
+}
 
 // Service is a generic framed request/response TCP server shared by the
 // anonymizer and database services.
@@ -17,6 +57,7 @@ type Service struct {
 	ln      net.Listener
 	handler Handler
 	logf    func(format string, args ...interface{})
+	met     *svcMetrics // nil when the service is not instrumented
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -24,10 +65,25 @@ type Service struct {
 	wg     sync.WaitGroup
 }
 
+// Option configures a Service.
+type Option func(*Service)
+
+// WithMetrics instruments the service: per-message-type request counters
+// and latency histograms, bytes in/out, active connections and dropped
+// frames are registered as proto_* series in reg, and the service answers
+// MsgMetrics requests with a snapshot of the whole registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Service) {
+		if reg != nil {
+			s.met = newSvcMetrics(reg)
+		}
+	}
+}
+
 // Serve starts accepting connections on addr ("host:port"; ":0" picks a
 // free port) and dispatches frames to the handler. It returns immediately;
 // use Addr for the bound address and Close to stop.
-func Serve(addr string, handler Handler, logf func(string, ...interface{})) (*Service, error) {
+func Serve(addr string, handler Handler, logf func(string, ...interface{}), opts ...Option) (*Service, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -36,6 +92,9 @@ func Serve(addr string, handler Handler, logf func(string, ...interface{})) (*Se
 		logf = log.Printf
 	}
 	s := &Service{ln: ln, handler: handler, logf: logf, conns: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -66,25 +125,63 @@ func (s *Service) acceptLoop() {
 
 func (s *Service) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	if s.met != nil {
+		s.met.active.Inc()
+	}
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if s.met != nil {
+			s.met.active.Dec()
+		}
 	}()
 	for {
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
-			return // EOF or broken peer: drop the connection
+			// EOF or broken peer: drop the connection. A clean close reads
+			// io.EOF at a frame boundary; anything else is a dropped frame.
+			if s.met != nil && !errors.Is(err, io.EOF) {
+				s.met.dropped.Inc()
+			}
+			return
 		}
-		resp, herr := s.handler(typ, payload)
+		var t0 time.Time
+		if s.met != nil {
+			s.met.bytesIn.Add(uint64(5 + len(payload)))
+			s.met.frameBytes.Observe(float64(5 + len(payload)))
+			t0 = time.Now()
+		}
+		var resp []byte
+		var herr error
+		if typ == MsgMetrics && s.met != nil {
+			// The metrics snapshot is served by the Service layer itself, so
+			// any instrumented service answers it without the per-service
+			// handlers knowing about it.
+			resp = encodeMetrics(s.met.reg.Export())
+		} else {
+			resp, herr = s.handler(typ, payload)
+		}
+		if s.met != nil {
+			s.met.observe(typ, time.Since(t0))
+		}
 		if herr != nil {
+			if s.met != nil {
+				s.met.errs.Inc()
+			}
 			var e Encoder
 			e.Str(herr.Error())
+			if s.met != nil {
+				s.met.bytesOut.Add(uint64(5 + len(e.Bytes())))
+			}
 			if WriteFrame(conn, msgErr, e.Bytes()) != nil {
 				return
 			}
 			continue
+		}
+		if s.met != nil {
+			s.met.bytesOut.Add(uint64(5 + len(resp)))
 		}
 		if WriteFrame(conn, msgOK, resp) != nil {
 			return

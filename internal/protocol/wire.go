@@ -44,7 +44,66 @@ const (
 	MsgContCount      byte = 19
 	MsgUnregContCount byte = 20
 	MsgUpdateMoving   byte = 21
+
+	// MsgMetrics is served by the Service layer itself on any instrumented
+	// service (see WithMetrics): the response carries a full snapshot of
+	// the daemon's metric registry, histograms included, so load tools can
+	// print end-of-run percentile tables from live daemons.
+	MsgMetrics byte = 30
 )
+
+// MessageName returns the stable label value used for per-message-type
+// metric series.
+func MessageName(typ byte) string {
+	switch typ {
+	case msgOK:
+		return "ok"
+	case msgErr:
+		return "err"
+	case MsgRegister:
+		return "register"
+	case MsgUpdate:
+		return "update"
+	case MsgCloakQuery:
+		return "cloak_query"
+	case MsgDeregister:
+		return "deregister"
+	case MsgSetMode:
+		return "set_mode"
+	case MsgBatchUpdate:
+		return "batch_update"
+	case MsgAnonStats:
+		return "anon_stats"
+	case MsgUpdatePrivate:
+		return "update_private"
+	case MsgRemovePrivate:
+		return "remove_private"
+	case MsgPrivateRange:
+		return "private_range"
+	case MsgPrivateNN:
+		return "private_nn"
+	case MsgPublicCount:
+		return "public_count"
+	case MsgPublicNN:
+		return "public_nn"
+	case MsgLoadStationary:
+		return "load_stationary"
+	case MsgStats:
+		return "stats"
+	case MsgRegContCount:
+		return "reg_cont_count"
+	case MsgContCount:
+		return "cont_count"
+	case MsgUnregContCount:
+		return "unreg_cont_count"
+	case MsgUpdateMoving:
+		return "update_moving"
+	case MsgMetrics:
+		return "metrics"
+	default:
+		return fmt.Sprintf("type_%d", typ)
+	}
+}
 
 // maxFrame bounds a frame to keep a misbehaving peer from ballooning
 // memory: 16 MiB fits any realistic candidate list.

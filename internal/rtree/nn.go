@@ -36,10 +36,15 @@ func (q *distQueue) Pop() interface{} {
 // fires, which is why an incremental iterator (rather than a fixed-k query)
 // is the core primitive.
 type Browser struct {
-	q      distQueue
-	origin func(*node) float64 // min dist² from query to a node's bounds
-	opoint func(Item) float64  // dist² from query to an item
+	q       distQueue
+	origin  func(*node) float64 // min dist² from query to a node's bounds
+	opoint  func(Item) float64  // dist² from query to an item
+	visited int                 // nodes expanded so far
 }
+
+// Visited returns the number of tree nodes expanded so far — the index I/O
+// proxy the observability layer exports per query.
+func (b *Browser) Visited() int { return b.visited }
 
 // NewPointBrowser starts distance browsing from a point query.
 func (t *Tree) NewPointBrowser(p geo.Point) *Browser {
@@ -75,6 +80,7 @@ func (b *Browser) Next() (it Item, dist2 float64, ok bool) {
 			return e.item, e.dist2, true
 		}
 		n := e.node
+		b.visited++
 		if n.leaf {
 			for _, item := range n.items {
 				heap.Push(&b.q, queueEntry{dist2: b.opoint(item), item: item, isItem: true})
@@ -97,6 +103,7 @@ func (b *Browser) Peek2() (dist2 float64, ok bool) {
 		}
 		e := heap.Pop(&b.q).(queueEntry)
 		n := e.node
+		b.visited++
 		if n.leaf {
 			for _, item := range n.items {
 				heap.Push(&b.q, queueEntry{dist2: b.opoint(item), item: item, isItem: true})

@@ -311,16 +311,26 @@ func collectItems(n *node, out *[]Item) {
 // Search appends to dst every item whose location lies inside r (closed
 // rectangle semantics) and returns the extended slice.
 func (t *Tree) Search(r geo.Rect, dst []Item) []Item {
-	if t.root == nil {
-		return dst
-	}
-	return searchNode(t.root, r, dst)
+	out, _ := t.SearchVisits(r, dst)
+	return out
 }
 
-func searchNode(n *node, r geo.Rect, dst []Item) []Item {
+// SearchVisits is Search plus the number of tree nodes visited — the index
+// I/O proxy the observability layer exports per query.
+func (t *Tree) SearchVisits(r geo.Rect, dst []Item) ([]Item, int) {
+	if t.root == nil {
+		return dst, 0
+	}
+	visits := 0
+	dst = searchNode(t.root, r, dst, &visits)
+	return dst, visits
+}
+
+func searchNode(n *node, r geo.Rect, dst []Item, visits *int) []Item {
 	if !n.bounds.Intersects(r) {
 		return dst
 	}
+	*visits++
 	if n.leaf {
 		for _, it := range n.items {
 			if r.Contains(it.Loc) {
@@ -330,7 +340,7 @@ func searchNode(n *node, r geo.Rect, dst []Item) []Item {
 		return dst
 	}
 	for _, c := range n.children {
-		dst = searchNode(c, r, dst)
+		dst = searchNode(c, r, dst, visits)
 	}
 	return dst
 }

@@ -64,6 +64,7 @@ func (s *Server) RegisterContinuousCount(query geo.Rect) (uint64, error) {
 		}
 	}
 	s.cont.queries[cq.id] = cq
+	s.met.contQueries.Set(float64(len(s.cont.queries)))
 	return cq.id, nil
 }
 
@@ -75,6 +76,7 @@ func (s *Server) UnregisterContinuousCount(id uint64) bool {
 		return false
 	}
 	delete(s.cont.queries, id)
+	s.met.contQueries.Set(float64(len(s.cont.queries)))
 	return true
 }
 
@@ -86,7 +88,7 @@ func (s *Server) ContinuousCount(id uint64) (ContinuousCountAnswer, bool) {
 	if !ok {
 		return ContinuousCountAnswer{}, false
 	}
-	s.met.continuousReads.Add(1)
+	s.met.continuousReads.Inc()
 	return ContinuousCountAnswer{Expected: cq.expected, Lo: cq.lo, Hi: cq.hi}, true
 }
 

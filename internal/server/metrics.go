@@ -1,11 +1,13 @@
 package server
 
-import "sync/atomic"
+import "repro/internal/obs"
 
 // Metrics are the server's monotonically increasing operation counters,
 // readable without taking the server mutex. They are the observability
 // surface a deployment scrapes (the database service exposes them through
-// its stats message).
+// its stats message). The struct is a stable snapshot API; the live
+// counters behind it are obs registry series, so the same numbers appear
+// on /metrics as lbs_*_total.
 type Metrics struct {
 	PrivateUpdates  uint64
 	PrivateRemovals uint64
@@ -19,32 +21,114 @@ type Metrics struct {
 	RestoresApplied uint64
 }
 
-// metrics is the internal atomic representation.
+// metrics holds the server's registered obs series. Handles are registered
+// once at construction and used lock-free on the hot paths.
 type metrics struct {
-	privateUpdates  atomic.Uint64
-	privateRemovals atomic.Uint64
-	movingUpdates   atomic.Uint64
-	privateRangeQs  atomic.Uint64
-	privateNNQs     atomic.Uint64
-	publicCountQs   atomic.Uint64
-	publicNNQs      atomic.Uint64
-	continuousReads atomic.Uint64
-	snapshotsTaken  atomic.Uint64
-	restoresApplied atomic.Uint64
+	reg *obs.Registry
+
+	privateUpdates  *obs.Counter
+	privateRemovals *obs.Counter
+	movingUpdates   *obs.Counter
+	privateRangeQs  *obs.Counter
+	privateNNQs     *obs.Counter
+	publicCountQs   *obs.Counter
+	publicNNQs      *obs.Counter
+	continuousReads *obs.Counter
+	snapshotsTaken  *obs.Counter
+	restoresApplied *obs.Counter
+
+	// Gauges: current data-set sizes.
+	privateUsers *obs.Gauge
+	stationary   *obs.Gauge
+	moving       *obs.Gauge
+	contQueries  *obs.Gauge
+
+	// Per-query-class latency histograms (seconds).
+	latPrivateRange *obs.Histogram
+	latPrivateNN    *obs.Histogram
+	latPublicCount  *obs.Histogram
+	latPublicNN     *obs.Histogram
+
+	// Query-shape distributions.
+	candidates   *obs.Histogram // private-NN candidate set size
+	falsePosFrac *obs.Histogram // fraction of NN candidates refinement discards
+	nodeVisits   *obs.Histogram // index nodes visited per query
 }
+
+// newMetrics registers the server's series in reg (a fresh private registry
+// when nil).
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	lat := func(class string) *obs.Histogram {
+		return reg.Histogram("lbs_query_seconds",
+			"Database query latency by query class.",
+			obs.DefaultLatencyBuckets, obs.L("class", class))
+	}
+	return &metrics{
+		reg: reg,
+
+		privateUpdates:  reg.Counter("lbs_private_updates_total", "Cloaked-region updates stored."),
+		privateRemovals: reg.Counter("lbs_private_removals_total", "Private user deregistrations."),
+		movingUpdates:   reg.Counter("lbs_moving_updates_total", "Moving public-object updates."),
+		privateRangeQs:  reg.Counter("lbs_private_range_queries_total", "Private range queries served."),
+		privateNNQs:     reg.Counter("lbs_private_nn_queries_total", "Private nearest-neighbor queries served."),
+		publicCountQs:   reg.Counter("lbs_public_count_queries_total", "Public probabilistic count queries served."),
+		publicNNQs:      reg.Counter("lbs_public_nn_queries_total", "Public nearest-neighbor queries served."),
+		continuousReads: reg.Counter("lbs_continuous_reads_total", "Continuous-query answer reads."),
+		snapshotsTaken:  reg.Counter("lbs_snapshots_total", "State snapshots written."),
+		restoresApplied: reg.Counter("lbs_restores_total", "State snapshots restored."),
+
+		privateUsers: reg.Gauge("lbs_private_users", "Anonymized users currently tracked (cloaked regions stored)."),
+		stationary:   reg.Gauge("lbs_stationary_objects", "Stationary public objects indexed."),
+		moving:       reg.Gauge("lbs_moving_objects", "Moving public objects indexed."),
+		contQueries:  reg.Gauge("lbs_continuous_queries", "Standing continuous queries registered."),
+
+		latPrivateRange: lat("private_range"),
+		latPrivateNN:    lat("private_nn"),
+		latPublicCount:  lat("public_count"),
+		latPublicNN:     lat("public_nn"),
+
+		candidates: reg.Histogram("lbs_private_nn_candidates",
+			"Private-NN candidate set size after dominance pruning.",
+			obs.CountBuckets),
+		falsePosFrac: reg.Histogram("lbs_private_nn_false_positive_ratio",
+			"Fraction of returned NN candidates client refinement will discard.",
+			obs.RatioBuckets),
+		nodeVisits: reg.Histogram("lbs_index_node_visits",
+			"Spatial-index nodes visited per query.",
+			obs.CountBuckets),
+	}
+}
+
+// observeNNAnswer records the candidate-set distributions for one private
+// NN answer of n candidates. Exactly one candidate is the true nearest
+// neighbor after client refinement, so the false-positive ratio of the
+// answer is (n-1)/n.
+func (m *metrics) observeNNAnswer(n int) {
+	m.candidates.Observe(float64(n))
+	if n > 0 {
+		m.falsePosFrac.Observe(float64(n-1) / float64(n))
+	}
+}
+
+// Registry returns the registry the server's series live in — the handle a
+// daemon mounts on its /metrics endpoint and exposes over the wire.
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
 
 // Metrics returns a snapshot of the counters.
 func (s *Server) Metrics() Metrics {
 	return Metrics{
-		PrivateUpdates:  s.met.privateUpdates.Load(),
-		PrivateRemovals: s.met.privateRemovals.Load(),
-		MovingUpdates:   s.met.movingUpdates.Load(),
-		PrivateRangeQs:  s.met.privateRangeQs.Load(),
-		PrivateNNQs:     s.met.privateNNQs.Load(),
-		PublicCountQs:   s.met.publicCountQs.Load(),
-		PublicNNQs:      s.met.publicNNQs.Load(),
-		ContinuousReads: s.met.continuousReads.Load(),
-		SnapshotsTaken:  s.met.snapshotsTaken.Load(),
-		RestoresApplied: s.met.restoresApplied.Load(),
+		PrivateUpdates:  s.met.privateUpdates.Value(),
+		PrivateRemovals: s.met.privateRemovals.Value(),
+		MovingUpdates:   s.met.movingUpdates.Value(),
+		PrivateRangeQs:  s.met.privateRangeQs.Value(),
+		PrivateNNQs:     s.met.privateNNQs.Value(),
+		PublicCountQs:   s.met.publicCountQs.Value(),
+		PublicNNQs:      s.met.publicNNQs.Value(),
+		ContinuousReads: s.met.continuousReads.Value(),
+		SnapshotsTaken:  s.met.snapshotsTaken.Value(),
+		RestoresApplied: s.met.restoresApplied.Value(),
 	}
 }

@@ -131,7 +131,7 @@ func (s *Server) Snapshot(w io.Writer) error {
 	if sw.err != nil {
 		return fmt.Errorf("server: snapshot: %w", sw.err)
 	}
-	s.met.snapshotsTaken.Add(1)
+	s.met.snapshotsTaken.Inc()
 	return sw.w.Flush()
 }
 
@@ -338,6 +338,11 @@ func (s *Server) Restore(r io.Reader) error {
 			s.contPriv.nextID = cq.id
 		}
 	}
-	s.met.restoresApplied.Add(1)
+	s.met.restoresApplied.Inc()
+	// Re-point the size gauges at the restored data set.
+	s.met.privateUsers.Set(float64(len(s.private)))
+	s.met.stationary.Set(float64(s.stationary.Len()))
+	s.met.moving.Set(float64(s.moving.Len()))
+	s.met.contQueries.Set(float64(len(s.cont.queries)))
 	return nil
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/geo"
 )
@@ -60,7 +61,8 @@ func (s *Server) PrivateRange(q PrivateRangeQuery) ([]PublicObject, error) {
 		return nil, fmt.Errorf("server: invalid radius %g", q.Radius)
 	}
 	filter := q.Region.Expand(q.Radius)
-	s.met.privateRangeQs.Add(1)
+	s.met.privateRangeQs.Inc()
+	defer s.met.latPrivateRange.Since(time.Now())
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -76,9 +78,11 @@ func (s *Server) PrivateRange(q PrivateRangeQuery) ([]PublicObject, error) {
 		}
 		out = append(out, o)
 	}
-	for _, it := range s.stationary.Search(filter, nil) {
+	items, visits := s.stationary.SearchVisits(filter, nil)
+	for _, it := range items {
 		keep(it.ID, it.Loc)
 	}
+	s.met.nodeVisits.Observe(float64(visits))
 	if q.Class == "" {
 		for _, m := range s.moving.Search(filter, nil) {
 			keep(m.ID, m.Loc)
@@ -125,7 +129,8 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 	if !q.Region.Valid() {
 		return PrivateNNResult{}, fmt.Errorf("server: invalid query region %v", q.Region)
 	}
-	s.met.privateNNQs.Add(1)
+	s.met.privateNNQs.Inc()
+	defer s.met.latPrivateNN.Since(time.Now())
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -163,6 +168,7 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 	}
 	cands = kept
 	superset := len(cands)
+	s.met.nodeVisits.Observe(float64(browser.Visited()))
 
 	// Pairwise dominance pruning is O(n²); for pathological supersets (a
 	// near-world-sized cloak admits most of the dataset) pruning could not
@@ -175,6 +181,7 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 		for i, c := range cands {
 			res.Candidates[i] = c.obj
 		}
+		s.met.observeNNAnswer(len(res.Candidates))
 		return res, nil
 	}
 
@@ -199,6 +206,7 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 			res.Candidates = append(res.Candidates, c.obj)
 		}
 	}
+	s.met.observeNNAnswer(len(res.Candidates))
 	return res, nil
 }
 

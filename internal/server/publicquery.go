@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/prob"
@@ -35,7 +36,8 @@ func (s *Server) PublicRangeCount(q PublicRangeCountQuery) (PublicRangeCountResu
 	if !q.Query.Valid() {
 		return PublicRangeCountResult{}, fmt.Errorf("server: invalid query %v", q.Query)
 	}
-	s.met.publicCountQs.Add(1)
+	s.met.publicCountQs.Inc()
+	defer s.met.latPublicCount.Since(time.Now())
 	s.mu.RLock()
 	ids := s.privIdx.Query(q.Query, nil)
 	probs := make([]float64, 0, len(ids))
@@ -120,7 +122,8 @@ func (s *Server) PublicNN(q PublicNNQuery) (PublicNNResult, error) {
 	if !s.world.Contains(q.From) {
 		return PublicNNResult{}, fmt.Errorf("server: query point %v outside world", q.From)
 	}
-	s.met.publicNNQs.Add(1)
+	s.met.publicNNQs.Inc()
+	defer s.met.latPublicNN.Since(time.Now())
 	records := s.privateSnapshot()
 	if len(records) == 0 {
 		return PublicNNResult{CandidateRegions: map[uint64]geo.Rect{}}, nil

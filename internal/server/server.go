@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/regidx"
 	"repro/internal/rtree"
 )
@@ -57,8 +58,8 @@ type Server struct {
 	cont     *continuousEngine
 	contPriv *contPrivEngine
 
-	// Operation counters (metrics.go).
-	met metrics
+	// Observability series (metrics.go).
+	met *metrics
 }
 
 // Config configures a Server.
@@ -68,6 +69,10 @@ type Config struct {
 	// MovingGridCols/Rows set the moving-object index resolution
 	// (default 64×64).
 	MovingGridCols, MovingGridRows int
+	// Metrics is the registry the server registers its lbs_* series in.
+	// Optional; a private registry is created when nil, so instrumentation
+	// is always live and Registry() always works.
+	Metrics *obs.Registry
 }
 
 // New builds an empty server.
@@ -97,6 +102,7 @@ func New(cfg Config) (*Server, error) {
 		moving:         mov,
 		private:        make(map[uint64]geo.Rect),
 		privIdx:        pidx,
+		met:            newMetrics(cfg.Metrics),
 	}
 	s.cont = newContinuousEngine(s)
 	s.contPriv = newContPrivEngine(s)
@@ -127,6 +133,7 @@ func (s *Server) LoadStationary(objs []PublicObject) error {
 	s.mu.Lock()
 	s.stationary = tree
 	s.stationaryMeta = meta
+	s.met.stationary.Set(float64(tree.Len()))
 	s.mu.Unlock()
 	return nil
 }
@@ -143,6 +150,7 @@ func (s *Server) AddStationary(o PublicObject) error {
 	}
 	s.stationary.Insert(rtree.Item{ID: o.ID, Loc: o.Loc})
 	s.stationaryMeta[o.ID] = o
+	s.met.stationary.Set(float64(s.stationary.Len()))
 	return nil
 }
 
@@ -157,6 +165,7 @@ func (s *Server) RemoveStationary(id uint64) bool {
 	}
 	s.stationary.Delete(id, o.Loc)
 	delete(s.stationaryMeta, id)
+	s.met.stationary.Set(float64(s.stationary.Len()))
 	return true
 }
 
@@ -175,9 +184,10 @@ func (s *Server) UpdateMoving(id uint64, loc geo.Point) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.met.movingUpdates.Add(1)
+	s.met.movingUpdates.Inc()
 	old, had := s.moving.Location(id)
 	s.moving.Upsert(id, loc)
+	s.met.moving.Set(float64(s.moving.Len()))
 	s.contPriv.onMovingUpdate(id, old, had, loc)
 	return nil
 }
@@ -193,6 +203,7 @@ func (s *Server) RemoveMoving(id uint64) bool {
 	if had {
 		s.contPriv.onMovingRemove(id, last)
 	}
+	s.met.moving.Set(float64(s.moving.Len()))
 	return true
 }
 
@@ -219,12 +230,13 @@ func (s *Server) UpdatePrivate(id uint64, region geo.Rect) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.met.privateUpdates.Add(1)
+	s.met.privateUpdates.Inc()
 	old, had := s.private[id]
 	s.private[id] = region
 	if err := s.privIdx.Upsert(id, region); err != nil {
 		return err
 	}
+	s.met.privateUsers.Set(float64(len(s.private)))
 	if had {
 		s.cont.onPrivateUpdate(id, old, region, true)
 	} else {
@@ -241,9 +253,10 @@ func (s *Server) RemovePrivate(id uint64) bool {
 	if !ok {
 		return false
 	}
-	s.met.privateRemovals.Add(1)
+	s.met.privateRemovals.Inc()
 	delete(s.private, id)
 	s.privIdx.Delete(id)
+	s.met.privateUsers.Set(float64(len(s.private)))
 	s.cont.onPrivateRemove(id, old)
 	return true
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Latencies collects duration samples and reports percentiles.
@@ -25,27 +27,15 @@ func (l *Latencies) Merge(o *Latencies) { l.samples = append(l.samples, o.sample
 func (l *Latencies) N() int { return len(l.samples) }
 
 // Percentile returns the p-th percentile (p in [0,100]) using the
-// nearest-rank method, or 0 with no samples. The collector is sorted as a
-// side effect.
+// nearest-rank method (obs.Rank — the definition shared with the runtime
+// histograms), or 0 with no samples. The collector is sorted as a side
+// effect.
 func (l *Latencies) Percentile(p float64) time.Duration {
 	if len(l.samples) == 0 {
 		return 0
 	}
 	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
-	if p <= 0 {
-		return l.samples[0]
-	}
-	if p >= 100 {
-		return l.samples[len(l.samples)-1]
-	}
-	rank := int(p/100*float64(len(l.samples))+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(l.samples) {
-		rank = len(l.samples) - 1
-	}
-	return l.samples[rank]
+	return l.samples[obs.Rank(len(l.samples), p)]
 }
 
 // Mean returns the arithmetic mean, or 0 with no samples.
