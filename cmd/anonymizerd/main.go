@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/anonymizer"
 	"repro/internal/geo"
@@ -37,6 +38,11 @@ func main() {
 	pyramidHeight := flag.Int("pyramid-height", 10, "space partition depth")
 	incremental := flag.Bool("incremental", false, "enable incremental cloak maintenance")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+	callTimeout := flag.Duration("call-timeout", 5*time.Second, "deadline for each call to the database server")
+	forwardQueue := flag.Int("forward-queue", 1024, "spill queue capacity for cloaked regions while the database is down (0 = fail updates instead)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
 	flag.Parse()
 
 	var alg anonymizer.Algorithm
@@ -67,19 +73,30 @@ func main() {
 	var db *protocol.DatabaseClient
 	if *dbAddr != "" {
 		var err error
-		db, err = protocol.DialDatabase(*dbAddr)
+		// Lazy dial + spill queue: a database that is down at startup or
+		// goes away mid-run costs availability of forwards, never of the
+		// anonymizer itself. Client-side proto_* series land in the same
+		// registry as the cloaking metrics.
+		db, err = protocol.DialDatabase(*dbAddr,
+			protocol.WithLazyDial(),
+			protocol.WithCallTimeout(*callTimeout),
+			protocol.WithClientMetrics(reg))
 		if err != nil {
-			log.Fatalf("anonymizerd: cannot reach database server at %s: %v", *dbAddr, err)
+			log.Fatalf("anonymizerd: database client for %s: %v", *dbAddr, err)
 		}
 		cfg.Forward = db.UpdatePrivate
-		log.Printf("anonymizerd: forwarding cloaked regions to %s", *dbAddr)
+		cfg.ForwardQueue = *forwardQueue
+		log.Printf("anonymizerd: forwarding cloaked regions to %s (spill queue %d)", *dbAddr, *forwardQueue)
 	}
 
 	anon, err := anonymizer.New(cfg)
 	if err != nil {
 		log.Fatalf("anonymizerd: %v", err)
 	}
-	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf, protocol.WithMetrics(reg))
+	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf, protocol.WithMetrics(reg),
+		protocol.WithMaxConns(*maxConns),
+		protocol.WithReadTimeout(*readTimeout),
+		protocol.WithDrainTimeout(*drainTimeout))
 	if err != nil {
 		log.Fatalf("anonymizerd: %v", err)
 	}
@@ -102,6 +119,7 @@ func main() {
 		metricsSrv.Close()
 	}
 	svc.Close()
+	anon.Close()
 	if db != nil {
 		db.Close()
 	}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/obs"
@@ -32,6 +33,9 @@ func main() {
 	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]²")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written at shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -40,18 +44,17 @@ func main() {
 		log.Fatalf("lbsd: %v", err)
 	}
 	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			if err := srv.Restore(f); err != nil {
-				log.Fatalf("lbsd: restore %s: %v", *snapshot, err)
-			}
-			f.Close()
+		if err := srv.LoadSnapshot(*snapshot); err == nil {
 			log.Printf("lbsd: restored %d public objects, %d private users from %s",
 				srv.StationaryCount(), srv.PrivateUserCount(), *snapshot)
 		} else if !os.IsNotExist(err) {
-			log.Fatalf("lbsd: open snapshot: %v", err)
+			log.Fatalf("lbsd: restore %s: %v", *snapshot, err)
 		}
 	}
-	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf, protocol.WithMetrics(reg))
+	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf, protocol.WithMetrics(reg),
+		protocol.WithMaxConns(*maxConns),
+		protocol.WithReadTimeout(*readTimeout),
+		protocol.WithDrainTimeout(*drainTimeout))
 	if err != nil {
 		log.Fatalf("lbsd: %v", err)
 	}
@@ -76,20 +79,8 @@ func main() {
 		log.Printf("lbsd: close: %v", err)
 	}
 	if *snapshot != "" {
-		tmp := *snapshot + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			log.Fatalf("lbsd: create snapshot: %v", err)
-		}
-		if err := srv.Snapshot(f); err != nil {
-			f.Close()
-			log.Fatalf("lbsd: snapshot: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("lbsd: close snapshot: %v", err)
-		}
-		if err := os.Rename(tmp, *snapshot); err != nil {
-			log.Fatalf("lbsd: publish snapshot: %v", err)
+		if err := srv.SaveSnapshot(*snapshot); err != nil {
+			log.Fatalf("lbsd: %v", err)
 		}
 		log.Printf("lbsd: state saved to %s", *snapshot)
 	}

@@ -84,10 +84,19 @@ func main() {
 	queryPct := flag.Int("query-pct", 20, "percent of user operations that are NN queries (rest are updates)")
 	batch := flag.Int("batch", 1, "locations per update message (BatchUpdate when > 1)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	callTimeout := flag.Duration("call-timeout", 5*time.Second, "per-call deadline on every client connection")
 	flag.Parse()
 
 	world := geo.R(0, 0, 1, 1)
 	quiet := func(string, ...interface{}) {}
+
+	// All load-generator connections share one metrics registry, so the
+	// run's retries/timeouts/breaker trips are visible in the summary.
+	cliReg := obs.NewRegistry()
+	cliOpts := []protocol.DialOption{
+		protocol.WithCallTimeout(*callTimeout),
+		protocol.WithClientMetrics(cliReg),
+	}
 
 	if *selfhost {
 		dbReg := obs.NewRegistry()
@@ -123,7 +132,7 @@ func main() {
 	}
 
 	// Seed the deployment: public objects + registered users.
-	setup, err := protocol.DialDatabase(*dbAddr)
+	setup, err := protocol.DialDatabase(*dbAddr, cliOpts...)
 	if err != nil {
 		log.Fatalf("lbsload: dial db: %v", err)
 	}
@@ -148,7 +157,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("lbsload: %v", err)
 	}
-	reg, err := protocol.DialAnonymizer(*anonAddr)
+	reg, err := protocol.DialAnonymizer(*anonAddr, cliOpts...)
 	if err != nil {
 		log.Fatalf("lbsload: dial anonymizer: %v", err)
 	}
@@ -184,13 +193,13 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			conn, err := protocol.DialAnonymizer(*anonAddr)
+			conn, err := protocol.DialAnonymizer(*anonAddr, cliOpts...)
 			if err != nil {
 				log.Printf("lbsload: worker %d: %v", w, err)
 				return
 			}
 			defer conn.Close()
-			db, err := protocol.DialDatabase(*dbAddr)
+			db, err := protocol.DialDatabase(*dbAddr, cliOpts...)
 			if err != nil {
 				log.Printf("lbsload: worker %d: %v", w, err)
 				return
@@ -254,7 +263,7 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		db, err := protocol.DialDatabase(*dbAddr)
+		db, err := protocol.DialDatabase(*dbAddr, cliOpts...)
 		if err != nil {
 			log.Printf("lbsload: admin worker: %v", err)
 			return
@@ -293,6 +302,11 @@ func main() {
 	}
 	fmt.Printf("  NN queries : %s\n", queryLat.Summary())
 	fmt.Printf("  admin count: %s\n", adminLat.Summary())
+	fmt.Printf("  resilience : %d retries, %d timeouts, %d reconnects, %d breaker opens\n",
+		cliReg.Counter("proto_retries_total", "").Value(),
+		cliReg.Counter("proto_call_timeouts_total", "").Value(),
+		cliReg.Counter("proto_reconnects_total", "").Value(),
+		cliReg.Counter("proto_breaker_opens_total", "").Value())
 
 	// Daemon-side percentile tables over the wire.
 	if ac, err := protocol.DialAnonymizer(*anonAddr); err == nil {

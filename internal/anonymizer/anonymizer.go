@@ -92,6 +92,17 @@ type Config struct {
 	// Forward receives every cloaked region. Optional; when nil regions are
 	// only returned to the caller.
 	Forward Forwarder
+	// ForwardQueue bounds the spill queue that absorbs forward failures:
+	// when the downstream link is down, cloaked regions (never exact
+	// locations — spilling does not weaken privacy) are parked and replayed
+	// with backoff once the link recovers, and the user's update succeeds
+	// instead of failing. 0 disables spilling: a forward failure fails the
+	// update, the pre-queue behavior.
+	ForwardQueue int
+	// ForwardRetryBase/ForwardRetryMax bound the replay loop's exponential
+	// backoff (defaults 100ms and 5s).
+	ForwardRetryBase time.Duration
+	ForwardRetryMax  time.Duration
 	// Clock supplies the time for profile resolution (default time.Now).
 	Clock func() time.Time
 	// Tariff, when set, charges users per update as a function of their
@@ -104,7 +115,9 @@ type Config struct {
 	Metrics *obs.Registry
 }
 
-// Stats aggregates anonymizer activity counters.
+// Stats aggregates anonymizer activity counters. Forwarded includes
+// replayed regions; ForwardErrs counts every failed forward attempt,
+// direct and replay alike.
 type Stats struct {
 	Registered  int
 	Updates     uint64
@@ -113,6 +126,12 @@ type Stats struct {
 	BestEffort  uint64
 	Forwarded   uint64
 	ForwardErrs uint64
+
+	// Spill-queue counters (all zero when no forward queue is configured).
+	Spilled    uint64 // regions parked in the replay queue
+	Replayed   uint64 // spilled regions delivered after recovery
+	Dropped    uint64 // oldest entries evicted from a full queue
+	QueueDepth int    // regions currently awaiting replay
 }
 
 // Anonymizer is the trusted third party. All methods are safe for
@@ -129,6 +148,7 @@ type Anonymizer struct {
 	pop     *grid.Index // nil when the algorithm is space-dependent
 	cloaker cloak.Cloaker
 	inc     *cloak.Incremental
+	fq      *forwardQueue // nil unless Forward + ForwardQueue configured
 
 	stats Stats
 	met   *anonMetrics
@@ -202,7 +222,47 @@ func New(cfg Config) (*Anonymizer, error) {
 		// forever, while still reusing aggressively in the steady state.
 		a.inc.MaxSlack = 8
 	}
+	if cfg.Forward != nil && cfg.ForwardQueue > 0 {
+		a.fq = newForwardQueue(cfg.Forward, cfg.ForwardQueue,
+			cfg.ForwardRetryBase, cfg.ForwardRetryMax, a.met)
+	}
 	return a, nil
+}
+
+// Close stops the forward replay loop, abandoning anything still queued.
+// It is a no-op without a forward queue and safe to call more than once.
+func (a *Anonymizer) Close() {
+	if a.fq != nil {
+		a.fq.close()
+	}
+}
+
+// forward delivers one cloaked region downstream. With a spill queue
+// configured a failure parks the region for replay and the update still
+// succeeds; per-user ordering is preserved by coalescing into an already
+// queued entry instead of letting a newer region overtake it on the
+// direct path. Without a queue the error is returned, failing the update.
+func (a *Anonymizer) forward(id uint64, region geo.Rect) error {
+	if a.fq != nil && a.fq.enqueueIfPending(id, region) {
+		return nil
+	}
+	err := a.cfg.Forward(id, region)
+	if err == nil {
+		a.mu.Lock()
+		a.stats.Forwarded++
+		a.mu.Unlock()
+		a.met.forwarded.Inc()
+		return nil
+	}
+	a.mu.Lock()
+	a.stats.ForwardErrs++
+	a.mu.Unlock()
+	a.met.forwardErrs.Inc()
+	if a.fq != nil {
+		a.fq.add(id, region)
+		return nil
+	}
+	return err
 }
 
 // validateRegion re-checks a cached region against the live population; it
@@ -422,27 +482,15 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	if a.cfg.Tariff != nil {
 		a.charges[id] += a.cfg.Tariff(req)
 	}
-	fwd := a.cfg.Forward
 	a.mu.Unlock()
 
 	// A reused region is byte-identical to what the server already stores,
 	// so incremental mode also saves the downstream message — half of the
 	// Section 5.3 win.
-	if res.Reused {
-		fwd = nil
-	}
-	if fwd != nil {
-		if err := fwd(id, res.Region); err != nil {
-			a.mu.Lock()
-			a.stats.ForwardErrs++
-			a.mu.Unlock()
-			a.met.forwardErrs.Inc()
+	if a.cfg.Forward != nil && !res.Reused {
+		if err := a.forward(id, res.Region); err != nil {
 			return res, fmt.Errorf("anonymizer: forward failed: %w", err)
 		}
-		a.mu.Lock()
-		a.stats.Forwarded++
-		a.mu.Unlock()
-		a.met.forwarded.Inc()
 	}
 	return res, nil
 }
@@ -522,10 +570,9 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 		}
 	}
 	a.met.setReuseRate(a.stats)
-	fwd := a.cfg.Forward
 	a.mu.Unlock()
 
-	if fwd == nil {
+	if a.cfg.Forward == nil {
 		return results
 	}
 	type fwdKey struct {
@@ -539,17 +586,11 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 			continue
 		}
 		sent[key] = true
-		if err := fwd(key.id, key.region); err != nil {
-			a.mu.Lock()
-			a.stats.ForwardErrs++
-			a.mu.Unlock()
-			a.met.forwardErrs.Inc()
-			continue
-		}
-		a.mu.Lock()
-		a.stats.Forwarded++
-		a.mu.Unlock()
-		a.met.forwarded.Inc()
+		// With a spill queue configured the error path is absorbed inside
+		// forward; without one a failed forward is already counted there
+		// and, matching the historical batch semantics, does not null the
+		// caller's result.
+		_ = a.forward(key.id, key.region)
 	}
 	return results
 }
@@ -562,11 +603,23 @@ func (a *Anonymizer) Charges(id uint64) float64 {
 	return a.charges[id]
 }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters, spill queue included.
 func (a *Anonymizer) Stats() Stats {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	st := a.stats
+	a.mu.Unlock()
+	if a.fq != nil {
+		qs := a.fq.snapshot()
+		st.Spilled = qs.spilled
+		st.Replayed = qs.replayed
+		st.Dropped = qs.dropped
+		st.QueueDepth = qs.depth
+		// Replayed regions did reach the server; replay failures are
+		// forward failures like any other.
+		st.Forwarded += qs.replayed
+		st.ForwardErrs += qs.errs
+	}
+	return st
 }
 
 // Population returns the number of users currently tracked in the spatial

@@ -1,0 +1,228 @@
+package anonymizer
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// forwardQueue is the graceful-degradation path for the anonymizer →
+// database link: when a forward fails, the cloaked region (never the exact
+// location — privacy is not weakened by spilling) is parked in a bounded
+// in-memory queue and replayed with exponential backoff once the link
+// recovers.
+//
+// The queue holds at most one region per user: a newer update for a queued
+// user coalesces into the existing entry, because only the latest region
+// matters to the server (region updates are upserts). When the queue is
+// full, the oldest entry is evicted so the freshest regions survive an
+// extended outage. Per-user ordering is preserved by routing updates for a
+// queued user through the queue even while the link is healthy.
+type forwardQueue struct {
+	fwd   Forwarder
+	limit int
+	base  time.Duration
+	max   time.Duration
+	met   *anonMetrics
+
+	mu       sync.Mutex
+	regions  map[uint64]geo.Rect
+	order    []uint64
+	closed   bool
+	spilled  uint64
+	replayed uint64
+	dropped  uint64
+	errs     uint64
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// queueStats is a snapshot of the queue's counters.
+type queueStats struct {
+	spilled, replayed, dropped, errs uint64
+	depth                            int
+}
+
+func newForwardQueue(fwd Forwarder, limit int, base, max time.Duration, met *anonMetrics) *forwardQueue {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = 5 * time.Second
+		if max < base {
+			max = base
+		}
+	}
+	q := &forwardQueue{
+		fwd:     fwd,
+		limit:   limit,
+		base:    base,
+		max:     max,
+		met:     met,
+		regions: make(map[uint64]geo.Rect, limit),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go q.run()
+	return q
+}
+
+func (q *forwardQueue) kick() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueueIfPending coalesces a new region into an already-queued entry for
+// the same user, preserving per-user ordering: while an older region for
+// id waits in the queue, newer ones must not overtake it on the direct
+// path.
+func (q *forwardQueue) enqueueIfPending(id uint64, region geo.Rect) bool {
+	q.mu.Lock()
+	if _, ok := q.regions[id]; !ok || q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.regions[id] = region
+	q.spilled++
+	q.mu.Unlock()
+	q.met.spills.Inc()
+	q.kick()
+	return true
+}
+
+// add parks a region after a failed forward, evicting the oldest entry
+// when the queue is full.
+func (q *forwardQueue) add(id uint64, region geo.Rect) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	if _, ok := q.regions[id]; ok {
+		q.regions[id] = region
+		q.spilled++
+		q.mu.Unlock()
+		q.met.spills.Inc()
+		q.kick()
+		return
+	}
+	var droppedOne bool
+	if q.limit > 0 && len(q.order) >= q.limit {
+		victim := q.order[0]
+		q.order = q.order[1:]
+		delete(q.regions, victim)
+		q.dropped++
+		droppedOne = true
+	}
+	q.order = append(q.order, id)
+	q.regions[id] = region
+	q.spilled++
+	depth := len(q.order)
+	q.mu.Unlock()
+	q.met.spills.Inc()
+	if droppedOne {
+		q.met.queueDrops.Inc()
+	}
+	q.met.queueDepth.Set(float64(depth))
+	q.kick()
+}
+
+// head returns the oldest queued entry without removing it.
+func (q *forwardQueue) head() (id uint64, region geo.Rect, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.order) == 0 {
+		return 0, geo.Rect{}, false
+	}
+	id = q.order[0]
+	return id, q.regions[id], true
+}
+
+// pop removes the head entry — unless a newer region coalesced in while it
+// was being forwarded, in which case the entry stays for another round.
+// It reports whether the entry was removed.
+func (q *forwardQueue) pop(id uint64, forwarded geo.Rect) bool {
+	q.mu.Lock()
+	removed := len(q.order) > 0 && q.order[0] == id && q.regions[id] == forwarded
+	if removed {
+		q.order = q.order[1:]
+		delete(q.regions, id)
+		q.replayed++
+	}
+	depth := len(q.order)
+	q.mu.Unlock()
+	q.met.queueDepth.Set(float64(depth))
+	return removed
+}
+
+// run is the replay loop: it drains the queue head-first, backing off
+// exponentially while the downstream link keeps failing.
+func (q *forwardQueue) run() {
+	defer close(q.done)
+	backoff := q.base
+	for {
+		id, region, ok := q.head()
+		if !ok {
+			select {
+			case <-q.wake:
+				continue
+			case <-q.quit:
+				return
+			}
+		}
+		if err := q.fwd(id, region); err != nil {
+			q.mu.Lock()
+			q.errs++
+			q.mu.Unlock()
+			q.met.forwardErrs.Inc()
+			select {
+			case <-time.After(backoff):
+			case <-q.quit:
+				return
+			}
+			if backoff *= 2; backoff > q.max {
+				backoff = q.max
+			}
+			continue
+		}
+		backoff = q.base
+		if q.pop(id, region) {
+			q.met.replays.Inc()
+			q.met.forwarded.Inc()
+		}
+	}
+}
+
+// snapshot returns the queue's counters.
+func (q *forwardQueue) snapshot() queueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return queueStats{
+		spilled:  q.spilled,
+		replayed: q.replayed,
+		dropped:  q.dropped,
+		errs:     q.errs,
+		depth:    len(q.order),
+	}
+}
+
+// close stops the replay loop and waits for it to exit. Entries still
+// queued are abandoned.
+func (q *forwardQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.done
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.quit)
+	<-q.done
+}

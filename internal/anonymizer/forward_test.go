@@ -1,0 +1,274 @@
+package anonymizer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/privacy"
+)
+
+// flakyForwarder is a Forwarder whose availability tests flip at will. It
+// records the last region delivered per user.
+type flakyForwarder struct {
+	mu   sync.Mutex
+	down bool
+	last map[uint64]geo.Rect
+	errs int
+}
+
+func newFlakyForwarder() *flakyForwarder {
+	return &flakyForwarder{last: make(map[uint64]geo.Rect)}
+}
+
+func (f *flakyForwarder) setDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+func (f *flakyForwarder) forward(id uint64, region geo.Rect) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		f.errs++
+		return errors.New("flaky: link down")
+	}
+	f.last[id] = region
+	return nil
+}
+
+func (f *flakyForwarder) regionOf(id uint64) (geo.Rect, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.last[id]
+	return r, ok
+}
+
+func (f *flakyForwarder) delivered() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.last)
+}
+
+func newQueueAnon(t *testing.T, fwd Forwarder, queue int) *Anonymizer {
+	t.Helper()
+	a, err := New(Config{
+		World:            geo.R(0, 0, 1, 1),
+		Forward:          fwd,
+		ForwardQueue:     queue,
+		ForwardRetryBase: 5 * time.Millisecond,
+		ForwardRetryMax:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	return a
+}
+
+func registerN(t *testing.T, a *Anonymizer, n int, k int) {
+	t.Helper()
+	prof := privacy.Constant(privacy.Requirement{K: k})
+	for id := uint64(1); id <= uint64(n); id++ {
+		if err := a.Register(id, prof); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// With the queue configured, a downstream outage must not fail user
+// updates: regions spill, and the stats show it.
+func TestForwardFailureSpillsInsteadOfFailing(t *testing.T) {
+	fwd := newFlakyForwarder()
+	a := newQueueAnon(t, fwd.forward, 64)
+	registerN(t, a, 8, 2)
+
+	fwd.setDown(true)
+	for id := uint64(1); id <= 8; id++ {
+		if _, err := a.Update(id, geo.Pt(0.1*float64(id), 0.5)); err != nil {
+			t.Fatalf("update %d failed during outage: %v", id, err)
+		}
+	}
+	st := a.Stats()
+	if st.Spilled != 8 {
+		t.Fatalf("Spilled = %d, want 8", st.Spilled)
+	}
+	if st.QueueDepth != 8 {
+		t.Fatalf("QueueDepth = %d, want 8", st.QueueDepth)
+	}
+	if st.ForwardErrs == 0 {
+		t.Fatal("ForwardErrs = 0, want > 0 (the direct attempts failed)")
+	}
+}
+
+// Without a queue, the historical behavior stays: a forward failure fails
+// the update.
+func TestForwardFailureWithoutQueueStillFails(t *testing.T) {
+	fwd := newFlakyForwarder()
+	a := newQueueAnon(t, fwd.forward, 0)
+	registerN(t, a, 1, 2)
+
+	fwd.setDown(true)
+	if _, err := a.Update(1, geo.Pt(0.5, 0.5)); err == nil {
+		t.Fatal("update succeeded despite forward failure and no queue")
+	}
+}
+
+// Spilled regions are replayed once the link recovers — zero lost updates,
+// and every user's final region reaches the server.
+func TestSpilledRegionsReplayAfterRecovery(t *testing.T) {
+	fwd := newFlakyForwarder()
+	a := newQueueAnon(t, fwd.forward, 64)
+	const users = 16
+	registerN(t, a, users, 2)
+
+	fwd.setDown(true)
+	for id := uint64(1); id <= users; id++ {
+		if _, err := a.Update(id, geo.Pt(float64(id)/(users+1), 0.5)); err != nil {
+			t.Fatalf("update %d: %v", id, err)
+		}
+	}
+	fwd.setDown(false)
+	waitFor(t, 5*time.Second, func() bool { return a.Stats().QueueDepth == 0 }, "queue drain")
+
+	st := a.Stats()
+	if st.Replayed != users {
+		t.Fatalf("Replayed = %d, want %d", st.Replayed, users)
+	}
+	if st.Forwarded != users {
+		t.Fatalf("Forwarded = %d, want %d", st.Forwarded, users)
+	}
+	if got := fwd.delivered(); got != users {
+		t.Fatalf("server saw %d users' regions, want %d", got, users)
+	}
+}
+
+// While a user has a region queued, newer updates coalesce into the queued
+// entry — the latest region wins and ordering never inverts.
+func TestQueueCoalescesPerUser(t *testing.T) {
+	fwd := newFlakyForwarder()
+	a := newQueueAnon(t, fwd.forward, 64)
+	registerN(t, a, 4, 2)
+
+	fwd.setDown(true)
+	var lastRes geo.Rect
+	for i := 0; i < 5; i++ {
+		res, err := a.Update(1, geo.Pt(0.1+0.15*float64(i), 0.4))
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		lastRes = res.Region
+	}
+	st := a.Stats()
+	if st.QueueDepth != 1 {
+		t.Fatalf("QueueDepth = %d, want 1 (coalesced)", st.QueueDepth)
+	}
+	if st.Spilled != 5 {
+		t.Fatalf("Spilled = %d, want 5", st.Spilled)
+	}
+
+	fwd.setDown(false)
+	waitFor(t, 5*time.Second, func() bool { return a.Stats().QueueDepth == 0 }, "queue drain")
+	got, ok := fwd.regionOf(1)
+	if !ok {
+		t.Fatal("user 1's region never reached the server")
+	}
+	if got != lastRes {
+		t.Fatalf("server holds %v, want the latest region %v", got, lastRes)
+	}
+}
+
+// A full queue evicts its oldest entry and counts the drop; depth never
+// exceeds the bound.
+func TestQueueBoundedDropsOldest(t *testing.T) {
+	fwd := newFlakyForwarder()
+	a := newQueueAnon(t, fwd.forward, 2)
+	registerN(t, a, 5, 2)
+
+	fwd.setDown(true)
+	for id := uint64(1); id <= 5; id++ {
+		if _, err := a.Update(id, geo.Pt(float64(id)/6, 0.5)); err != nil {
+			t.Fatalf("update %d: %v", id, err)
+		}
+	}
+	st := a.Stats()
+	if st.QueueDepth != 2 {
+		t.Fatalf("QueueDepth = %d, want 2 (bounded)", st.QueueDepth)
+	}
+	if st.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", st.Dropped)
+	}
+}
+
+// Close stops the replay goroutine even while the link is down, and is
+// idempotent.
+func TestQueueCloseWhileDown(t *testing.T) {
+	fwd := newFlakyForwarder()
+	a := newQueueAnon(t, fwd.forward, 8)
+	registerN(t, a, 2, 2)
+	fwd.setDown(true)
+	if _, err := a.Update(1, geo.Pt(0.3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { a.Close(); a.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a non-empty queue and a down link")
+	}
+}
+
+// Concurrent updates during an outage + recovery never lose a user: every
+// registered user's region lands downstream eventually.
+func TestConcurrentSpillAndReplayLosesNothing(t *testing.T) {
+	fwd := newFlakyForwarder()
+	a := newQueueAnon(t, fwd.forward, 256)
+	const users = 32
+	registerN(t, a, users, 2)
+
+	fwd.setDown(true)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := uint64(w*(users/4)+i%(users/4)) + 1
+				if _, err := a.Update(id, geo.Pt(float64(id)/(users+1), float64(i%10)/10+0.05)); err != nil {
+					t.Errorf("update %d: %v", id, err)
+					return
+				}
+				if i == 25 && w == 0 {
+					fwd.setDown(false) // recover mid-run
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitFor(t, 5*time.Second, func() bool { return a.Stats().QueueDepth == 0 }, "queue drain")
+	if got := fwd.delivered(); got != users {
+		t.Fatalf("server saw %d users, want %d — updates were lost", got, users)
+	}
+	if t.Failed() {
+		return
+	}
+	st := a.Stats()
+	t.Logf("stats: %+v", st)
+}

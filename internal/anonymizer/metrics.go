@@ -24,9 +24,16 @@ type anonMetrics struct {
 	forwarded   *obs.Counter
 	forwardErrs *obs.Counter
 
+	// Forward spill-queue series: the graceful-degradation path used when
+	// the downstream database link fails.
+	spills     *obs.Counter // regions parked in the replay queue
+	replays    *obs.Counter // queued regions delivered after recovery
+	queueDrops *obs.Counter // oldest entries evicted from a full queue
+
 	registered *obs.Gauge
 	tracked    *obs.Gauge
 	reuseRate  *obs.Gauge // reused / (updates+queries), 0..1
+	queueDepth *obs.Gauge // regions currently awaiting replay
 }
 
 // newAnonMetrics registers the anonymizer's series in reg (a fresh private
@@ -56,9 +63,14 @@ func newAnonMetrics(reg *obs.Registry, alg Algorithm) *anonMetrics {
 		forwarded:   reg.Counter("anon_forwarded_total", "Cloaked regions forwarded downstream."),
 		forwardErrs: reg.Counter("anon_forward_errors_total", "Downstream forward failures."),
 
+		spills:     reg.Counter("anon_forward_spills_total", "Cloaked regions spilled into the replay queue while the database link was down."),
+		replays:    reg.Counter("anon_forward_replays_total", "Spilled regions replayed downstream after the link recovered."),
+		queueDrops: reg.Counter("anon_forward_queue_drops_total", "Oldest spilled regions evicted because the replay queue was full."),
+
 		registered: reg.Gauge("anon_registered_users", "Users registered with a privacy profile."),
 		tracked:    reg.Gauge("anon_tracked_users", "Users currently present in the spatial indices."),
 		reuseRate:  reg.Gauge("anon_reuse_rate", "Incremental-reuse hit rate over all processed operations (0..1)."),
+		queueDepth: reg.Gauge("anon_forward_queue_depth", "Cloaked regions currently parked awaiting replay."),
 	}
 }
 

@@ -1,0 +1,360 @@
+// Package faults provides deterministic fault injection for the wire
+// protocol: a net.Conn wrapper that drops, delays, truncates or resets the
+// connection at a chosen frame boundary, a dialer that hands out a
+// per-connection fault plan, and a listener wrapper that synthesizes
+// transient Accept errors. Tests use it to prove the protocol tier's
+// retry, reconnect, circuit-breaker and drain behavior without real
+// network flakiness — every schedule is explicit or derived from a seed,
+// so failures reproduce exactly.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Op selects the direction of the wrapped connection a rule applies to.
+type Op uint8
+
+// Directions.
+const (
+	Read Op = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Action is what happens when a rule fires.
+type Action uint8
+
+// Actions.
+const (
+	// Drop closes the connection cleanly: the peer observes EOF, the local
+	// side an ErrInjected error.
+	Drop Action = iota
+	// Reset aborts the connection with a TCP RST when the underlying
+	// transport supports SO_LINGER; otherwise it degrades to Drop. The peer
+	// observes ECONNRESET mid-frame rather than a clean close.
+	Reset
+	// Delay sleeps for the rule's Delay before letting the operation
+	// proceed. The rule consumes itself; later frames pass undelayed.
+	Delay
+	// Truncate lets only KeepBytes bytes of the target frame through, then
+	// closes the connection — the peer is left holding a torn frame.
+	Truncate
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Reset:
+		return "reset"
+	case Delay:
+		return "delay"
+	case Truncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// ErrInjected is returned (wrapped) by operations killed by a fault rule,
+// so tests can tell injected failures from real ones.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Rule triggers one Action when the Nth frame (1-based) crosses the
+// connection in the given direction. Frame boundaries are recovered from
+// the protocol's own length prefix, so rules align with requests and
+// responses, not with arbitrary segment boundaries.
+type Rule struct {
+	Op     Op
+	Nth    int
+	Action Action
+	// Delay is the sleep for Action Delay.
+	Delay time.Duration
+	// KeepBytes is how much of the target frame Truncate lets through
+	// (0 cuts even the length prefix).
+	KeepBytes int
+}
+
+// tracker recovers frame boundaries from a byte stream carrying
+// [u32 length][length bytes] frames.
+type tracker struct {
+	hdr       [4]byte
+	hdrN      int
+	remaining int // body bytes left in the current frame
+	frames    int // frames whose first byte has been seen
+}
+
+// current returns the 1-based index of the frame the next byte belongs to.
+func (t *tracker) current() int {
+	if t.hdrN == 0 && t.remaining == 0 {
+		return t.frames + 1 // next byte starts a new frame
+	}
+	return t.frames
+}
+
+// feed advances the tracker by n stream bytes.
+func (t *tracker) feed(p []byte) {
+	for len(p) > 0 {
+		if t.remaining == 0 {
+			if t.hdrN == 0 {
+				t.frames++
+			}
+			k := copy(t.hdr[t.hdrN:], p)
+			t.hdrN += k
+			p = p[k:]
+			if t.hdrN == 4 {
+				t.remaining = int(uint32(t.hdr[0]) | uint32(t.hdr[1])<<8 |
+					uint32(t.hdr[2])<<16 | uint32(t.hdr[3])<<24)
+				t.hdrN = 0
+			}
+			continue
+		}
+		k := t.remaining
+		if k > len(p) {
+			k = len(p)
+		}
+		t.remaining -= k
+		p = p[k:]
+	}
+}
+
+// Conn wraps a net.Conn and applies fault rules at frame boundaries. All
+// methods are safe for concurrent use; reads and writes are tracked
+// independently.
+type Conn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	rules  []Rule
+	rd, wr tracker
+	killed bool
+}
+
+// Wrap applies rules to conn.
+func Wrap(conn net.Conn, rules ...Rule) *Conn {
+	return &Conn{Conn: conn, rules: append([]Rule(nil), rules...)}
+}
+
+// match pops the first live rule for (op, frame); nil if none fires.
+func (c *Conn) match(op Op, frame int) *Rule {
+	for i := range c.rules {
+		r := &c.rules[i]
+		if r.Nth > 0 && r.Op == op && r.Nth == frame {
+			rule := *r
+			r.Nth = -1 // consumed
+			return &rule
+		}
+	}
+	return nil
+}
+
+// kill closes the connection, with an RST when asked and possible.
+func (c *Conn) kill(reset bool) {
+	c.killed = true
+	if tc, ok := c.Conn.(*net.TCPConn); ok && reset {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+}
+
+// apply runs one operation through the rule table. It returns the byte
+// budget for this operation (-1 = unlimited) or an error if the
+// connection was killed.
+func (c *Conn) apply(op Op, n int) (int, error) {
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: connection killed (%s)", ErrInjected, op)
+	}
+	t := &c.rd
+	if op == Write {
+		t = &c.wr
+	}
+	rule := c.match(op, t.current())
+	if rule == nil {
+		c.mu.Unlock()
+		return -1, nil
+	}
+	switch rule.Action {
+	case Delay:
+		c.mu.Unlock()
+		time.Sleep(rule.Delay)
+		return -1, nil
+	case Truncate:
+		if rule.KeepBytes < n {
+			n = rule.KeepBytes
+		}
+		c.mu.Unlock()
+		return n, nil
+	default: // Drop, Reset
+		c.kill(rule.Action == Reset)
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s on frame %d (%s)", ErrInjected, rule.Action, rule.Nth, op)
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	budget, err := c.apply(Read, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if budget >= 0 && budget < len(p) {
+		// Let the truncated tail through, then cut the connection so the
+		// reader is left mid-frame.
+		if budget > 0 {
+			n, err := c.Conn.Read(p[:budget])
+			c.mu.Lock()
+			c.rd.feed(p[:n])
+			c.kill(false)
+			c.mu.Unlock()
+			return n, err
+		}
+		c.mu.Lock()
+		c.kill(false)
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: truncated read", ErrInjected)
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.rd.feed(p[:n])
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	budget, err := c.apply(Write, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if budget >= 0 && budget < len(p) {
+		var n int
+		if budget > 0 {
+			n, err = c.Conn.Write(p[:budget])
+		}
+		c.mu.Lock()
+		c.wr.feed(p[:n])
+		c.kill(false)
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("%w: truncated write", ErrInjected)
+		}
+		return n, err
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.wr.feed(p[:n])
+	c.mu.Unlock()
+	return n, err
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.killed = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// Dialer returns a dial function (compatible with the protocol client's
+// WithDialer option) that wraps each new connection with the rules the
+// plan assigns to it. conn is the 1-based index of the connection dialed
+// through this dialer; a nil return means the connection is clean.
+func Dialer(plan func(conn int) []Rule) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	dialed := 0
+	return func(addr string) (net.Conn, error) {
+		mu.Lock()
+		dialed++
+		n := dialed
+		mu.Unlock()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		rules := plan(n)
+		if len(rules) == 0 {
+			return conn, nil
+		}
+		return Wrap(conn, rules...), nil
+	}
+}
+
+// Schedule builds a deterministic pseudo-random fault plan from a seed:
+// each connection independently suffers one fault with probability p,
+// uniformly choosing drop/reset/truncate on one of its first maxFrame
+// frames. The same seed always yields the same plan — failing runs replay
+// exactly.
+func Schedule(seed uint64, p float64, maxFrame int) func(conn int) []Rule {
+	if maxFrame < 1 {
+		maxFrame = 1
+	}
+	return func(conn int) []Rule {
+		src := rng.New(seed + uint64(conn)*0x9e3779b97f4a7c15)
+		if src.Float64() >= p {
+			return nil
+		}
+		actions := []Action{Drop, Reset, Truncate}
+		act := actions[src.Intn(len(actions))]
+		r := Rule{Op: Op(src.Intn(2)), Nth: 1 + src.Intn(maxFrame), Action: act}
+		if act == Truncate {
+			r.KeepBytes = src.Intn(5)
+		}
+		return []Rule{r}
+	}
+}
+
+// FlakyListener wraps a net.Listener so the first failures Accept calls
+// return a synthetic transient error before delegating. It exists to prove
+// accept loops survive transient errno storms (EMFILE and friends) instead
+// of dying with the first error.
+type FlakyListener struct {
+	net.Listener
+
+	mu       sync.Mutex
+	failures int
+	seen     int
+}
+
+// ErrTransient is the synthetic temporary Accept error.
+var ErrTransient = errors.New("faults: transient accept error")
+
+// NewFlakyListener makes ln fail its first failures Accepts.
+func NewFlakyListener(ln net.Listener, failures int) *FlakyListener {
+	return &FlakyListener{Listener: ln, failures: failures}
+}
+
+// Accept implements net.Listener.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	fail := l.seen < l.failures
+	l.seen++
+	l.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("%w (%d)", ErrTransient, l.seen)
+	}
+	return l.Listener.Accept()
+}
+
+// Accepts returns how many Accept calls the listener has seen.
+func (l *FlakyListener) Accepts() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seen
+}

@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns two ends of a real TCP connection on loopback.
+func pipe(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		server, err = ln.Accept()
+		close(done)
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// frame builds one [u32 length][payload] frame.
+func frame(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+func TestTrackerCountsFrames(t *testing.T) {
+	var tr tracker
+	if got := tr.current(); got != 1 {
+		t.Fatalf("fresh tracker current = %d, want 1", got)
+	}
+	f1 := frame([]byte("hello"))
+	f2 := frame([]byte("x"))
+	// Feed byte-by-byte across both frames; the boundary must land exactly.
+	stream := append(append([]byte(nil), f1...), f2...)
+	for i, b := range stream {
+		want := 1
+		if i >= len(f1) {
+			want = 2
+		}
+		if got := tr.current(); got != want {
+			t.Fatalf("byte %d: current = %d, want %d", i, got, want)
+		}
+		tr.feed([]byte{b})
+	}
+	if got := tr.current(); got != 3 {
+		t.Fatalf("after two frames current = %d, want 3", got)
+	}
+}
+
+func TestDropOnNthWrite(t *testing.T) {
+	client, server := pipe(t)
+	fc := Wrap(client, Rule{Op: Write, Nth: 2, Action: Drop})
+
+	if _, err := fc.Write(frame([]byte("one"))); err != nil {
+		t.Fatalf("frame 1 write: %v", err)
+	}
+	if _, err := fc.Write(frame([]byte("two"))); !errors.Is(err, ErrInjected) {
+		t.Fatalf("frame 2 write err = %v, want ErrInjected", err)
+	}
+	// Peer reads frame 1 intact, then EOF-ish failure.
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(server, buf[:7]); err != nil {
+		t.Fatalf("peer read of surviving frame: %v", err)
+	}
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := server.Read(buf); err == nil {
+		t.Fatal("peer still readable after drop")
+	}
+}
+
+func TestTruncateLeavesTornFrame(t *testing.T) {
+	client, server := pipe(t)
+	fc := Wrap(client, Rule{Op: Write, Nth: 1, Action: Truncate, KeepBytes: 3})
+
+	n, err := fc.Write(frame([]byte("payload")))
+	if n != 3 {
+		t.Fatalf("truncated write wrote %d bytes, want 3", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncated write err = %v, want ErrInjected", err)
+	}
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	got, _ := io.ReadFull(server, buf)
+	if got != 3 {
+		t.Fatalf("peer received %d bytes of torn frame, want 3", got)
+	}
+}
+
+func TestDelayIsTransparent(t *testing.T) {
+	client, server := pipe(t)
+	fc := Wrap(client, Rule{Op: Write, Nth: 1, Action: Delay, Delay: 50 * time.Millisecond})
+
+	t0 := time.Now()
+	if _, err := fc.Write(frame([]byte("slow"))); err != nil {
+		t.Fatalf("delayed write: %v", err)
+	}
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("write returned after %v, want ≥ 50ms", d)
+	}
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("peer read after delay: %v", err)
+	}
+}
+
+func TestReadDrop(t *testing.T) {
+	client, server := pipe(t)
+	fc := Wrap(client, Rule{Op: Read, Nth: 2, Action: Reset})
+
+	go func() {
+		server.Write(frame([]byte("first")))
+		server.Write(frame([]byte("second")))
+	}()
+	buf := make([]byte, 9)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatalf("frame 1 read: %v", err)
+	}
+	fc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(fc, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("frame 2 read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := Schedule(42, 0.5, 4)
+	b := Schedule(42, 0.5, 4)
+	faulted := 0
+	for conn := 1; conn <= 64; conn++ {
+		ra, rb := a(conn), b(conn)
+		if len(ra) != len(rb) {
+			t.Fatalf("conn %d: plans diverge", conn)
+		}
+		if len(ra) == 1 {
+			faulted++
+			if ra[0] != rb[0] {
+				t.Fatalf("conn %d: rules diverge: %+v vs %+v", conn, ra[0], rb[0])
+			}
+			if ra[0].Nth < 1 || ra[0].Nth > 4 {
+				t.Fatalf("conn %d: frame index %d out of range", conn, ra[0].Nth)
+			}
+		}
+	}
+	if faulted == 0 || faulted == 64 {
+		t.Fatalf("degenerate schedule: %d/64 connections faulted", faulted)
+	}
+}
+
+func TestFlakyListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlakyListener(ln, 3)
+	defer fl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := fl.Accept(); !errors.Is(err, ErrTransient) {
+			t.Fatalf("accept %d err = %v, want ErrTransient", i, err)
+		}
+	}
+	go net.Dial("tcp", ln.Addr().String())
+	conn, err := fl.Accept()
+	if err != nil {
+		t.Fatalf("accept after transient failures: %v", err)
+	}
+	conn.Close()
+	if fl.Accepts() != 4 {
+		t.Fatalf("accepts = %d, want 4", fl.Accepts())
+	}
+}

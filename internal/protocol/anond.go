@@ -89,6 +89,8 @@ func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		e.U32(uint32(st.Registered))
 		e.U64(st.Updates).U64(st.Queries).U64(st.Reused)
 		e.U64(st.BestEffort).U64(st.Forwarded).U64(st.ForwardErrs)
+		e.U64(st.Spilled).U64(st.Replayed).U64(st.Dropped)
+		e.U32(uint32(st.QueueDepth))
 		return e.Bytes(), nil
 
 	case MsgSetMode:
@@ -186,9 +188,10 @@ type AnonymizerClient struct {
 	c *Client
 }
 
-// DialAnonymizer connects to an anonymizer service.
-func DialAnonymizer(addr string) (*AnonymizerClient, error) {
-	c, err := Dial(addr)
+// DialAnonymizer connects to an anonymizer service. Options configure the
+// client's fault tolerance (deadlines, retries, circuit breaker).
+func DialAnonymizer(addr string, opts ...DialOption) (*AnonymizerClient, error) {
+	c, err := Dial(addr, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +282,10 @@ func (ac *AnonymizerClient) Stats() (anonymizer.Stats, error) {
 		BestEffort:  d.U64(),
 		Forwarded:   d.U64(),
 		ForwardErrs: d.U64(),
+		Spilled:     d.U64(),
+		Replayed:    d.U64(),
+		Dropped:     d.U64(),
+		QueueDepth:  int(d.U32()),
 	}
 	return st, d.Err()
 }

@@ -1,0 +1,412 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Idempotent reports whether a message type may be safely retried after a
+// transport failure. Location updates and region forwards are upserts,
+// mode/deregister changes converge to the same state, and reads have no
+// side effects — all safe to replay. Registration (duplicate-user error),
+// continuous-query registration (allocates a fresh id per call) and
+// stationary bulk loads (append semantics) are not.
+func Idempotent(typ byte) bool {
+	switch typ {
+	case MsgUpdate, MsgCloakQuery, MsgBatchUpdate, MsgDeregister, MsgSetMode, MsgAnonStats,
+		MsgUpdatePrivate, MsgRemovePrivate, MsgUpdateMoving, MsgStats,
+		MsgPrivateRange, MsgPrivateNN, MsgPublicCount, MsgPublicNN, MsgContCount,
+		MsgMetrics:
+		return true
+	}
+	return false
+}
+
+// Circuit-breaker states, also the values of the proto_breaker_state gauge.
+const (
+	breakerClosed = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// ErrBreakerOpen is returned without touching the network while the
+// client's circuit breaker is open: the peer failed repeatedly and the
+// cooldown has not elapsed, so the call is shed immediately instead of
+// burning a connect timeout per request.
+var ErrBreakerOpen = errors.New("protocol: circuit breaker open")
+
+// dialConfig is the resolved client configuration.
+type dialConfig struct {
+	callTimeout      time.Duration
+	retries          int
+	backoffBase      time.Duration
+	backoffMax       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	lazy             bool
+	seed             uint64
+	dial             func(addr string) (net.Conn, error)
+	reg              *obs.Registry
+}
+
+func defaultDialConfig() dialConfig {
+	return dialConfig{
+		retries:          2,
+		backoffBase:      20 * time.Millisecond,
+		backoffMax:       1 * time.Second,
+		breakerThreshold: 8,
+		breakerCooldown:  1 * time.Second,
+		seed:             1,
+	}
+}
+
+// DialOption configures a Client.
+type DialOption func(*dialConfig)
+
+// WithCallTimeout bounds every request round trip (write + read). Zero
+// means no deadline. A context deadline on CallCtx tightens it further.
+func WithCallTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.callTimeout = d }
+}
+
+// WithRetries sets how many times an idempotent call is retried after a
+// transport failure (0 disables retries; the default is 2).
+func WithRetries(n int) DialOption {
+	return func(c *dialConfig) { c.retries = n }
+}
+
+// WithRetryBackoff sets the exponential reconnect backoff: the nth retry
+// waits base·2ⁿ⁻¹ (capped at max) with ±50% deterministic jitter.
+func WithRetryBackoff(base, max time.Duration) DialOption {
+	return func(c *dialConfig) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithBreaker configures the circuit breaker: threshold consecutive
+// transport failures open it, cooldown later it half-opens and admits one
+// probe. threshold ≤ 0 disables the breaker.
+func WithBreaker(threshold int, cooldown time.Duration) DialOption {
+	return func(c *dialConfig) { c.breakerThreshold, c.breakerCooldown = threshold, cooldown }
+}
+
+// WithLazyDial makes Dial succeed even when the peer is down; the first
+// Call connects (or fails). Daemons use it so a dependency being briefly
+// away at startup is survivable instead of fatal.
+func WithLazyDial() DialOption {
+	return func(c *dialConfig) { c.lazy = true }
+}
+
+// WithDialer substitutes the transport constructor — the hook fault
+// injection uses to hand the client doomed connections.
+func WithDialer(dial func(addr string) (net.Conn, error)) DialOption {
+	return func(c *dialConfig) { c.dial = dial }
+}
+
+// WithClientMetrics registers the client's proto_* series (retries,
+// timeouts, reconnects, breaker state) in reg.
+func WithClientMetrics(reg *obs.Registry) DialOption {
+	return func(c *dialConfig) {
+		if reg != nil {
+			c.reg = reg
+		}
+	}
+}
+
+// WithJitterSeed seeds the backoff jitter stream, making retry schedules
+// reproducible in tests.
+func WithJitterSeed(seed uint64) DialOption {
+	return func(c *dialConfig) { c.seed = seed }
+}
+
+// clientMetrics holds the client side's registered obs series.
+type clientMetrics struct {
+	retries      *obs.Counter
+	timeouts     *obs.Counter
+	reconnects   *obs.Counter
+	breakerState *obs.Gauge
+	breakerOpens *obs.Counter
+	shed         *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		retries:      reg.Counter("proto_retries_total", "Idempotent calls retried after a transport failure."),
+		timeouts:     reg.Counter("proto_call_timeouts_total", "Calls that hit the per-call deadline."),
+		reconnects:   reg.Counter("proto_reconnects_total", "Connections re-established after a drop."),
+		breakerState: reg.Gauge("proto_breaker_state", "Circuit breaker state: 0 closed, 1 half-open, 2 open."),
+		breakerOpens: reg.Counter("proto_breaker_opens_total", "Transitions of the circuit breaker to open."),
+		shed:         reg.Counter("proto_breaker_rejected_total", "Calls shed immediately while the breaker was open."),
+	}
+}
+
+// Client is a synchronous framed request/response TCP client. It is safe
+// for concurrent use; requests are serialized over one connection. On
+// transport failures it reconnects with exponential backoff and jitter,
+// retries idempotent calls a bounded number of times, and sheds load
+// through a circuit breaker while the peer stays down.
+type Client struct {
+	addr string
+	cfg  dialConfig
+	met  *clientMetrics
+
+	mu        sync.Mutex
+	conn      net.Conn
+	src       *rng.Source
+	connected bool // a connection existed before (distinguishes reconnects)
+	fails     int  // consecutive transport failures
+	state     int
+	openUntil time.Time
+}
+
+// Dial connects to a Service with default fault tolerance (2 retries for
+// idempotent calls, breaker at 8 consecutive failures). It fails fast when
+// the peer is unreachable; see WithLazyDial.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	cfg := defaultDialConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.reg == nil {
+		cfg.reg = obs.NewRegistry()
+	}
+	c := &Client{
+		addr: addr,
+		cfg:  cfg,
+		met:  newClientMetrics(cfg.reg),
+		src:  rng.New(cfg.seed),
+	}
+	if !cfg.lazy {
+		c.mu.Lock()
+		err := c.connectLocked()
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// connectLocked (re)establishes the connection; c.mu must be held.
+func (c *Client) connectLocked() error {
+	dial := c.cfg.dial
+	if dial == nil {
+		timeout := c.cfg.callTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		dial = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, timeout) }
+	}
+	conn, err := dial(c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	if c.connected {
+		c.met.reconnects.Inc()
+	}
+	c.connected = true
+	return nil
+}
+
+// dropConnLocked discards a connection whose stream state is unknown.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+func (c *Client) setStateLocked(state int) {
+	if c.state == state {
+		return
+	}
+	c.state = state
+	c.met.breakerState.Set(float64(state))
+	if state == breakerOpen {
+		c.met.breakerOpens.Inc()
+	}
+}
+
+// breakerAdmitLocked gates a call on the breaker state.
+func (c *Client) breakerAdmitLocked() error {
+	if c.cfg.breakerThreshold <= 0 {
+		return nil
+	}
+	if c.state == breakerOpen {
+		if time.Now().Before(c.openUntil) {
+			c.met.shed.Inc()
+			return ErrBreakerOpen
+		}
+		c.setStateLocked(breakerHalfOpen) // cooldown over: admit one probe
+	}
+	return nil
+}
+
+// breakerFailLocked records a transport failure; true means the breaker
+// just opened and remaining retries should be abandoned.
+func (c *Client) breakerFailLocked() bool {
+	if c.cfg.breakerThreshold <= 0 {
+		return false
+	}
+	c.fails++
+	if c.state == breakerHalfOpen || c.fails >= c.cfg.breakerThreshold {
+		c.setStateLocked(breakerOpen)
+		c.openUntil = time.Now().Add(c.cfg.breakerCooldown)
+		return true
+	}
+	return false
+}
+
+func (c *Client) breakerSuccessLocked() {
+	c.fails = 0
+	c.setStateLocked(breakerClosed)
+}
+
+// sleepBackoff waits base·2ⁿ⁻¹ (capped) with ±50% jitter before retry n,
+// respecting context cancellation. Called with c.mu held — calls are
+// serialized by design, so the wait blocks only this client.
+func (c *Client) sleepBackoff(ctx context.Context, n int) error {
+	d := c.cfg.backoffBase << (n - 1)
+	if d > c.cfg.backoffMax || d <= 0 {
+		d = c.cfg.backoffMax
+	}
+	// Jitter in [d/2, 3d/2): desynchronizes retry storms across clients.
+	d = d/2 + time.Duration(c.src.Float64()*float64(d))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// ErrRemote wraps an error string returned by the peer.
+var ErrRemote = errors.New("protocol: remote error")
+
+// Call sends one request and waits for its response payload.
+func (c *Client) Call(typ byte, payload []byte) ([]byte, error) {
+	return c.CallCtx(context.Background(), typ, payload)
+}
+
+// CallCtx sends one request under a context. The effective deadline is the
+// tighter of the context's and the configured per-call timeout. Transport
+// failures on idempotent message types are retried (reconnecting as
+// needed) up to the configured budget; remote handler errors are returned
+// as-is and never retried.
+func (c *Client) CallCtx(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.breakerAdmitLocked(); err != nil {
+		return nil, err
+	}
+	attempts := 1
+	if Idempotent(typ) {
+		attempts += c.cfg.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.met.retries.Inc()
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.callOnceLocked(ctx, typ, payload)
+		if err == nil || errors.Is(err, ErrRemote) {
+			// The wire worked end to end; whatever the handler said is the
+			// answer.
+			c.breakerSuccessLocked()
+			return resp, err
+		}
+		lastErr = err
+		c.dropConnLocked()
+		if c.breakerFailLocked() {
+			break // peer is down: shed instead of burning the retry budget
+		}
+	}
+	return nil, lastErr
+}
+
+// callOnceLocked performs one request/response exchange on the current
+// connection, establishing it first if needed.
+func (c *Client) callOnceLocked(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return nil, err
+		}
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if c.cfg.callTimeout > 0 {
+		if d := time.Now().Add(c.cfg.callTimeout); !hasDeadline || d.Before(deadline) {
+			deadline = d
+		}
+		hasDeadline = true
+	}
+	if hasDeadline {
+		c.conn.SetDeadline(deadline)
+		defer func() {
+			if c.conn != nil {
+				c.conn.SetDeadline(time.Time{})
+			}
+		}()
+	}
+	if err := WriteFrame(c.conn, typ, payload); err != nil {
+		return nil, c.classify(err)
+	}
+	rtyp, resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, c.classify(err)
+	}
+	switch rtyp {
+	case msgOK:
+		return resp, nil
+	case msgErr:
+		d := NewDecoder(resp)
+		msg := d.Str()
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	default:
+		// Protocol violation: the stream is desynchronized, treat as a
+		// transport failure so the connection is torn down and retried.
+		return nil, fmt.Errorf("protocol: unexpected response type %d", rtyp)
+	}
+}
+
+// classify counts deadline hits before passing the error through.
+func (c *Client) classify(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.met.timeouts.Inc()
+	}
+	return err
+}
+
+// BreakerState returns the current circuit-breaker state as the
+// proto_breaker_state gauge encodes it: 0 closed, 1 half-open, 2 open.
+func (c *Client) BreakerState() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

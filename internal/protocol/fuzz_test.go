@@ -1,0 +1,144 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/privacy"
+)
+
+// Native fuzz targets for the wire layer: malformed input must return an
+// error, never panic, hang, or over-allocate. The seed corpora include
+// well-formed frames so the fuzzer explores the valid paths too. CI runs
+// each for a short smoke window; `go test` always replays the corpus.
+
+func validFrame(typ byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, typ, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(validFrame(MsgUpdate, []byte("payload")))
+	f.Add(validFrame(msgOK, nil))
+	huge := make([]byte, 4)
+	binary.LittleEndian.PutUint32(huge, 1<<30)
+	f.Add(append(huge, 0x05))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful read must be consistent with the input: the payload
+		// cannot exceed what was actually supplied (no over-allocation from
+		// a forged length prefix).
+		if len(payload)+5 > len(data) {
+			t.Fatalf("payload %d bytes from %d input bytes", len(payload), len(data))
+		}
+		// And it must round-trip byte-exactly.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatalf("round trip mismatch: %x vs %x", buf.Bytes(), data[:buf.Len()])
+		}
+	})
+}
+
+func FuzzDecodeProfile(f *testing.F) {
+	// Seed with a real encoded profile.
+	prof := privacy.Constant(privacy.Requirement{K: 10, MinArea: 0.01})
+	var e Encoder
+	encodeProfile(&e, prof)
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff}) // forged count, no entries
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		p, err := decodeProfile(d)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil profile with nil error")
+		}
+		// A decoded profile survives an encode/decode round trip.
+		var e Encoder
+		encodeProfile(&e, p)
+		if _, err := decodeProfile(NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("re-decode of re-encoded profile failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(encodeResult(cloakResultSeed()))
+	f.Add([]byte{})
+	f.Add(make([]byte, 36))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		res := decodeResult(d)
+		if d.Err() != nil {
+			return
+		}
+		// A decoded result survives an encode/decode round trip. Byte
+		// equality does not hold in general (the decoder ignores unknown
+		// flag bits, which re-encoding canonicalizes away), but field
+		// equality must — except for non-canonical NaN floats (NaN != NaN).
+		out := encodeResult(res)
+		if len(out) > len(data) {
+			t.Fatalf("encoded result longer than input: %d > %d", len(out), len(data))
+		}
+		d2 := NewDecoder(out)
+		res2 := decodeResult(d2)
+		if d2.Err() != nil {
+			t.Fatalf("re-decode of re-encoded result failed: %v", d2.Err())
+		}
+		if !hasNaN(res.Region) && res2 != res {
+			t.Fatalf("round trip mismatch: %+v vs %+v", res2, res)
+		}
+	})
+}
+
+func FuzzDecodeMetrics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(encodeMetrics(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		series, err := DecodeMetrics(data)
+		if err != nil {
+			return
+		}
+		// Decoded histograms must be internally consistent: counts always
+		// cover one more bucket than bounds.
+		for _, s := range series {
+			if len(s.Hist.Counts) > 0 && len(s.Hist.Counts) != len(s.Hist.Bounds)+1 {
+				t.Fatalf("series %q: %d counts for %d bounds",
+					s.Name, len(s.Hist.Counts), len(s.Hist.Bounds))
+			}
+		}
+	})
+}
+
+func cloakResultSeed() (res cloak.Result) {
+	res.Region = geo.R(0.1, 0.1, 0.4, 0.4)
+	res.K = 12
+	res.SatisfiedK = true
+	res.SatisfiedMinArea = true
+	res.SatisfiedMaxArea = true
+	return res
+}
+
+func hasNaN(r geo.Rect) bool {
+	return math.IsNaN(r.Min.X) || math.IsNaN(r.Min.Y) || math.IsNaN(r.Max.X) || math.IsNaN(r.Max.Y)
+}

@@ -226,9 +226,10 @@ type DatabaseClient struct {
 	c *Client
 }
 
-// DialDatabase connects to a database service.
-func DialDatabase(addr string) (*DatabaseClient, error) {
-	c, err := Dial(addr)
+// DialDatabase connects to a database service. Options configure the
+// client's fault tolerance (deadlines, retries, circuit breaker).
+func DialDatabase(addr string, opts ...DialOption) (*DatabaseClient, error) {
+	c, err := Dial(addr, opts...)
 	if err != nil {
 		return nil, err
 	}

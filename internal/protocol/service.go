@@ -2,7 +2,6 @@ package protocol
 
 import (
 	"errors"
-	"fmt"
 	"io"
 	"log"
 	"net"
@@ -19,23 +18,29 @@ type Handler func(typ byte, payload []byte) ([]byte, error)
 // type series are looked up lazily from the registry (get-or-create), so
 // only types actually seen appear on /metrics.
 type svcMetrics struct {
-	reg        *obs.Registry
-	active     *obs.Gauge
-	bytesIn    *obs.Counter
-	bytesOut   *obs.Counter
-	dropped    *obs.Counter
-	errs       *obs.Counter
-	frameBytes *obs.Histogram
+	reg           *obs.Registry
+	active        *obs.Gauge
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	dropped       *obs.Counter
+	errs          *obs.Counter
+	acceptRetries *obs.Counter
+	rejected      *obs.Counter
+	idleDrops     *obs.Counter
+	frameBytes    *obs.Histogram
 }
 
 func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 	return &svcMetrics{
-		reg:      reg,
-		active:   reg.Gauge("proto_active_connections", "Live TCP connections."),
-		bytesIn:  reg.Counter("proto_bytes_read_total", "Frame bytes read, headers included."),
-		bytesOut: reg.Counter("proto_bytes_written_total", "Frame bytes written, headers included."),
-		dropped:  reg.Counter("proto_dropped_frames_total", "Connections dropped on malformed or unreadable frames."),
-		errs:     reg.Counter("proto_handler_errors_total", "Requests answered with an error frame."),
+		reg:           reg,
+		active:        reg.Gauge("proto_active_connections", "Live TCP connections."),
+		bytesIn:       reg.Counter("proto_bytes_read_total", "Frame bytes read, headers included."),
+		bytesOut:      reg.Counter("proto_bytes_written_total", "Frame bytes written, headers included."),
+		dropped:       reg.Counter("proto_dropped_frames_total", "Connections dropped on malformed or unreadable frames."),
+		errs:          reg.Counter("proto_handler_errors_total", "Requests answered with an error frame."),
+		acceptRetries: reg.Counter("proto_accept_retries_total", "Transient Accept errors survived with backoff."),
+		rejected:      reg.Counter("proto_conns_rejected_total", "Connections closed at accept because the max-connection cap was reached."),
+		idleDrops:     reg.Counter("proto_idle_drops_total", "Connections dropped by the per-connection read/idle deadline."),
 		// 16 B .. 16 MiB in ×4 steps — the frame cap is maxFrame.
 		frameBytes: reg.Histogram("proto_frame_bytes",
 			"Size of request frames read, headers included.", obs.ExpBuckets(16, 4, 11)),
@@ -59,6 +64,10 @@ type Service struct {
 	logf    func(format string, args ...interface{})
 	met     *svcMetrics // nil when the service is not instrumented
 
+	readTimeout  time.Duration // per-frame read/idle deadline (0 = none)
+	maxConns     int           // connection cap (0 = unlimited)
+	drainTimeout time.Duration // grace for in-flight frames on Close
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -80,6 +89,29 @@ func WithMetrics(reg *obs.Registry) Option {
 	}
 }
 
+// WithReadTimeout drops a connection that does not deliver its next frame
+// within d — the slowloris defense and the idle-connection reaper in one
+// knob. Clients reconnect transparently, so reaping idle connections is
+// safe.
+func WithReadTimeout(d time.Duration) Option {
+	return func(s *Service) { s.readTimeout = d }
+}
+
+// WithMaxConns caps concurrent connections; connections over the cap are
+// accepted and immediately closed, which peers see as a clean EOF and
+// their retry/backoff path absorbs.
+func WithMaxConns(n int) Option {
+	return func(s *Service) { s.maxConns = n }
+}
+
+// WithDrainTimeout makes Close graceful: the listener stops immediately,
+// but live connections get up to d to finish in-flight frames before
+// being force-closed. Zero (the default) preserves the historical
+// immediate force-close.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(s *Service) { s.drainTimeout = d }
+}
+
 // Serve starts accepting connections on addr ("host:port"; ":0" picks a
 // free port) and dispatches frames to the handler. It returns immediately;
 // use Addr for the bound address and Close to stop.
@@ -88,6 +120,12 @@ func Serve(addr string, handler Handler, logf func(string, ...interface{}), opts
 	if err != nil {
 		return nil, err
 	}
+	return ServeListener(ln, handler, logf, opts...)
+}
+
+// ServeListener is Serve over an existing listener — the seam tests use to
+// inject faulty listeners.
+func ServeListener(ln net.Listener, handler Handler, logf func(string, ...interface{}), opts ...Option) (*Service, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
@@ -103,18 +141,55 @@ func Serve(addr string, handler Handler, logf func(string, ...interface{}), opts
 // Addr returns the listener's address.
 func (s *Service) Addr() string { return s.ln.Addr().String() }
 
+// Accept-retry backoff bounds: transient errors (EMFILE, ECONNABORTED,
+// firewall hiccups) are retried with exponential backoff instead of
+// killing the listener; only a closed listener ends the loop.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
 func (s *Service) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			if s.met != nil {
+				s.met.acceptRetries.Inc()
+			}
+			s.logf("protocol: transient accept error (retrying in %v): %v", backoff, err)
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			conn.Close()
+			if s.met != nil {
+				s.met.rejected.Inc()
+			}
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -138,12 +213,21 @@ func (s *Service) serveConn(conn net.Conn) {
 		}
 	}()
 	for {
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
 			// EOF or broken peer: drop the connection. A clean close reads
-			// io.EOF at a frame boundary; anything else is a dropped frame.
+			// io.EOF at a frame boundary; anything else is a dropped frame,
+			// with deadline expiries counted separately as idle drops.
 			if s.met != nil && !errors.Is(err, io.EOF) {
-				s.met.dropped.Inc()
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.met.idleDrops.Inc()
+				} else {
+					s.met.dropped.Inc()
+				}
 			}
 			return
 		}
@@ -189,7 +273,10 @@ func (s *Service) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the service and closes all live connections.
+// Close stops the service. The listener closes immediately; with a drain
+// timeout configured, live connections get that long to finish in-flight
+// frames (their next read fails at the drain deadline) before any
+// stragglers are force-closed.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -198,59 +285,29 @@ func (s *Service) Close() error {
 	}
 	s.closed = true
 	err := s.ln.Close()
+	drain := s.drainTimeout
+	if drain > 0 {
+		deadline := time.Now().Add(drain)
+		for c := range s.conns {
+			c.SetReadDeadline(deadline)
+		}
+		s.mu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+			return err
+		case <-time.After(drain + 50*time.Millisecond):
+		}
+		s.mu.Lock()
+	}
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
-}
-
-// Client is a synchronous framed request/response TCP client. It is safe
-// for concurrent use; requests are serialized over one connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// Dial connects to a Service.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn}, nil
-}
-
-// ErrRemote wraps an error string returned by the peer.
-var ErrRemote = errors.New("protocol: remote error")
-
-// Call sends one request and waits for its response payload.
-func (c *Client) Call(typ byte, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, typ, payload); err != nil {
-		return nil, err
-	}
-	rtyp, resp, err := ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
-	}
-	switch rtyp {
-	case msgOK:
-		return resp, nil
-	case msgErr:
-		d := NewDecoder(resp)
-		msg := d.Str()
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
-	default:
-		return nil, fmt.Errorf("protocol: unexpected response type %d", rtyp)
-	}
-}
-
-// Close closes the connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
 }

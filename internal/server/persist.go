@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"repro/internal/geo"
 	"repro/internal/grid"
@@ -133,6 +135,58 @@ func (s *Server) Snapshot(w io.Writer) error {
 	}
 	s.met.snapshotsTaken.Inc()
 	return sw.w.Flush()
+}
+
+// SaveSnapshot writes the server's state to path crash-safely: the
+// snapshot goes to a temporary file in the same directory, is fsynced,
+// and is then atomically renamed over path. A crash at any point leaves
+// either the old complete snapshot or the new complete snapshot — never a
+// torn file (which Restore would reject anyway).
+func (s *Server) SaveSnapshot(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: save snapshot: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("server: save snapshot: %w", err)
+	}
+	if err := s.Snapshot(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: save snapshot: %w", err)
+	}
+	// Persist the rename itself; best effort — some platforms refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadSnapshot restores the server's state from a snapshot file written by
+// SaveSnapshot. A missing file is reported via os.IsNotExist on the
+// returned error so daemons can treat first boot as empty state.
+func (s *Server) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restore(f)
 }
 
 type snapReader struct {

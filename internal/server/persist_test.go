@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/geo"
@@ -188,6 +190,97 @@ func TestRestoreRejectsOutOfWorldData(t *testing.T) {
 	small := newServer(t)
 	if err := small.Restore(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Error("out-of-world snapshot accepted")
+	}
+}
+
+// A torn (half-written) snapshot — as a crash mid-write would leave
+// without the atomic rename — is rejected by Restore at every truncation
+// point, with an error and no state change.
+func TestRestoreRejectsTornSnapshot(t *testing.T) {
+	orig := buildLoadedServer(t)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Sweep truncation points across the whole stream, plus the tightest
+	// interesting prefixes around the header.
+	cuts := []int{0, 1, 3, 4, 5, 6, 7, 9}
+	for c := 10; c < len(full); c += len(full)/97 + 1 {
+		cuts = append(cuts, c)
+	}
+	for _, c := range cuts {
+		s := newServer(t)
+		err := s.Restore(bytes.NewReader(full[:c]))
+		if err == nil {
+			t.Fatalf("torn snapshot of %d/%d bytes accepted", c, len(full))
+		}
+		if s.StationaryCount() != 0 || s.PrivateUserCount() != 0 {
+			t.Fatalf("torn snapshot of %d bytes mutated server state", c)
+		}
+	}
+}
+
+// SaveSnapshot is atomic: the target is only ever a complete snapshot, no
+// temp files are left behind, and a failed save preserves the old file.
+func TestSaveSnapshotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	orig := buildLoadedServer(t)
+	if err := orig.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newServer(t)
+	if err := restored.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.PrivateUserCount() != orig.PrivateUserCount() {
+		t.Fatalf("private users: %d vs %d", restored.PrivateUserCount(), orig.PrivateUserCount())
+	}
+
+	// Overwriting an existing snapshot also works and leaves exactly one
+	// file in the directory — no .tmp residue.
+	if err := orig.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after save: %v", names)
+	}
+
+	// A save into an unwritable directory fails without touching the old
+	// snapshot.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SaveSnapshot(filepath.Join(dir, "missing-subdir", "state.snap")); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save mutated the existing snapshot")
+	}
+}
+
+// LoadSnapshot surfaces a missing file as os.IsNotExist so daemons can
+// treat first boot as empty state.
+func TestLoadSnapshotMissingFile(t *testing.T) {
+	s := newServer(t)
+	err := s.LoadSnapshot(filepath.Join(t.TempDir(), "absent.snap"))
+	if err == nil || !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v, want os.IsNotExist", err)
 	}
 }
 
