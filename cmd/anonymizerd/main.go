@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	anonymizerd -addr :7071 -db localhost:7070 -alg quadtree -incremental -metrics-addr :9091
+//	anonymizerd -addr :7071 -db localhost:7070 -alg quadtree -incremental -shards 8 -workers 8 -metrics-addr :9091
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -37,6 +38,8 @@ func main() {
 	gridLevel := flag.Int("grid-level", 6, "fixed level for grid cloaking")
 	pyramidHeight := flag.Int("pyramid-height", 10, "space partition depth")
 	incremental := flag.Bool("incremental", false, "enable incremental cloak maintenance")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "per-user state lock stripes (1 = fully serialized)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool for the batch cloaking phase")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	callTimeout := flag.Duration("call-timeout", 5*time.Second, "deadline for each call to the database server")
 	forwardQueue := flag.Int("forward-queue", 1024, "spill queue capacity for cloaked regions while the database is down (0 = fail updates instead)")
@@ -68,6 +71,8 @@ func main() {
 		GridLevel:     *gridLevel,
 		PyramidHeight: *pyramidHeight,
 		Incremental:   *incremental,
+		Shards:        *shards,
+		BatchWorkers:  *workers,
 		Metrics:       reg,
 	}
 	var db *protocol.DatabaseClient
@@ -100,8 +105,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("anonymizerd: %v", err)
 	}
-	log.Printf("anonymizerd: location anonymizer (%v%s) listening on %s",
-		alg, map[bool]string{true: "+incremental", false: ""}[*incremental], svc.Addr())
+	log.Printf("anonymizerd: location anonymizer (%v%s, %d shards, %d batch workers) listening on %s",
+		alg, map[bool]string{true: "+incremental", false: ""}[*incremental],
+		anon.Shards(), anon.BatchWorkers(), svc.Addr())
 	var metricsSrv *obs.MetricsServer
 	if *metricsAddr != "" {
 		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg)

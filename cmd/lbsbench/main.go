@@ -51,7 +51,15 @@ var experiments = []experiment{
 	{"E13", "Section 2.1 — trajectory-linking adversary", expTracking},
 	{"E14", "Section 2.1 — spatio-temporal cloaking (latency vs area)", expTemporal},
 	{"E15", "ablation — region index vs full scan", expRegionIndex},
+	{"E16", "sharded parallel anonymizer pipeline (regression harness)", expParallel},
 }
+
+// Bench-harness knobs shared with exp_parallel.go.
+var (
+	benchOut       string
+	benchCompare   string
+	benchTolerance float64
+)
 
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
@@ -59,6 +67,9 @@ func main() {
 	objs := flag.Int("objs", 10000, "public-object count")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	flag.StringVar(&benchOut, "bench-out", "", "write the E16 report to this JSON file")
+	flag.StringVar(&benchCompare, "bench-compare", "", "compare E16 against this baseline JSON; regressions fail the run")
+	flag.Float64Var(&benchTolerance, "bench-tolerance", 0.30, "allowed updates/sec drop vs the baseline (fraction)")
 	flag.Parse()
 
 	if *list {
@@ -108,6 +119,13 @@ func main() {
 	}
 	fmt.Printf("\n%d experiment(s) in %v (n=%d, objs=%d, seed=%d)\n",
 		ran, time.Since(start).Round(time.Millisecond), cfg.n, cfg.objs, cfg.seed)
+	if len(benchRegressions) > 0 {
+		fmt.Fprintln(os.Stderr, "\nlbsbench: benchmark regressions:")
+		for _, r := range benchRegressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
 }
 
 // table is a minimal column formatter over tabwriter.

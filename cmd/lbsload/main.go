@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,8 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	queryPct := flag.Int("query-pct", 20, "percent of user operations that are NN queries (rest are updates)")
 	batch := flag.Int("batch", 1, "locations per update message (BatchUpdate when > 1)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "selfhost: anonymizer state shards")
+	anonWorkers := flag.Int("anon-workers", runtime.GOMAXPROCS(0), "selfhost: anonymizer batch worker pool")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	callTimeout := flag.Duration("call-timeout", 5*time.Second, "per-call deadline on every client connection")
 	flag.Parse()
@@ -117,6 +120,7 @@ func main() {
 		anonReg := obs.NewRegistry()
 		anon, err := anonymizer.New(anonymizer.Config{
 			World: world, Incremental: true, Forward: fwd.UpdatePrivate, Metrics: anonReg,
+			Shards: *shards, BatchWorkers: *anonWorkers,
 		})
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
@@ -128,7 +132,8 @@ func main() {
 		defer anonSvc.Close()
 		*anonAddr = anonSvc.Addr()
 		*dbAddr = dbSvc.Addr()
-		log.Printf("lbsload: self-hosted stack at anon=%s db=%s", *anonAddr, *dbAddr)
+		log.Printf("lbsload: self-hosted stack at anon=%s db=%s (%d shards, %d batch workers)",
+			*anonAddr, *dbAddr, anon.Shards(), anon.BatchWorkers())
 	}
 
 	// Seed the deployment: public objects + registered users.

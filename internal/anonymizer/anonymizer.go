@@ -11,11 +11,30 @@
 // algorithms of Figure 3 inherently require neighbor positions, so
 // selecting them keeps an exact-position index inside the trusted party —
 // StoresExactLocations reports which regime is active.
+//
+// # Concurrency model
+//
+// The anonymizer is sharded for multicore scaling (Section 5.3 demands the
+// tier keep up with "tens of thousands of updates per second"):
+//
+//   - Per-user state — profiles, modes, charges, incremental region caches —
+//     is partitioned into Config.Shards lock stripes keyed by user id.
+//     Operations on users in different shards never contend.
+//   - The spatial indices (pyramid, exact-position grid) form a single
+//     reader/writer domain: relocations are applied by one writer at a time
+//     (batched per shard in BatchUpdate), while cloaking computations — pure
+//     reads — run concurrently under the read lock.
+//   - Activity counters are atomics, off every lock.
+//
+// Lock order, where both are held: shard mutex → index lock. With
+// Shards=1 the anonymizer degenerates to the historical fully-serialized
+// behavior, which the differential tests use as the reference.
 package anonymizer
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -87,8 +106,18 @@ type Config struct {
 	// data-dependent algorithms (default 64×64).
 	PopGridCols, PopGridRows int
 	// Incremental enables Section 5.3 incremental evaluation: regions are
-	// reused across updates while they remain valid.
+	// reused across updates while they remain valid. The region cache is
+	// shard-local, so it never crosses a shard (or user) boundary.
 	Incremental bool
+	// Shards sets the number of lock stripes for per-user state, in
+	// [1, MaxShards]. 1 (the default) reproduces the historical
+	// fully-serialized anonymizer; set it near GOMAXPROCS for multicore
+	// throughput. Results are bit-identical across shard counts.
+	Shards int
+	// BatchWorkers bounds the worker pool that parallelizes the cloaking
+	// phase of BatchUpdate (0 = GOMAXPROCS, 1 = sequential reference
+	// pipeline). Results are bit-identical across worker counts.
+	BatchWorkers int
 	// Forward receives every cloaked region. Optional; when nil regions are
 	// only returned to the caller.
 	Forward Forwarder
@@ -127,6 +156,11 @@ type Stats struct {
 	Forwarded   uint64
 	ForwardErrs uint64
 
+	// Batch-pipeline counters: batches processed and requests served from a
+	// shared descent instead of their own cloaking computation.
+	Batches    uint64
+	SharedHits uint64
+
 	// Spill-queue counters (all zero when no forward queue is configured).
 	Spilled    uint64 // regions parked in the replay queue
 	Replayed   uint64 // spilled regions delivered after recovery
@@ -137,21 +171,22 @@ type Stats struct {
 // Anonymizer is the trusted third party. All methods are safe for
 // concurrent use.
 type Anonymizer struct {
-	mu  sync.Mutex
-	cfg Config
+	cfg     Config
+	workers int // resolved BatchWorkers
 
-	profiles map[uint64]*privacy.Profile
-	modes    map[uint64]privacy.Mode
-	charges  map[uint64]float64
+	shards []*shard
 
+	// idxMu guards the spatial indices: concurrent cloaking readers, one
+	// relocation writer. Acquired after a shard mutex, never before one.
+	idxMu   sync.RWMutex
 	pyr     *pyramid.Pyramid
 	pop     *grid.Index // nil when the algorithm is space-dependent
 	cloaker cloak.Cloaker
-	inc     *cloak.Incremental
-	fq      *forwardQueue // nil unless Forward + ForwardQueue configured
 
-	stats Stats
-	met   *anonMetrics
+	fq *forwardQueue // nil unless Forward + ForwardQueue configured
+
+	ctr counters
+	met *anonMetrics
 }
 
 // Common errors.
@@ -181,17 +216,24 @@ func New(cfg Config) (*Anonymizer, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("anonymizer: %d shards exceeds the maximum %d", cfg.Shards, MaxShards)
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
 	pyr, err := pyramid.New(cfg.World, cfg.PyramidHeight)
 	if err != nil {
 		return nil, err
 	}
 	a := &Anonymizer{
-		cfg:      cfg,
-		profiles: make(map[uint64]*privacy.Profile),
-		modes:    make(map[uint64]privacy.Mode),
-		charges:  make(map[uint64]float64),
-		pyr:      pyr,
-		met:      newAnonMetrics(cfg.Metrics, cfg.Algorithm),
+		cfg:     cfg,
+		workers: cfg.BatchWorkers,
+		pyr:     pyr,
+		met:     newAnonMetrics(cfg.Metrics, cfg.Algorithm, cfg.Shards),
 	}
 	switch cfg.Algorithm {
 	case AlgQuadtree:
@@ -215,13 +257,21 @@ func New(cfg Config) (*Anonymizer, error) {
 	default:
 		return nil, fmt.Errorf("anonymizer: unknown algorithm %v", cfg.Algorithm)
 	}
-	if cfg.Incremental {
-		a.inc = cloak.NewIncremental(a.cloaker, a.validateRegion)
-		// Re-tighten a cached region once it holds 8× the required k: keeps
-		// startup-era oversized regions from pinning quality of service low
-		// forever, while still reusing aggressively in the steady state.
-		a.inc.MaxSlack = 8
+	a.shards = make([]*shard, cfg.Shards)
+	for i := range a.shards {
+		var inc *cloak.Incremental
+		if cfg.Incremental {
+			inc = cloak.NewIncremental(a.cloaker, a.validateRegion)
+			// Re-tighten a cached region once it holds 8× the required k:
+			// keeps startup-era oversized regions from pinning quality of
+			// service low forever, while still reusing aggressively in the
+			// steady state.
+			inc.MaxSlack = 8
+		}
+		a.shards[i] = newShard(inc)
 	}
+	a.met.shards.Set(float64(cfg.Shards))
+	a.met.batchWorkers.Set(float64(a.workers))
 	if cfg.Forward != nil && cfg.ForwardQueue > 0 {
 		a.fq = newForwardQueue(cfg.Forward, cfg.ForwardQueue,
 			cfg.ForwardRetryBase, cfg.ForwardRetryMax, a.met)
@@ -248,15 +298,11 @@ func (a *Anonymizer) forward(id uint64, region geo.Rect) error {
 	}
 	err := a.cfg.Forward(id, region)
 	if err == nil {
-		a.mu.Lock()
-		a.stats.Forwarded++
-		a.mu.Unlock()
+		a.ctr.forwarded.Add(1)
 		a.met.forwarded.Inc()
 		return nil
 	}
-	a.mu.Lock()
-	a.stats.ForwardErrs++
-	a.mu.Unlock()
+	a.ctr.forwardErrs.Add(1)
 	a.met.forwardErrs.Inc()
 	if a.fq != nil {
 		a.fq.add(id, region)
@@ -265,8 +311,10 @@ func (a *Anonymizer) forward(id uint64, region geo.Rect) error {
 	return err
 }
 
-// validateRegion re-checks a cached region against the live population; it
-// runs with a.mu held (called from within Update).
+// validateRegion re-checks a cached region against the live population. It
+// reads the spatial indices without locking, so callers must hold the
+// index lock (the incremental cloakers invoke it from inside the cloak
+// phase, which runs under the read lock).
 func (a *Anonymizer) validateRegion(region geo.Rect, req privacy.Requirement) (int, bool) {
 	var count int
 	if a.pop != nil {
@@ -317,21 +365,27 @@ func (a *Anonymizer) StoresExactLocations() bool { return !a.cfg.Algorithm.space
 // Algorithm returns the configured algorithm.
 func (a *Anonymizer) Algorithm() Algorithm { return a.cfg.Algorithm }
 
+// Shards returns the configured shard count.
+func (a *Anonymizer) Shards() int { return len(a.shards) }
+
+// BatchWorkers returns the resolved batch worker-pool size.
+func (a *Anonymizer) BatchWorkers() int { return a.workers }
+
 // Register adds a user with her initial privacy profile in active mode.
 // Her location becomes known to the anonymizer on her first Update.
 func (a *Anonymizer) Register(id uint64, profile *privacy.Profile) error {
 	if profile == nil {
 		return fmt.Errorf("anonymizer: nil profile for user %d", id)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, dup := a.profiles[id]; dup {
+	s, _ := a.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.profiles[id]; dup {
 		return ErrDuplicateUser
 	}
-	a.profiles[id] = profile
-	a.modes[id] = privacy.Active
-	a.stats.Registered++
-	a.met.registered.Set(float64(a.stats.Registered))
+	s.profiles[id] = profile
+	s.modes[id] = privacy.Active
+	a.met.registered.Set(float64(a.ctr.registered.Add(1)))
 	return nil
 }
 
@@ -341,14 +395,15 @@ func (a *Anonymizer) UpdateProfile(id uint64, profile *privacy.Profile) error {
 	if profile == nil {
 		return fmt.Errorf("anonymizer: nil profile for user %d", id)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, ok := a.profiles[id]; !ok {
+	s, _ := a.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.profiles[id]; !ok {
 		return ErrUnknownUser
 	}
-	a.profiles[id] = profile
-	if a.inc != nil {
-		a.inc.Invalidate(id)
+	s.profiles[id] = profile
+	if s.inc != nil {
+		s.inc.Invalidate(id)
 	}
 	return nil
 }
@@ -356,24 +411,26 @@ func (a *Anonymizer) UpdateProfile(id uint64, profile *privacy.Profile) error {
 // SetMode switches a user between passive, active and query modes. A
 // passive user's location is dropped from all indices.
 func (a *Anonymizer) SetMode(id uint64, m privacy.Mode) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, ok := a.profiles[id]; !ok {
+	s, _ := a.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.profiles[id]; !ok {
 		return ErrUnknownUser
 	}
-	prev := a.modes[id]
-	a.modes[id] = m
+	prev := s.modes[id]
+	s.modes[id] = m
 	if m == privacy.Passive && prev != privacy.Passive {
-		a.dropLocationLocked(id)
+		a.dropLocation(s, id)
 	}
 	return nil
 }
 
 // Mode returns the user's current mode.
 func (a *Anonymizer) Mode(id uint64) (privacy.Mode, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	m, ok := a.modes[id]
+	s, _ := a.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.modes[id]
 	if !ok {
 		return 0, ErrUnknownUser
 	}
@@ -382,27 +439,32 @@ func (a *Anonymizer) Mode(id uint64) (privacy.Mode, error) {
 
 // Deregister removes a user entirely.
 func (a *Anonymizer) Deregister(id uint64) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, ok := a.profiles[id]; !ok {
+	s, _ := a.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.profiles[id]; !ok {
 		return false
 	}
-	a.dropLocationLocked(id)
-	delete(a.profiles, id)
-	delete(a.modes, id)
-	a.stats.Registered--
-	a.met.registered.Set(float64(a.stats.Registered))
-	a.met.tracked.Set(float64(a.pyr.Len()))
+	a.dropLocation(s, id)
+	delete(s.profiles, id)
+	delete(s.modes, id)
+	a.met.registered.Set(float64(a.ctr.registered.Add(-1)))
 	return true
 }
 
-func (a *Anonymizer) dropLocationLocked(id uint64) {
+// dropLocation removes a user from the spatial indices and her shard's
+// incremental cache. The shard mutex is held by the caller.
+func (a *Anonymizer) dropLocation(s *shard, id uint64) {
+	a.idxMu.Lock()
 	a.pyr.Remove(id)
 	if a.pop != nil {
 		a.pop.Delete(id)
 	}
-	if a.inc != nil {
-		a.inc.Invalidate(id)
+	tracked := a.pyr.Len()
+	a.idxMu.Unlock()
+	a.met.tracked.Set(float64(tracked))
+	if s.inc != nil {
+		s.inc.Invalidate(id)
 	}
 }
 
@@ -423,66 +485,67 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	if !loc.Valid() || !a.cfg.World.Contains(loc) {
 		return cloak.Result{}, fmt.Errorf("anonymizer: location %v outside world", loc)
 	}
-	a.mu.Lock()
-	profile, ok := a.profiles[id]
+	s, si := a.shardFor(id)
+	s.mu.Lock()
+	profile, ok := s.profiles[id]
 	if !ok {
-		a.mu.Unlock()
+		s.mu.Unlock()
 		return cloak.Result{}, ErrUnknownUser
 	}
-	if a.modes[id] == privacy.Passive {
-		a.mu.Unlock()
+	if s.modes[id] == privacy.Passive {
+		s.mu.Unlock()
 		return cloak.Result{}, ErrPassive
 	}
 	req, err := profile.At(a.cfg.Clock())
 	if err != nil {
 		// No entry covers the current time: the user is effectively passive.
-		a.mu.Unlock()
+		s.mu.Unlock()
 		return cloak.Result{}, fmt.Errorf("%w: %v", ErrPassive, err)
 	}
 
-	// Refresh indices before cloaking so the user counts toward her own k.
-	if _, tracked := a.pyr.UserCell(id); tracked {
-		if _, err := a.pyr.Move(id, loc); err != nil {
-			a.mu.Unlock()
-			return cloak.Result{}, err
-		}
-	} else if err := a.pyr.Insert(id, loc); err != nil {
-		a.mu.Unlock()
-		return cloak.Result{}, err
-	}
+	// Refresh indices before cloaking so the user counts toward her own k —
+	// a short exclusive write section, then cloak under the read lock so
+	// other shards' descents proceed concurrently.
+	a.idxMu.Lock()
+	a.pyr.Upsert(id, loc)
 	if a.pop != nil {
 		a.pop.Upsert(id, loc)
 	}
-	a.met.tracked.Set(float64(a.pyr.Len()))
+	tracked := a.pyr.Len()
+	a.idxMu.Unlock()
+	a.met.tracked.Set(float64(tracked))
 
 	t0 := time.Now()
+	a.idxMu.RLock()
 	var res cloak.Result
-	if a.inc != nil {
-		res = a.inc.Cloak(id, loc, req)
+	if s.inc != nil {
+		res = s.inc.Cloak(id, loc, req)
 	} else {
 		res = a.cloaker.Cloak(id, loc, req)
 	}
+	a.idxMu.RUnlock()
 	a.met.cloakLat.Since(t0)
 	a.met.observeResult(res)
+	a.met.shardOps[si].Inc()
 
 	if isQuery {
-		a.stats.Queries++
+		a.ctr.queries.Add(1)
 		a.met.queries.Inc()
 	} else {
-		a.stats.Updates++
+		a.ctr.updates.Add(1)
 		a.met.updates.Inc()
 	}
 	if res.Reused {
-		a.stats.Reused++
+		a.ctr.reused.Add(1)
 	}
 	if res.BestEffort() {
-		a.stats.BestEffort++
+		a.ctr.bestEffort.Add(1)
 	}
-	a.met.setReuseRate(a.stats)
+	a.met.setReuseRate(&a.ctr)
 	if a.cfg.Tariff != nil {
-		a.charges[id] += a.cfg.Tariff(req)
+		s.charges[id] += a.cfg.Tariff(req)
 	}
-	a.mu.Unlock()
+	s.mu.Unlock()
 
 	// A reused region is byte-identical to what the server already stores,
 	// so incremental mode also saves the downstream message — half of the
@@ -495,119 +558,28 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	return res, nil
 }
 
-// BatchUpdate processes many location updates in one shared pass (Section
-// 5.3). With a space-dependent algorithm, users in the same bottom pyramid
-// cell with the same active requirement share a single cloaking
-// computation; data-dependent algorithms fall back to per-user processing
-// (their regions depend on exact positions, so sharing would be unsound).
-// Results are returned in input order; a nil entry marks an update that
-// failed (unknown user, passive mode, out-of-world location).
-//
-// Forwarding is deduplicated: each distinct region is sent downstream once
-// per batch with the *first* user id that produced it, plus one message per
-// additional distinct (id, region) pair — matching what per-user updates
-// would have sent, minus exact duplicates.
-func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
-	results := make([]*cloak.Result, len(updates))
-
-	a.mu.Lock()
-	// Refresh indices and resolve requirements first so the shared pass
-	// sees the whole batch's occupancy (the paper's one-pass semantics).
-	now := a.cfg.Clock()
-	reqs := make([]cloak.Request, 0, len(updates))
-	slot := make([]int, 0, len(updates)) // reqs index -> updates index
-	for i, u := range updates {
-		if !u.Loc.Valid() || !a.cfg.World.Contains(u.Loc) {
-			continue
-		}
-		profile, ok := a.profiles[u.ID]
-		if !ok || a.modes[u.ID] == privacy.Passive {
-			continue
-		}
-		req, err := profile.At(now)
-		if err != nil {
-			continue
-		}
-		if _, tracked := a.pyr.UserCell(u.ID); tracked {
-			if _, err := a.pyr.Move(u.ID, u.Loc); err != nil {
-				continue
-			}
-		} else if err := a.pyr.Insert(u.ID, u.Loc); err != nil {
-			continue
-		}
-		if a.pop != nil {
-			a.pop.Upsert(u.ID, u.Loc)
-		}
-		reqs = append(reqs, cloak.Request{ID: u.ID, Loc: u.Loc, Req: req})
-		slot = append(slot, i)
-	}
-
-	a.met.tracked.Set(float64(a.pyr.Len()))
-
-	t0 := time.Now()
-	var batchResults []cloak.Result
-	if q, ok := a.cloaker.(*cloak.Quadtree); ok {
-		bq := &cloak.BatchQuadtree{Pyr: q.Pyr}
-		batchResults, _ = bq.CloakAll(reqs)
-	} else {
-		batchResults = make([]cloak.Result, len(reqs))
-		for i, r := range reqs {
-			batchResults[i] = a.cloaker.Cloak(r.ID, r.Loc, r.Req)
-		}
-	}
-	a.met.batchLat.Since(t0)
-	for i := range batchResults {
-		res := batchResults[i]
-		results[slot[i]] = &res
-		a.stats.Updates++
-		a.met.updates.Inc()
-		a.met.observeResult(res)
-		if res.BestEffort() {
-			a.stats.BestEffort++
-		}
-		if a.cfg.Tariff != nil {
-			a.charges[reqs[i].ID] += a.cfg.Tariff(reqs[i].Req)
-		}
-	}
-	a.met.setReuseRate(a.stats)
-	a.mu.Unlock()
-
-	if a.cfg.Forward == nil {
-		return results
-	}
-	type fwdKey struct {
-		id     uint64
-		region geo.Rect
-	}
-	sent := make(map[fwdKey]bool, len(reqs))
-	for i := range batchResults {
-		key := fwdKey{id: reqs[i].ID, region: batchResults[i].Region}
-		if sent[key] {
-			continue
-		}
-		sent[key] = true
-		// With a spill queue configured the error path is absorbed inside
-		// forward; without one a failed forward is already counted there
-		// and, matching the historical batch semantics, does not null the
-		// caller's result.
-		_ = a.forward(key.id, key.region)
-	}
-	return results
-}
-
 // Charges returns the accumulated fees of a user under the configured
 // tariff.
 func (a *Anonymizer) Charges(id uint64) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.charges[id]
+	s, _ := a.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.charges[id]
 }
 
 // Stats returns a snapshot of the activity counters, spill queue included.
 func (a *Anonymizer) Stats() Stats {
-	a.mu.Lock()
-	st := a.stats
-	a.mu.Unlock()
+	st := Stats{
+		Registered:  int(a.ctr.registered.Load()),
+		Updates:     a.ctr.updates.Load(),
+		Queries:     a.ctr.queries.Load(),
+		Reused:      a.ctr.reused.Load(),
+		BestEffort:  a.ctr.bestEffort.Load(),
+		Forwarded:   a.ctr.forwarded.Load(),
+		ForwardErrs: a.ctr.forwardErrs.Load(),
+		Batches:     a.ctr.batches.Load(),
+		SharedHits:  a.ctr.sharedHits.Load(),
+	}
 	if a.fq != nil {
 		qs := a.fq.snapshot()
 		st.Spilled = qs.spilled
@@ -625,7 +597,7 @@ func (a *Anonymizer) Stats() Stats {
 // Population returns the number of users currently tracked in the spatial
 // indices (those that sent at least one update while non-passive).
 func (a *Anonymizer) Population() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.idxMu.RLock()
+	defer a.idxMu.RUnlock()
 	return a.pyr.Len()
 }

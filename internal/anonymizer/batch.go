@@ -1,0 +1,220 @@
+package anonymizer
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/privacy"
+)
+
+// BatchUpdate processes many location updates in one shared pass (Section
+// 5.3). With a space-dependent algorithm, users in the same bottom pyramid
+// cell with the same active requirement share a single cloaking
+// computation; data-dependent algorithms fall back to per-user processing
+// (their regions depend on exact positions, so sharing would be unsound).
+// Results are returned in input order; a nil entry marks an update that
+// failed (unknown user, passive mode, out-of-world location).
+//
+// The batch drains through a three-phase pipeline:
+//
+//  1. Admission + relocation, parallel per shard: every shard worker
+//     validates its own users' entries (profile, mode, requirement) under
+//     the shard lock, then applies their index relocations as one batched
+//     critical section of the single index writer. One user maps to one
+//     shard and each shard walks its entries in input order, so per-user
+//     ordering is preserved; the final index state is independent of the
+//     cross-shard write interleaving because each user's position depends
+//     only on her own last entry and cell counters commute.
+//  2. Cloaking, parallel on the worker pool over the now-frozen indices
+//     (read lock): quadtree batches share one descent per distinct
+//     (bottom cell, requirement) key — the per-batch memo of the
+//     sequential path, preserved globally across shards — while other
+//     algorithms fan out per-request.
+//  3. Accounting and forwarding, sequential in input order.
+//
+// Phases 1 and 2 are deterministic functions of the input and prior state,
+// so results are bit-identical for every (Shards, BatchWorkers) setting —
+// the property the differential test suite pins down.
+//
+// Forwarding is deduplicated: each distinct (id, region) pair is sent
+// downstream once per batch — matching what per-user updates would have
+// sent, minus exact duplicates.
+func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
+	results := make([]*cloak.Result, len(updates))
+	if len(updates) == 0 {
+		return results
+	}
+	now := a.cfg.Clock()
+
+	// Phase 1 — admission + batched relocations, one worker per shard
+	// holding a batch's worth of entries.
+	reqs := make([]cloak.Request, len(updates)) // resolved requirement per admitted entry
+	admitted := make([]bool, len(updates))
+	byShard := make([][]int, len(a.shards))
+	for i, u := range updates {
+		_, si := a.shardFor(u.ID)
+		byShard[si] = append(byShard[si], i)
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *shard, si int, idxs []int) {
+			defer wg.Done()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			live := make([]int, 0, len(idxs))
+			for _, i := range idxs {
+				u := updates[i]
+				if !u.Loc.Valid() || !a.cfg.World.Contains(u.Loc) {
+					continue
+				}
+				profile, ok := s.profiles[u.ID]
+				if !ok || s.modes[u.ID] == privacy.Passive {
+					continue
+				}
+				req, err := profile.At(now)
+				if err != nil {
+					continue
+				}
+				reqs[i] = cloak.Request{ID: u.ID, Loc: u.Loc, Req: req}
+				live = append(live, i)
+			}
+			// This shard's relocations, applied as one write section: the
+			// "single writer applying relocations in batches".
+			a.idxMu.Lock()
+			for _, i := range live {
+				a.pyr.Upsert(reqs[i].ID, reqs[i].Loc)
+				if a.pop != nil {
+					a.pop.Upsert(reqs[i].ID, reqs[i].Loc)
+				}
+				admitted[i] = true
+			}
+			a.idxMu.Unlock()
+			a.met.shardOps[si].Add(uint64(len(live)))
+		}(a.shards[si], si, idxs)
+	}
+	wg.Wait()
+
+	valid := make([]int, 0, len(updates)) // admitted entries, input order
+	for i := range updates {
+		if admitted[i] {
+			valid = append(valid, i)
+		}
+	}
+	creqs := make([]cloak.Request, len(valid))
+	for j, i := range valid {
+		creqs[j] = reqs[i]
+	}
+	a.met.tracked.Set(float64(a.Population()))
+
+	// Phase 2 — cloak the whole batch over the frozen indices.
+	t0 := time.Now()
+	var batchResults []cloak.Result
+	var sharedHits int
+	a.idxMu.RLock()
+	if q, ok := a.cloaker.(*cloak.Quadtree); ok {
+		bq := &cloak.BatchQuadtree{Pyr: q.Pyr}
+		batchResults, sharedHits = bq.CloakAllParallel(creqs, a.workers)
+	} else {
+		batchResults = make([]cloak.Result, len(creqs))
+		parallelFor(len(creqs), a.workers, func(j int) {
+			r := creqs[j]
+			batchResults[j] = a.cloaker.Cloak(r.ID, r.Loc, r.Req)
+		})
+	}
+	a.idxMu.RUnlock()
+	a.met.batchLat.Since(t0)
+
+	// Phase 3 — accounting in input order.
+	for j := range batchResults {
+		res := batchResults[j]
+		results[valid[j]] = &res
+		a.ctr.updates.Add(1)
+		a.met.updates.Inc()
+		a.met.observeResult(res)
+		if res.BestEffort() {
+			a.ctr.bestEffort.Add(1)
+		}
+	}
+	a.ctr.batches.Add(1)
+	a.ctr.sharedHits.Add(uint64(sharedHits))
+	a.met.batches.Inc()
+	a.met.sharedHits.Add(uint64(sharedHits))
+	a.met.batchSize.Observe(float64(len(updates)))
+	a.met.setReuseRate(&a.ctr)
+
+	if a.cfg.Tariff != nil {
+		for si, idxs := range byShard {
+			if len(idxs) == 0 {
+				continue
+			}
+			s := a.shards[si]
+			s.mu.Lock()
+			for _, i := range idxs {
+				if admitted[i] {
+					s.charges[reqs[i].ID] += a.cfg.Tariff(reqs[i].Req)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+
+	if a.cfg.Forward == nil {
+		return results
+	}
+	type fwdKey struct {
+		id     uint64
+		region geo.Rect
+	}
+	sent := make(map[fwdKey]bool, len(creqs))
+	for j := range batchResults {
+		key := fwdKey{id: creqs[j].ID, region: batchResults[j].Region}
+		if sent[key] {
+			continue
+		}
+		sent[key] = true
+		// With a spill queue configured the error path is absorbed inside
+		// forward; without one a failed forward is already counted there
+		// and, matching the historical batch semantics, does not null the
+		// caller's result.
+		_ = a.forward(key.id, key.region)
+	}
+	return results
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines. Iterations are
+// handed out by an atomic cursor, so callers only need fn(i) and fn(j) to
+// touch disjoint state. workers ≤ 1 degenerates to a plain loop.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,96 @@
+package anonymizer
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// benchAnon builds a warmed anonymizer with n users for a shard setting.
+func benchAnon(b *testing.B, shards, n int) (*Anonymizer, []geo.Point) {
+	b.Helper()
+	a := newAnon(b, Config{Shards: shards, BatchWorkers: shards})
+	pts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: n, World: world, Dist: mobility.Gaussian, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := privacy.Constant(privacy.Requirement{K: 25})
+	for i, p := range pts {
+		a.Register(uint64(i+1), prof)
+		if _, err := a.Update(uint64(i+1), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return a, pts
+}
+
+// BenchmarkAnonBatchUpdate drives the full three-phase batch pipeline at
+// shard counts 1/4/8 — the series the regression harness (lbsbench E16)
+// tracks as updates/sec.
+func BenchmarkAnonBatchUpdate(b *testing.B) {
+	const n = 5000
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			a, pts := benchAnon(b, shards, n)
+			reqs := make([]cloak.Request, n)
+			for i, p := range pts {
+				reqs[i] = cloak.Request{ID: uint64(i + 1), Loc: p}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.BatchUpdate(reqs)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkAnonSingleUpdate is the per-call path at the same shard counts
+// (serial caller: measures per-op overhead, not contention).
+func BenchmarkAnonSingleUpdate(b *testing.B) {
+	const n = 5000
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			a, pts := benchAnon(b, shards, n)
+			src := rng.New(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := uint64(src.Intn(n)) + 1
+				if _, err := a.Update(id, pts[id-1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnonSingleUpdateParallel measures shard-stripe contention:
+// concurrent callers on GOMAXPROCS goroutines. With Shards=1 every caller
+// serializes on one mutex; with more stripes they mostly don't.
+func BenchmarkAnonSingleUpdateParallel(b *testing.B) {
+	const n = 5000
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			a, pts := benchAnon(b, shards, n)
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				src := rng.New(seq.Add(1))
+				for pb.Next() {
+					id := uint64(src.Intn(n)) + 1
+					if _, err := a.Update(id, pts[id-1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

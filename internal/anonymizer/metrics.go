@@ -1,20 +1,24 @@
 package anonymizer
 
 import (
+	"strconv"
+
 	"repro/internal/cloak"
 	"repro/internal/obs"
 )
 
 // anonMetrics holds the anonymizer's registered obs series. The cloaking
 // algorithm is fixed per Anonymizer, so the per-algorithm label is bound
-// once at construction and the hot path pays only atomic operations.
+// once at construction and the hot path pays only atomic operations; the
+// same goes for the per-shard counters, bound once per stripe.
 type anonMetrics struct {
 	reg *obs.Registry
 
-	cloakLat *obs.Histogram // anon_cloak_seconds{alg}
-	batchLat *obs.Histogram // anon_batch_seconds{alg}
-	area     *obs.Histogram // anon_cloak_area{alg}
-	k        *obs.Histogram // anon_cloak_k{alg}
+	cloakLat  *obs.Histogram // anon_cloak_seconds{alg}
+	batchLat  *obs.Histogram // anon_batch_seconds{alg}
+	batchSize *obs.Histogram // anon_batch_size{alg}
+	area      *obs.Histogram // anon_cloak_area{alg}
+	k         *obs.Histogram // anon_cloak_k{alg}
 
 	updates     *obs.Counter
 	queries     *obs.Counter
@@ -23,6 +27,12 @@ type anonMetrics struct {
 	reuseHits   *obs.Counter
 	forwarded   *obs.Counter
 	forwardErrs *obs.Counter
+	batches     *obs.Counter // batch pipeline passes completed
+	sharedHits  *obs.Counter // requests served from a shared descent
+
+	// Per-shard operation counters: anon_shard_ops_total{shard}. Uneven
+	// values reveal a skewed id→shard distribution.
+	shardOps []*obs.Counter
 
 	// Forward spill-queue series: the graceful-degradation path used when
 	// the downstream database link fails.
@@ -30,26 +40,31 @@ type anonMetrics struct {
 	replays    *obs.Counter // queued regions delivered after recovery
 	queueDrops *obs.Counter // oldest entries evicted from a full queue
 
-	registered *obs.Gauge
-	tracked    *obs.Gauge
-	reuseRate  *obs.Gauge // reused / (updates+queries), 0..1
-	queueDepth *obs.Gauge // regions currently awaiting replay
+	registered   *obs.Gauge
+	tracked      *obs.Gauge
+	reuseRate    *obs.Gauge // reused / (updates+queries), 0..1
+	queueDepth   *obs.Gauge // regions currently awaiting replay
+	shards       *obs.Gauge // configured lock-stripe count
+	batchWorkers *obs.Gauge // resolved batch worker-pool size
 }
 
 // newAnonMetrics registers the anonymizer's series in reg (a fresh private
-// registry when nil), labelling the per-cloak distributions with alg.
-func newAnonMetrics(reg *obs.Registry, alg Algorithm) *anonMetrics {
+// registry when nil), labelling the per-cloak distributions with alg and
+// the per-shard counters with their stripe index.
+func newAnonMetrics(reg *obs.Registry, alg Algorithm, shards int) *anonMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	l := obs.L("alg", alg.String())
-	return &anonMetrics{
+	m := &anonMetrics{
 		reg: reg,
 
 		cloakLat: reg.Histogram("anon_cloak_seconds",
 			"Latency of one cloaking computation.", obs.DefaultLatencyBuckets, l),
 		batchLat: reg.Histogram("anon_batch_seconds",
 			"Latency of one shared (batch) cloaking pass.", obs.DefaultLatencyBuckets, l),
+		batchSize: reg.Histogram("anon_batch_size",
+			"Requests per batch-update pass.", obs.CountBuckets, l),
 		area: reg.Histogram("anon_cloak_area",
 			"Cloaked-region area (world units squared).", obs.AreaBuckets, l),
 		k: reg.Histogram("anon_cloak_k",
@@ -62,16 +77,26 @@ func newAnonMetrics(reg *obs.Registry, alg Algorithm) *anonMetrics {
 		reuseHits:   reg.Counter("anon_reuse_hits_total", "Updates served from a still-valid incremental region."),
 		forwarded:   reg.Counter("anon_forwarded_total", "Cloaked regions forwarded downstream."),
 		forwardErrs: reg.Counter("anon_forward_errors_total", "Downstream forward failures."),
+		batches:     reg.Counter("anon_batches_total", "Batch-update pipeline passes completed."),
+		sharedHits:  reg.Counter("anon_batch_shared_hits_total", "Batched requests served from a shared descent instead of their own computation."),
 
 		spills:     reg.Counter("anon_forward_spills_total", "Cloaked regions spilled into the replay queue while the database link was down."),
 		replays:    reg.Counter("anon_forward_replays_total", "Spilled regions replayed downstream after the link recovered."),
 		queueDrops: reg.Counter("anon_forward_queue_drops_total", "Oldest spilled regions evicted because the replay queue was full."),
 
-		registered: reg.Gauge("anon_registered_users", "Users registered with a privacy profile."),
-		tracked:    reg.Gauge("anon_tracked_users", "Users currently present in the spatial indices."),
-		reuseRate:  reg.Gauge("anon_reuse_rate", "Incremental-reuse hit rate over all processed operations (0..1)."),
-		queueDepth: reg.Gauge("anon_forward_queue_depth", "Cloaked regions currently parked awaiting replay."),
+		registered:   reg.Gauge("anon_registered_users", "Users registered with a privacy profile."),
+		tracked:      reg.Gauge("anon_tracked_users", "Users currently present in the spatial indices."),
+		reuseRate:    reg.Gauge("anon_reuse_rate", "Incremental-reuse hit rate over all processed operations (0..1)."),
+		queueDepth:   reg.Gauge("anon_forward_queue_depth", "Cloaked regions currently parked awaiting replay."),
+		shards:       reg.Gauge("anon_shards", "Configured per-user state lock stripes."),
+		batchWorkers: reg.Gauge("anon_batch_workers", "Worker-pool size of the batch cloaking phase."),
 	}
+	m.shardOps = make([]*obs.Counter, shards)
+	for i := range m.shardOps {
+		m.shardOps[i] = reg.Counter("anon_shard_ops_total",
+			"Operations processed per state shard.", obs.L("shard", strconv.Itoa(i)))
+	}
+	return m
 }
 
 // observeResult records the per-cloak distributions for one result.
@@ -89,12 +114,12 @@ func (m *anonMetrics) observeResult(res cloak.Result) {
 	}
 }
 
-// setReuseRate refreshes the hit-rate gauge from the activity counters;
-// called with the anonymizer mutex held.
-func (m *anonMetrics) setReuseRate(st Stats) {
-	total := st.Updates + st.Queries
+// setReuseRate refreshes the hit-rate gauge from the atomic activity
+// counters.
+func (m *anonMetrics) setReuseRate(c *counters) {
+	total := c.updates.Load() + c.queries.Load()
 	if total > 0 {
-		m.reuseRate.Set(float64(st.Reused) / float64(total))
+		m.reuseRate.Set(float64(c.reused.Load()) / float64(total))
 	}
 }
 

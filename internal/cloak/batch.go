@@ -1,6 +1,9 @@
 package cloak
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/geo"
 	"repro/internal/privacy"
 	"repro/internal/pyramid"
@@ -49,4 +52,60 @@ func (b *BatchQuadtree) CloakAll(reqs []Request) (results []Result, sharedHits i
 		results[i] = res
 	}
 	return results, sharedHits
+}
+
+// CloakAllParallel is CloakAll with the distinct descents fanned out over a
+// worker pool. The per-batch shared-descent memo is preserved globally:
+// the requests are first grouped by (bottom cell, requirement) in input
+// order, then exactly one descent per distinct key runs on the pool, and
+// every request is answered from its key's descent. Because a descent is a
+// pure read of the pyramid and ignores the requesting user's identity, the
+// results — and the shared-hit count, len(reqs) − distinct keys — are
+// bit-identical to the sequential CloakAll. The pyramid must not be
+// mutated while the call runs (the anonymizer holds its index read lock).
+func (b *BatchQuadtree) CloakAllParallel(reqs []Request, workers int) (results []Result, sharedHits int) {
+	if workers <= 1 {
+		return b.CloakAll(reqs)
+	}
+	results = make([]Result, len(reqs))
+	bottom := b.Pyr.Height() - 1
+	index := make(map[batchKey]int, len(reqs)/2+1)
+	keyOf := make([]int, len(reqs))
+	var firsts []Request // first request of each distinct key, in input order
+	for i, r := range reqs {
+		key := batchKey{cell: b.Pyr.CellAt(bottom, r.Loc), req: r.Req}
+		j, ok := index[key]
+		if !ok {
+			j = len(firsts)
+			index[key] = j
+			firsts = append(firsts, r)
+		}
+		keyOf[i] = j
+	}
+	shared := make([]Result, len(firsts))
+	if workers > len(firsts) {
+		workers = len(firsts)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			q := &Quadtree{Pyr: b.Pyr}
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(shared) {
+					return
+				}
+				r := firsts[j]
+				shared[j] = q.Cloak(r.ID, r.Loc, r.Req)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range reqs {
+		results[i] = shared[keyOf[i]]
+	}
+	return results, len(reqs) - len(firsts)
 }

@@ -1,0 +1,76 @@
+package cloak
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// buildBatch generates a request mix with heavy key sharing: clusters of
+// users at identical points with a small set of requirements.
+func buildBatch(t testing.TB, n int, seed uint64) (*BatchQuadtree, []Request) {
+	t.Helper()
+	_, pyr, pts := population(t, n, mobility.Uniform, seed)
+	src := rng.New(seed ^ 0xBA7C4)
+	ks := []int{1, 5, 25}
+	reqs := make([]Request, 0, 2*n)
+	for i, p := range pts {
+		reqs = append(reqs, Request{
+			ID: uint64(i + 1), Loc: p,
+			Req: privacy.Requirement{K: ks[i%len(ks)]},
+		})
+	}
+	// Duplicate locations: several users at one point with one requirement.
+	for c := 0; c < n/10; c++ {
+		p := geo.Pt(src.Float64(), src.Float64())
+		req := privacy.Requirement{K: ks[src.Intn(len(ks))]}
+		for m := 0; m < 4; m++ {
+			reqs = append(reqs, Request{ID: uint64(src.Intn(n)) + 1, Loc: p, Req: req})
+		}
+	}
+	return &BatchQuadtree{Pyr: pyr}, reqs
+}
+
+// TestCloakAllParallelMatchesSequential: the fanned-out batch must be
+// bit-identical to the sequential memo walk — results and shared-hit
+// count alike, for every worker count.
+func TestCloakAllParallelMatchesSequential(t *testing.T) {
+	bq, reqs := buildBatch(t, 1000, 21)
+	seqRes, seqHits := bq.CloakAll(reqs)
+	if seqHits == 0 {
+		t.Fatal("workload has no shared keys; the test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 4, 8, 64} {
+		parRes, parHits := bq.CloakAllParallel(reqs, workers)
+		if parHits != seqHits {
+			t.Errorf("workers=%d: shared hits %d != sequential %d", workers, parHits, seqHits)
+		}
+		if len(parRes) != len(seqRes) {
+			t.Fatalf("workers=%d: length %d != %d", workers, len(parRes), len(seqRes))
+		}
+		for i := range seqRes {
+			if parRes[i] != seqRes[i] {
+				t.Fatalf("workers=%d: result %d diverges:\n  seq: %+v\n  par: %+v",
+					workers, i, seqRes[i], parRes[i])
+			}
+		}
+	}
+}
+
+// TestCloakAllParallelEmptyAndTiny covers the degenerate shapes: empty
+// batch, single request, fewer requests than workers.
+func TestCloakAllParallelEmptyAndTiny(t *testing.T) {
+	bq, reqs := buildBatch(t, 100, 22)
+	if res, hits := bq.CloakAllParallel(nil, 8); len(res) != 0 || hits != 0 {
+		t.Errorf("empty batch: %v, %d", res, hits)
+	}
+	one := reqs[:1]
+	seqRes, _ := bq.CloakAll(one)
+	parRes, hits := bq.CloakAllParallel(one, 8)
+	if hits != 0 || parRes[0] != seqRes[0] {
+		t.Errorf("single request diverges: %+v vs %+v (hits %d)", parRes[0], seqRes[0], hits)
+	}
+}

@@ -1,6 +1,8 @@
 package cloak
 
 import (
+	"sync"
+
 	"repro/internal/geo"
 	"repro/internal/privacy"
 )
@@ -19,6 +21,13 @@ type Validator func(region geo.Rect, req privacy.Requirement) (count int, ok boo
 // Reuse has a privacy side benefit the paper does not mention but the
 // experiments report: a stable region across updates leaks less movement
 // information than a region recentered on every update.
+//
+// Unlike the plain cloakers, Incremental is safe for concurrent use: the
+// region cache is guarded internally, so shard workers of a parallel
+// anonymizer may share one instance. Inner and Validate must themselves be
+// safe to call concurrently (the built-in cloakers are read-only over
+// their indices, so they are, as long as no index writer runs at the same
+// time — the anonymizer's reader/writer lock enforces that).
 type Incremental struct {
 	Inner Cloaker
 	// Validate re-checks a cached region. When nil, only containment of the
@@ -33,6 +42,7 @@ type Incremental struct {
 	// Only effective when Validate is set (it supplies the count).
 	MaxSlack int
 
+	mu    sync.Mutex
 	cache map[uint64]cached
 }
 
@@ -51,6 +61,8 @@ func (c *Incremental) Name() string { return c.Inner.Name() + "+inc" }
 
 // Cloak implements Cloaker.
 func (c *Incremental) Cloak(id uint64, loc geo.Point, req privacy.Requirement) Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if prev, ok := c.cache[id]; ok && prev.req == req && prev.region.Contains(loc) {
 		if c.Validate == nil {
 			return Result{
@@ -77,7 +89,15 @@ func (c *Incremental) Cloak(id uint64, loc geo.Point, req privacy.Requirement) R
 }
 
 // Invalidate drops the cached region of one user (e.g. on deregistration).
-func (c *Incremental) Invalidate(id uint64) { delete(c.cache, id) }
+func (c *Incremental) Invalidate(id uint64) {
+	c.mu.Lock()
+	delete(c.cache, id)
+	c.mu.Unlock()
+}
 
 // CacheSize returns the number of cached regions.
-func (c *Incremental) CacheSize() int { return len(c.cache) }
+func (c *Incremental) CacheSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}

@@ -91,6 +91,7 @@ func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		e.U64(st.BestEffort).U64(st.Forwarded).U64(st.ForwardErrs)
 		e.U64(st.Spilled).U64(st.Replayed).U64(st.Dropped)
 		e.U32(uint32(st.QueueDepth))
+		e.U64(st.Batches).U64(st.SharedHits)
 		return e.Bytes(), nil
 
 	case MsgSetMode:
@@ -286,6 +287,8 @@ func (ac *AnonymizerClient) Stats() (anonymizer.Stats, error) {
 		Replayed:    d.U64(),
 		Dropped:     d.U64(),
 		QueueDepth:  int(d.U32()),
+		Batches:     d.U64(),
+		SharedHits:  d.U64(),
 	}
 	return st, d.Err()
 }

@@ -36,9 +36,11 @@ func threeTier(t *testing.T) (*AnonymizerClient, *DatabaseClient, func()) {
 		t.Fatal(err)
 	}
 	anon, err := anonymizer.New(anonymizer.Config{
-		World:   world,
-		Forward: fwdClient.UpdatePrivate,
-		Clock:   func() time.Time { return time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC) },
+		World:        world,
+		Forward:      fwdClient.UpdatePrivate,
+		Shards:       4, // exercise the sharded pipeline over the wire
+		BatchWorkers: 2,
+		Clock:        func() time.Time { return time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC) },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -381,5 +383,24 @@ func TestAnonStatsOverTheWire(t *testing.T) {
 	}
 	if st.Forwarded != 2 {
 		t.Errorf("Forwarded = %d, want 2 (update + cloak query)", st.Forwarded)
+	}
+
+	// Batch-pipeline counters cross the wire too: two requests in the same
+	// bottom cell with the same requirement share one descent.
+	if _, err := user.BatchUpdate([]cloak.Request{
+		{ID: 1, Loc: geo.Pt(0.5, 0.5)},
+		{ID: 1, Loc: geo.Pt(0.5, 0.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = user.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 1 {
+		t.Errorf("Batches = %d, want 1", st.Batches)
+	}
+	if st.SharedHits != 1 {
+		t.Errorf("SharedHits = %d, want 1", st.SharedHits)
 	}
 }

@@ -45,8 +45,13 @@ func (c Cell) Child(dx, dy int) Cell {
 	return Cell{Level: c.Level + 1, Col: c.Col*2 + dx, Row: c.Row*2 + dy}
 }
 
-// Pyramid maintains user counts at every level. It is not goroutine-safe;
-// the anonymizer serializes access.
+// Pyramid maintains user counts at every level. It performs no locking of
+// its own: any number of readers (Count, CellAt, CountRegion, the cloaking
+// descents built on them) may run concurrently as long as no writer
+// (Insert, Move, Upsert, Remove) runs at the same time. The sharded
+// anonymizer enforces that discipline with a reader/writer lock — a single
+// writer applies relocations in batches while cloaking readers run in
+// parallel between write sections.
 type Pyramid struct {
 	world  geo.Rect
 	height int             // number of levels
@@ -179,6 +184,18 @@ func (p *Pyramid) Move(id uint64, pt geo.Point) (changed bool, err error) {
 	p.bump(bottom, +1)
 	p.cellOf[id] = bottom
 	return true, nil
+}
+
+// Upsert inserts a new user or relocates an existing one — the combined
+// write the anonymizer's update path needs. It reports whether the user's
+// bottom-level cell changed (always true for a new user).
+func (p *Pyramid) Upsert(id uint64, pt geo.Point) (changed bool) {
+	if _, ok := p.cellOf[id]; ok {
+		changed, _ = p.Move(id, pt)
+		return changed
+	}
+	_ = p.Insert(id, pt)
+	return true
 }
 
 // Remove deregisters a user; it reports whether the user was present.
