@@ -191,7 +191,7 @@ func expEndToEnd(cfg benchConfig) {
 		log.Fatalf("lbsbench: %v", err)
 	}
 	defer dbSvc.Close()
-	fwd, err := protocol.DialDatabase(dbSvc.Addr())
+	fwd, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(30*time.Second))
 	if err != nil {
 		log.Fatalf("lbsbench: %v", err)
 	}
@@ -206,12 +206,12 @@ func expEndToEnd(cfg benchConfig) {
 		log.Fatalf("lbsbench: %v", err)
 	}
 	defer anonSvc.Close()
-	user, err := protocol.DialAnonymizer(anonSvc.Addr())
+	user, err := protocol.DialAnonymizer(anonSvc.Addr(), protocol.WithCallTimeout(30*time.Second))
 	if err != nil {
 		log.Fatalf("lbsbench: %v", err)
 	}
 	defer user.Close()
-	admin, err := protocol.DialDatabase(dbSvc.Addr())
+	admin, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(30*time.Second))
 	if err != nil {
 		log.Fatalf("lbsbench: %v", err)
 	}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/anonymizer"
 	"repro/internal/cloak"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/mobility"
 	"repro/internal/obs"
@@ -88,6 +89,7 @@ func main() {
 	anonWorkers := flag.Int("anon-workers", runtime.GOMAXPROCS(0), "selfhost: anonymizer batch worker pool")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	callTimeout := flag.Duration("call-timeout", 5*time.Second, "per-call deadline on every client connection")
+	faultPlan := flag.String("fault-plan", "", `inject faults on the load generator's connections, e.g. "1=r2:drop;*=w1:delay:5ms" (see faults.ParsePlan)`)
 	flag.Parse()
 
 	world := geo.R(0, 0, 1, 1)
@@ -99,6 +101,16 @@ func main() {
 	cliOpts := []protocol.DialOption{
 		protocol.WithCallTimeout(*callTimeout),
 		protocol.WithClientMetrics(cliReg),
+	}
+	if *faultPlan != "" {
+		plan, err := faults.ParsePlan(*faultPlan)
+		if err != nil {
+			log.Fatalf("lbsload: -fault-plan: %v", err)
+		}
+		// One shared dialer so connection indices count across all client
+		// connections, in dial order; the resilience counters printed at the
+		// end show how the client tier absorbed the injected faults.
+		cliOpts = append(cliOpts, protocol.WithDialer(faults.Dialer(plan)))
 	}
 
 	if *selfhost {
@@ -112,7 +124,7 @@ func main() {
 			log.Fatalf("lbsload: %v", err)
 		}
 		defer dbSvc.Close()
-		fwd, err := protocol.DialDatabase(dbSvc.Addr())
+		fwd, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(*callTimeout))
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
@@ -314,12 +326,12 @@ func main() {
 		cliReg.Counter("proto_breaker_opens_total", "").Value())
 
 	// Daemon-side percentile tables over the wire.
-	if ac, err := protocol.DialAnonymizer(*anonAddr); err == nil {
+	if ac, err := protocol.DialAnonymizer(*anonAddr, protocol.WithCallTimeout(5*time.Second)); err == nil {
 		series, merr := ac.Metrics()
 		printLiveMetrics("anonymizer", series, merr)
 		ac.Close()
 	}
-	if dc, err := protocol.DialDatabase(*dbAddr); err == nil {
+	if dc, err := protocol.DialDatabase(*dbAddr, protocol.WithCallTimeout(5*time.Second)); err == nil {
 		series, merr := dc.Metrics()
 		printLiveMetrics("database", series, merr)
 		dc.Close()

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/anonymizer"
 	"repro/internal/geo"
@@ -35,7 +36,7 @@ func main() {
 	fmt.Printf("database server   : %s\n", dbSvc.Addr())
 
 	// Tier 2: the anonymizer, forwarding cloaked regions over TCP.
-	fwd, err := protocol.DialDatabase(dbSvc.Addr())
+	fwd, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(10*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,14 +57,14 @@ func main() {
 	fmt.Printf("location anonymizer: %s (quadtree, incremental)\n\n", anonSvc.Addr())
 
 	// Tier 1a: mobile users connect to the anonymizer only.
-	user, err := protocol.DialAnonymizer(anonSvc.Addr())
+	user, err := protocol.DialAnonymizer(anonSvc.Addr(), protocol.WithCallTimeout(10*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer user.Close()
 
 	// Tier 1b: an untrusted third party connects to the database only.
-	admin, err := protocol.DialDatabase(dbSvc.Addr())
+	admin, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(10*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}

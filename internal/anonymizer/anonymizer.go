@@ -177,8 +177,9 @@ type Anonymizer struct {
 	shards []*shard
 
 	// idxMu guards the spatial indices: concurrent cloaking readers, one
-	// relocation writer. Acquired after a shard mutex, never before one.
-	idxMu   sync.RWMutex
+	// relocation writer. Acquired after a shard mutex, never before one —
+	// the lockorder pass enforces the rank annotation below.
+	idxMu   sync.RWMutex //lint:lock index@1
 	pyr     *pyramid.Pyramid
 	pop     *grid.Index // nil when the algorithm is space-dependent
 	cloaker cloak.Cloaker
@@ -519,9 +520,9 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	a.idxMu.RLock()
 	var res cloak.Result
 	if s.inc != nil {
-		res = s.inc.Cloak(id, loc, req)
+		res = s.inc.Cloak(id, loc, req) //lint:sanitized cloaking boundary: the k-anonymous region replaces the exact point
 	} else {
-		res = a.cloaker.Cloak(id, loc, req)
+		res = a.cloaker.Cloak(id, loc, req) //lint:sanitized cloaking boundary: the k-anonymous region replaces the exact point
 	}
 	a.idxMu.RUnlock()
 	a.met.cloakLat.Since(t0)

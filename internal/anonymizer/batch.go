@@ -120,12 +120,12 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 	a.idxMu.RLock()
 	if q, ok := a.cloaker.(*cloak.Quadtree); ok {
 		bq := &cloak.BatchQuadtree{Pyr: q.Pyr}
-		batchResults, sharedHits = bq.CloakAllParallel(creqs, a.workers)
+		batchResults, sharedHits = bq.CloakAllParallel(creqs, a.workers) //lint:sanitized cloaking boundary: k-anonymous regions replace the exact points
 	} else {
 		batchResults = make([]cloak.Result, len(creqs))
 		parallelFor(len(creqs), a.workers, func(j int) {
 			r := creqs[j]
-			batchResults[j] = a.cloaker.Cloak(r.ID, r.Loc, r.Req)
+			batchResults[j] = a.cloaker.Cloak(r.ID, r.Loc, r.Req) //lint:sanitized cloaking boundary: the k-anonymous region replaces the exact point
 		})
 	}
 	a.idxMu.RUnlock()

@@ -20,7 +20,7 @@ const MaxShards = 256
 // shards proceed concurrently; the only cross-shard rendezvous is the
 // spatial-index reader/writer lock.
 type shard struct {
-	mu       sync.Mutex
+	mu       sync.Mutex //lint:lock stripe@0
 	profiles map[uint64]*privacy.Profile
 	modes    map[uint64]privacy.Mode
 	charges  map[uint64]float64

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseRules parses a comma-separated rule list in the textual schedule
+// syntax:
+//
+//	<dir><frame>:<action>[:<arg>]
+//
+// where dir is "r" (read) or "w" (write), frame is the 1-based frame
+// index the rule fires on, and action is one of drop, reset, delay,
+// truncate. delay takes a duration argument ("w1:delay:50ms"); truncate
+// takes a byte count ("r2:truncate:5", 0 cuts even the length prefix).
+//
+// Examples:
+//
+//	r2:drop                  kill the connection at the 2nd inbound frame
+//	w1:delay:100ms,r3:reset  delay the 1st outbound frame, RST at the 3rd inbound
+//
+// An empty string parses to no rules.
+func ParseRules(s string) ([]Rule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, part := range strings.Split(s, ",") {
+		r, err := parseRule(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	var r Rule
+	fields := strings.Split(s, ":")
+	if len(fields) < 2 {
+		return r, fmt.Errorf("faults: rule %q: want <dir><frame>:<action>[:<arg>]", s)
+	}
+	target, action := fields[0], fields[1]
+	if len(target) < 2 {
+		return r, fmt.Errorf("faults: rule %q: target %q too short", s, target)
+	}
+	switch target[0] {
+	case 'r':
+		r.Op = Read
+	case 'w':
+		r.Op = Write
+	default:
+		return r, fmt.Errorf("faults: rule %q: direction must be r or w, got %q", s, target[0])
+	}
+	nth, err := strconv.Atoi(target[1:])
+	if err != nil {
+		return r, fmt.Errorf("faults: rule %q: bad frame index %q", s, target[1:])
+	}
+	if nth < 1 {
+		return r, fmt.Errorf("faults: rule %q: frame index %d out of range (frames are 1-based)", s, nth)
+	}
+	r.Nth = nth
+
+	arg := ""
+	if len(fields) > 2 {
+		arg = strings.Join(fields[2:], ":") // durations like "1m30s" contain no colon, but be lenient
+	}
+	switch action {
+	case "drop":
+		r.Action = Drop
+	case "reset":
+		r.Action = Reset
+	case "delay":
+		r.Action = Delay
+		if arg == "" {
+			return r, fmt.Errorf("faults: rule %q: delay needs a duration argument", s)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return r, fmt.Errorf("faults: rule %q: bad delay %q: %v", s, arg, err)
+		}
+		r.Delay = d
+		return r, nil
+	case "truncate":
+		r.Action = Truncate
+		if arg == "" {
+			return r, fmt.Errorf("faults: rule %q: truncate needs a byte count argument", s)
+		}
+		keep, err := strconv.Atoi(arg)
+		if err != nil || keep < 0 {
+			return r, fmt.Errorf("faults: rule %q: bad byte count %q", s, arg)
+		}
+		r.KeepBytes = keep
+		return r, nil
+	default:
+		return r, fmt.Errorf("faults: rule %q: unknown action %q (want drop, reset, delay or truncate)", s, action)
+	}
+	if arg != "" {
+		return r, fmt.Errorf("faults: rule %q: action %q takes no argument", s, action)
+	}
+	return r, nil
+}
+
+// ParsePlan parses a whole-run fault plan mapping connections to rules:
+//
+//	<conn>=<rules>[;<conn>=<rules>...]
+//
+// where conn is the 1-based index of a connection in dial order, or "*"
+// for every connection without an explicit clause. The rules grammar is
+// ParseRules'. An empty string is the empty plan: every connection is
+// clean. The returned function is compatible with Dialer.
+//
+//	1=r2:drop;3=w1:delay:50ms   2nd read frame kills conn 1, conn 3's
+//	                            first write is late, everyone else clean
+//	*=w1:delay:5ms              every connection's first write is late
+func ParsePlan(s string) (func(conn int) []Rule, error) {
+	s = strings.TrimSpace(s)
+	byConn := make(map[int][]Rule)
+	var wildcard []Rule
+	haveWildcard := false
+	if s != "" {
+		for _, clause := range strings.Split(s, ";") {
+			clause = strings.TrimSpace(clause)
+			if clause == "" {
+				continue
+			}
+			eq := strings.IndexByte(clause, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("faults: plan clause %q: want <conn>=<rules>", clause)
+			}
+			key := strings.TrimSpace(clause[:eq])
+			rules, err := ParseRules(clause[eq+1:])
+			if err != nil {
+				return nil, err
+			}
+			if key == "*" {
+				if haveWildcard {
+					return nil, fmt.Errorf("faults: plan has two wildcard clauses")
+				}
+				haveWildcard = true
+				wildcard = rules
+				continue
+			}
+			conn, err := strconv.Atoi(key)
+			if err != nil {
+				return nil, fmt.Errorf("faults: plan clause %q: bad connection index %q", clause, key)
+			}
+			if conn < 1 {
+				return nil, fmt.Errorf("faults: plan clause %q: connection index %d out of range (connections are 1-based)", clause, conn)
+			}
+			if _, dup := byConn[conn]; dup {
+				return nil, fmt.Errorf("faults: plan has two clauses for connection %d", conn)
+			}
+			byConn[conn] = rules
+		}
+	}
+	return func(conn int) []Rule {
+		if rules, ok := byConn[conn]; ok {
+			return append([]Rule(nil), rules...)
+		}
+		return append([]Rule(nil), wildcard...)
+	}, nil
+}

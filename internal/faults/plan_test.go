@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("r2:drop, w1:delay:50ms, r3:truncate:5, w4:reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: Read, Nth: 2, Action: Drop},
+		{Op: Write, Nth: 1, Action: Delay, Delay: 50 * time.Millisecond},
+		{Op: Read, Nth: 3, Action: Truncate, KeepBytes: 5},
+		{Op: Write, Nth: 4, Action: Reset},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestParseRulesEmpty(t *testing.T) {
+	for _, s := range []string{"", "   "} {
+		rules, err := ParseRules(s)
+		if err != nil || len(rules) != 0 {
+			t.Errorf("ParseRules(%q) = %v, %v, want empty", s, rules, err)
+		}
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"r0:drop", "out of range"},
+		{"r-3:drop", "out of range"},
+		{"rX:drop", "bad frame index"},
+		{"q1:drop", "direction must be r or w"},
+		{"r1:explode", "unknown action"},
+		{"r1:delay", "needs a duration"},
+		{"r1:delay:fast", "bad delay"},
+		{"r1:truncate", "needs a byte count"},
+		{"r1:truncate:-1", "bad byte count"},
+		{"r1:drop:now", "takes no argument"},
+		{"drop", "want <dir><frame>"},
+		{"r:drop", "too short"},
+	}
+	for _, c := range cases {
+		if _, err := ParseRules(c.in); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseRules(%q) err = %v, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	plan, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for conn := 1; conn <= 5; conn++ {
+		if rules := plan(conn); len(rules) != 0 {
+			t.Errorf("empty plan gave conn %d rules %v", conn, rules)
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan("1=r2:drop;3=w1:delay:50ms,r4:reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules := plan(1); len(rules) != 1 || rules[0] != (Rule{Op: Read, Nth: 2, Action: Drop}) {
+		t.Errorf("conn 1 rules = %v", rules)
+	}
+	if rules := plan(2); len(rules) != 0 {
+		t.Errorf("conn 2 rules = %v, want none", rules)
+	}
+	if rules := plan(3); len(rules) != 2 {
+		t.Errorf("conn 3 rules = %v, want 2", rules)
+	}
+}
+
+func TestParsePlanWildcard(t *testing.T) {
+	plan, err := ParsePlan("*=w1:delay:5ms;2=r1:drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules := plan(1); len(rules) != 1 || rules[0].Action != Delay {
+		t.Errorf("wildcard conn 1 rules = %v", rules)
+	}
+	if rules := plan(2); len(rules) != 1 || rules[0].Action != Drop {
+		t.Errorf("explicit conn 2 rules = %v", rules)
+	}
+	if rules := plan(7); len(rules) != 1 || rules[0].Action != Delay {
+		t.Errorf("wildcard conn 7 rules = %v", rules)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"0=r1:drop", "out of range"},
+		{"-2=r1:drop", "out of range"},
+		{"x=r1:drop", "bad connection index"},
+		{"1=r0:drop", "out of range"},
+		{"r1:drop", "want <conn>=<rules>"},
+		{"1=r1:drop;1=r2:drop", "two clauses for connection 1"},
+		{"*=r1:drop;*=r2:drop", "two wildcard clauses"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePlan(c.in); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParsePlan(%q) err = %v, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+// The plan function must hand out fresh rule slices: Conn.match mutates
+// its rules in place to consume them, and two connections sharing one
+// backing array would consume each other's faults.
+func TestParsePlanAliasing(t *testing.T) {
+	plan, err := ParsePlan("*=r1:drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plan(1), plan(2)
+	a[0].Nth = -1 // simulate consumption
+	if b[0].Nth != 1 {
+		t.Fatal("plan rule slices alias: consuming conn 1's rule consumed conn 2's")
+	}
+}

@@ -1,0 +1,72 @@
+// Package analysis defines the analyzer plumbing of lbsvet, the repo's
+// static-analysis suite. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so the
+// passes read like standard vet passes and can migrate to the upstream
+// framework wholesale if the module ever takes on the dependency. The
+// build environment is hermetic (no module proxy), so the subset the four
+// lbsvet passes need is implemented here on the standard library alone.
+//
+// Differences from the upstream framework, all deliberate:
+//
+//   - No Facts. The drivers in this repo load the whole module in one
+//     process, so cross-package state travels through Pass.Prog (the loaded
+//     program) and Prog.Cache instead of serialized facts.
+//   - No Requires/ResultOf dependency graph; the four passes are
+//     independent.
+//   - Diagnostics carry only position, category and message.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/loader"
+)
+
+// Analyzer describes one analysis pass: its name (the category prefix of
+// its diagnostics), documentation, and entry point.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and -passes selections. It
+	// must be a valid identifier.
+	Name string
+	// Doc is the help text shown by lbsvet -help.
+	Doc string
+	// Run executes the pass against one package. Any value it returns is
+	// discarded; reporting happens through Pass.Report.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass carries one package's syntax and type information to an Analyzer,
+// plus the reporting callback. Exactly one Pass is constructed per
+// (analyzer, package) pair.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Prog is the whole loaded program when the driver runs in
+	// whole-program mode (the lbsvet standalone driver and the fixture
+	// runner), nil in modular unit mode (go vet -vettool). Interprocedural
+	// passes must degrade gracefully — or refuse to run — without it.
+	Prog *loader.Program
+
+	// Report emits one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

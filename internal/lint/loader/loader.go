@@ -1,0 +1,286 @@
+// Package loader loads and type-checks the module's packages for the
+// lbsvet static-analysis suite without network access. Package metadata
+// and build-constraint-resolved file lists come from `go list`; the
+// module's own packages are parsed and type-checked from source (so the
+// passes get full syntax trees with comments), while standard-library
+// imports are satisfied from the compiler's export data in the local
+// build cache (`go list -export`), which works offline and costs
+// milliseconds instead of type-checking the standard library from source.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string // absolute paths, build-constraint filtered, no tests
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Program is the loaded module: every requested package plus everything
+// it imports inside the module, type-checked against real export data for
+// the standard library.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // dependency (topological) order
+	Dir      string     // module root the packages were loaded from
+
+	// Cache lets interprocedural passes memoize whole-program results
+	// (e.g. taint summaries) across the per-package Run calls of one
+	// driver invocation. Keys are private to each pass.
+	Cache map[interface{}]interface{}
+
+	byPath map[string]*Package
+	export map[string]string // import path -> export data file (stdlib)
+	imp    types.ImporterFrom
+	mu     sync.Mutex
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load loads the packages matching patterns (default "./...") rooted at
+// dir, plus their in-module dependencies, and type-checks everything.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"-deps", "-export"}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Dir:    dir,
+		Cache:  make(map[interface{}]interface{}),
+		byPath: make(map[string]*Package),
+		export: make(map[string]string),
+	}
+	prog.imp = importer.ForCompiler(prog.Fset, "gc", prog.lookupExport).(types.ImporterFrom)
+
+	var module []*listedPackage
+	byPath := make(map[string]*listedPackage)
+	for _, p := range listed {
+		if p.Error != nil && !p.Standard {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		byPath[p.ImportPath] = p
+		if p.Standard {
+			if p.Export != "" {
+				prog.export[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		module = append(module, p)
+	}
+
+	// Topological order over in-module imports so every dependency is
+	// type-checked before its importers.
+	sort.Slice(module, func(i, j int) bool { return module[i].ImportPath < module[j].ImportPath })
+	order := make([]*listedPackage, 0, len(module))
+	state := make(map[string]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(p *listedPackage) error
+	visit = func(p *listedPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("loader: import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok && !dep.Standard {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range module {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, p := range order {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("loader: %s uses cgo, which the lint loader does not support", p.ImportPath)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := prog.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// lookupExport feeds the gc importer export data from the build cache.
+func (p *Program) lookupExport(path string) (io.ReadCloser, error) {
+	p.mu.Lock()
+	file, ok := p.export[path]
+	p.mu.Unlock()
+	if !ok {
+		// A package outside the already-listed dependency closure (fixtures
+		// may import stdlib packages the module itself does not). Resolve it
+		// lazily; `go list -export` populates the build cache offline.
+		listed, err := goList(p.Dir, "-export", path)
+		if err != nil || len(listed) == 0 || listed[0].Export == "" {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		file = listed[0].Export
+		p.mu.Lock()
+		p.export[path] = file
+		p.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// progImporter resolves imports during type checking: in-module packages
+// from the already-checked program, everything else through export data.
+type progImporter struct{ prog *Program }
+
+func (pi progImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, "", 0)
+}
+
+func (pi progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := pi.prog.byPath[path]; ok {
+		return pkg.Types, nil
+	}
+	return pi.prog.imp.ImportFrom(path, dir, mode)
+}
+
+// newInfo returns a fully populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check parses and type-checks one package's files.
+func (p *Program) check(importPath, dir string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(p.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: progImporter{p}}
+	tpkg, err := conf.Check(importPath, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		GoFiles:    filenames,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	p.byPath[importPath] = pkg
+	return pkg, nil
+}
+
+// Lookup returns the loaded package with the given import path.
+func (p *Program) Lookup(importPath string) *Package {
+	return p.byPath[importPath]
+}
+
+// AddPackage parses and type-checks an extra package (the fixture runner
+// uses it to graft testdata packages onto the loaded module) and appends
+// it to the program. The package may import module packages and the
+// standard library.
+func (p *Program) AddPackage(importPath, dir string, filenames []string) (*Package, error) {
+	pkg, err := p.check(importPath, dir, filenames)
+	if err != nil {
+		return nil, err
+	}
+	p.Packages = append(p.Packages, pkg)
+	return pkg, nil
+}
+
+// DropPackage removes a package previously grafted with AddPackage, so a
+// fixture runner can reuse one loaded program across independent cases.
+func (p *Program) DropPackage(importPath string) {
+	delete(p.byPath, importPath)
+	for i, pkg := range p.Packages {
+		if pkg.ImportPath == importPath {
+			p.Packages = append(p.Packages[:i], p.Packages[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot walks up from this file to the directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		"repro/internal/geo",
+		"repro/internal/protocol",
+		"repro/internal/anonymizer",
+		"repro/internal/obs",
+	} {
+		pkg := prog.Lookup(path)
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", path)
+		}
+		if pkg.Types == nil || len(pkg.Files) == 0 {
+			t.Fatalf("package %s loaded without types or files", path)
+		}
+		if len(pkg.Info.Defs) == 0 {
+			t.Fatalf("package %s has no type info", path)
+		}
+	}
+	// Dependencies precede importers.
+	seen := make(map[string]bool)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path := imp.Path.Value[1 : len(imp.Path.Value)-1]
+				if prog.Lookup(path) != nil && !seen[path] {
+					t.Fatalf("package %s type-checked before its dependency %s", pkg.ImportPath, path)
+				}
+			}
+		}
+		seen[pkg.ImportPath] = true
+	}
+	// Comments must be attached: the directive-driven passes need them.
+	comments := 0
+	for _, f := range prog.Lookup("repro/internal/anonymizer").Files {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Fatal("anonymizer files parsed without comments")
+	}
+}
+
+func TestAddDropPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := Load(moduleRoot(t), "./internal/geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := `package fixture
+
+import "repro/internal/geo"
+
+// Area is a fixture helper.
+func Area(r geo.Rect) float64 { return r.Area() }
+`
+	file := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.AddPackage("fixture", dir, []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Lookup("fixture") != pkg {
+		t.Fatal("AddPackage did not register the package")
+	}
+	if pkg.Types.Scope().Lookup("Area") == nil {
+		t.Fatal("fixture function not type-checked")
+	}
+	prog.DropPackage("fixture")
+	if prog.Lookup("fixture") != nil {
+		t.Fatal("DropPackage left the package registered")
+	}
+}
+
+func TestLoadBadPatternFails(t *testing.T) {
+	if _, err := Load(moduleRoot(t), "./does-not-exist/..."); err == nil {
+		t.Fatal("expected an error for a nonexistent pattern")
+	}
+}

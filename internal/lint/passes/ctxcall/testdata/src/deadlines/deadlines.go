@@ -1,0 +1,44 @@
+// The ctxcall fixture is a main package: the pass only applies to
+// daemons and load tools.
+package main
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func main() {}
+
+func bareCall(c *protocol.Client) {
+	c.Call(1, nil) // want "bare Client.Call has no deadline"
+}
+
+func ctxCall(c *protocol.Client) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	c.CallCtx(ctx, 1, nil)
+}
+
+func dialNoTimeout() {
+	protocol.Dial("addr")         // want "Dial without WithCallTimeout"
+	protocol.DialDatabase("addr") // want "DialDatabase without WithCallTimeout"
+}
+
+func dialWithTimeout() {
+	protocol.Dial("addr", protocol.WithCallTimeout(time.Second))
+	opts := []protocol.DialOption{protocol.WithCallTimeout(2 * time.Second)}
+	protocol.DialAnonymizer("addr", opts...)
+}
+
+func dialSpreadNoTimeout() {
+	opts := []protocol.DialOption{protocol.WithRetries(1)}
+	protocol.DialDatabase("addr", opts...) // want "DialDatabase without WithCallTimeout"
+}
+
+// dialOpaque spreads a slice built elsewhere; the pass gives it the
+// benefit of the doubt.
+func dialOpaque(opts []protocol.DialOption) {
+	protocol.Dial("addr", opts...)
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/passes/lockorder"
+)
+
+func TestOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-program analysis")
+	}
+	linttest.Run(t, "testdata/src/order", lockorder.Analyzer)
+}

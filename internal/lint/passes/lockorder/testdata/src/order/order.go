@@ -1,0 +1,74 @@
+// Package fixture exercises the lockorder pass: stripe (rank 0) before
+// index (rank 1), never the reverse.
+package fixture
+
+import "sync"
+
+type stripe struct {
+	mu sync.Mutex //lint:lock stripe@0
+	n  int
+}
+
+type index struct {
+	mu sync.RWMutex //lint:lock index@1
+	m  map[uint64]int
+}
+
+func good(s *stripe, ix *index) {
+	s.mu.Lock()
+	ix.mu.Lock()
+	ix.m[1] = s.n
+	ix.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func goodDeferred(s *stripe, ix *index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s.n = ix.m[1]
+}
+
+func bad(s *stripe, ix *index) {
+	ix.mu.RLock()
+	s.mu.Lock() // want "acquires stripe lock \(rank 0\) while holding index lock \(rank 1\)"
+	s.n++
+	s.mu.Unlock()
+	ix.mu.RUnlock()
+}
+
+func releasedFirst(s *stripe, ix *index) {
+	ix.mu.Lock()
+	ix.m[2] = 9
+	ix.mu.Unlock()
+	s.mu.Lock() // index already released: fine
+	s.n++
+	s.mu.Unlock()
+}
+
+func lockStripe(s *stripe) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func transitive(s *stripe, ix *index) {
+	ix.mu.Lock()
+	lockStripe(s) // want "call to lockStripe acquires stripe lock \(rank 0\) while holding index lock \(rank 1\)"
+	ix.mu.Unlock()
+}
+
+func goroutineIsFreshContext(s *stripe, ix *index) {
+	ix.mu.RLock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.mu.Lock() // separate goroutine: its own lock order
+		s.n++
+		s.mu.Unlock()
+	}()
+	ix.mu.RUnlock()
+	wg.Wait()
+}

@@ -1,0 +1,147 @@
+// Package obsname implements the lbsvet pass that keeps the metric
+// namespace coherent: every name registered against an obs.Registry must
+// be a snake_case string literal, be registered at exactly one call site
+// per package, and share its package's family prefix (the first
+// underscore-separated segment: anon_*, proto_*, lbs_*), so dashboards
+// and alerts can rely on a stable, greppable naming scheme.
+package obsname
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the obsname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsname",
+	Doc: "enforce metric naming: snake_case literals, one registration site\n" +
+		"per package, one family prefix per package",
+	Run: run,
+}
+
+const obsPath = "repro/internal/obs"
+
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// site is one Registry.Counter/Gauge/Histogram call with a literal name.
+type site struct {
+	name string
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var sites []site
+	for _, file := range pass.Files {
+		// Tests register throwaway metrics on private registries; the
+		// namespace contract covers production registrations only. (The
+		// standalone loader never sees test files, but `go vet -vettool`
+		// compiles them into the package.)
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRegistration(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name must be a string literal so the namespace is statically auditable")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !nameRE.MatchString(name) {
+				pass.Reportf(lit.Pos(),
+					"metric name %q is not snake_case (want %s)", name, nameRE)
+			}
+			sites = append(sites, site{name: name, pos: lit.Pos()})
+			return true
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+
+	// One registration site per package and name: duplicated sites drift
+	// apart (different help text, different buckets) and double-register.
+	first := make(map[string]token.Pos)
+	for _, s := range sites {
+		if prev, ok := first[s.name]; ok {
+			pass.Reportf(s.pos,
+				"metric %q is already registered in this package at %s; share the one registration site",
+				s.name, pass.Fset.Position(prev))
+			continue
+		}
+		first[s.name] = s.pos
+	}
+
+	// Family prefix consistency within the package. Names that already
+	// failed the snake_case check are excluded rather than double-reported.
+	families := make(map[string]int)
+	for name := range first {
+		if nameRE.MatchString(name) {
+			families[family(name)]++
+		}
+	}
+	if len(families) > 1 {
+		major := ""
+		for f, n := range families {
+			if n > families[major] || (n == families[major] && (major == "" || f < major)) {
+				major = f
+			}
+		}
+		for _, s := range sites {
+			if first[s.name] == s.pos && nameRE.MatchString(s.name) && family(s.name) != major {
+				pass.Reportf(s.pos,
+					"metric %q is outside this package's %s_* family; one family prefix per package",
+					s.name, major)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func family(name string) string {
+	f, _, _ := strings.Cut(name, "_")
+	return f
+}
+
+// isRegistration reports whether call is (*obs.Registry).Counter, Gauge,
+// or Histogram.
+func isRegistration(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	rt := s.Recv()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == obsPath && tn.Name() == "Registry"
+}

@@ -1,0 +1,15 @@
+package obsname_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/passes/obsname"
+)
+
+func TestNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the module for fixture type-checking")
+	}
+	linttest.Run(t, "testdata/src/names", obsname.Analyzer)
+}

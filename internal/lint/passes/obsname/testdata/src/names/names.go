@@ -1,0 +1,21 @@
+// Package fixture exercises the obsname pass.
+package fixture
+
+import "repro/internal/obs"
+
+var dynamicName = "fixture_dynamic_total"
+
+func register(reg *obs.Registry) {
+	reg.Counter("fixture_updates_total", "Updates processed.")
+	reg.Gauge("fixture_depth", "Queue depth.")
+	reg.Histogram("fixture_latency_seconds", "Latency.", obs.DefaultLatencyBuckets)
+
+	reg.Counter("Fixture_Bad_Name", "Not snake case.") // want "not snake_case"
+	reg.Counter("fixture-dashed-total", "Dashes.")     // want "not snake_case"
+
+	reg.Counter("fixture_updates_total", "Duplicate site.") // want "already registered in this package"
+
+	reg.Counter(dynamicName, "Dynamic.") // want "must be a string literal"
+
+	reg.Counter("other_family_total", "Wrong family.") // want "outside this package"
+}

@@ -37,7 +37,7 @@ func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
 
 	case MsgUpdate, MsgCloakQuery:
 		id := d.U64()
-		loc := d.Point()
+		loc := exactPoint(d)
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
@@ -57,7 +57,7 @@ func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		n := int(d.U32())
 		reqs := make([]cloak.Request, 0, capHint(n, 24, d))
 		for i := 0; i < n && d.Err() == nil; i++ {
-			reqs = append(reqs, cloak.Request{ID: d.U64(), Loc: d.Point()})
+			reqs = append(reqs, cloak.Request{ID: d.U64(), Loc: exactPoint(d)})
 		}
 		if d.Err() != nil {
 			return nil, d.Err()
@@ -106,6 +106,15 @@ func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("protocol: anonymizer service: unknown message type %d", typ)
 	}
 }
+
+// exactPoint decodes a user's exact location off the wire. It is the one
+// ingress where raw locations enter the trusted tier; everything derived
+// from its result is tainted until a declared cloaking boundary
+// (//lint:sanitized) severs the flow, and the privleak pass proves that
+// no such value reaches a server-bound encode, a log line, or a metric.
+//
+//lint:source wire ingress of a user's exact location into the trusted tier
+func exactPoint(d *Decoder) geo.Point { return d.Point() }
 
 // encodeProfile flattens a profile into entries.
 func encodeProfile(e *Encoder, p *privacy.Profile) {
@@ -221,6 +230,10 @@ func (ac *AnonymizerClient) CloakQuery(id uint64, loc geo.Point) (cloak.Result, 
 	return ac.locCall(MsgCloakQuery, id, loc)
 }
 
+// locCall encodes the user's own exact location toward the trusted
+// anonymizer tier — the one wire hop exact locations are allowed on.
+//
+//lint:trusted-ingress user-side client encoding its own location to the trusted tier
 func (ac *AnonymizerClient) locCall(typ byte, id uint64, loc geo.Point) (cloak.Result, error) {
 	var e Encoder
 	e.U64(id).Point(loc)
@@ -236,6 +249,8 @@ func (ac *AnonymizerClient) locCall(typ byte, id uint64, loc geo.Point) (cloak.R
 // BatchUpdate reports many exact locations in one round trip. The returned
 // slice parallels the input; nil entries mark updates the anonymizer
 // rejected (unknown user, passive mode, out-of-world location).
+//
+//lint:trusted-ingress user-side client encoding its own locations to the trusted tier
 func (ac *AnonymizerClient) BatchUpdate(reqs []cloak.Request) ([]*cloak.Result, error) {
 	var e Encoder
 	e.U32(uint32(len(reqs)))

@@ -3,11 +3,13 @@ package protocol
 import (
 	"errors"
 	"math"
+	"net"
 	"testing"
 	"time"
 
 	"repro/internal/anonymizer"
 	"repro/internal/cloak"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/mobility"
 	"repro/internal/privacy"
@@ -364,6 +366,118 @@ func TestBatchUpdateOverTheWire(t *testing.T) {
 	_, private, err := admin.Stats()
 	if err != nil || private != len(pts) {
 		t.Fatalf("server tracks %d users, want %d (%v)", private, len(pts), err)
+	}
+}
+
+// TestWireTraceNeverCarriesExactLocations is the runtime counterpart of
+// the static privleak pass: it records every frame's message type on the
+// anonymizer→database link and asserts that no exact-location message
+// (MsgUpdate, MsgBatchUpdate, MsgCloakQuery) ever crosses it — only
+// cloaked-region traffic (MsgUpdatePrivate) does. The user→anonymizer
+// link is recorded too as a sensitivity control: the same recorder MUST
+// see MsgUpdate there, proving the assertion would catch a leak.
+func TestWireTraceNeverCarriesExactLocations(t *testing.T) {
+	srv, err := server.New(server.Config{World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbSvc, err := ServeDatabase("127.0.0.1:0", srv, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbSvc.Close()
+
+	// The anonymizer's downstream connection, recorded.
+	var dbLink *faults.Recorder
+	fwd, err := DialDatabase(dbSvc.Addr(), WithDialer(func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		dbLink = faults.Record(conn)
+		return dbLink, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	anon, err := anonymizer.New(anonymizer.Config{World: world, Forward: fwd.UpdatePrivate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonSvc, err := ServeAnonymizer("127.0.0.1:0", anon, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anonSvc.Close()
+
+	// The user's connection to the anonymizer, also recorded.
+	var userLink *faults.Recorder
+	user, err := DialAnonymizer(anonSvc.Addr(), WithDialer(func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		userLink = faults.Record(conn)
+		return userLink, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer user.Close()
+
+	// Drive every exact-location path: per-user updates, cloak queries and
+	// a batch, all of which forward cloaked regions downstream.
+	prof := privacy.Constant(privacy.Requirement{K: 2})
+	for id := uint64(1); id <= 5; id++ {
+		if err := user.Register(id, prof); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := user.Update(id, geo.Pt(0.1*float64(id), 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := user.CloakQuery(3, geo.Pt(0.3, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.BatchUpdate([]cloak.Request{
+		{ID: 1, Loc: geo.Pt(0.15, 0.5)},
+		{ID: 2, Loc: geo.Pt(0.25, 0.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The untrusted link never carries an exact-location message.
+	exact := map[byte]bool{MsgUpdate: true, MsgBatchUpdate: true, MsgCloakQuery: true}
+	trace := dbLink.Writes()
+	if len(trace) == 0 {
+		t.Fatal("database link recorded no frames; the recorder is not on the forwarding path")
+	}
+	forwarded := 0
+	for _, typ := range trace {
+		if exact[typ] {
+			t.Fatalf("exact-location message %s crossed the anonymizer→database link (trace %v)",
+				MessageName(typ), trace)
+		}
+		if typ == MsgUpdatePrivate {
+			forwarded++
+		}
+	}
+	if forwarded == 0 {
+		t.Fatalf("no MsgUpdatePrivate on the database link; trace %v", trace)
+	}
+
+	// Sensitivity control: the trusted ingress DOES carry them, so the
+	// assertion above is capable of failing.
+	sawUpdate, sawBatch := false, false
+	for _, typ := range userLink.Writes() {
+		sawUpdate = sawUpdate || typ == MsgUpdate
+		sawBatch = sawBatch || typ == MsgBatchUpdate
+	}
+	if !sawUpdate || !sawBatch {
+		t.Fatalf("user link trace missed MsgUpdate/MsgBatchUpdate (update %v, batch %v): recorder cannot see frame types",
+			sawUpdate, sawBatch)
 	}
 }
 
