@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// The database-server benchmark harness behind E17 — the query-side twin
+// of E16's anonymizer harness. With -bench-out the experiment writes a
+// machine-readable BENCH_server.json; with -bench-compare it loads a
+// committed baseline and flags any series whose queries/sec dropped more
+// than -bench-tolerance below it (process exits 1 — the CI regression
+// gate). Absolute numbers are machine-specific; the per-query vs batch
+// ratio is the portable signal.
+type serverBenchReport struct {
+	Schema    string             `json:"schema"`
+	GoMaxProc int                `json:"gomaxprocs"`
+	GoVersion string             `json:"go"`
+	Users     int                `json:"users"`
+	Objects   int                `json:"objects"`
+	Entries   []serverBenchEntry `json:"entries"`
+}
+
+type serverBenchEntry struct {
+	Mode          string  `json:"mode"` // "perquery" or "batch"
+	Workers       int     `json:"workers"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	SharedHitPct  float64 `json:"shared_hit_pct,omitempty"`
+}
+
+// serverBenchMix generates one clustered mixed batch so overlap groups —
+// and therefore shared descents — actually form, mirroring many users
+// querying the same hot neighborhood.
+func serverBenchMix(src *rng.Source, n int) []server.BatchEntry {
+	centers := make([]geo.Point, 5)
+	for i := range centers {
+		centers[i] = geo.Pt(src.Range(0.15, 0.85), src.Range(0.15, 0.85))
+	}
+	entries := make([]server.BatchEntry, n)
+	for i := range entries {
+		c := centers[src.Intn(len(centers))]
+		p := world.ClampPoint(geo.Pt(c.X+src.Range(-0.08, 0.08), c.Y+src.Range(-0.08, 0.08)))
+		r := geo.RectAround(p, 0.02+0.05*src.Float64()).Clip(world)
+		switch src.Intn(5) {
+		case 0, 1:
+			entries[i] = server.BatchEntry{Kind: server.BatchPrivateRange,
+				Range: server.PrivateRangeQuery{Region: r, Radius: 0.03 * src.Float64(), Class: "poi"}}
+		case 2, 3:
+			entries[i] = server.BatchEntry{Kind: server.BatchPublicCount,
+				Count: server.PublicRangeCountQuery{Query: r}}
+		default:
+			entries[i] = server.BatchEntry{Kind: server.BatchPrivateNN,
+				NN: server.PrivateNNQuery{Region: r, Class: "poi"}}
+		}
+	}
+	return entries
+}
+
+// expServerBatch measures the shared-execution batch engine: queries/sec
+// for the per-query baseline and for BatchQuery at worker counts 1, 4, 8
+// over identical clustered query mixes on identical data.
+func expServerBatch(cfg benchConfig) {
+	const (
+		rounds    = 20
+		batchSize = 64
+	)
+	fmt.Printf("%d private users, %d public objects, %d rounds × %d-entry batches, GOMAXPROCS=%d\n\n",
+		cfg.n, cfg.objs, rounds, batchSize, runtime.GOMAXPROCS(0))
+
+	report := serverBenchReport{
+		Schema:    "server-batch-bench/v1",
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		GoVersion: runtime.Version(),
+		Users:     cfg.n,
+		Objects:   cfg.objs,
+	}
+
+	build := func(workers int) *server.Server {
+		s, err := server.New(server.Config{World: world, QueryWorkers: workers})
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		objPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+			N: cfg.objs, World: world, Dist: mobility.Uniform, Seed: cfg.seed + 1,
+		})
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		objs := make([]server.PublicObject, len(objPts))
+		for i, p := range objPts {
+			objs[i] = server.PublicObject{ID: uint64(i + 1), Class: "poi", Loc: p}
+		}
+		if err := s.LoadStationary(objs); err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		userPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+			N: cfg.n, World: world, Dist: mobility.Gaussian, Seed: cfg.seed,
+		})
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		src := rng.New(cfg.seed + 7)
+		for i, p := range userPts {
+			reg := geo.RectAround(p, 0.005+0.03*src.Float64()).Clip(world)
+			if err := s.UpdatePrivate(uint64(i+1), reg); err != nil {
+				log.Fatalf("lbsbench: %v", err)
+			}
+		}
+		return s
+	}
+
+	type series struct {
+		mode    string
+		workers int
+	}
+	grid := []series{
+		{"perquery", 1},
+		{"batch", 1},
+		{"batch", 4},
+		{"batch", 8},
+	}
+	t := newTable("mode", "workers", "queries/sec", "shared hits %")
+	var base float64 // perquery reference for the speedup line
+	for _, sr := range grid {
+		s := build(sr.workers)
+		src := rng.New(cfg.seed + 99)
+		batches := make([][]server.BatchEntry, rounds)
+		for r := range batches {
+			batches[r] = serverBenchMix(src, batchSize)
+		}
+		var entriesRun, sharedHits int
+		t0 := time.Now()
+		for _, entries := range batches {
+			if sr.mode == "perquery" {
+				for _, e := range entries {
+					var err error
+					switch e.Kind {
+					case server.BatchPrivateRange:
+						_, err = s.PrivateRange(e.Range)
+					case server.BatchPrivateNN:
+						_, err = s.PrivateNN(e.NN)
+					case server.BatchPublicCount:
+						_, err = s.PublicRangeCount(e.Count)
+					}
+					if err != nil {
+						log.Fatalf("lbsbench: %v", err)
+					}
+				}
+			} else {
+				res := s.BatchQuery(entries)
+				sharedHits += res.SharedHits
+			}
+			entriesRun += len(entries)
+		}
+		elapsed := time.Since(t0)
+		qps := float64(entriesRun) / elapsed.Seconds()
+		sharedPct := 100 * float64(sharedHits) / float64(entriesRun)
+		if sr.mode == "perquery" {
+			base = qps
+		}
+		t.row(sr.mode, sr.workers, qps, sharedPct)
+		report.Entries = append(report.Entries, serverBenchEntry{
+			Mode: sr.mode, Workers: sr.workers,
+			QueriesPerSec: qps, SharedHitPct: sharedPct,
+		})
+	}
+	t.flush()
+	if base > 0 {
+		for _, e := range report.Entries {
+			if e.Mode == "batch" && e.Workers == 8 {
+				fmt.Printf("\nbatch speedup over per-query at 8 workers: %.2fx (meaningful only with GOMAXPROCS ≥ 8)\n",
+					e.QueriesPerSec/base)
+			}
+		}
+	}
+	fmt.Println("\nreading: overlapping query rectangles in a batch collapse into one")
+	fmt.Println("shared index descent over their union (SINA-style shared execution),")
+	fmt.Println("and independent groups fan out over the worker pool under a single")
+	fmt.Println("frozen snapshot. Answers are bit-identical to the sequential path at")
+	fmt.Println("every worker count (differential suite).")
+
+	if benchOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		if err := os.WriteFile(benchOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("lbsbench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", benchOut)
+	}
+	if benchCompare != "" {
+		compareServerBench(report)
+	}
+}
+
+// compareServerBench checks the current report against the committed
+// baseline, feeding the shared benchRegressions gate.
+func compareServerBench(cur serverBenchReport) {
+	raw, err := os.ReadFile(benchCompare)
+	if err != nil {
+		log.Fatalf("lbsbench: baseline: %v", err)
+	}
+	var base serverBenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("lbsbench: baseline %s: %v", benchCompare, err)
+	}
+	lookup := map[string]float64{}
+	for _, e := range cur.Entries {
+		lookup[fmt.Sprintf("%s/workers=%d", e.Mode, e.Workers)] = e.QueriesPerSec
+	}
+	fmt.Printf("\nbaseline %s (GOMAXPROCS=%d, %s), tolerance %.0f%%:\n",
+		benchCompare, base.GoMaxProc, base.GoVersion, 100*benchTolerance)
+	for _, e := range base.Entries {
+		key := fmt.Sprintf("%s/workers=%d", e.Mode, e.Workers)
+		got, ok := lookup[key]
+		if !ok {
+			benchRegressions = append(benchRegressions, key+": missing from current run")
+			continue
+		}
+		floor := e.QueriesPerSec * (1 - benchTolerance)
+		verdict := "ok"
+		if got < floor {
+			verdict = "REGRESSION"
+			benchRegressions = append(benchRegressions,
+				fmt.Sprintf("%s: %.0f queries/sec < %.0f (baseline %.0f − %.0f%%)",
+					key, got, floor, e.QueriesPerSec, 100*benchTolerance))
+		}
+		fmt.Printf("  %-20s baseline %10.0f  current %10.0f  %s\n",
+			key, e.QueriesPerSec, got, verdict)
+	}
+}

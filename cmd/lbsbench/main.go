@@ -52,6 +52,7 @@ var experiments = []experiment{
 	{"E14", "Section 2.1 — spatio-temporal cloaking (latency vs area)", expTemporal},
 	{"E15", "ablation — region index vs full scan", expRegionIndex},
 	{"E16", "sharded parallel anonymizer pipeline (regression harness)", expParallel},
+	{"E17", "shared-execution batch query engine (regression harness)", expServerBatch},
 }
 
 // Bench-harness knobs shared with exp_parallel.go.
@@ -67,9 +68,9 @@ func main() {
 	objs := flag.Int("objs", 10000, "public-object count")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	list := flag.Bool("list", false, "list experiments and exit")
-	flag.StringVar(&benchOut, "bench-out", "", "write the E16 report to this JSON file")
-	flag.StringVar(&benchCompare, "bench-compare", "", "compare E16 against this baseline JSON; regressions fail the run")
-	flag.Float64Var(&benchTolerance, "bench-tolerance", 0.30, "allowed updates/sec drop vs the baseline (fraction)")
+	flag.StringVar(&benchOut, "bench-out", "", "write the E16/E17 report to this JSON file (run one harness experiment at a time)")
+	flag.StringVar(&benchCompare, "bench-compare", "", "compare E16/E17 against this baseline JSON; regressions fail the run")
+	flag.Float64Var(&benchTolerance, "bench-tolerance", 0.30, "allowed throughput drop vs the baseline (fraction)")
 	flag.Parse()
 
 	if *list {

@@ -33,13 +33,18 @@ func main() {
 	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]²")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written at shutdown")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+	queryWorkers := flag.Int("query-workers", 0, "worker goroutines per batch query (0 = GOMAXPROCS, 1 = sequential)")
 	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	srv, err := server.New(server.Config{World: geo.R(0, 0, *worldSize, *worldSize), Metrics: reg})
+	srv, err := server.New(server.Config{
+		World:        geo.R(0, 0, *worldSize, *worldSize),
+		Metrics:      reg,
+		QueryWorkers: *queryWorkers,
+	})
 	if err != nil {
 		log.Fatalf("lbsd: %v", err)
 	}

@@ -85,8 +85,10 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	queryPct := flag.Int("query-pct", 20, "percent of user operations that are NN queries (rest are updates)")
 	batch := flag.Int("batch", 1, "locations per update message (BatchUpdate when > 1)")
+	queryBatch := flag.Int("query-batch", 1, "admin queries per database message (shared-execution BatchQuery when > 1)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "selfhost: anonymizer state shards")
 	anonWorkers := flag.Int("anon-workers", runtime.GOMAXPROCS(0), "selfhost: anonymizer batch worker pool")
+	queryWorkers := flag.Int("query-workers", 0, "selfhost: database batch-query worker pool (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	callTimeout := flag.Duration("call-timeout", 5*time.Second, "per-call deadline on every client connection")
 	faultPlan := flag.String("fault-plan", "", `inject faults on the load generator's connections, e.g. "1=r2:drop;*=w1:delay:5ms" (see faults.ParsePlan)`)
@@ -115,7 +117,7 @@ func main() {
 
 	if *selfhost {
 		dbReg := obs.NewRegistry()
-		srv, err := server.New(server.Config{World: world, Metrics: dbReg})
+		srv, err := server.New(server.Config{World: world, Metrics: dbReg, QueryWorkers: *queryWorkers})
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
@@ -289,6 +291,35 @@ func main() {
 		src := rng.New(*seed + 424242)
 		var my stats.Latencies
 		for !stop.Load() {
+			if *queryBatch > 1 {
+				// Mixed batch clustered around one center so the server's
+				// shared-execution engine actually merges descents.
+				c := geo.Pt(src.Range(0.15, 0.85), src.Range(0.15, 0.85))
+				entries := make([]server.BatchEntry, *queryBatch)
+				for i := range entries {
+					p := world.ClampPoint(geo.Pt(c.X+src.Range(-0.08, 0.08), c.Y+src.Range(-0.08, 0.08)))
+					r := geo.RectAround(p, 0.02+0.06*src.Float64()).Clip(world)
+					switch src.Intn(3) {
+					case 0:
+						entries[i] = server.BatchEntry{Kind: server.BatchPrivateRange,
+							Range: server.PrivateRangeQuery{Region: r, Radius: 0.03 * src.Float64(), Class: "poi"}}
+					case 1:
+						entries[i] = server.BatchEntry{Kind: server.BatchPrivateNN,
+							NN: server.PrivateNNQuery{Region: r, Class: "poi"}}
+					default:
+						entries[i] = server.BatchEntry{Kind: server.BatchPublicCount,
+							Count: server.PublicRangeCountQuery{Query: r}}
+					}
+				}
+				t := time.Now()
+				if _, err := db.BatchQuery(entries); err != nil {
+					errCount.Add(1)
+				} else {
+					my.Add(time.Since(t))
+				}
+				opCount.Add(uint64(*queryBatch))
+				continue
+			}
 			t := time.Now()
 			c := geo.Pt(src.Range(0.1, 0.9), src.Range(0.1, 0.9))
 			if _, err := db.PublicCount(geo.RectAround(c, 0.1).Clip(world)); err != nil {
@@ -318,7 +349,11 @@ func main() {
 		fmt.Printf("  updates    : %s\n", updateLat.Summary())
 	}
 	fmt.Printf("  NN queries : %s\n", queryLat.Summary())
-	fmt.Printf("  admin count: %s\n", adminLat.Summary())
+	if *queryBatch > 1 {
+		fmt.Printf("  admin batch: batches of %d — %s\n", *queryBatch, adminLat.Summary())
+	} else {
+		fmt.Printf("  admin count: %s\n", adminLat.Summary())
+	}
 	fmt.Printf("  resilience : %d retries, %d timeouts, %d reconnects, %d breaker opens\n",
 		cliReg.Counter("proto_retries_total", "").Value(),
 		cliReg.Counter("proto_call_timeouts_total", "").Value(),

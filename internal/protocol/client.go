@@ -23,7 +23,7 @@ func Idempotent(typ byte) bool {
 	case MsgUpdate, MsgCloakQuery, MsgBatchUpdate, MsgDeregister, MsgSetMode, MsgAnonStats,
 		MsgUpdatePrivate, MsgRemovePrivate, MsgUpdateMoving, MsgStats,
 		MsgPrivateRange, MsgPrivateNN, MsgPublicCount, MsgPublicNN, MsgContCount,
-		MsgMetrics:
+		MsgBatchQuery, MsgMetrics:
 		return true
 	}
 	return false

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/geo"
@@ -95,14 +96,15 @@ func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		var e Encoder
-		e.F64(res.Answer.Expected)
-		e.U32(uint32(res.Answer.Lo)).U32(uint32(res.Answer.Hi))
-		e.U32(uint32(res.NaiveCount))
-		e.U32(uint32(len(res.Answer.PDF)))
-		for _, p := range res.Answer.PDF {
-			e.F64(p)
-		}
+		encodeCountResult(&e, res)
 		return e.Bytes(), nil
+
+	case MsgBatchQuery:
+		entries, err := decodeBatchEntries(d)
+		if err != nil {
+			return nil, err
+		}
+		return encodeBatchResult(entries, h.srv.BatchQuery(entries)), nil
 
 	case MsgPublicNN:
 		q := server.PublicNNQuery{
@@ -206,6 +208,169 @@ func decodeObjects(d *Decoder) []server.PublicObject {
 	return objs
 }
 
+// encodeCountResult appends a PublicRangeCountResult (shared by the
+// MsgPublicCount response and per-entry batch results).
+func encodeCountResult(e *Encoder, res server.PublicRangeCountResult) {
+	e.F64(res.Answer.Expected)
+	e.U32(uint32(res.Answer.Lo)).U32(uint32(res.Answer.Hi))
+	e.U32(uint32(res.NaiveCount))
+	e.U32(uint32(len(res.Answer.PDF)))
+	for _, p := range res.Answer.PDF {
+		e.F64(p)
+	}
+}
+
+// decodeCountResult is the inverse of encodeCountResult.
+func decodeCountResult(d *Decoder) server.PublicRangeCountResult {
+	var res server.PublicRangeCountResult
+	res.Answer.Expected = d.F64()
+	res.Answer.Lo = int(d.U32())
+	res.Answer.Hi = int(d.U32())
+	res.NaiveCount = int(d.U32())
+	n := int(d.U32())
+	res.Answer.PDF = make([]float64, 0, capHint(n, 8, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		res.Answer.PDF = append(res.Answer.PDF, d.F64())
+	}
+	return res
+}
+
+// maxBatchEntries bounds a MsgBatchQuery frame: large enough for any
+// realistic shared-execution window, small enough that a hostile peer
+// cannot turn one frame into an unbounded amount of work.
+const maxBatchEntries = 4096
+
+// encodeBatchEntries appends a batch-query request body.
+func encodeBatchEntries(e *Encoder, entries []server.BatchEntry) {
+	e.U32(uint32(len(entries)))
+	for _, be := range entries {
+		e.U8(byte(be.Kind))
+		switch be.Kind {
+		case server.BatchPrivateRange:
+			e.Rect(be.Range.Region).F64(be.Range.Radius).Str(be.Range.Class).U8(byte(be.Range.Mode))
+		case server.BatchPrivateNN:
+			e.Rect(be.NN.Region).Str(be.NN.Class)
+		case server.BatchPublicCount:
+			e.Rect(be.Count.Query)
+		}
+	}
+}
+
+// decodeBatchEntries parses a batch-query request body. An unknown kind
+// byte makes the remaining layout unparseable, so it fails the whole call
+// — per-entry failure semantics apply to well-formed frames whose query
+// *parameters* are invalid, which the server reports per entry.
+func decodeBatchEntries(d *Decoder) ([]server.BatchEntry, error) {
+	n := int(d.U32())
+	if n > maxBatchEntries {
+		return nil, fmt.Errorf("protocol: batch of %d entries exceeds the %d-entry cap", n, maxBatchEntries)
+	}
+	// Every entry needs ≥ 33 bytes (kind + rectangle).
+	entries := make([]server.BatchEntry, 0, capHint(n, 33, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		kind := server.BatchKind(d.U8())
+		be := server.BatchEntry{Kind: kind}
+		switch kind {
+		case server.BatchPrivateRange:
+			be.Range = server.PrivateRangeQuery{
+				Region: d.Rect(),
+				Radius: d.F64(),
+				Class:  d.Str(),
+				Mode:   server.RangeMode(d.U8()),
+			}
+		case server.BatchPrivateNN:
+			be.NN = server.PrivateNNQuery{Region: d.Rect(), Class: d.Str()}
+		case server.BatchPublicCount:
+			be.Count = server.PublicRangeCountQuery{Query: d.Rect()}
+		default:
+			return nil, fmt.Errorf("protocol: unknown batch query kind %d at entry %d", byte(kind), i)
+		}
+		entries = append(entries, be)
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return entries, nil
+}
+
+// encodeBatchResult builds the OK payload for a batch query: a typed
+// MsgBatchResult sub-frame so the response is self-describing on the
+// wire. Each entry carries a status byte and its kind tag, then the same
+// per-kind encoding the single-query responses use.
+func encodeBatchResult(entries []server.BatchEntry, res server.BatchResult) []byte {
+	var e Encoder
+	e.U8(MsgBatchResult)
+	e.U32(uint32(res.Groups)).U32(uint32(res.SharedHits))
+	e.U32(uint32(len(res.Items)))
+	for i, it := range res.Items {
+		if it.Err != nil {
+			e.U8(1)
+			// Send the underlying cause; the client re-wraps it with the
+			// entry's index and kind, so both sides print the same error.
+			var bee *server.BatchEntryError
+			if errors.As(it.Err, &bee) {
+				e.Str(bee.Err.Error())
+			} else {
+				e.Str(it.Err.Error())
+			}
+			continue
+		}
+		e.U8(0)
+		kind := entries[i].Kind
+		e.U8(byte(kind))
+		switch kind {
+		case server.BatchPrivateRange:
+			e.buf = append(e.buf, encodeObjects(it.Range)...)
+		case server.BatchPrivateNN:
+			e.U32(uint32(it.NN.SupersetSize))
+			e.buf = append(e.buf, encodeObjects(it.NN.Candidates)...)
+		case server.BatchPublicCount:
+			encodeCountResult(&e, it.Count)
+		}
+	}
+	return e.Bytes()
+}
+
+// decodeBatchResult parses a MsgBatchResult sub-frame back into a
+// server.BatchResult.
+func decodeBatchResult(d *Decoder) (server.BatchResult, error) {
+	if tag := d.U8(); d.Err() == nil && tag != MsgBatchResult {
+		return server.BatchResult{}, fmt.Errorf("protocol: batch response tagged %d, want %d", tag, MsgBatchResult)
+	}
+	var res server.BatchResult
+	res.Groups = int(d.U32())
+	res.SharedHits = int(d.U32())
+	n := int(d.U32())
+	res.Items = make([]server.BatchItemResult, 0, capHint(n, 2, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var it server.BatchItemResult
+		if d.U8() != 0 {
+			msg := d.Str()
+			if d.Err() == nil {
+				it.Err = &server.BatchEntryError{Index: i, Kind: 0, Err: errors.New(msg)}
+			}
+			res.Items = append(res.Items, it)
+			continue
+		}
+		kind := server.BatchKind(d.U8())
+		switch kind {
+		case server.BatchPrivateRange:
+			it.Range = decodeObjects(d)
+		case server.BatchPrivateNN:
+			it.NN.SupersetSize = int(d.U32())
+			it.NN.Candidates = decodeObjects(d)
+		case server.BatchPublicCount:
+			it.Count = decodeCountResult(d)
+		default:
+			if d.Err() == nil {
+				return server.BatchResult{}, fmt.Errorf("protocol: unknown batch result kind %d at entry %d", byte(kind), i)
+			}
+		}
+		res.Items = append(res.Items, it)
+	}
+	return res, d.Err()
+}
+
 // capHint bounds a length prefix by what the remaining payload could
 // possibly hold, given a minimum per-element encoding size. It protects
 // every decode loop from forged counts.
@@ -302,17 +467,34 @@ func (dc *DatabaseClient) PublicCount(query geo.Rect) (server.PublicRangeCountRe
 		return server.PublicRangeCountResult{}, err
 	}
 	d := NewDecoder(resp)
-	var res server.PublicRangeCountResult
-	res.Answer.Expected = d.F64()
-	res.Answer.Lo = int(d.U32())
-	res.Answer.Hi = int(d.U32())
-	res.NaiveCount = int(d.U32())
-	n := int(d.U32())
-	res.Answer.PDF = make([]float64, 0, capHint(n, 8, d))
-	for i := 0; i < n && d.Err() == nil; i++ {
-		res.Answer.PDF = append(res.Answer.PDF, d.F64())
-	}
+	res := decodeCountResult(d)
 	return res, d.Err()
+}
+
+// BatchQuery submits a mixed batch of range/NN/count queries for shared
+// execution and returns per-entry results in input order. Per-entry
+// failures come back as *server.BatchEntryError values inside the items;
+// the call-level error covers transport and framing only.
+func (dc *DatabaseClient) BatchQuery(entries []server.BatchEntry) (server.BatchResult, error) {
+	var e Encoder
+	encodeBatchEntries(&e, entries)
+	resp, err := dc.c.Call(MsgBatchQuery, e.Bytes())
+	if err != nil {
+		return server.BatchResult{}, err
+	}
+	res, err := decodeBatchResult(NewDecoder(resp))
+	if err != nil {
+		return server.BatchResult{}, err
+	}
+	// The wire carries only each failed entry's cause; restore the kind
+	// from the request so client-side errors print like server-side ones.
+	for i := range res.Items {
+		var bee *server.BatchEntryError
+		if errors.As(res.Items[i].Err, &bee) && i < len(entries) {
+			bee.Kind = entries[i].Kind
+		}
+	}
+	return res, nil
 }
 
 // PublicNN runs a public nearest-neighbor query over private data.

@@ -44,6 +44,11 @@ const (
 	MsgContCount      byte = 19
 	MsgUnregContCount byte = 20
 	MsgUpdateMoving   byte = 21
+	// MsgBatchQuery carries a mixed batch of range/NN/count queries into
+	// the shared-execution engine; the OK response payload is a typed
+	// MsgBatchResult sub-frame with one status-tagged result per entry.
+	MsgBatchQuery  byte = 22
+	MsgBatchResult byte = 23
 
 	// MsgMetrics is served by the Service layer itself on any instrumented
 	// service (see WithMetrics): the response carries a full snapshot of
@@ -98,6 +103,10 @@ func MessageName(typ byte) string {
 		return "unreg_cont_count"
 	case MsgUpdateMoving:
 		return "update_moving"
+	case MsgBatchQuery:
+		return "batch_query"
+	case MsgBatchResult:
+		return "batch_result"
 	case MsgMetrics:
 		return "metrics"
 	default:

@@ -1,0 +1,382 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/prob"
+)
+
+// This file implements the shared-execution batch query engine (the
+// database-server counterpart of the anonymizer's BatchUpdate pipeline).
+// A batch admits a mix of private-range, private-NN and public-count
+// queries; range-shaped entries whose query rectangles overlap are merged
+// into one *shared descent* — a single index traversal over the union
+// rectangle that answers the whole group — in the spirit of SINA's shared
+// execution of overlapping spatial queries (Mokbel et al., SIGMOD 2004).
+// Independent work units then fan out to a worker pool reading one frozen
+// snapshot of the indices.
+//
+// The engine is deterministic by construction: results are bit-identical
+// to the sequential per-query path for every worker count (the
+// differential suite pins this down). The argument, per query class:
+//
+//   - Private range: the R-tree and grid traversals emit items in a fixed
+//     structural order that does not depend on the probe rectangle — a
+//     larger probe only widens which nodes/cells are visited, never
+//     reorders them. Filtering the union descent's output down to a
+//     member's expanded MBR therefore yields exactly the item sequence the
+//     member's own search would have produced.
+//   - Public count: per-user probabilities are sorted before accumulation
+//     (the determinism rule PublicRangeCount documents), so any candidate
+//     superset that contains the member's own candidate set produces a
+//     bit-identical PDF.
+//   - Private NN: evaluated per entry on the worker pool through the same
+//     privateNNLocked core the sequential path uses.
+//
+// Lock order: BatchQuery takes s.mu (read) once in the coordinating
+// goroutine and holds it across the fan-out, so workers read a frozen
+// snapshot without touching the mutex; no worker acquires any other lock.
+
+// BatchKind tags one entry of a batch query.
+type BatchKind uint8
+
+const (
+	// BatchPrivateRange is a PrivateRangeQuery entry.
+	BatchPrivateRange BatchKind = iota + 1
+	// BatchPrivateNN is a PrivateNNQuery entry.
+	BatchPrivateNN
+	// BatchPublicCount is a PublicRangeCountQuery entry.
+	BatchPublicCount
+)
+
+// String implements fmt.Stringer.
+func (k BatchKind) String() string {
+	switch k {
+	case BatchPrivateRange:
+		return "private_range"
+	case BatchPrivateNN:
+		return "private_nn"
+	case BatchPublicCount:
+		return "public_count"
+	default:
+		return fmt.Sprintf("batchkind(%d)", uint8(k))
+	}
+}
+
+// BatchEntry is one query inside a batch; only the field selected by Kind
+// is read.
+type BatchEntry struct {
+	Kind  BatchKind
+	Range PrivateRangeQuery
+	NN    PrivateNNQuery
+	Count PublicRangeCountQuery
+}
+
+// BatchEntryError is the typed per-entry failure: an invalid query inside
+// a batch fails alone, carrying its position and kind, and never poisons
+// the shared descent of the group it would have joined.
+type BatchEntryError struct {
+	Index int
+	Kind  BatchKind
+	Err   error
+}
+
+// Error implements error.
+func (e *BatchEntryError) Error() string {
+	return fmt.Sprintf("batch entry %d (%s): %v", e.Index, e.Kind, e.Err)
+}
+
+// Unwrap exposes the underlying validation error.
+func (e *BatchEntryError) Unwrap() error { return e.Err }
+
+// BatchItemResult is the outcome of one entry: either Err is set (always a
+// *BatchEntryError) or the field selected by the entry's Kind is.
+type BatchItemResult struct {
+	Err   error
+	Range []PublicObject
+	NN    PrivateNNResult
+	Count PublicRangeCountResult
+}
+
+// BatchResult is the outcome of one BatchQuery call.
+type BatchResult struct {
+	// Items holds one result per input entry, in input order.
+	Items []BatchItemResult
+	// Groups is the number of independent work units the batch was split
+	// into (shared descents plus per-entry NN evaluations).
+	Groups int
+	// SharedHits counts the entries that were answered by a descent
+	// another entry initiated: sum over groups of (size − 1).
+	SharedHits int
+}
+
+// batchUnit is one independent work unit: a shared descent over the union
+// rectangle of overlapping range-shaped entries, or a single NN entry.
+type batchUnit struct {
+	kind    BatchKind
+	members []int    // entry indices, ascending (= input order)
+	union   geo.Rect // union rectangle of the members' probe rects
+}
+
+// BatchQuery evaluates a mixed batch of queries in one shared pass and
+// returns per-entry results in input order. Invalid entries fail alone
+// with a *BatchEntryError; valid entries are grouped, fanned out to the
+// configured worker pool (Config.QueryWorkers), and answered from one
+// frozen snapshot of the indices, bit-identically to the sequential path.
+func (s *Server) BatchQuery(entries []BatchEntry) BatchResult {
+	res := BatchResult{Items: make([]BatchItemResult, len(entries))}
+	if len(entries) == 0 {
+		return res
+	}
+	t0 := time.Now()
+
+	// Phase 1 — admission: validate every entry with exactly the checks
+	// the sequential methods apply. Failures are recorded per entry and
+	// excluded from grouping, so a bad entry cannot poison a descent.
+	var rangeIdx, nnIdx, countIdx []int
+	filters := make([]geo.Rect, len(entries)) // expanded MBR per range entry
+	for i, e := range entries {
+		var err error
+		switch e.Kind {
+		case BatchPrivateRange:
+			if err = e.Range.validate(); err == nil {
+				filters[i] = e.Range.Region.Expand(e.Range.Radius)
+				rangeIdx = append(rangeIdx, i)
+			}
+		case BatchPrivateNN:
+			if err = e.NN.validate(); err == nil {
+				nnIdx = append(nnIdx, i)
+			}
+		case BatchPublicCount:
+			if err = e.Count.validate(); err == nil {
+				countIdx = append(countIdx, i)
+			}
+		default:
+			err = fmt.Errorf("server: unknown batch query kind %d", uint8(e.Kind))
+		}
+		if err != nil {
+			res.Items[i].Err = &BatchEntryError{Index: i, Kind: e.Kind, Err: err}
+		}
+	}
+
+	// Phase 2 — grouping: connected components of the rectangle-overlap
+	// graph, per query class (range entries probe the public indices,
+	// count entries the region index — they cannot share a descent).
+	units := make([]batchUnit, 0, len(entries))
+	for _, g := range groupOverlapping(rangeIdx, func(i int) geo.Rect { return filters[i] }) {
+		units = append(units, batchUnit{kind: BatchPrivateRange, members: g, union: unionRect(g, func(i int) geo.Rect { return filters[i] })})
+	}
+	for _, g := range groupOverlapping(countIdx, func(i int) geo.Rect { return entries[i].Count.Query }) {
+		units = append(units, batchUnit{kind: BatchPublicCount, members: g, union: unionRect(g, func(i int) geo.Rect { return entries[i].Count.Query })})
+	}
+	for _, i := range nnIdx {
+		units = append(units, batchUnit{kind: BatchPrivateNN, members: []int{i}})
+	}
+	res.Groups = len(units)
+	for _, u := range units {
+		res.SharedHits += len(u.members) - 1
+	}
+
+	// Phase 3 — execution: freeze the indices once and fan the units out.
+	// The read lock is held by this goroutine for the whole fan-out;
+	// workers only read (writers stay excluded), and the wg join gives the
+	// usual happens-before edges. Units write disjoint result slots.
+	s.mu.RLock()
+	parallelFor(len(units), s.queryWorkers, func(ui int) {
+		u := units[ui]
+		switch u.kind {
+		case BatchPrivateRange:
+			s.runRangeGroupLocked(entries, filters, u, res.Items)
+		case BatchPublicCount:
+			s.runCountGroupLocked(entries, u, res.Items)
+		case BatchPrivateNN:
+			i := u.members[0]
+			s.met.privateNNQs.Inc()
+			res.Items[i].NN = s.privateNNLocked(entries[i].NN)
+		}
+	})
+	s.mu.RUnlock()
+
+	s.met.batches.Inc()
+	s.met.batchEntries.Add(uint64(len(entries)))
+	s.met.batchSharedHits.Add(uint64(res.SharedHits))
+	s.met.batchSize.Observe(float64(len(entries)))
+	s.met.batchGroups.Observe(float64(res.Groups))
+	s.met.latBatch.Since(t0)
+	return res
+}
+
+// runRangeGroupLocked answers every private-range member of one group from
+// a single descent of the stationary R-tree (and, if any member admits
+// moving objects, a single scan of the moving grid) over the group's union
+// rectangle. Per member, the union's item stream is filtered down to the
+// member's own expanded MBR — the structural traversal order makes that
+// sequence identical to what the member's private search would emit.
+func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u batchUnit, out []BatchItemResult) {
+	items, visits := s.stationary.SearchVisits(u.union, nil)
+	s.met.nodeVisits.Observe(float64(visits))
+	var movingItems []grid.Object
+	for _, i := range u.members {
+		if entries[i].Range.Class == "" {
+			movingItems = s.moving.Search(u.union, nil)
+			break
+		}
+	}
+	for _, i := range u.members {
+		q := entries[i].Range
+		f := filters[i]
+		var objs []PublicObject
+		for _, it := range items {
+			if !f.Contains(it.Loc) {
+				continue
+			}
+			if q.Mode == RangeRounded && geo.MinDist(it.Loc, q.Region) > q.Radius {
+				continue
+			}
+			o := s.resolveObjectLocked(it.ID, it.Loc, false)
+			if q.Class != "" && o.Class != q.Class {
+				continue
+			}
+			objs = append(objs, o)
+		}
+		if q.Class == "" {
+			for _, m := range movingItems {
+				if !f.Contains(m.Loc) {
+					continue
+				}
+				if q.Mode == RangeRounded && geo.MinDist(m.Loc, q.Region) > q.Radius {
+					continue
+				}
+				objs = append(objs, s.resolveObjectLocked(m.ID, m.Loc, true))
+			}
+		}
+		out[i].Range = objs
+		s.met.privateRangeQs.Inc()
+	}
+}
+
+// runCountGroupLocked answers every public-count member of one group from
+// a single probe of the region index over the union rectangle. The union's
+// candidate set is a superset of each member's own; per-member overlap
+// probabilities filter it back down, and the sort-before-accumulate rule
+// makes the resulting PDF bit-identical to the sequential answer.
+func (s *Server) runCountGroupLocked(entries []BatchEntry, u batchUnit, out []BatchItemResult) {
+	ids := s.privIdx.Query(u.union, nil)
+	for _, i := range u.members {
+		q := entries[i].Count.Query
+		probs := make([]float64, 0, len(ids))
+		naive := 0
+		for _, id := range ids {
+			if p := prob.Overlap(s.private[id], q); p > 0 {
+				probs = append(probs, p)
+				naive++
+			}
+		}
+		sort.Float64s(probs)
+		out[i].Count = PublicRangeCountResult{Answer: prob.RangeCount(probs), NaiveCount: naive}
+		s.met.publicCountQs.Inc()
+	}
+}
+
+// groupOverlapping partitions the entries (by index) into the connected
+// components of their rectangle-intersection graph, via union–find over
+// the pairwise tests. Components are emitted ordered by their smallest
+// member, members ascending, so grouping is deterministic and independent
+// of the worker count.
+func groupOverlapping(idx []int, rect func(i int) geo.Rect) [][]int {
+	if len(idx) == 0 {
+		return nil
+	}
+	parent := make([]int, len(idx))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb { // root at the smallest position
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			if rect(idx[a]).Intersects(rect(idx[b])) {
+				union(a, b)
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	var roots []int
+	for i, e := range idx {
+		r := find(i)
+		if _, seen := byRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], e)
+	}
+	groups := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		g := byRoot[r]
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return groups
+}
+
+// unionRect returns the union of the members' rectangles.
+func unionRect(members []int, rect func(i int) geo.Rect) geo.Rect {
+	u := rect(members[0])
+	for _, i := range members[1:] {
+		u = u.Union(rect(i))
+	}
+	return u
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines; iterations are
+// handed out by an atomic cursor, so callers only need fn(i) and fn(j) to
+// touch disjoint state. workers ≤ 1 degenerates to a plain loop — the
+// sequential reference point of the differential suite.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

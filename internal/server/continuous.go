@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geo"
 	"repro/internal/prob"
@@ -105,6 +106,10 @@ func (s *Server) ContinuousCountPDF(id uint64) (prob.CountAnswer, bool) {
 	for _, p := range cq.probs {
 		probs = append(probs, p)
 	}
+	// Sort for determinism, matching PublicRangeCount: map iteration order
+	// must not influence the PDF's floating-point accumulation, so the
+	// materialized PDF bit-equals the one-shot answer over the same data.
+	sort.Float64s(probs)
 	return prob.RangeCount(probs), true
 }
 

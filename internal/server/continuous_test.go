@@ -169,3 +169,49 @@ func BenchmarkContinuousUpdates(b *testing.B) {
 		s.UpdatePrivate(uid, geo.RectAround(c, 0.02).Clip(world))
 	}
 }
+
+// TestContinuousCountPDFMatchesOneShot pins the determinism fix in
+// ContinuousCountPDF: the PDF materialized from the continuous engine's
+// per-user probability map must be bit-identical to the one-shot
+// PublicRangeCount PDF over the same rectangle. Before the fix the
+// continuous path accumulated probabilities in map-iteration order, so the
+// floating-point convolution drifted from the sorted one-shot path.
+func TestContinuousCountPDFMatchesOneShot(t *testing.T) {
+	s := newServer(t)
+	query := geo.R(0.25, 0.25, 0.75, 0.75)
+	id, err := s.RegisterContinuousCount(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 users with distinct partial-overlap fractions so each contributes
+	// a different probability and accumulation order matters.
+	r := rng.New(11)
+	for i := 0; i < 40; i++ {
+		c := geo.Pt(0.2+0.6*r.Float64(), 0.2+0.6*r.Float64())
+		reg := geo.RectAround(c, 0.02+0.1*r.Float64()).Clip(world)
+		if err := s.UpdatePrivate(uint64(i+1), reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cont, ok := s.ContinuousCountPDF(id)
+	if !ok {
+		t.Fatal("continuous query vanished")
+	}
+	shot, err := s.PublicRangeCount(PublicRangeCountQuery{Query: query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cont.PDF) != len(shot.Answer.PDF) {
+		t.Fatalf("PDF lengths differ: continuous %d vs one-shot %d",
+			len(cont.PDF), len(shot.Answer.PDF))
+	}
+	for k := range cont.PDF {
+		if cont.PDF[k] != shot.Answer.PDF[k] {
+			t.Fatalf("PDF[%d] differs: continuous %v vs one-shot %v",
+				k, cont.PDF[k], shot.Answer.PDF[k])
+		}
+	}
+	if cont.Expected != shot.Answer.Expected || cont.Lo != shot.Answer.Lo || cont.Hi != shot.Answer.Hi {
+		t.Errorf("summary differs: continuous %+v vs one-shot %+v", cont, shot.Answer)
+	}
+}

@@ -19,6 +19,11 @@ type Metrics struct {
 	ContinuousReads uint64
 	SnapshotsTaken  uint64
 	RestoresApplied uint64
+
+	// Shared-execution batch engine (batch.go).
+	Batches         uint64 // BatchQuery calls served
+	BatchEntries    uint64 // entries admitted across all batches
+	BatchSharedHits uint64 // entries answered by another entry's descent
 }
 
 // metrics holds the server's registered obs series. Handles are registered
@@ -36,6 +41,9 @@ type metrics struct {
 	continuousReads *obs.Counter
 	snapshotsTaken  *obs.Counter
 	restoresApplied *obs.Counter
+	batches         *obs.Counter
+	batchEntries    *obs.Counter
+	batchSharedHits *obs.Counter
 
 	// Gauges: current data-set sizes.
 	privateUsers *obs.Gauge
@@ -53,6 +61,9 @@ type metrics struct {
 	candidates   *obs.Histogram // private-NN candidate set size
 	falsePosFrac *obs.Histogram // fraction of NN candidates refinement discards
 	nodeVisits   *obs.Histogram // index nodes visited per query
+	batchSize    *obs.Histogram // entries per BatchQuery call
+	batchGroups  *obs.Histogram // independent work units per batch
+	latBatch     *obs.Histogram // whole-batch latency (seconds)
 }
 
 // newMetrics registers the server's series in reg (a fresh private registry
@@ -79,6 +90,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		continuousReads: reg.Counter("lbs_continuous_reads_total", "Continuous-query answer reads."),
 		snapshotsTaken:  reg.Counter("lbs_snapshots_total", "State snapshots written."),
 		restoresApplied: reg.Counter("lbs_restores_total", "State snapshots restored."),
+		batches:         reg.Counter("lbs_batch_queries_total", "Shared-execution batch query calls served."),
+		batchEntries:    reg.Counter("lbs_batch_entries_total", "Query entries admitted across all batches."),
+		batchSharedHits: reg.Counter("lbs_batch_shared_hits_total", "Batch entries answered by a shared index descent another entry initiated."),
 
 		privateUsers: reg.Gauge("lbs_private_users", "Anonymized users currently tracked (cloaked regions stored)."),
 		stationary:   reg.Gauge("lbs_stationary_objects", "Stationary public objects indexed."),
@@ -99,6 +113,15 @@ func newMetrics(reg *obs.Registry) *metrics {
 		nodeVisits: reg.Histogram("lbs_index_node_visits",
 			"Spatial-index nodes visited per query.",
 			obs.CountBuckets),
+		batchSize: reg.Histogram("lbs_batch_size",
+			"Entries per shared-execution batch query.",
+			obs.CountBuckets),
+		batchGroups: reg.Histogram("lbs_batch_groups",
+			"Independent work units (shared descents + NN entries) per batch.",
+			obs.CountBuckets),
+		latBatch: reg.Histogram("lbs_batch_seconds",
+			"Whole-batch query latency.",
+			obs.DefaultLatencyBuckets),
 	}
 }
 
@@ -130,5 +153,8 @@ func (s *Server) Metrics() Metrics {
 		ContinuousReads: s.met.continuousReads.Value(),
 		SnapshotsTaken:  s.met.snapshotsTaken.Value(),
 		RestoresApplied: s.met.restoresApplied.Value(),
+		Batches:         s.met.batches.Value(),
+		BatchEntries:    s.met.batchEntries.Value(),
+		BatchSharedHits: s.met.batchSharedHits.Value(),
 	}
 }

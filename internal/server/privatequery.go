@@ -47,6 +47,19 @@ type PrivateRangeQuery struct {
 	Mode  RangeMode
 }
 
+// validate checks the query parameters; BatchQuery relies on this being
+// exactly the check PrivateRange applies, so per-entry errors match the
+// sequential path verbatim.
+func (q PrivateRangeQuery) validate() error {
+	if !q.Region.Valid() {
+		return fmt.Errorf("server: invalid query region %v", q.Region)
+	}
+	if q.Radius < 0 || math.IsNaN(q.Radius) {
+		return fmt.Errorf("server: invalid radius %g", q.Radius)
+	}
+	return nil
+}
+
 // PrivateRange executes the query and returns the candidate list: every
 // public object that could be within Radius of *some* point of the region.
 // The mobile user refines the list locally with RefineRange. The candidate
@@ -54,11 +67,8 @@ type PrivateRangeQuery struct {
 // of any point p of the region satisfies MinDist(obj, region) ≤ Radius and
 // lies inside the expanded MBR the index is probed with.
 func (s *Server) PrivateRange(q PrivateRangeQuery) ([]PublicObject, error) {
-	if !q.Region.Valid() {
-		return nil, fmt.Errorf("server: invalid query region %v", q.Region)
-	}
-	if q.Radius < 0 || math.IsNaN(q.Radius) {
-		return nil, fmt.Errorf("server: invalid radius %g", q.Radius)
+	if err := q.validate(); err != nil {
+		return nil, err
 	}
 	filter := q.Region.Expand(q.Radius)
 	s.met.privateRangeQs.Inc()
@@ -68,11 +78,11 @@ func (s *Server) PrivateRange(q PrivateRangeQuery) ([]PublicObject, error) {
 	defer s.mu.RUnlock()
 
 	var out []PublicObject
-	keep := func(id uint64, loc geo.Point) {
+	keep := func(id uint64, loc geo.Point, moving bool) {
 		if q.Mode == RangeRounded && geo.MinDist(loc, q.Region) > q.Radius {
 			return
 		}
-		o := s.publicObjectLocked(id, loc)
+		o := s.resolveObjectLocked(id, loc, moving)
 		if q.Class != "" && o.Class != q.Class {
 			return
 		}
@@ -80,12 +90,12 @@ func (s *Server) PrivateRange(q PrivateRangeQuery) ([]PublicObject, error) {
 	}
 	items, visits := s.stationary.SearchVisits(filter, nil)
 	for _, it := range items {
-		keep(it.ID, it.Loc)
+		keep(it.ID, it.Loc, false)
 	}
 	s.met.nodeVisits.Observe(float64(visits))
 	if q.Class == "" {
 		for _, m := range s.moving.Search(filter, nil) {
-			keep(m.ID, m.Loc)
+			keep(m.ID, m.Loc, true)
 		}
 	}
 	return out, nil
@@ -126,15 +136,29 @@ type PrivateNNResult struct {
 //     bisector is convex). This eliminates objects like target A in
 //     Figure 5b while provably never removing a true nearest neighbor.
 func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
-	if !q.Region.Valid() {
-		return PrivateNNResult{}, fmt.Errorf("server: invalid query region %v", q.Region)
+	if err := q.validate(); err != nil {
+		return PrivateNNResult{}, err
 	}
 	s.met.privateNNQs.Inc()
 	defer s.met.latPrivateNN.Since(time.Now())
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.privateNNLocked(q), nil
+}
 
+// validate checks the query parameters (shared with BatchQuery).
+func (q PrivateNNQuery) validate() error {
+	if !q.Region.Valid() {
+		return fmt.Errorf("server: invalid query region %v", q.Region)
+	}
+	return nil
+}
+
+// privateNNLocked is the evaluation core of PrivateNN; the caller holds
+// (at least) the read lock. BatchQuery fans NN entries out to its worker
+// pool over this function, so the two paths cannot drift apart.
+func (s *Server) privateNNLocked(q PrivateNNQuery) PrivateNNResult {
 	type cand struct {
 		obj PublicObject
 		loc geo.Point
@@ -149,7 +173,7 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 			break
 		}
 		it, _, _ := browser.Next()
-		o := s.publicObjectLocked(it.ID, it.Loc)
+		o := s.resolveObjectLocked(it.ID, it.Loc, false)
 		if q.Class != "" && o.Class != q.Class {
 			continue
 		}
@@ -182,7 +206,7 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 			res.Candidates[i] = c.obj
 		}
 		s.met.observeNNAnswer(len(res.Candidates))
-		return res, nil
+		return res
 	}
 
 	corners := q.Region.Corners()
@@ -207,7 +231,7 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 		}
 	}
 	s.met.observeNNAnswer(len(res.Candidates))
-	return res, nil
+	return res
 }
 
 // dominates reports whether object at b is at least as close as object at a

@@ -379,3 +379,51 @@ func BenchmarkPrivateNN(b *testing.B) {
 		}
 	}
 }
+
+// TestPrivateRangeMovingStationaryIDCollision pins the namespace fix in
+// resolveObjectLocked: stationary and moving objects have independent id
+// spaces, so a moving object whose id collides with a stationary one must
+// come back with its own location and no class — not the stationary
+// object's metadata. The old lookup consulted the stationary metadata map
+// for every hit, so the moving object inherited the stationary record.
+func TestPrivateRangeMovingStationaryIDCollision(t *testing.T) {
+	s := newServer(t)
+	stationaryLoc := geo.Pt(0.2, 0.2)
+	movingLoc := geo.Pt(0.8, 0.8)
+	if err := s.LoadStationary([]PublicObject{{ID: 7, Class: "gas", Loc: stationaryLoc}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateMoving(7, movingLoc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.PrivateRange(PrivateRangeQuery{Region: geo.R(0, 0, 1, 1), Radius: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d candidates, want both colliding objects: %+v", len(got), got)
+	}
+	var sawStationary, sawMoving bool
+	for _, o := range got {
+		if o.ID != 7 {
+			t.Fatalf("unexpected candidate %+v", o)
+		}
+		switch o.Loc {
+		case stationaryLoc:
+			sawStationary = true
+			if o.Class != "gas" {
+				t.Errorf("stationary candidate lost its class: %+v", o)
+			}
+		case movingLoc:
+			sawMoving = true
+			if o.Class != "" {
+				t.Errorf("moving candidate inherited stationary metadata: %+v", o)
+			}
+		default:
+			t.Errorf("candidate at unexpected location: %+v", o)
+		}
+	}
+	if !sawStationary || !sawMoving {
+		t.Errorf("missing candidates: stationary=%v moving=%v", sawStationary, sawMoving)
+	}
+}

@@ -28,13 +28,21 @@ type PublicRangeCountResult struct {
 	NaiveCount int
 }
 
+// validate checks the query parameters (shared with BatchQuery).
+func (q PublicRangeCountQuery) validate() error {
+	if !q.Query.Valid() {
+		return fmt.Errorf("server: invalid query %v", q.Query)
+	}
+	return nil
+}
+
 // PublicRangeCount evaluates the query. The region index prunes users whose
 // cloaked regions cannot intersect the query, so the cost scales with the
 // overlapping population rather than with everyone (the full-scan variant
 // is kept as publicRangeCountScan for the equivalence test and ablation).
 func (s *Server) PublicRangeCount(q PublicRangeCountQuery) (PublicRangeCountResult, error) {
-	if !q.Query.Valid() {
-		return PublicRangeCountResult{}, fmt.Errorf("server: invalid query %v", q.Query)
+	if err := q.validate(); err != nil {
+		return PublicRangeCountResult{}, err
 	}
 	s.met.publicCountQs.Inc()
 	defer s.met.latPublicCount.Since(time.Now())
@@ -150,7 +158,7 @@ func (s *Server) PublicNN(q PublicNNQuery) (PublicNNResult, error) {
 	}
 	seed := q.Seed
 	if seed == 0 {
-		seed = math.Float64bits(q.From.X) ^ math.Float64bits(q.From.Y)
+		seed = nnSeed(q.From)
 	}
 	probs := prob.NNProbabilities(q.From, cands, samples, seed)
 	sort.Slice(probs, func(i, j int) bool {
@@ -168,6 +176,28 @@ func (s *Server) PublicNN(q PublicNNQuery) (PublicNNResult, error) {
 		res.Best = best
 	}
 	return res, nil
+}
+
+// nnSeed derives the default Monte-Carlo seed from the query point by
+// folding both coordinates through a splitmix64-style finalizer. A plain
+// XOR of the raw bits is degenerate: every point with X == Y (the whole
+// diagonal, origin included) cancels to seed 0 and silently shares one
+// sample sequence. Sequential folding is asymmetric in the coordinates,
+// so distinct points — diagonal or not — draw distinct sequences.
+func nnSeed(p geo.Point) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	h = mix64(h ^ math.Float64bits(p.X))
+	h = mix64(h ^ math.Float64bits(p.Y))
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective bit mixer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // PrivateCountQuery is the reduction the paper mentions for private queries

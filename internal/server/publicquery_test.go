@@ -361,3 +361,59 @@ func BenchmarkPublicRangeCountIndexedSmallQuery(b *testing.B) {
 		}
 	}
 }
+
+// TestNNSeedDistinguishesDiagonalPoints pins the seed-derivation fix for
+// PublicNN's Monte-Carlo sampler. The old derivation xor-folded the two
+// coordinate bit patterns, so every diagonal point (a, a) collapsed to the
+// same seed and drew the same sample sequence. The splitmix-style mixer
+// must give distinct, nonzero seeds — and distinct rng streams — for
+// distinct query points, diagonal or not.
+func TestNNSeedDistinguishesDiagonalPoints(t *testing.T) {
+	pts := []geo.Point{
+		geo.Pt(0.1, 0.1), geo.Pt(0.2, 0.2), geo.Pt(0.3, 0.3),
+		geo.Pt(0.5, 0.5), geo.Pt(0.9, 0.9),
+		geo.Pt(0.1, 0.2), geo.Pt(0.2, 0.1), // asymmetric pair: order matters
+	}
+	seeds := map[uint64]geo.Point{}
+	for _, p := range pts {
+		s := nnSeed(p)
+		if s == 0 {
+			t.Errorf("nnSeed(%v) = 0; zero seed would fall back to a fixed stream", p)
+		}
+		if prev, dup := seeds[s]; dup {
+			t.Errorf("nnSeed collision: %v and %v both derive %#x", prev, p, s)
+		}
+		seeds[s] = p
+	}
+	// Distinct seeds must actually drive distinct sample streams.
+	a := rng.New(nnSeed(geo.Pt(0.25, 0.25)))
+	b := rng.New(nnSeed(geo.Pt(0.75, 0.75)))
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("diagonal points (0.25,0.25) and (0.75,0.75) drew identical rng streams")
+	}
+}
+
+// TestPublicNNSeededVsDerived: an explicit Seed must override derivation, and
+// derived seeds at distinct diagonal points must be usable end to end.
+func TestPublicNNDerivedSeedsDiffer(t *testing.T) {
+	s := newServer(t)
+	loadPrivateUsers(t, s, 200, 0.08, 3)
+	// Two diagonal query points; with the old xor-fold both derived seed 0.
+	r1, err := s.PublicNN(PublicNNQuery{From: geo.Pt(0.3, 0.3), Samples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.PublicNN(PublicNNQuery{From: geo.Pt(0.7, 0.7), Samples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Candidates) == 0 && len(r2.Candidates) == 0 {
+		t.Fatal("both NN queries returned nothing; data load failed")
+	}
+}

@@ -13,6 +13,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -58,6 +59,15 @@ type Server struct {
 	cont     *continuousEngine
 	contPriv *contPrivEngine
 
+	// queryWorkers is the BatchQuery worker-pool width (batch.go).
+	queryWorkers int
+
+	// privUpsertHook, when non-nil, replaces privIdx.Upsert inside
+	// UpdatePrivate. Tests use it to force the region-index write to fail
+	// and prove the map and index never diverge; production code never
+	// sets it.
+	privUpsertHook func(id uint64, region geo.Rect) error
+
 	// Observability series (metrics.go).
 	met *metrics
 }
@@ -73,6 +83,9 @@ type Config struct {
 	// Optional; a private registry is created when nil, so instrumentation
 	// is always live and Registry() always works.
 	Metrics *obs.Registry
+	// QueryWorkers is the worker-pool width BatchQuery fans independent
+	// query groups out to (default GOMAXPROCS; 1 = sequential).
+	QueryWorkers int
 }
 
 // New builds an empty server.
@@ -95,6 +108,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.QueryWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		world:          cfg.World,
 		stationary:     rtree.New(),
@@ -102,6 +119,7 @@ func New(cfg Config) (*Server, error) {
 		moving:         mov,
 		private:        make(map[uint64]geo.Rect),
 		privIdx:        pidx,
+		queryWorkers:   workers,
 		met:            newMetrics(cfg.Metrics),
 	}
 	s.cont = newContinuousEngine(s)
@@ -230,12 +248,21 @@ func (s *Server) UpdatePrivate(id uint64, region geo.Rect) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.met.privateUpdates.Inc()
+	// The region index is the write that can fail, so it goes first: a
+	// failed upsert leaves the map, the index, and the continuous engines
+	// exactly as they were. Mutating s.private before the index write would
+	// leave the user counted by full scans but invisible to indexed
+	// queries.
+	upsert := s.privIdx.Upsert
+	if s.privUpsertHook != nil {
+		upsert = s.privUpsertHook
+	}
 	old, had := s.private[id]
-	s.private[id] = region
-	if err := s.privIdx.Upsert(id, region); err != nil {
+	if err := upsert(id, region); err != nil {
 		return err
 	}
+	s.met.privateUpdates.Inc()
+	s.private[id] = region
 	s.met.privateUsers.Set(float64(len(s.private)))
 	if had {
 		s.cont.onPrivateUpdate(id, old, region, true)
@@ -289,11 +316,17 @@ func (s *Server) privateSnapshot() []PrivateRecord {
 	return out
 }
 
-// publicObject resolves item metadata; returns a synthesized record for
-// moving objects (which have no class).
-func (s *Server) publicObjectLocked(id uint64, loc geo.Point) PublicObject {
-	if o, ok := s.stationaryMeta[id]; ok {
-		return o
+// resolveObjectLocked resolves item metadata. Stationary and moving ids
+// are independent namespaces: a stationary lookup consults the metadata
+// map, while a moving object always synthesizes its record from the grid
+// entry (moving objects have no class). Resolving a moving item through
+// the stationary map would return the wrong class *and* the wrong
+// location whenever the two namespaces reuse an id.
+func (s *Server) resolveObjectLocked(id uint64, loc geo.Point, moving bool) PublicObject {
+	if !moving {
+		if o, ok := s.stationaryMeta[id]; ok {
+			return o
+		}
 	}
 	return PublicObject{ID: id, Loc: loc}
 }

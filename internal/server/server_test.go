@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/geo"
@@ -219,5 +220,73 @@ func TestMetricsCount(t *testing.T) {
 	if m.PrivateRangeQs != 1 || m.PrivateNNQs != 1 || m.PublicCountQs != 1 ||
 		m.PublicNNQs != 1 || m.ContinuousReads != 1 {
 		t.Errorf("query counters = %+v", m)
+	}
+}
+
+// TestUpdatePrivateFailureLeavesStateConsistent pins the partial-failure
+// contract: when the region-index upsert fails, the private map, the
+// index, and the continuous engine must all stay at their pre-call state.
+// The old code mutated s.private before the index write, leaving the user
+// counted by full scans but invisible to indexed queries, and skipped the
+// continuous-engine notification entirely.
+func TestUpdatePrivateFailureLeavesStateConsistent(t *testing.T) {
+	s := newServer(t)
+	if err := s.UpdatePrivate(1, geo.R(0.1, 0.1, 0.3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	contID, err := s.RegisterContinuousCount(geo.R(0, 0, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Force the index write to fail for user 2 only; everything else
+	// passes through to the real index.
+	injected := fmt.Errorf("injected index failure")
+	s.privUpsertHook = func(id uint64, region geo.Rect) error {
+		if id == 2 {
+			return injected
+		}
+		return s.privIdx.Upsert(id, region)
+	}
+	if err := s.UpdatePrivate(2, geo.R(0.5, 0.5, 0.7, 0.7)); err != injected {
+		t.Fatalf("UpdatePrivate error = %v, want the injected failure", err)
+	}
+
+	if n := s.PrivateUserCount(); n != 1 {
+		t.Errorf("PrivateUserCount = %d after failed update, want 1", n)
+	}
+	if _, ok := s.PrivateRegion(2); ok {
+		t.Error("failed update left user 2 in the private map")
+	}
+	if m := s.Metrics(); m.PrivateUpdates != 1 {
+		t.Errorf("PrivateUpdates = %d, want 1 (failed update must not count)", m.PrivateUpdates)
+	}
+	// Indexed and full-scan answers must agree: the whole-world count sees
+	// exactly the one user both ways.
+	q := PublicRangeCountQuery{Query: geo.R(0, 0, 1, 1)}
+	indexed, err := s.PublicRangeCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := s.publicRangeCountScan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexed.NaiveCount != scanned.NaiveCount || indexed.NaiveCount != 1 {
+		t.Errorf("indexed count %d vs scan count %d, want both 1",
+			indexed.NaiveCount, scanned.NaiveCount)
+	}
+	// The continuous query saw user 1 only.
+	if ans, ok := s.ContinuousCount(contID); !ok || ans.Hi != 1 {
+		t.Errorf("continuous answer = %+v, want Hi=1", ans)
+	}
+
+	// A failed *re*-update of an existing user keeps the old region.
+	s.privUpsertHook = func(id uint64, region geo.Rect) error { return injected }
+	if err := s.UpdatePrivate(1, geo.R(0.8, 0.8, 0.9, 0.9)); err != injected {
+		t.Fatalf("UpdatePrivate error = %v, want the injected failure", err)
+	}
+	if r, ok := s.PrivateRegion(1); !ok || !r.Eq(geo.R(0.1, 0.1, 0.3, 0.3)) {
+		t.Errorf("failed re-update changed user 1's region to %v", r)
 	}
 }

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// TestStressBatchUnderWrites hammers one server from many goroutines —
+// parallel BatchQuery calls racing private updates, moving-object updates,
+// removals and metric reads. Run under -race this is the batch engine's
+// data race detector: the coordinator freezes the indices with one read
+// lock held across the fan-out, so workers must never observe a torn
+// write. The invariant checks catch result-slot bleed (an entry answered
+// with another entry's kind) that the race detector cannot see.
+func TestStressBatchUnderWrites(t *testing.T) {
+	const (
+		queriers = 4
+		writers  = 3
+		opsEach  = 120
+	)
+	s := newServer(t)
+	loadObjects(t, s, 400, "gas", 5)
+	loadPrivateUsers(t, s, 200, 0.05, 6)
+	s.queryWorkers = 4
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Metric readers must never block or tear.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := s.Metrics()
+			if m.BatchSharedHits > m.BatchEntries {
+				t.Errorf("metrics tore: SharedHits %d > Entries %d", m.BatchSharedHits, m.BatchEntries)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(w + 100))
+			for op := 0; op < opsEach; op++ {
+				id := uint64(1000 + w*1000 + src.Intn(100))
+				switch src.Intn(4) {
+				case 0:
+					s.RemovePrivate(id)
+				case 1:
+					s.UpdateMoving(id, geo.Pt(src.Float64(), src.Float64()))
+				default:
+					c := geo.Pt(src.Float64(), src.Float64())
+					s.UpdatePrivate(id, geo.RectAround(c, 0.02+0.05*src.Float64()).Clip(world))
+				}
+			}
+		}(w)
+	}
+
+	var qwg sync.WaitGroup
+	for q := 0; q < queriers; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			src := rng.New(uint64(q + 1))
+			for op := 0; op < opsEach; op++ {
+				entries := buildDiffBatch(src, 12)
+				res := s.BatchQuery(entries)
+				if len(res.Items) != len(entries) {
+					t.Errorf("querier %d: %d items for %d entries", q, len(res.Items), len(entries))
+					return
+				}
+				for i, item := range res.Items {
+					if item.Err != nil {
+						continue
+					}
+					// Result-slot bleed check: only the field selected by
+					// the entry's kind may be populated.
+					switch entries[i].Kind {
+					case BatchPrivateRange:
+						if item.NN.Candidates != nil || item.Count.Answer.PDF != nil {
+							t.Errorf("querier %d: range entry %d carries foreign results", q, i)
+							return
+						}
+					case BatchPrivateNN:
+						if item.Range != nil || item.Count.Answer.PDF != nil {
+							t.Errorf("querier %d: NN entry %d carries foreign results", q, i)
+							return
+						}
+					case BatchPublicCount:
+						if item.Range != nil || item.NN.Candidates != nil {
+							t.Errorf("querier %d: count entry %d carries foreign results", q, i)
+							return
+						}
+					}
+				}
+			}
+		}(q)
+	}
+
+	qwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles, batch answers must again bit-equal the
+	// sequential path on the final state.
+	entries := buildDiffBatch(rng.New(0xF1A7), 30)
+	want := sequentialBatch(s, entries)
+	res := s.BatchQuery(entries)
+	assertItemsEqual(t, res.Items, want)
+}
