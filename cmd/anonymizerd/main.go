@@ -28,6 +28,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of traced requests to record spans for (0 = tracing off, 1 = all)")
+	traceSlow := flag.Duration("trace-slow", 0, "pin spans at least this slow in the slow-trace ring regardless of ring wraparound (0 = off)")
 	flag.Parse()
 
 	var alg anonymizer.Algorithm
@@ -65,6 +68,16 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			Process:       "anonymizer",
+			Sample:        *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+		log.Printf("anonymizerd: tracing %.3g of traced requests (slow threshold %v)", *traceSample, *traceSlow)
+	}
 	cfg := anonymizer.Config{
 		World:         geo.R(0, 0, *worldSize, *worldSize),
 		Algorithm:     alg,
@@ -74,6 +87,7 @@ func main() {
 		Shards:        *shards,
 		BatchWorkers:  *workers,
 		Metrics:       reg,
+		Tracer:        tracer,
 	}
 	var db *protocol.DatabaseClient
 	if *dbAddr != "" {
@@ -85,11 +99,13 @@ func main() {
 		db, err = protocol.DialDatabase(*dbAddr,
 			protocol.WithLazyDial(),
 			protocol.WithCallTimeout(*callTimeout),
-			protocol.WithClientMetrics(reg))
+			protocol.WithClientMetrics(reg),
+			protocol.WithClientTracing(tracer))
 		if err != nil {
 			log.Fatalf("anonymizerd: database client for %s: %v", *dbAddr, err)
 		}
 		cfg.Forward = db.UpdatePrivate
+		cfg.ForwardCtx = db.UpdatePrivateCtx
 		cfg.ForwardQueue = *forwardQueue
 		log.Printf("anonymizerd: forwarding cloaked regions to %s (spill queue %d)", *dbAddr, *forwardQueue)
 	}
@@ -99,6 +115,7 @@ func main() {
 		log.Fatalf("anonymizerd: %v", err)
 	}
 	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf, protocol.WithMetrics(reg),
+		protocol.WithTracing(tracer),
 		protocol.WithMaxConns(*maxConns),
 		protocol.WithReadTimeout(*readTimeout),
 		protocol.WithDrainTimeout(*drainTimeout))
@@ -110,11 +127,12 @@ func main() {
 		anon.Shards(), anon.BatchWorkers(), svc.Addr())
 	var metricsSrv *obs.MetricsServer
 	if *metricsAddr != "" {
-		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg)
+		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg,
+			obs.Route{Pattern: "/traces", Handler: tracer.Handler()})
 		if err != nil {
 			log.Fatalf("anonymizerd: metrics endpoint: %v", err)
 		}
-		log.Printf("anonymizerd: metrics on http://%s/metrics (pprof under /debug/pprof/)", metricsSrv.Addr())
+		log.Printf("anonymizerd: metrics on http://%s/metrics (traces on /traces, pprof under /debug/pprof/)", metricsSrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

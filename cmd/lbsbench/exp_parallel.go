@@ -26,6 +26,7 @@ import (
 type benchReport struct {
 	Schema    string       `json:"schema"`
 	GoMaxProc int          `json:"gomaxprocs"`
+	NumCPU    int          `json:"numcpu"`
 	GoVersion string       `json:"go"`
 	Users     int          `json:"users"`
 	Entries   []benchEntry `json:"entries"`
@@ -55,6 +56,7 @@ func expParallel(cfg benchConfig) {
 	report := benchReport{
 		Schema:    "anonymizer-bench/v1",
 		GoMaxProc: runtime.GOMAXPROCS(0),
+		NumCPU:    runtime.NumCPU(),
 		GoVersion: runtime.Version(),
 		Users:     n,
 	}
@@ -149,6 +151,24 @@ func expParallel(cfg benchConfig) {
 	}
 }
 
+// checkBenchEnv guards a baseline comparison's validity. Throughput from a
+// different GOMAXPROCS is not comparable at all — the parallel series
+// measure scaling against exactly that bound — so a mismatch is a hard
+// failure, not a silent apples-to-oranges pass. Physical core counts
+// legitimately vary between runners and only shift absolute numbers, so a
+// NumCPU difference is a warning.
+func checkBenchEnv(baseProcs, curProcs, baseCPU, curCPU int) {
+	if baseProcs != curProcs {
+		benchRegressions = append(benchRegressions, fmt.Sprintf(
+			"environment mismatch: GOMAXPROCS=%d vs baseline %d — rerun with GOMAXPROCS=%d or regenerate the baseline with -bench-out",
+			curProcs, baseProcs, baseProcs))
+	}
+	if baseCPU != 0 && baseCPU != curCPU {
+		fmt.Printf("warning: %d CPUs vs baseline's %d; absolute numbers may shift (tolerance should absorb this)\n",
+			curCPU, baseCPU)
+	}
+}
+
 // compareBench checks the current report against the committed baseline.
 func compareBench(cur benchReport) {
 	raw, err := os.ReadFile(benchCompare)
@@ -158,6 +178,12 @@ func compareBench(cur benchReport) {
 	var base benchReport
 	if err := json.Unmarshal(raw, &base); err != nil {
 		log.Fatalf("lbsbench: baseline %s: %v", benchCompare, err)
+	}
+	checkBenchEnv(base.GoMaxProc, cur.GoMaxProc, base.NumCPU, cur.NumCPU)
+	if base.Users != cur.Users {
+		benchRegressions = append(benchRegressions, fmt.Sprintf(
+			"workload mismatch: %d users vs baseline %d — rerun with -n %d or regenerate the baseline",
+			cur.Users, base.Users, base.Users))
 	}
 	lookup := map[string]float64{}
 	for _, e := range cur.Entries {

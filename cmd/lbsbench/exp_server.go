@@ -24,6 +24,7 @@ import (
 type serverBenchReport struct {
 	Schema    string             `json:"schema"`
 	GoMaxProc int                `json:"gomaxprocs"`
+	NumCPU    int                `json:"numcpu"`
 	GoVersion string             `json:"go"`
 	Users     int                `json:"users"`
 	Objects   int                `json:"objects"`
@@ -79,6 +80,7 @@ func expServerBatch(cfg benchConfig) {
 	report := serverBenchReport{
 		Schema:    "server-batch-bench/v1",
 		GoMaxProc: runtime.GOMAXPROCS(0),
+		NumCPU:    runtime.NumCPU(),
 		GoVersion: runtime.Version(),
 		Users:     cfg.n,
 		Objects:   cfg.objs,
@@ -213,6 +215,12 @@ func compareServerBench(cur serverBenchReport) {
 	var base serverBenchReport
 	if err := json.Unmarshal(raw, &base); err != nil {
 		log.Fatalf("lbsbench: baseline %s: %v", benchCompare, err)
+	}
+	checkBenchEnv(base.GoMaxProc, cur.GoMaxProc, base.NumCPU, cur.NumCPU)
+	if base.Users != cur.Users || base.Objects != cur.Objects {
+		benchRegressions = append(benchRegressions, fmt.Sprintf(
+			"workload mismatch: %d users / %d objects vs baseline %d / %d — rerun with -n %d -objs %d or regenerate the baseline",
+			cur.Users, cur.Objects, base.Users, base.Objects, base.Users, base.Objects))
 	}
 	lookup := map[string]float64{}
 	for _, e := range cur.Entries {

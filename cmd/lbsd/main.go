@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -37,13 +38,26 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of traced requests to record spans for (0 = tracing off, 1 = all)")
+	traceSlow := flag.Duration("trace-slow", 0, "pin spans at least this slow in the slow-trace ring regardless of ring wraparound (0 = off)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			Process:       "lbsd",
+			Sample:        *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+		log.Printf("lbsd: tracing %.3g of traced requests (slow threshold %v)", *traceSample, *traceSlow)
+	}
 	srv, err := server.New(server.Config{
 		World:        geo.R(0, 0, *worldSize, *worldSize),
 		Metrics:      reg,
 		QueryWorkers: *queryWorkers,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		log.Fatalf("lbsd: %v", err)
@@ -57,6 +71,7 @@ func main() {
 		}
 	}
 	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf, protocol.WithMetrics(reg),
+		protocol.WithTracing(tracer),
 		protocol.WithMaxConns(*maxConns),
 		protocol.WithReadTimeout(*readTimeout),
 		protocol.WithDrainTimeout(*drainTimeout))
@@ -66,11 +81,12 @@ func main() {
 	log.Printf("lbsd: privacy-aware database server listening on %s (world %.3g²)", svc.Addr(), *worldSize)
 	var metricsSrv *obs.MetricsServer
 	if *metricsAddr != "" {
-		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg)
+		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg,
+			obs.Route{Pattern: "/traces", Handler: tracer.Handler()})
 		if err != nil {
 			log.Fatalf("lbsd: metrics endpoint: %v", err)
 		}
-		log.Printf("lbsd: metrics on http://%s/metrics (pprof under /debug/pprof/)", metricsSrv.Addr())
+		log.Printf("lbsd: metrics on http://%s/metrics (traces on /traces, pprof under /debug/pprof/)", metricsSrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

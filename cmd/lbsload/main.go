@@ -16,10 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +39,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // printLiveMetrics prints a percentile table for every histogram with
@@ -62,7 +66,13 @@ func printLiveMetrics(name string, series []obs.MetricSnapshot, err error) {
 			label += "{" + strings.Join(parts, ",") + "}"
 		}
 		if strings.HasSuffix(s.Name, "_seconds") {
-			fmt.Printf("  %-44s %s\n", label, s.Hist.Summary())
+			line := s.Hist.Summary()
+			// A captured trace exemplifying the slow tail, when one exists:
+			// paste the id into the merged timeline to see where it went.
+			if ex := s.Hist.ExemplarNear(99); ex != 0 {
+				line += fmt.Sprintf(" p99-trace=%016x", ex)
+			}
+			fmt.Printf("  %-44s %s\n", label, line)
 		} else {
 			fmt.Printf("  %-44s n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
 				label, s.Hist.Count(), s.Hist.Mean(),
@@ -72,6 +82,18 @@ func printLiveMetrics(name string, series []obs.MetricSnapshot, err error) {
 	if !any {
 		fmt.Printf("  (no observations)\n")
 	}
+}
+
+// spanCtx wraps the root span of one logical request in a context, so
+// every client call under it joins the same trace. With tracing off (nil
+// tracer, or this request not sampled) the span is inert and the context
+// is a plain Background.
+func spanCtx(root trace.Span) (context.Context, trace.Span) {
+	ctx := context.Background()
+	if root.Recording() {
+		ctx = trace.NewContext(ctx, root.Context())
+	}
+	return ctx, root
 }
 
 func main() {
@@ -92,6 +114,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	callTimeout := flag.Duration("call-timeout", 5*time.Second, "per-call deadline on every client connection")
 	faultPlan := flag.String("fault-plan", "", `inject faults on the load generator's connections, e.g. "1=r2:drop;*=w1:delay:5ms" (see faults.ParsePlan)`)
+	traceOn := flag.Bool("trace", false, "mint a trace per logical request, pull the daemons' span rings at the end, and write one merged Chrome/Perfetto timeline")
+	traceSample := flag.Float64("trace-sample", 1, "with -trace: fraction of requests to trace")
+	traceOut := flag.String("trace-out", "trace.json", "with -trace: merged timeline output file")
 	flag.Parse()
 
 	world := geo.R(0, 0, 1, 1)
@@ -103,6 +128,11 @@ func main() {
 	cliOpts := []protocol.DialOption{
 		protocol.WithCallTimeout(*callTimeout),
 		protocol.WithClientMetrics(cliReg),
+	}
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Config{Process: "client", Sample: *traceSample})
+		cliOpts = append(cliOpts, protocol.WithClientTracing(tracer))
 	}
 	if *faultPlan != "" {
 		plan, err := faults.ParsePlan(*faultPlan)
@@ -116,17 +146,29 @@ func main() {
 	}
 
 	if *selfhost {
+		// With -trace the self-hosted daemons each get a tracer of their
+		// own, exactly as the real binaries would with -trace-sample; the
+		// rings are still pulled over the wire, so the merge path below is
+		// identical in both modes. Propagated traces obey their sampled
+		// flag, so the daemons' own Sample can stay 0.
+		var dbTracer, anonTracer *trace.Tracer
+		if *traceOn {
+			dbTracer = trace.New(trace.Config{Process: "lbsd"})
+			anonTracer = trace.New(trace.Config{Process: "anonymizer"})
+		}
 		dbReg := obs.NewRegistry()
-		srv, err := server.New(server.Config{World: world, Metrics: dbReg, QueryWorkers: *queryWorkers})
+		srv, err := server.New(server.Config{World: world, Metrics: dbReg, QueryWorkers: *queryWorkers, Tracer: dbTracer})
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
-		dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet, protocol.WithMetrics(dbReg))
+		dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet, protocol.WithMetrics(dbReg),
+			protocol.WithTracing(dbTracer))
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
 		defer dbSvc.Close()
-		fwd, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(*callTimeout))
+		fwd, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(*callTimeout),
+			protocol.WithClientTracing(anonTracer))
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
@@ -135,11 +177,13 @@ func main() {
 		anon, err := anonymizer.New(anonymizer.Config{
 			World: world, Incremental: true, Forward: fwd.UpdatePrivate, Metrics: anonReg,
 			Shards: *shards, BatchWorkers: *anonWorkers,
+			Tracer: anonTracer, ForwardCtx: fwd.UpdatePrivateCtx,
 		})
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
-		anonSvc, err := protocol.ServeAnonymizer("127.0.0.1:0", anon, quiet, protocol.WithMetrics(anonReg))
+		anonSvc, err := protocol.ServeAnonymizer("127.0.0.1:0", anon, quiet, protocol.WithMetrics(anonReg),
+			protocol.WithTracing(anonTracer))
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
 		}
@@ -233,15 +277,17 @@ func main() {
 					userPts[id-1].Y+src.Range(-0.01, 0.01),
 				))
 				if src.Intn(100) < *queryPct {
+					ctx, root := spanCtx(tracer.StartRoot("load_private_query"))
 					t := time.Now()
-					res, err := conn.CloakQuery(id, loc)
+					res, err := conn.CloakQueryCtx(ctx, id, loc)
 					if err == nil {
 						var nn server.PrivateNNResult
-						nn, err = db.PrivateNN(server.PrivateNNQuery{Region: res.Region, Class: "poi"})
+						nn, err = db.PrivateNNCtx(ctx, server.PrivateNNQuery{Region: res.Region, Class: "poi"})
 						if err == nil {
 							server.RefineNN(loc, nn.Candidates)
 						}
 					}
+					root.End()
 					if err != nil {
 						errCount.Add(1)
 					} else {
@@ -256,20 +302,24 @@ func main() {
 							userPts[bid-1].Y+src.Range(-0.01, 0.01),
 						))}
 					}
+					ctx, root := spanCtx(tracer.StartRoot("load_batch_update"))
 					t := time.Now()
-					if _, err := conn.BatchUpdate(reqs); err != nil {
+					if _, err := conn.BatchUpdateCtx(ctx, reqs); err != nil {
 						errCount.Add(1)
 					} else {
 						myUpd.Add(time.Since(t))
 					}
+					root.End()
 					opCount.Add(uint64(*batch) - 1)
 				} else {
+					ctx, root := spanCtx(tracer.StartRoot("load_update"))
 					t := time.Now()
-					if _, err := conn.Update(id, loc); err != nil {
+					if _, err := conn.UpdateCtx(ctx, id, loc); err != nil {
 						errCount.Add(1)
 					} else {
 						myUpd.Add(time.Since(t))
 					}
+					root.End()
 				}
 				opCount.Add(1)
 			}
@@ -311,22 +361,26 @@ func main() {
 							Count: server.PublicRangeCountQuery{Query: r}}
 					}
 				}
+				ctx, root := spanCtx(tracer.StartRoot("load_admin_batch"))
 				t := time.Now()
-				if _, err := db.BatchQuery(entries); err != nil {
+				if _, err := db.BatchQueryCtx(ctx, entries); err != nil {
 					errCount.Add(1)
 				} else {
 					my.Add(time.Since(t))
 				}
+				root.End()
 				opCount.Add(uint64(*queryBatch))
 				continue
 			}
+			ctx, root := spanCtx(tracer.StartRoot("load_admin_count"))
 			t := time.Now()
 			c := geo.Pt(src.Range(0.1, 0.9), src.Range(0.1, 0.9))
-			if _, err := db.PublicCount(geo.RectAround(c, 0.1).Clip(world)); err != nil {
+			if _, err := db.PublicCountCtx(ctx, geo.RectAround(c, 0.1).Clip(world)); err != nil {
 				errCount.Add(1)
 			} else {
 				my.Add(time.Since(t))
 			}
+			root.End()
 			opCount.Add(1)
 		}
 		mu.Lock()
@@ -354,11 +408,17 @@ func main() {
 	} else {
 		fmt.Printf("  admin count: %s\n", adminLat.Summary())
 	}
-	fmt.Printf("  resilience : %d retries, %d timeouts, %d reconnects, %d breaker opens\n",
-		cliReg.Counter("proto_retries_total", "").Value(),
-		cliReg.Counter("proto_call_timeouts_total", "").Value(),
-		cliReg.Counter("proto_reconnects_total", "").Value(),
-		cliReg.Counter("proto_breaker_opens_total", "").Value())
+	// Read-only lookups of the counters WithClientMetrics registered; Find
+	// neither registers nor takes ownership of the proto_* namespace.
+	counterVal := func(name string) float64 {
+		s, _ := cliReg.Find(name)
+		return s.Value
+	}
+	fmt.Printf("  resilience : %.0f retries, %.0f timeouts, %.0f reconnects, %.0f breaker opens\n",
+		counterVal("proto_retries_total"),
+		counterVal("proto_call_timeouts_total"),
+		counterVal("proto_reconnects_total"),
+		counterVal("proto_breaker_opens_total"))
 
 	// Daemon-side percentile tables over the wire.
 	if ac, err := protocol.DialAnonymizer(*anonAddr, protocol.WithCallTimeout(5*time.Second)); err == nil {
@@ -370,5 +430,78 @@ func main() {
 		series, merr := dc.Metrics()
 		printLiveMetrics("database", series, merr)
 		dc.Close()
+	}
+
+	if tracer != nil {
+		dumpTraces(tracer, *anonAddr, *dbAddr, *traceOut)
+	}
+}
+
+// dumpTraces pulls the span rings of both daemons over the wire, merges
+// them with the load tool's own ring into one cross-process timeline,
+// writes it as Chrome trace-event JSON (load it in Perfetto or
+// chrome://tracing), and prints a self-time attribution for the slowest
+// traces still fully resident in the rings.
+func dumpTraces(tracer *trace.Tracer, anonAddr, dbAddr, out string) {
+	groups := [][]trace.SpanRecord{tracer.Snapshot()}
+	if ac, err := protocol.DialAnonymizer(anonAddr, protocol.WithCallTimeout(5*time.Second)); err == nil {
+		if spans, terr := ac.Traces(); terr == nil {
+			groups = append(groups, spans)
+		} else {
+			log.Printf("lbsload: anonymizer traces unavailable (started without -trace-sample?): %v", terr)
+		}
+		ac.Close()
+	}
+	if dc, err := protocol.DialDatabase(dbAddr, protocol.WithCallTimeout(5*time.Second)); err == nil {
+		if spans, terr := dc.Traces(); terr == nil {
+			groups = append(groups, spans)
+		} else {
+			log.Printf("lbsload: database traces unavailable (started without -trace-sample?): %v", terr)
+		}
+		dc.Close()
+	}
+	merged := trace.Merge(groups...)
+	if len(merged) == 0 {
+		log.Printf("lbsload: no spans captured")
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Printf("lbsload: %v", err)
+		return
+	}
+	if err := trace.WriteChromeJSON(f, merged); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		log.Printf("lbsload: write %s: %v", out, err)
+		return
+	}
+	fmt.Printf("\n%d spans merged into %s (open in Perfetto / chrome://tracing)\n", len(merged), out)
+	sums := trace.Summarize(merged)
+	if len(sums) > 5 {
+		sums = sums[:5]
+	}
+	fmt.Printf("slowest traces (self-time attribution per proc/stage):\n")
+	for _, s := range sums {
+		fmt.Printf("  trace %016x  %s  %v  (%d spans)\n",
+			s.TraceID, s.Root.Name, time.Duration(s.Root.Dur).Round(time.Microsecond), s.Spans)
+		type kv struct {
+			stage string
+			d     time.Duration
+		}
+		parts := make([]kv, 0, len(s.Self))
+		for stage, d := range s.Self {
+			parts = append(parts, kv{stage, d})
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i].d > parts[j].d })
+		for i, p := range parts {
+			if i == 4 {
+				break
+			}
+			fmt.Printf("    %-36s %v\n", p.stage, p.d.Round(time.Microsecond))
+		}
 	}
 }

@@ -32,6 +32,7 @@
 package anonymizer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/pyramid"
+	"repro/internal/trace"
 )
 
 // Algorithm selects the cloaking algorithm.
@@ -121,6 +123,13 @@ type Config struct {
 	// Forward receives every cloaked region. Optional; when nil regions are
 	// only returned to the caller.
 	Forward Forwarder
+	// ForwardCtx, when set, replaces Forward on the direct (non-replay)
+	// path and receives the request's context, so a traced update's
+	// downstream UpdatePrivate call joins the same trace. Spill-queue
+	// replays always go through Forward with a background context — the
+	// originating request is long gone by then. Setting only ForwardCtx is
+	// allowed; a Forward adapter is synthesized for the replay loop.
+	ForwardCtx func(ctx context.Context, id uint64, region geo.Rect) error
 	// ForwardQueue bounds the spill queue that absorbs forward failures:
 	// when the downstream link is down, cloaked regions (never exact
 	// locations — spilling does not weaken privacy) are parked and replayed
@@ -142,6 +151,11 @@ type Config struct {
 	// in. Optional; a private registry is created when nil, so
 	// instrumentation is always live and Registry() always works.
 	Metrics *obs.Registry
+	// Tracer records pipeline-stage spans (admission → cloak → forward) for
+	// traced requests — the *Ctx entry points. Optional; nil disables span
+	// recording and the tracer is nil-safe, so an un-traced anonymizer pays
+	// only nil checks.
+	Tracer *trace.Tracer
 }
 
 // Stats aggregates anonymizer activity counters. Forwarded includes
@@ -186,8 +200,9 @@ type Anonymizer struct {
 
 	fq *forwardQueue // nil unless Forward + ForwardQueue configured
 
-	ctr counters
-	met *anonMetrics
+	ctr    counters
+	met    *anonMetrics
+	tracer *trace.Tracer
 }
 
 // Common errors.
@@ -226,6 +241,12 @@ func New(cfg Config) (*Anonymizer, error) {
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Forward == nil && cfg.ForwardCtx != nil {
+		fc := cfg.ForwardCtx
+		cfg.Forward = func(id uint64, region geo.Rect) error {
+			return fc(context.Background(), id, region)
+		}
+	}
 	pyr, err := pyramid.New(cfg.World, cfg.PyramidHeight)
 	if err != nil {
 		return nil, err
@@ -235,6 +256,7 @@ func New(cfg Config) (*Anonymizer, error) {
 		workers: cfg.BatchWorkers,
 		pyr:     pyr,
 		met:     newAnonMetrics(cfg.Metrics, cfg.Algorithm, cfg.Shards),
+		tracer:  cfg.Tracer,
 	}
 	switch cfg.Algorithm {
 	case AlgQuadtree:
@@ -293,11 +315,19 @@ func (a *Anonymizer) Close() {
 // succeeds; per-user ordering is preserved by coalescing into an already
 // queued entry instead of letting a newer region overtake it on the
 // direct path. Without a queue the error is returned, failing the update.
-func (a *Anonymizer) forward(id uint64, region geo.Rect) error {
+// The context rides along to ForwardCtx so the downstream call can join
+// the request's trace; spill replays never see it (forwardQueue uses the
+// plain Forward adapter).
+func (a *Anonymizer) forward(ctx context.Context, id uint64, region geo.Rect) error {
 	if a.fq != nil && a.fq.enqueueIfPending(id, region) {
 		return nil
 	}
-	err := a.cfg.Forward(id, region)
+	var err error
+	if a.cfg.ForwardCtx != nil {
+		err = a.cfg.ForwardCtx(ctx, id, region)
+	} else {
+		err = a.cfg.Forward(id, region)
+	}
 	if err == nil {
 		a.ctr.forwarded.Add(1)
 		a.met.forwarded.Inc()
@@ -473,17 +503,38 @@ func (a *Anonymizer) dropLocation(s *shard, id uint64) {
 // location refreshes the internal indices, is cloaked under the
 // requirement active right now, and the region is forwarded downstream.
 func (a *Anonymizer) Update(id uint64, loc geo.Point) (cloak.Result, error) {
-	return a.process(id, loc, false)
+	return a.process(context.Background(), id, loc, false)
+}
+
+// UpdateCtx is Update under a context: traced requests record the
+// admission → cloak → forward stages as spans.
+func (a *Anonymizer) UpdateCtx(ctx context.Context, id uint64, loc geo.Point) (cloak.Result, error) {
+	return a.process(ctx, id, loc, false)
 }
 
 // CloakQuery cloaks a location for a query the user is about to issue
 // (query mode): identical pipeline, counted separately in the stats.
 func (a *Anonymizer) CloakQuery(id uint64, loc geo.Point) (cloak.Result, error) {
-	return a.process(id, loc, true)
+	return a.process(context.Background(), id, loc, true)
 }
 
-func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Result, error) {
+// CloakQueryCtx is CloakQuery under a context (trace).
+func (a *Anonymizer) CloakQueryCtx(ctx context.Context, id uint64, loc geo.Point) (cloak.Result, error) {
+	return a.process(ctx, id, loc, true)
+}
+
+// ctxTraceID returns the sampled trace id carried by ctx, 0 when none.
+func ctxTraceID(ctx context.Context) uint64 {
+	if sc, ok := trace.FromContext(ctx); ok && sc.Sampled() {
+		return sc.TraceID
+	}
+	return 0
+}
+
+func (a *Anonymizer) process(ctx context.Context, id uint64, loc geo.Point, isQuery bool) (cloak.Result, error) {
+	asp, _ := trace.Start(ctx, a.tracer, "anon_admit")
 	if !loc.Valid() || !a.cfg.World.Contains(loc) {
+		asp.End()
 		return cloak.Result{}, fmt.Errorf("anonymizer: location %v outside world", loc)
 	}
 	s, si := a.shardFor(id)
@@ -491,17 +542,24 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	profile, ok := s.profiles[id]
 	if !ok {
 		s.mu.Unlock()
+		asp.End()
 		return cloak.Result{}, ErrUnknownUser
 	}
 	if s.modes[id] == privacy.Passive {
 		s.mu.Unlock()
+		asp.End()
 		return cloak.Result{}, ErrPassive
 	}
 	req, err := profile.At(a.cfg.Clock())
 	if err != nil {
 		// No entry covers the current time: the user is effectively passive.
 		s.mu.Unlock()
+		asp.End()
 		return cloak.Result{}, fmt.Errorf("%w: %v", ErrPassive, err)
+	}
+	if asp.Recording() {
+		asp.SetAttrs(trace.Int("k", int64(req.K)))
+		asp.End()
 	}
 
 	// Refresh indices before cloaking so the user counts toward her own k —
@@ -517,6 +575,7 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	a.met.tracked.Set(float64(tracked))
 
 	t0 := time.Now()
+	csp, _ := trace.Start(ctx, a.tracer, "anon_cloak")
 	a.idxMu.RLock()
 	var res cloak.Result
 	if s.inc != nil {
@@ -525,6 +584,18 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 		res = a.cloaker.Cloak(id, loc, req) //lint:sanitized cloaking boundary: the k-anonymous region replaces the exact point
 	}
 	a.idxMu.RUnlock()
+	if csp.Recording() {
+		reused := int64(0)
+		if res.Reused {
+			reused = 1
+		}
+		csp.SetAttrs(
+			trace.Str("alg", a.cfg.Algorithm.String()),
+			trace.Int("achieved_k", int64(res.K)),
+			trace.Int("reused", reused))
+		csp.End()
+		a.met.cloakLat.SetExemplar(time.Since(t0).Seconds(), ctxTraceID(ctx))
+	}
 	a.met.cloakLat.Since(t0)
 	a.met.observeResult(res)
 	a.met.shardOps[si].Inc()
@@ -552,7 +623,10 @@ func (a *Anonymizer) process(id uint64, loc geo.Point, isQuery bool) (cloak.Resu
 	// so incremental mode also saves the downstream message — half of the
 	// Section 5.3 win.
 	if a.cfg.Forward != nil && !res.Reused {
-		if err := a.forward(id, res.Region); err != nil {
+		fsp, fctx := trace.Start(ctx, a.tracer, "anon_forward")
+		err := a.forward(fctx, id, res.Region)
+		fsp.End()
+		if err != nil {
 			return res, fmt.Errorf("anonymizer: forward failed: %w", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package anonymizer
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/cloak"
 	"repro/internal/geo"
 	"repro/internal/privacy"
+	"repro/internal/trace"
 )
 
 // BatchUpdate processes many location updates in one shared pass (Section
@@ -43,6 +45,13 @@ import (
 // downstream once per batch — matching what per-user updates would have
 // sent, minus exact duplicates.
 func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
+	return a.BatchUpdateCtx(context.Background(), updates)
+}
+
+// BatchUpdateCtx is BatchUpdate under a context: traced batches record the
+// three pipeline phases (per-shard admission, pooled cloaking, forwarding)
+// as spans with batch-size and shared-descent attributes.
+func (a *Anonymizer) BatchUpdateCtx(ctx context.Context, updates []cloak.Request) []*cloak.Result {
 	results := make([]*cloak.Result, len(updates))
 	if len(updates) == 0 {
 		return results
@@ -51,6 +60,7 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 
 	// Phase 1 — admission + batched relocations, one worker per shard
 	// holding a batch's worth of entries.
+	asp, _ := trace.Start(ctx, a.tracer, "anon_batch_admit")
 	reqs := make([]cloak.Request, len(updates)) // resolved requirement per admitted entry
 	admitted := make([]bool, len(updates))
 	byShard := make([][]int, len(a.shards))
@@ -112,9 +122,15 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 		creqs[j] = reqs[i]
 	}
 	a.met.tracked.Set(float64(a.Population()))
+	if asp.Recording() {
+		asp.SetAttrs(trace.Int("entries", int64(len(updates))),
+			trace.Int("admitted", int64(len(valid))))
+		asp.End()
+	}
 
 	// Phase 2 — cloak the whole batch over the frozen indices.
 	t0 := time.Now()
+	csp, _ := trace.Start(ctx, a.tracer, "anon_batch_cloak")
 	var batchResults []cloak.Result
 	var sharedHits int
 	a.idxMu.RLock()
@@ -129,6 +145,12 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 		})
 	}
 	a.idxMu.RUnlock()
+	if csp.Recording() {
+		csp.SetAttrs(trace.Str("alg", a.cfg.Algorithm.String()),
+			trace.Int("shared_hits", int64(sharedHits)))
+		csp.End()
+		a.met.batchLat.SetExemplar(time.Since(t0).Seconds(), ctxTraceID(ctx))
+	}
 	a.met.batchLat.Since(t0)
 
 	// Phase 3 — accounting in input order.
@@ -168,6 +190,7 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 	if a.cfg.Forward == nil {
 		return results
 	}
+	fsp, fctx := trace.Start(ctx, a.tracer, "anon_batch_forward")
 	type fwdKey struct {
 		id     uint64
 		region geo.Rect
@@ -183,7 +206,11 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 		// forward; without one a failed forward is already counted there
 		// and, matching the historical batch semantics, does not null the
 		// caller's result.
-		_ = a.forward(key.id, key.region)
+		_ = a.forward(fctx, key.id, key.region)
+	}
+	if fsp.Recording() {
+		fsp.SetAttrs(trace.Int("forwarded", int64(len(sent))))
+		fsp.End()
 	}
 	return results
 }

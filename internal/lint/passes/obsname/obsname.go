@@ -1,9 +1,13 @@
-// Package obsname implements the lbsvet pass that keeps the metric
-// namespace coherent: every name registered against an obs.Registry must
-// be a snake_case string literal, be registered at exactly one call site
+// Package obsname implements the lbsvet pass that keeps the
+// observability namespace coherent: every metric name registered against
+// an obs.Registry and every span name started against a trace.Tracer must
+// be a snake_case string literal, be introduced at exactly one call site
 // per package, and share its package's family prefix (the first
-// underscore-separated segment: anon_*, proto_*, lbs_*), so dashboards
-// and alerts can rely on a stable, greppable naming scheme.
+// underscore-separated segment: anon_*, proto_*, lbs_*, load_*), so
+// dashboards, alerts and trace queries can rely on a stable, greppable
+// naming scheme. Metrics and spans share one namespace per package —
+// a span family diverging from the metric family is exactly the drift
+// the pass exists to catch.
 package obsname
 
 import (
@@ -21,12 +25,15 @@ import (
 // Analyzer is the obsname pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "obsname",
-	Doc: "enforce metric naming: snake_case literals, one registration site\n" +
-		"per package, one family prefix per package",
+	Doc: "enforce metric and span naming: snake_case literals, one\n" +
+		"introduction site per package, one family prefix per package",
 	Run: run,
 }
 
-const obsPath = "repro/internal/obs"
+const (
+	obsPath   = "repro/internal/obs"
+	tracePath = "repro/internal/trace"
+)
 
 var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
@@ -51,13 +58,19 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok {
 				return true
 			}
-			if !isRegistration(pass, call) || len(call.Args) == 0 {
+			kind, arg := "metric", -1
+			if isRegistration(pass, call) {
+				arg = 0
+			} else if idx := spanNameArg(pass, call); idx >= 0 {
+				kind, arg = "span", idx
+			}
+			if arg < 0 || len(call.Args) <= arg {
 				return true
 			}
-			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			lit, ok := ast.Unparen(call.Args[arg]).(*ast.BasicLit)
 			if !ok || lit.Kind != token.STRING {
-				pass.Reportf(call.Args[0].Pos(),
-					"metric name must be a string literal so the namespace is statically auditable")
+				pass.Reportf(call.Args[arg].Pos(),
+					"%s name must be a string literal so the namespace is statically auditable", kind)
 				return true
 			}
 			name, err := strconv.Unquote(lit.Value)
@@ -66,7 +79,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 			if !nameRE.MatchString(name) {
 				pass.Reportf(lit.Pos(),
-					"metric name %q is not snake_case (want %s)", name, nameRE)
+					"%s name %q is not snake_case (want %s)", kind, name, nameRE)
 			}
 			sites = append(sites, site{name: name, pos: lit.Pos()})
 			return true
@@ -74,13 +87,15 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
 
-	// One registration site per package and name: duplicated sites drift
-	// apart (different help text, different buckets) and double-register.
+	// One introduction site per package and name: duplicated metric sites
+	// drift apart (different help text, different buckets) and
+	// double-register; duplicated span names make two different stages
+	// indistinguishable in every timeline.
 	first := make(map[string]token.Pos)
 	for _, s := range sites {
 		if prev, ok := first[s.name]; ok {
 			pass.Reportf(s.pos,
-				"metric %q is already registered in this package at %s; share the one registration site",
+				"%q is already introduced in this package at %s; share the one site",
 				s.name, pass.Fset.Position(prev))
 			continue
 		}
@@ -105,7 +120,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		for _, s := range sites {
 			if first[s.name] == s.pos && nameRE.MatchString(s.name) && family(s.name) != major {
 				pass.Reportf(s.pos,
-					"metric %q is outside this package's %s_* family; one family prefix per package",
+					"%q is outside this package's %s_* family; one family prefix per package",
 					s.name, major)
 			}
 		}
@@ -116,6 +131,51 @@ func run(pass *analysis.Pass) (interface{}, error) {
 func family(name string) string {
 	f, _, _ := strings.Cut(name, "_")
 	return f
+}
+
+// spanNameArg returns the index of the span-name argument when call
+// introduces a span name — (*trace.Tracer).StartRoot(name),
+// (*trace.Tracer).StartSpan(sc, name), or the package-level
+// trace.Start(ctx, tracer, name) — and -1 otherwise. The trace package
+// itself is exempt: its internals forward caller-supplied names through
+// variables, and the naming contract binds the call sites that choose
+// names, not the API plumbing.
+func spanNameArg(pass *analysis.Pass, call *ast.CallExpr) int {
+	if pass.Pkg != nil && pass.Pkg.Path() == tracePath {
+		return -1
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return -1
+	}
+	// Methods on *trace.Tracer.
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		rt := s.Recv()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		named, ok := rt.(*types.Named)
+		if !ok {
+			return -1
+		}
+		tn := named.Obj()
+		if tn.Pkg() == nil || tn.Pkg().Path() != tracePath || tn.Name() != "Tracer" {
+			return -1
+		}
+		switch sel.Sel.Name {
+		case "StartRoot":
+			return 0
+		case "StartSpan":
+			return 1
+		}
+		return -1
+	}
+	// The package-level trace.Start helper.
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+		fn.Pkg() != nil && fn.Pkg().Path() == tracePath && fn.Name() == "Start" {
+		return 2
+	}
+	return -1
 }
 
 // isRegistration reports whether call is (*obs.Registry).Counter, Gauge,

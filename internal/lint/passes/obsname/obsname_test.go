@@ -13,3 +13,10 @@ func TestNames(t *testing.T) {
 	}
 	linttest.Run(t, "testdata/src/names", obsname.Analyzer)
 }
+
+func TestSpanNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the module for fixture type-checking")
+	}
+	linttest.Run(t, "testdata/src/spannames", obsname.Analyzer)
+}

@@ -13,7 +13,7 @@ func register(reg *obs.Registry) {
 	reg.Counter("Fixture_Bad_Name", "Not snake case.") // want "not snake_case"
 	reg.Counter("fixture-dashed-total", "Dashes.")     // want "not snake_case"
 
-	reg.Counter("fixture_updates_total", "Duplicate site.") // want "already registered in this package"
+	reg.Counter("fixture_updates_total", "Duplicate site.") // want "already introduced in this package"
 
 	reg.Counter(dynamicName, "Dynamic.") // want "must be a string literal"
 

@@ -1,0 +1,36 @@
+// Package fixture exercises the obsname pass's span-name checks across
+// all three name-introducing forms: Tracer.StartRoot, Tracer.StartSpan,
+// and the package-level trace.Start helper. Metrics and spans share one
+// namespace, so the span family must match the package's metric family.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+var dynamicSpan = "fixture_dynamic"
+
+func spans(tr *trace.Tracer, reg *obs.Registry, ctx context.Context, sc trace.SpanContext) {
+	reg.Counter("fixture_requests_total", "Requests.")
+
+	root := tr.StartRoot("fixture_request")
+	serve := tr.StartSpan(sc, "fixture_serve")
+	call, ctx2 := trace.Start(ctx, tr, "fixture_call")
+
+	tr.StartRoot("Fixture_Bad_Span")    // want "not snake_case"
+	tr.StartSpan(sc, "fixture-serve-2") // want "not snake_case"
+
+	tr.StartRoot("fixture_request") // want "already introduced in this package"
+
+	tr.StartRoot(dynamicSpan) // want "must be a string literal"
+
+	other, _ := trace.Start(ctx2, tr, "alien_stage") // want "outside this package"
+
+	other.End()
+	call.End()
+	serve.End()
+	root.End()
+}

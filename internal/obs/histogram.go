@@ -17,6 +17,10 @@ type Histogram struct {
 	bounds  []float64 // sorted upper bounds, immutable after construction
 	counts  []atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	// exemplars holds one trace id per bucket (0 = none): the most recent
+	// traced observation that landed there, linking a fat latency bucket
+	// to a concrete captured trace.
+	exemplars []atomic.Uint64
 }
 
 // newHistogram builds a histogram over the given bucket upper bounds. The
@@ -31,12 +35,16 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	b := append([]float64(nil), bounds...)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Uint64, len(b)+1),
+	}
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	// Binary search for the first bound >= v.
+// bucketIndex returns the index of the first bound >= v (binary search),
+// len(bounds) for the +Inf overflow bucket.
+func (h *Histogram) bucketIndex(v float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -46,7 +54,46 @@ func (h *Histogram) Observe(v float64) {
 			hi = mid
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, 0) }
+
+// ObserveExemplar records one sample and, when traceID is nonzero, makes
+// it the exemplar of the bucket the sample fell into.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	i := h.bucketIndex(v)
+	h.counts[i].Add(1)
+	if traceID != 0 {
+		h.exemplars[i].Store(traceID)
+	}
+	h.addSum(v)
+}
+
+// SetExemplar stores traceID as the exemplar of the bucket v falls into
+// without recording an observation — for call sites where the sample
+// itself is counted elsewhere (or by someone else) but the trace link is
+// known only here.
+func (h *Histogram) SetExemplar(v float64, traceID uint64) {
+	if traceID == 0 {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(traceID)
+}
+
+// ObserveN records n samples of the same value in one shot — the bulk
+// path the runtime-metrics bridge uses to fold kernel histogram deltas in
+// without n individual observations.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[h.bucketIndex(v)].Add(n)
+	h.addSum(v * float64(n))
+}
+
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -75,6 +122,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	for i := range h.exemplars {
+		if t := h.exemplars[i].Load(); t != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]uint64, len(h.exemplars))
+			}
+			s.Exemplars[i] = t
+		}
+	}
 	s.Sum = math.Float64frombits(h.sumBits.Load())
 	return s
 }
@@ -87,6 +142,9 @@ type HistogramSnapshot struct {
 	Bounds []float64
 	Counts []uint64
 	Sum    float64
+	// Exemplars carries one trace id per bucket (0 = none); nil when the
+	// histogram never saw a traced observation.
+	Exemplars []uint64
 }
 
 // Count returns the total number of observations.
@@ -112,8 +170,53 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
 	for i := range s.Counts {
 		s.Counts[i] += o.Counts[i]
 	}
+	if len(o.Exemplars) == len(s.Counts) {
+		if s.Exemplars == nil {
+			s.Exemplars = make([]uint64, len(s.Counts))
+		}
+		for i, t := range o.Exemplars {
+			if s.Exemplars[i] == 0 {
+				s.Exemplars[i] = t
+			}
+		}
+	}
 	s.Sum += o.Sum
 	return nil
+}
+
+// ExemplarNear returns a trace id exemplifying the p-th percentile: the
+// exemplar of the bucket that percentile falls into, or failing that the
+// nearest slower, then nearest faster, bucket's. Returns 0 when the
+// histogram holds no exemplars at all.
+func (s HistogramSnapshot) ExemplarNear(p float64) uint64 {
+	if len(s.Exemplars) != len(s.Counts) {
+		return 0
+	}
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(Rank(int(total), p))
+	idx := len(s.Counts) - 1
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if rank < cum {
+			idx = i
+			break
+		}
+	}
+	for i := idx; i < len(s.Exemplars); i++ {
+		if s.Exemplars[i] != 0 {
+			return s.Exemplars[i]
+		}
+	}
+	for i := idx - 1; i >= 0; i-- {
+		if s.Exemplars[i] != 0 {
+			return s.Exemplars[i]
+		}
+	}
+	return 0
 }
 
 // Mean returns the arithmetic mean, or 0 with no observations.

@@ -8,11 +8,21 @@ import (
 	"time"
 )
 
+// Route is an extra pattern/handler pair a daemon mounts on its
+// operational mux next to the standard endpoints (e.g. /traces).
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewMux returns the operational HTTP handler for a daemon: /metrics in
-// Prometheus text format, /healthz returning "ok", and the standard
-// net/http/pprof endpoints under /debug/pprof/.
-func NewMux(reg *Registry) *http.ServeMux {
+// Prometheus text format, /healthz returning "ok", the standard
+// net/http/pprof endpoints under /debug/pprof/, plus any extra routes.
+func NewMux(reg *Registry, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -41,13 +51,14 @@ func (m *MetricsServer) Addr() string { return m.addr }
 // Close shuts the endpoint down immediately.
 func (m *MetricsServer) Close() error { return m.srv.Close() }
 
-// ServeMetrics binds addr and serves NewMux(reg) in a background goroutine.
-func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+// ServeMetrics binds addr and serves NewMux(reg, extra...) in a
+// background goroutine.
+func ServeMetrics(addr string, reg *Registry, extra ...Route) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: NewMux(reg, extra...), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &MetricsServer{srv: srv, addr: ln.Addr().String()}, nil
 }

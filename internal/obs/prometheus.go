@@ -42,6 +42,21 @@ func WritePrometheus(w io.Writer, series []MetricSnapshot) error {
 			}
 			fmt.Fprintf(&b, "%s_sum%s %s\n", s.Name, labelString(s.Labels, "", 0), formatValue(s.Hist.Sum))
 			fmt.Fprintf(&b, "%s_count%s %d\n", s.Name, labelString(s.Labels, "", 0), cum)
+			// Exemplar trace ids as comments (the 0.0.4 text format has no
+			// exemplar syntax; comments keep every parser happy).
+			if len(s.Hist.Exemplars) == len(s.Hist.Counts) {
+				for i, t := range s.Hist.Exemplars {
+					if t == 0 {
+						continue
+					}
+					le := "+Inf"
+					if i < len(s.Hist.Bounds) {
+						le = formatValue(s.Hist.Bounds[i])
+					}
+					fmt.Fprintf(&b, "# exemplar %s_bucket%s trace_id=%016x\n",
+						s.Name, labelString(s.Labels, le, 1), t)
+				}
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -78,6 +78,9 @@ func seriesKey(name string, labels []Label) string {
 type Registry struct {
 	mu     sync.RWMutex
 	series map[string]*metric
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -185,9 +188,25 @@ type MetricSnapshot struct {
 	Hist HistogramSnapshot
 }
 
+// AddExportHook registers fn to run at the start of every Export — the
+// seam pull-model collectors (the runtime-metrics bridge) use to refresh
+// their gauges only when someone is actually looking. Hooks run outside
+// the registry lock and may register or update series.
+func (r *Registry) AddExportHook(fn func()) {
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
 // Export returns a snapshot of every registered series, sorted by name then
 // label signature so output and wire encodings are deterministic.
 func (r *Registry) Export() []MetricSnapshot {
+	r.hookMu.Lock()
+	hooks := r.hooks
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.RLock()
 	out := make([]MetricSnapshot, 0, len(r.series))
 	for key, m := range r.series {

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics series the bridge exports: the
+// Go health signals the soak harness consumes as SLO inputs.
+const (
+	smpGoroutines = "/sched/goroutines:goroutines"
+	smpGomaxprocs = "/sched/gomaxprocs:threads"
+	smpHeapObj    = "/memory/classes/heap/objects:bytes"
+	smpHeapUnused = "/memory/classes/heap/unused:bytes"
+	smpGCCycles   = "/gc/cycles/total:gc-cycles"
+	smpGCPause    = "/sched/pauses/total/gc:seconds"
+	smpSchedLat   = "/sched/latencies:seconds"
+)
+
+// runtimeBridge folds runtime/metrics into registry series on demand.
+type runtimeBridge struct {
+	samples []runtimemetrics.Sample
+
+	goroutines *Gauge
+	gomaxprocs *Gauge
+	heapInuse  *Gauge
+	gcCycles   *Gauge
+	gcPause    *Histogram
+	schedLat   *Histogram
+
+	// Kernel histograms are cumulative; remember the last counts so only
+	// the delta since the previous export is folded in.
+	prevGCPause  []uint64
+	prevSchedLat []uint64
+}
+
+// EnableRuntimeMetrics registers the Go runtime health series (goroutine
+// count, GC pause histogram, heap in use, scheduler latency) in reg and
+// refreshes them on every Export via an export hook, so scraping /metrics
+// is what samples the runtime. Call once per registry.
+func EnableRuntimeMetrics(reg *Registry) {
+	names := []string{smpGoroutines, smpGomaxprocs, smpHeapObj, smpHeapUnused,
+		smpGCCycles, smpGCPause, smpSchedLat}
+	b := &runtimeBridge{samples: make([]runtimemetrics.Sample, len(names))}
+	for i, n := range names {
+		b.samples[i].Name = n
+	}
+	b.goroutines = reg.Gauge("go_goroutines", "Live goroutines.")
+	b.gomaxprocs = reg.Gauge("go_gomaxprocs", "Current GOMAXPROCS setting.")
+	b.heapInuse = reg.Gauge("go_heap_inuse_bytes", "Heap memory in use (live objects plus unused span space).")
+	b.gcCycles = reg.Gauge("go_gc_cycles", "Completed GC cycles since process start.")
+	b.gcPause = reg.Histogram("go_gc_pause_seconds",
+		"Stop-the-world GC pause durations.", DefaultLatencyBuckets)
+	b.schedLat = reg.Histogram("go_sched_latency_seconds",
+		"Time goroutines spent runnable before running.", DefaultLatencyBuckets)
+	reg.AddExportHook(b.refresh)
+}
+
+// refresh reads the runtime samples and updates the registry series.
+func (b *runtimeBridge) refresh() {
+	runtimemetrics.Read(b.samples)
+	var heap float64
+	for i := range b.samples {
+		s := &b.samples[i]
+		switch s.Name {
+		case smpGoroutines:
+			b.goroutines.Set(float64(s.Value.Uint64()))
+		case smpGomaxprocs:
+			b.gomaxprocs.Set(float64(s.Value.Uint64()))
+		case smpHeapObj, smpHeapUnused:
+			if s.Value.Kind() == runtimemetrics.KindUint64 {
+				heap += float64(s.Value.Uint64())
+			}
+		case smpGCCycles:
+			b.gcCycles.Set(float64(s.Value.Uint64()))
+		case smpGCPause:
+			b.prevGCPause = foldHistogram(b.gcPause, s.Value, b.prevGCPause)
+		case smpSchedLat:
+			b.prevSchedLat = foldHistogram(b.schedLat, s.Value, b.prevSchedLat)
+		}
+	}
+	b.heapInuse.Set(heap)
+}
+
+// foldHistogram adds the delta of a cumulative runtime Float64Histogram
+// since prev into h (each kernel bucket's new observations are folded in
+// at the bucket midpoint) and returns the current counts for next time.
+func foldHistogram(h *Histogram, v runtimemetrics.Value, prev []uint64) []uint64 {
+	if v.Kind() != runtimemetrics.KindFloat64Histogram {
+		return prev
+	}
+	rh := v.Float64Histogram()
+	if rh == nil {
+		return prev
+	}
+	for i, c := range rh.Counts {
+		var last uint64
+		if i < len(prev) {
+			last = prev[i]
+		}
+		if c <= last {
+			continue
+		}
+		lo, hi := rh.Buckets[i], rh.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = lo + (hi-lo)/2
+		}
+		h.ObserveN(mid, c-last)
+	}
+	out := prev
+	if len(out) != len(rh.Counts) {
+		out = make([]uint64, len(rh.Counts))
+	}
+	copy(out, rh.Counts)
+	return out
+}

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/anonymizer"
@@ -24,7 +25,7 @@ type anonHandler struct {
 	anon *anonymizer.Anonymizer
 }
 
-func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
+func (h *anonHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
 	d := NewDecoder(payload)
 	switch typ {
 	case MsgRegister:
@@ -44,9 +45,9 @@ func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		var res cloak.Result
 		var err error
 		if typ == MsgUpdate {
-			res, err = h.anon.Update(id, loc)
+			res, err = h.anon.UpdateCtx(ctx, id, loc)
 		} else {
-			res, err = h.anon.CloakQuery(id, loc)
+			res, err = h.anon.CloakQueryCtx(ctx, id, loc)
 		}
 		if err != nil {
 			return nil, err
@@ -62,7 +63,7 @@ func (h *anonHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
-		results := h.anon.BatchUpdate(reqs)
+		results := h.anon.BatchUpdateCtx(ctx, reqs)
 		var e Encoder
 		e.U32(uint32(len(results)))
 		for _, res := range results {
@@ -222,22 +223,32 @@ func (ac *AnonymizerClient) Register(id uint64, profile *privacy.Profile) error 
 
 // Update reports an exact location and returns the cloaking result.
 func (ac *AnonymizerClient) Update(id uint64, loc geo.Point) (cloak.Result, error) {
-	return ac.locCall(MsgUpdate, id, loc)
+	return ac.locCall(context.Background(), MsgUpdate, id, loc)
+}
+
+// UpdateCtx is Update under a context (deadline, trace).
+func (ac *AnonymizerClient) UpdateCtx(ctx context.Context, id uint64, loc geo.Point) (cloak.Result, error) {
+	return ac.locCall(ctx, MsgUpdate, id, loc)
 }
 
 // CloakQuery cloaks a location for an upcoming query.
 func (ac *AnonymizerClient) CloakQuery(id uint64, loc geo.Point) (cloak.Result, error) {
-	return ac.locCall(MsgCloakQuery, id, loc)
+	return ac.locCall(context.Background(), MsgCloakQuery, id, loc)
+}
+
+// CloakQueryCtx is CloakQuery under a context (deadline, trace).
+func (ac *AnonymizerClient) CloakQueryCtx(ctx context.Context, id uint64, loc geo.Point) (cloak.Result, error) {
+	return ac.locCall(ctx, MsgCloakQuery, id, loc)
 }
 
 // locCall encodes the user's own exact location toward the trusted
 // anonymizer tier — the one wire hop exact locations are allowed on.
 //
 //lint:trusted-ingress user-side client encoding its own location to the trusted tier
-func (ac *AnonymizerClient) locCall(typ byte, id uint64, loc geo.Point) (cloak.Result, error) {
+func (ac *AnonymizerClient) locCall(ctx context.Context, typ byte, id uint64, loc geo.Point) (cloak.Result, error) {
 	var e Encoder
 	e.U64(id).Point(loc)
-	resp, err := ac.c.Call(typ, e.Bytes())
+	resp, err := ac.c.CallCtx(ctx, typ, e.Bytes())
 	if err != nil {
 		return cloak.Result{}, err
 	}
@@ -252,12 +263,19 @@ func (ac *AnonymizerClient) locCall(typ byte, id uint64, loc geo.Point) (cloak.R
 //
 //lint:trusted-ingress user-side client encoding its own locations to the trusted tier
 func (ac *AnonymizerClient) BatchUpdate(reqs []cloak.Request) ([]*cloak.Result, error) {
+	return ac.BatchUpdateCtx(context.Background(), reqs)
+}
+
+// BatchUpdateCtx is BatchUpdate under a context (deadline, trace).
+//
+//lint:trusted-ingress user-side client encoding its own locations to the trusted tier
+func (ac *AnonymizerClient) BatchUpdateCtx(ctx context.Context, reqs []cloak.Request) ([]*cloak.Result, error) {
 	var e Encoder
 	e.U32(uint32(len(reqs)))
 	for _, r := range reqs {
 		e.U64(r.ID).Point(r.Loc)
 	}
-	resp, err := ac.c.Call(MsgBatchUpdate, e.Bytes())
+	resp, err := ac.c.CallCtx(ctx, MsgBatchUpdate, e.Bytes())
 	if err != nil {
 		return nil, err
 	}

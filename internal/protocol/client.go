@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Idempotent reports whether a message type may be safely retried after a
@@ -23,7 +24,7 @@ func Idempotent(typ byte) bool {
 	case MsgUpdate, MsgCloakQuery, MsgBatchUpdate, MsgDeregister, MsgSetMode, MsgAnonStats,
 		MsgUpdatePrivate, MsgRemovePrivate, MsgUpdateMoving, MsgStats,
 		MsgPrivateRange, MsgPrivateNN, MsgPublicCount, MsgPublicNN, MsgContCount,
-		MsgBatchQuery, MsgMetrics:
+		MsgBatchQuery, MsgMetrics, MsgTraces, MsgTraceNeg:
 		return true
 	}
 	return false
@@ -54,6 +55,7 @@ type dialConfig struct {
 	seed             uint64
 	dial             func(addr string) (net.Conn, error)
 	reg              *obs.Registry
+	tracer           *trace.Tracer
 }
 
 func defaultDialConfig() dialConfig {
@@ -118,6 +120,17 @@ func WithClientMetrics(reg *obs.Registry) DialOption {
 	}
 }
 
+// WithClientTracing enables distributed tracing on the client: a trace is
+// adopted from the call context (or minted here, at the edge, subject to
+// the tracer's sampling rate), call/retry/backoff spans are recorded in
+// the tracer's ring, and — once the peer answers the tracing negotiation
+// probe — requests are wrapped in the MsgTraced envelope so the trace
+// continues across the wire. Peers that never negotiated are spoken to
+// in the plain protocol, unchanged.
+func WithClientTracing(t *trace.Tracer) DialOption {
+	return func(c *dialConfig) { c.tracer = t }
+}
+
 // WithJitterSeed seeds the backoff jitter stream, making retry schedules
 // reproducible in tests.
 func WithJitterSeed(seed uint64) DialOption {
@@ -159,6 +172,7 @@ type Client struct {
 	conn      net.Conn
 	src       *rng.Source
 	connected bool // a connection existed before (distinguishes reconnects)
+	traceOK   bool // current connection's peer negotiated tracing
 	fails     int  // consecutive transport failures
 	state     int
 	openUntil time.Time
@@ -207,10 +221,40 @@ func (c *Client) connectLocked() error {
 		return err
 	}
 	c.conn = conn
+	c.traceOK = false
 	if c.connected {
 		c.met.reconnects.Inc()
 	}
 	c.connected = true
+	if c.cfg.tracer != nil {
+		if err := c.negotiateTraceLocked(); err != nil {
+			c.dropConnLocked()
+			return err
+		}
+	}
+	return nil
+}
+
+// negotiateTraceLocked probes the fresh connection with MsgTraceNeg. A
+// trace-aware peer answers OK and subsequent requests are wrapped in the
+// MsgTraced envelope; a legacy peer answers its usual unknown-type error
+// frame — a clean, stream-synchronized "no" — and the connection keeps
+// speaking the plain protocol. Only a transport failure is an error.
+func (c *Client) negotiateTraceLocked() error {
+	timeout := c.cfg.callTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c.conn.SetDeadline(time.Now().Add(timeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if err := WriteFrame(c.conn, MsgTraceNeg, nil); err != nil {
+		return c.classify(err)
+	}
+	rtyp, _, err := ReadFrame(c.conn)
+	if err != nil {
+		return c.classify(err)
+	}
+	c.traceOK = rtyp == msgOK
 	return nil
 }
 
@@ -220,6 +264,7 @@ func (c *Client) dropConnLocked() {
 		c.conn.Close()
 		c.conn = nil
 	}
+	c.traceOK = false
 }
 
 func (c *Client) setStateLocked(state int) {
@@ -307,6 +352,19 @@ func (c *Client) CallCtx(ctx context.Context, typ byte, payload []byte) ([]byte,
 	if err := c.breakerAdmitLocked(); err != nil {
 		return nil, err
 	}
+	// Tracing: adopt the caller's trace from ctx, or — this being the edge
+	// — mint a fresh root here, subject to the tracer's sampling rate. The
+	// tracing control messages themselves are never traced.
+	if c.cfg.tracer != nil && typ != MsgTraces && typ != MsgTraceNeg {
+		if _, ok := trace.FromContext(ctx); !ok {
+			root := c.cfg.tracer.StartRoot("proto_request")
+			if root.Recording() {
+				root.SetAttrs(trace.Str("type", MessageName(typ)))
+				ctx = trace.NewContext(ctx, root.Context())
+				defer root.End()
+			}
+		}
+	}
 	attempts := 1
 	if Idempotent(typ) {
 		attempts += c.cfg.retries
@@ -318,11 +376,15 @@ func (c *Client) CallCtx(ctx context.Context, typ byte, payload []byte) ([]byte,
 		}
 		if attempt > 0 {
 			c.met.retries.Inc()
-			if err := c.sleepBackoff(ctx, attempt); err != nil {
+			bsp, _ := trace.Start(ctx, c.cfg.tracer, "proto_backoff")
+			bsp.SetAttrs(trace.Int("attempt", int64(attempt)))
+			err := c.sleepBackoff(ctx, attempt)
+			bsp.End()
+			if err != nil {
 				return nil, err
 			}
 		}
-		resp, err := c.callOnceLocked(ctx, typ, payload)
+		resp, err := c.callOnceLocked(ctx, typ, payload, attempt)
 		if err == nil || errors.Is(err, ErrRemote) {
 			// The wire worked end to end; whatever the handler said is the
 			// answer.
@@ -339,11 +401,23 @@ func (c *Client) CallCtx(ctx context.Context, typ byte, payload []byte) ([]byte,
 }
 
 // callOnceLocked performs one request/response exchange on the current
-// connection, establishing it first if needed.
-func (c *Client) callOnceLocked(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
+// connection, establishing it first if needed. When the call is traced
+// and the peer negotiated tracing, the frame goes out wrapped in the
+// MsgTraced envelope with this attempt's span as the remote parent.
+func (c *Client) callOnceLocked(ctx context.Context, typ byte, payload []byte, attempt int) ([]byte, error) {
 	if c.conn == nil {
 		if err := c.connectLocked(); err != nil {
 			return nil, err
+		}
+	}
+	wireTyp, wirePayload := typ, payload
+	sp, _ := trace.Start(ctx, c.cfg.tracer, "proto_call")
+	if sp.Recording() {
+		sp.SetAttrs(trace.Str("type", MessageName(typ)), trace.Int("attempt", int64(attempt)))
+		defer sp.End()
+		if c.traceOK && typ != MsgTraces && typ != MsgTraceNeg {
+			wireTyp = MsgTraced
+			wirePayload = encodeTraced(sp.Context(), typ, payload)
 		}
 	}
 	deadline, hasDeadline := ctx.Deadline()
@@ -361,7 +435,7 @@ func (c *Client) callOnceLocked(ctx context.Context, typ byte, payload []byte) (
 			}
 		}()
 	}
-	if err := WriteFrame(c.conn, typ, payload); err != nil {
+	if err := WriteFrame(c.conn, wireTyp, wirePayload); err != nil {
 		return nil, c.classify(err)
 	}
 	rtyp, resp, err := ReadFrame(c.conn)

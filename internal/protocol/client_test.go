@@ -18,7 +18,7 @@ import (
 // startEcho serves an echo handler and tears it down with the test.
 func startEcho(t *testing.T, opts ...Option) *Service {
 	t.Helper()
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return p, nil
 	}, quiet, opts...)
 	if err != nil {
@@ -89,7 +89,7 @@ func TestClientRetriesAfterMidFrameReset(t *testing.T) {
 // A full server restart between calls is survived transparently by the
 // retry + reconnect path.
 func TestClientReconnectsAfterServerRestart(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return p, nil
 	}, quiet)
 	if err != nil {
@@ -108,7 +108,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 	}
 
 	svc.Close()
-	svc2, err := Serve(addr, func(typ byte, p []byte) ([]byte, error) {
+	svc2, err := Serve(addr, func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return p, nil
 	}, quiet)
 	if err != nil {
@@ -170,7 +170,7 @@ func TestBreakerOpensShedsAndRecovers(t *testing.T) {
 
 	// Bring the peer up and let the cooldown pass: the half-open probe
 	// closes the breaker again.
-	svc, err := Serve(addr, func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve(addr, func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return p, nil
 	}, quiet)
 	if err != nil {
@@ -227,7 +227,7 @@ func TestBreakerReopensOnFailedProbe(t *testing.T) {
 
 // The per-call deadline bounds a stalled handler; the timeout is counted.
 func TestCallTimeoutBoundsStalledHandler(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		time.Sleep(400 * time.Millisecond)
 		return p, nil
 	}, quiet)
@@ -262,7 +262,7 @@ func TestCallTimeoutBoundsStalledHandler(t *testing.T) {
 
 // A context deadline tighter than the call timeout wins.
 func TestCallCtxRespectsContext(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		time.Sleep(400 * time.Millisecond)
 		return p, nil
 	}, quiet)
@@ -325,7 +325,7 @@ func TestAcceptLoopSurvivesTransientErrors(t *testing.T) {
 	}
 	flaky := faults.NewFlakyListener(ln, 4)
 	reg := obs.NewRegistry()
-	svc, err := ServeListener(flaky, func(typ byte, p []byte) ([]byte, error) {
+	svc, err := ServeListener(flaky, func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return p, nil
 	}, quiet, WithMetrics(reg))
 	if err != nil {
@@ -415,7 +415,7 @@ func TestReadTimeoutReapsIdleConnections(t *testing.T) {
 // Close with a drain timeout lets an in-flight request finish instead of
 // cutting it mid-response.
 func TestDrainTimeoutFinishesInFlightCall(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		time.Sleep(80 * time.Millisecond)
 		return p, nil
 	}, quiet, WithDrainTimeout(time.Second))

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloak"
 	"repro/internal/geo"
 	"repro/internal/privacy"
+	"repro/internal/trace"
 )
 
 // Native fuzz targets for the wire layer: malformed input must return an
@@ -128,6 +129,70 @@ func FuzzDecodeMetrics(f *testing.F) {
 			}
 		}
 	})
+}
+
+func FuzzDecodeTraced(f *testing.F) {
+	// Seeds: a well-formed envelope, truncations, a nested envelope, a
+	// response inner type, and a zero trace id.
+	valid := encodeTraced(traceSeedCtx(), MsgUpdate, []byte("inner payload"))
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:tracedHeaderLen-1])
+	f.Add(encodeTraced(traceSeedCtx(), MsgTraced, valid))
+	f.Add(encodeTraced(traceSeedCtx(), msgOK, nil))
+	f.Add(encodeTraced(trace.SpanContext{}, MsgUpdate, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, innerTyp, inner, err := decodeTraced(data)
+		if err != nil {
+			return
+		}
+		// The decoder's contract: a successful unwrap never yields another
+		// envelope (no recursion), never a response type, never an
+		// anonymous trace, and the inner payload is a verbatim suffix of
+		// the input.
+		if innerTyp == MsgTraced {
+			t.Fatal("nested envelope accepted")
+		}
+		if innerTyp == msgOK || innerTyp == msgErr {
+			t.Fatalf("response inner type %d accepted", innerTyp)
+		}
+		if sc.TraceID == 0 {
+			t.Fatal("zero trace id accepted")
+		}
+		if len(data) < tracedHeaderLen || !bytes.Equal(inner, data[tracedHeaderLen:]) {
+			t.Fatalf("inner payload not the verbatim suffix: %x", inner)
+		}
+		// Round trip.
+		if out := encodeTraced(sc, innerTyp, inner); !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %x vs %x", out, data)
+		}
+	})
+}
+
+func FuzzDecodeSpans(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // forged count, no spans
+	f.Add(encodeSpans(nil))
+	f.Add(encodeSpans([]trace.SpanRecord{{
+		TraceID: 7, SpanID: 8, ParentID: 9, Name: "proto_serve", Proc: "lbsd",
+		Start: 1e9, Dur: 5e6,
+		Attrs: []trace.Attr{trace.Str("type", "update"), trace.Int("attempt", 2)},
+	}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans, err := DecodeSpans(data)
+		if err != nil {
+			return
+		}
+		// No over-allocation from forged counts: each decoded span consumed
+		// at least its fixed-width prefix from the input.
+		if len(spans)*45 > len(data) {
+			t.Fatalf("%d spans from %d input bytes", len(spans), len(data))
+		}
+	})
+}
+
+func traceSeedCtx() trace.SpanContext {
+	return trace.SpanContext{TraceID: 0x1234, SpanID: 0x56, Flags: trace.FlagSampled}
 }
 
 func cloakResultSeed() (res cloak.Result) {

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,7 +21,7 @@ type dbHandler struct {
 	srv *server.Server
 }
 
-func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
+func (h *dbHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
 	d := NewDecoder(payload)
 	switch typ {
 	case MsgUpdatePrivate:
@@ -29,7 +30,7 @@ func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
-		return nil, h.srv.UpdatePrivate(id, region)
+		return nil, h.srv.UpdatePrivateCtx(ctx, id, region)
 
 	case MsgRemovePrivate:
 		id := d.U64()
@@ -66,7 +67,7 @@ func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
-		objs, err := h.srv.PrivateRange(q)
+		objs, err := h.srv.PrivateRangeCtx(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +78,7 @@ func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
-		res, err := h.srv.PrivateNN(q)
+		res, err := h.srv.PrivateNNCtx(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +92,7 @@ func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
-		res, err := h.srv.PublicRangeCount(q)
+		res, err := h.srv.PublicRangeCountCtx(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +105,7 @@ func (h *dbHandler) handle(typ byte, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return encodeBatchResult(entries, h.srv.BatchQuery(entries)), nil
+		return encodeBatchResult(entries, h.srv.BatchQueryCtx(ctx, entries)), nil
 
 	case MsgPublicNN:
 		q := server.PublicNNQuery{
@@ -406,9 +407,16 @@ func (dc *DatabaseClient) Close() error { return dc.c.Close() }
 
 // UpdatePrivate forwards a cloaked region (the anonymizer's sink).
 func (dc *DatabaseClient) UpdatePrivate(id uint64, region geo.Rect) error {
+	return dc.UpdatePrivateCtx(context.Background(), id, region)
+}
+
+// UpdatePrivateCtx is UpdatePrivate under a context (deadline, trace) —
+// the forwarder threads the cloak pipeline's trace through here so the
+// forward hop shows up in the request's timeline.
+func (dc *DatabaseClient) UpdatePrivateCtx(ctx context.Context, id uint64, region geo.Rect) error {
 	var e Encoder
 	e.U64(id).Rect(region)
-	_, err := dc.c.Call(MsgUpdatePrivate, e.Bytes())
+	_, err := dc.c.CallCtx(ctx, MsgUpdatePrivate, e.Bytes())
 	return err
 }
 
@@ -433,9 +441,14 @@ func (dc *DatabaseClient) LoadStationary(objs []server.PublicObject) error {
 
 // PrivateRange runs a private range query.
 func (dc *DatabaseClient) PrivateRange(q server.PrivateRangeQuery) ([]server.PublicObject, error) {
+	return dc.PrivateRangeCtx(context.Background(), q)
+}
+
+// PrivateRangeCtx is PrivateRange under a context (deadline, trace).
+func (dc *DatabaseClient) PrivateRangeCtx(ctx context.Context, q server.PrivateRangeQuery) ([]server.PublicObject, error) {
 	var e Encoder
 	e.Rect(q.Region).F64(q.Radius).Str(q.Class).U8(byte(q.Mode))
-	resp, err := dc.c.Call(MsgPrivateRange, e.Bytes())
+	resp, err := dc.c.CallCtx(ctx, MsgPrivateRange, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -446,9 +459,14 @@ func (dc *DatabaseClient) PrivateRange(q server.PrivateRangeQuery) ([]server.Pub
 
 // PrivateNN runs a private nearest-neighbor query.
 func (dc *DatabaseClient) PrivateNN(q server.PrivateNNQuery) (server.PrivateNNResult, error) {
+	return dc.PrivateNNCtx(context.Background(), q)
+}
+
+// PrivateNNCtx is PrivateNN under a context (deadline, trace).
+func (dc *DatabaseClient) PrivateNNCtx(ctx context.Context, q server.PrivateNNQuery) (server.PrivateNNResult, error) {
 	var e Encoder
 	e.Rect(q.Region).Str(q.Class)
-	resp, err := dc.c.Call(MsgPrivateNN, e.Bytes())
+	resp, err := dc.c.CallCtx(ctx, MsgPrivateNN, e.Bytes())
 	if err != nil {
 		return server.PrivateNNResult{}, err
 	}
@@ -460,9 +478,14 @@ func (dc *DatabaseClient) PrivateNN(q server.PrivateNNQuery) (server.PrivateNNRe
 
 // PublicCount runs a public probabilistic count.
 func (dc *DatabaseClient) PublicCount(query geo.Rect) (server.PublicRangeCountResult, error) {
+	return dc.PublicCountCtx(context.Background(), query)
+}
+
+// PublicCountCtx is PublicCount under a context (deadline, trace).
+func (dc *DatabaseClient) PublicCountCtx(ctx context.Context, query geo.Rect) (server.PublicRangeCountResult, error) {
 	var e Encoder
 	e.Rect(query)
-	resp, err := dc.c.Call(MsgPublicCount, e.Bytes())
+	resp, err := dc.c.CallCtx(ctx, MsgPublicCount, e.Bytes())
 	if err != nil {
 		return server.PublicRangeCountResult{}, err
 	}
@@ -476,9 +499,14 @@ func (dc *DatabaseClient) PublicCount(query geo.Rect) (server.PublicRangeCountRe
 // failures come back as *server.BatchEntryError values inside the items;
 // the call-level error covers transport and framing only.
 func (dc *DatabaseClient) BatchQuery(entries []server.BatchEntry) (server.BatchResult, error) {
+	return dc.BatchQueryCtx(context.Background(), entries)
+}
+
+// BatchQueryCtx is BatchQuery under a context (deadline, trace).
+func (dc *DatabaseClient) BatchQueryCtx(ctx context.Context, entries []server.BatchEntry) (server.BatchResult, error) {
 	var e Encoder
 	encodeBatchEntries(&e, entries)
-	resp, err := dc.c.Call(MsgBatchQuery, e.Bytes())
+	resp, err := dc.c.CallCtx(ctx, MsgBatchQuery, e.Bytes())
 	if err != nil {
 		return server.BatchResult{}, err
 	}

@@ -13,7 +13,8 @@ import (
 //	Str name, Str help, U8 kind, U16 nlabels { Str key, Str value },
 //	then kind-specific:
 //	  counter/gauge: F64 value
-//	  histogram:     U32 nbounds { F64 bound }, (nbounds+1) × U64 count, F64 sum
+//	  histogram:     U32 nbounds { F64 bound }, (nbounds+1) × U64 count, F64 sum,
+//	                 U8 hasExemplars, if 1: (nbounds+1) × U64 trace id
 
 // encodeMetrics flattens exported snapshots into a payload.
 func encodeMetrics(series []obs.MetricSnapshot) []byte {
@@ -37,6 +38,14 @@ func encodeMetrics(series []obs.MetricSnapshot) []byte {
 				e.U64(c)
 			}
 			e.F64(s.Hist.Sum)
+			if len(s.Hist.Exemplars) == len(s.Hist.Counts) {
+				e.U8(1)
+				for _, t := range s.Hist.Exemplars {
+					e.U64(t)
+				}
+			} else {
+				e.U8(0)
+			}
 		}
 	}
 	return e.Bytes()
@@ -77,6 +86,12 @@ func DecodeMetrics(payload []byte) ([]obs.MetricSnapshot, error) {
 				s.Hist.Counts = append(s.Hist.Counts, d.U64())
 			}
 			s.Hist.Sum = d.F64()
+			if d.U8() == 1 {
+				s.Hist.Exemplars = make([]uint64, 0, capHint(nc, 8, d))
+				for j := 0; j < nc && d.Err() == nil; j++ {
+					s.Hist.Exemplars = append(s.Hist.Exemplars, d.U64())
+				}
+			}
 		default:
 			return nil, fmt.Errorf("protocol: unknown metric kind %d", s.Kind)
 		}

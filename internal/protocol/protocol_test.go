@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -134,7 +135,7 @@ func TestResultRoundTrip(t *testing.T) {
 }
 
 func TestServiceUnknownType(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, _ []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, _ []byte) ([]byte, error) {
 		return nil, errors.New("nope")
 	}, func(string, ...interface{}) {})
 	if err != nil {
@@ -156,7 +157,7 @@ func TestServiceUnknownType(t *testing.T) {
 }
 
 func TestServiceEcho(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, payload []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, payload []byte) ([]byte, error) {
 		return payload, nil
 	}, func(string, ...interface{}) {})
 	if err != nil {
@@ -175,7 +176,7 @@ func TestServiceEcho(t *testing.T) {
 }
 
 func TestServiceCloseIdempotent(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(byte, []byte) ([]byte, error) { return nil, nil },
+	svc, err := Serve("127.0.0.1:0", func(context.Context, byte, []byte) ([]byte, error) { return nil, nil },
 		func(string, ...interface{}) {})
 	if err != nil {
 		t.Fatal(err)

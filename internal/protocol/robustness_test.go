@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -83,7 +84,7 @@ func TestServicesSurviveMalformedPayloads(t *testing.T) {
 // Raw random bytes on the socket (not even valid frames) must not wedge the
 // service.
 func TestServiceSurvivesRandomBytes(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return p, nil
 	}, quiet)
 	if err != nil {
@@ -128,7 +129,7 @@ func TestPropDecoderNeverPanics(t *testing.T) {
 				t.Fatalf("handler panicked on type %d payload %v: %v", typ, payload, r)
 			}
 		}()
-		h.handle(typ, payload)
+		h.handle(context.Background(), typ, payload)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
@@ -139,7 +140,7 @@ func TestPropDecoderNeverPanics(t *testing.T) {
 // A slow or stalled peer must not block other connections (per-connection
 // goroutines).
 func TestConcurrentClientsIsolated(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return p, nil
 	}, quiet)
 	if err != nil {
@@ -179,7 +180,7 @@ func TestConcurrentClientsIsolated(t *testing.T) {
 // Huge declared frame lengths are rejected without allocation; the peer is
 // disconnected rather than served.
 func TestOversizedFrameDisconnects(t *testing.T) {
-	svc, err := Serve("127.0.0.1:0", func(typ byte, p []byte) ([]byte, error) {
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
 		return nil, nil
 	}, quiet)
 	if err != nil {

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"errors"
 	"io"
 	"log"
@@ -9,10 +10,14 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Handler processes one request frame and returns the response payload.
-type Handler func(typ byte, payload []byte) ([]byte, error)
+// The context carries the request's span context when the frame arrived
+// inside a MsgTraced envelope (see WithTracing); handlers thread it into
+// the engine so pipeline stages can record spans under the caller's trace.
+type Handler func(ctx context.Context, typ byte, payload []byte) ([]byte, error)
 
 // svcMetrics holds the protocol tier's registered obs series. Per-message-
 // type series are looked up lazily from the registry (get-or-create), so
@@ -47,13 +52,14 @@ func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 	}
 }
 
-// observe records one served request.
-func (m *svcMetrics) observe(typ byte, d time.Duration) {
+// observe records one served request. A nonzero traceID becomes the
+// latency bucket's exemplar, linking the histogram to a captured trace.
+func (m *svcMetrics) observe(typ byte, d time.Duration, traceID uint64) {
 	name := MessageName(typ)
 	m.reg.Counter("proto_requests_total", "Requests served by message type.",
 		obs.L("type", name)).Inc()
 	m.reg.Histogram("proto_request_seconds", "Request service latency by message type.",
-		obs.DefaultLatencyBuckets, obs.L("type", name)).ObserveDuration(d)
+		obs.DefaultLatencyBuckets, obs.L("type", name)).ObserveExemplar(d.Seconds(), traceID)
 }
 
 // Service is a generic framed request/response TCP server shared by the
@@ -62,7 +68,8 @@ type Service struct {
 	ln      net.Listener
 	handler Handler
 	logf    func(format string, args ...interface{})
-	met     *svcMetrics // nil when the service is not instrumented
+	met     *svcMetrics   // nil when the service is not instrumented
+	tracer  *trace.Tracer // nil when the service is not traced
 
 	readTimeout  time.Duration // per-frame read/idle deadline (0 = none)
 	maxConns     int           // connection cap (0 = unlimited)
@@ -87,6 +94,16 @@ func WithMetrics(reg *obs.Registry) Option {
 			s.met = newSvcMetrics(reg)
 		}
 	}
+}
+
+// WithTracing makes the service trace-aware: it answers the MsgTraceNeg
+// negotiation probe, serves MsgTraces with a snapshot of the span ring,
+// unwraps MsgTraced envelopes (dispatching the inner frame with the span
+// context installed in the request context), and records a proto_serve
+// span around every traced dispatch. A nil tracer leaves the service
+// un-traced, indistinguishable from an old binary.
+func WithTracing(t *trace.Tracer) Option {
+	return func(s *Service) { s.tracer = t }
 }
 
 // WithReadTimeout drops a connection that does not deliver its next frame
@@ -237,18 +254,9 @@ func (s *Service) serveConn(conn net.Conn) {
 			s.met.frameBytes.Observe(float64(5 + len(payload)))
 			t0 = time.Now()
 		}
-		var resp []byte
-		var herr error
-		if typ == MsgMetrics && s.met != nil {
-			// The metrics snapshot is served by the Service layer itself, so
-			// any instrumented service answers it without the per-service
-			// handlers knowing about it.
-			resp = encodeMetrics(s.met.reg.Export())
-		} else {
-			resp, herr = s.handler(typ, payload)
-		}
+		resp, obsTyp, traceID, herr := s.dispatch(typ, payload)
 		if s.met != nil {
-			s.met.observe(typ, time.Since(t0))
+			s.met.observe(obsTyp, time.Since(t0), traceID)
 		}
 		if herr != nil {
 			if s.met != nil {
@@ -271,6 +279,47 @@ func (s *Service) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatch answers one request frame: the Service-layer message types
+// (metrics snapshot, trace negotiation, trace ring pull) directly, and
+// everything else through the handler. A MsgTraced envelope is unwrapped
+// here — the inner frame is dispatched with the caller's span context in
+// the request context and a proto_serve span around the exchange — and
+// obsTyp names the frame the per-type metrics should attribute the work
+// to (the inner type for envelopes).
+func (s *Service) dispatch(typ byte, payload []byte) (resp []byte, obsTyp byte, traceID uint64, err error) {
+	ctx := context.Background()
+	obsTyp = typ
+	if s.tracer != nil {
+		switch typ {
+		case MsgTraceNeg:
+			return []byte{traceNegVersion}, obsTyp, 0, nil
+		case MsgTraces:
+			return encodeSpans(s.tracer.Snapshot()), obsTyp, 0, nil
+		case MsgTraced:
+			sc, innerTyp, inner, derr := decodeTraced(payload)
+			if derr != nil {
+				return nil, obsTyp, 0, derr
+			}
+			obsTyp, payload = innerTyp, inner
+			if sc.Sampled() {
+				traceID = sc.TraceID
+				sp := s.tracer.StartSpan(sc, "proto_serve")
+				sp.SetAttrs(trace.Str("type", MessageName(innerTyp)))
+				defer sp.End()
+				ctx = trace.NewContext(ctx, sp.Context())
+			}
+		}
+	}
+	if obsTyp == MsgMetrics && s.met != nil {
+		// The metrics snapshot is served by the Service layer itself, so
+		// any instrumented service answers it without the per-service
+		// handlers knowing about it.
+		return encodeMetrics(s.met.reg.Export()), obsTyp, traceID, nil
+	}
+	resp, err = s.handler(ctx, obsTyp, payload)
+	return resp, obsTyp, traceID, err
 }
 
 // Close stops the service. The listener closes immediately; with a drain

@@ -55,6 +55,21 @@ const (
 	// the daemon's metric registry, histograms included, so load tools can
 	// print end-of-run percentile tables from live daemons.
 	MsgMetrics byte = 30
+
+	// MsgTraced is the distributed-tracing envelope: a span context
+	// (trace id, parent span id, flags) followed by the inner request
+	// frame verbatim. Clients emit it only after the peer answered the
+	// MsgTraceNeg negotiation probe, so un-traced binaries interoperate
+	// unchanged; the Service layer unwraps it and dispatches the inner
+	// frame with the span context installed in the request context.
+	MsgTraced byte = 31
+	// MsgTraces pulls the service's span ring buffer (served by the
+	// Service layer when tracing is configured, like MsgMetrics).
+	MsgTraces byte = 32
+	// MsgTraceNeg is the tracing negotiation probe: a traced peer answers
+	// OK with a version byte, everything else answers with the usual
+	// unknown-type error, which the client reads as "do not wrap".
+	MsgTraceNeg byte = 33
 )
 
 // MessageName returns the stable label value used for per-message-type
@@ -109,6 +124,12 @@ func MessageName(typ byte) string {
 		return "batch_result"
 	case MsgMetrics:
 		return "metrics"
+	case MsgTraced:
+		return "traced"
+	case MsgTraces:
+		return "traces"
+	case MsgTraceNeg:
+		return "trace_neg"
 	default:
 		return fmt.Sprintf("type_%d", typ)
 	}

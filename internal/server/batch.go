@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/prob"
+	"repro/internal/trace"
 )
 
 // This file implements the shared-execution batch query engine (the
@@ -130,15 +132,25 @@ type batchUnit struct {
 // configured worker pool (Config.QueryWorkers), and answered from one
 // frozen snapshot of the indices, bit-identically to the sequential path.
 func (s *Server) BatchQuery(entries []BatchEntry) BatchResult {
+	return s.BatchQueryCtx(context.Background(), entries)
+}
+
+// BatchQueryCtx is BatchQuery under a context: for traced requests every
+// engine phase (validate → merge → shared descent with per-unit worker
+// spans → gather) is recorded under the caller's trace, with group sizes
+// and index node-visit counts as span attributes.
+func (s *Server) BatchQueryCtx(ctx context.Context, entries []BatchEntry) BatchResult {
 	res := BatchResult{Items: make([]BatchItemResult, len(entries))}
 	if len(entries) == 0 {
 		return res
 	}
 	t0 := time.Now()
+	bsp, ctx := trace.Start(ctx, s.tracer, "lbs_batch")
 
 	// Phase 1 — admission: validate every entry with exactly the checks
 	// the sequential methods apply. Failures are recorded per entry and
 	// excluded from grouping, so a bad entry cannot poison a descent.
+	vsp, _ := trace.Start(ctx, s.tracer, "lbs_batch_validate")
 	var rangeIdx, nnIdx, countIdx []int
 	filters := make([]geo.Rect, len(entries)) // expanded MBR per range entry
 	for i, e := range entries {
@@ -164,10 +176,16 @@ func (s *Server) BatchQuery(entries []BatchEntry) BatchResult {
 			res.Items[i].Err = &BatchEntryError{Index: i, Kind: e.Kind, Err: err}
 		}
 	}
+	if vsp.Recording() {
+		vsp.SetAttrs(trace.Int("entries", int64(len(entries))),
+			trace.Int("admitted", int64(len(rangeIdx)+len(nnIdx)+len(countIdx))))
+		vsp.End()
+	}
 
 	// Phase 2 — grouping: connected components of the rectangle-overlap
 	// graph, per query class (range entries probe the public indices,
 	// count entries the region index — they cannot share a descent).
+	msp, _ := trace.Start(ctx, s.tracer, "lbs_batch_merge")
 	units := make([]batchUnit, 0, len(entries))
 	for _, g := range groupOverlapping(rangeIdx, func(i int) geo.Rect { return filters[i] }) {
 		units = append(units, batchUnit{kind: BatchPrivateRange, members: g, union: unionRect(g, func(i int) geo.Rect { return filters[i] })})
@@ -182,33 +200,54 @@ func (s *Server) BatchQuery(entries []BatchEntry) BatchResult {
 	for _, u := range units {
 		res.SharedHits += len(u.members) - 1
 	}
+	if msp.Recording() {
+		msp.SetAttrs(trace.Int("groups", int64(res.Groups)),
+			trace.Int("shared_hits", int64(res.SharedHits)))
+		msp.End()
+	}
 
 	// Phase 3 — execution: freeze the indices once and fan the units out.
 	// The read lock is held by this goroutine for the whole fan-out;
 	// workers only read (writers stay excluded), and the wg join gives the
 	// usual happens-before edges. Units write disjoint result slots.
+	// Worker spans record into the lock-free ring, so tracing adds no
+	// synchronization to the fan-out.
+	dsp, dctx := trace.Start(ctx, s.tracer, "lbs_batch_descent")
 	s.mu.RLock()
 	parallelFor(len(units), s.queryWorkers, func(ui int) {
 		u := units[ui]
+		usp, _ := trace.Start(dctx, s.tracer, "lbs_batch_unit")
+		var visits int
 		switch u.kind {
 		case BatchPrivateRange:
-			s.runRangeGroupLocked(entries, filters, u, res.Items)
+			visits = s.runRangeGroupLocked(entries, filters, u, res.Items)
 		case BatchPublicCount:
-			s.runCountGroupLocked(entries, u, res.Items)
+			visits = s.runCountGroupLocked(entries, u, res.Items)
 		case BatchPrivateNN:
 			i := u.members[0]
 			s.met.privateNNQs.Inc()
-			res.Items[i].NN = s.privateNNLocked(entries[i].NN)
+			res.Items[i].NN, visits = s.privateNNLocked(entries[i].NN)
+		}
+		if usp.Recording() {
+			usp.SetAttrs(trace.Str("kind", u.kind.String()),
+				trace.Int("members", int64(len(u.members))),
+				trace.Int("node_visits", int64(visits)))
+			usp.End()
 		}
 	})
 	s.mu.RUnlock()
+	dsp.End()
 
+	// Phase 4 — gather: fold the batch into the shared-execution series.
+	gsp, _ := trace.Start(ctx, s.tracer, "lbs_batch_gather")
 	s.met.batches.Inc()
 	s.met.batchEntries.Add(uint64(len(entries)))
 	s.met.batchSharedHits.Add(uint64(res.SharedHits))
 	s.met.batchSize.Observe(float64(len(entries)))
 	s.met.batchGroups.Observe(float64(res.Groups))
-	s.met.latBatch.Since(t0)
+	gsp.End()
+	s.met.latBatch.ObserveExemplar(time.Since(t0).Seconds(), ctxTraceID(ctx))
+	bsp.End()
 	return res
 }
 
@@ -217,8 +256,9 @@ func (s *Server) BatchQuery(entries []BatchEntry) BatchResult {
 // moving objects, a single scan of the moving grid) over the group's union
 // rectangle. Per member, the union's item stream is filtered down to the
 // member's own expanded MBR — the structural traversal order makes that
-// sequence identical to what the member's private search would emit.
-func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u batchUnit, out []BatchItemResult) {
+// sequence identical to what the member's private search would emit. It
+// returns the R-tree node visits the shared descent cost.
+func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u batchUnit, out []BatchItemResult) int {
 	items, visits := s.stationary.SearchVisits(u.union, nil)
 	s.met.nodeVisits.Observe(float64(visits))
 	var movingItems []grid.Object
@@ -259,14 +299,17 @@ func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u
 		out[i].Range = objs
 		s.met.privateRangeQs.Inc()
 	}
+	return visits
 }
 
 // runCountGroupLocked answers every public-count member of one group from
 // a single probe of the region index over the union rectangle. The union's
 // candidate set is a superset of each member's own; per-member overlap
 // probabilities filter it back down, and the sort-before-accumulate rule
-// makes the resulting PDF bit-identical to the sequential answer.
-func (s *Server) runCountGroupLocked(entries []BatchEntry, u batchUnit, out []BatchItemResult) {
+// makes the resulting PDF bit-identical to the sequential answer. It
+// returns the candidate-set size as the unit's "node visits" — the probe
+// cost the region index charges.
+func (s *Server) runCountGroupLocked(entries []BatchEntry, u batchUnit, out []BatchItemResult) int {
 	ids := s.privIdx.Query(u.union, nil)
 	for _, i := range u.members {
 		q := entries[i].Count.Query
@@ -282,6 +325,7 @@ func (s *Server) runCountGroupLocked(entries []BatchEntry, u batchUnit, out []Ba
 		out[i].Count = PublicRangeCountResult{Answer: prob.RangeCount(probs), NaiveCount: naive}
 		s.met.publicCountQs.Inc()
 	}
+	return len(ids)
 }
 
 // groupOverlapping partitions the entries (by index) into the connected

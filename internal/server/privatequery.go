@@ -144,7 +144,8 @@ func (s *Server) PrivateNN(q PrivateNNQuery) (PrivateNNResult, error) {
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.privateNNLocked(q), nil
+	res, _ := s.privateNNLocked(q)
+	return res, nil
 }
 
 // validate checks the query parameters (shared with BatchQuery).
@@ -157,8 +158,9 @@ func (q PrivateNNQuery) validate() error {
 
 // privateNNLocked is the evaluation core of PrivateNN; the caller holds
 // (at least) the read lock. BatchQuery fans NN entries out to its worker
-// pool over this function, so the two paths cannot drift apart.
-func (s *Server) privateNNLocked(q PrivateNNQuery) PrivateNNResult {
+// pool over this function, so the two paths cannot drift apart. The second
+// return value is the R-tree node-visit count of the browse.
+func (s *Server) privateNNLocked(q PrivateNNQuery) (PrivateNNResult, int) {
 	type cand struct {
 		obj PublicObject
 		loc geo.Point
@@ -192,7 +194,8 @@ func (s *Server) privateNNLocked(q PrivateNNQuery) PrivateNNResult {
 	}
 	cands = kept
 	superset := len(cands)
-	s.met.nodeVisits.Observe(float64(browser.Visited()))
+	visits := browser.Visited()
+	s.met.nodeVisits.Observe(float64(visits))
 
 	// Pairwise dominance pruning is O(n²); for pathological supersets (a
 	// near-world-sized cloak admits most of the dataset) pruning could not
@@ -206,7 +209,7 @@ func (s *Server) privateNNLocked(q PrivateNNQuery) PrivateNNResult {
 			res.Candidates[i] = c.obj
 		}
 		s.met.observeNNAnswer(len(res.Candidates))
-		return res
+		return res, visits
 	}
 
 	corners := q.Region.Corners()
@@ -231,7 +234,7 @@ func (s *Server) privateNNLocked(q PrivateNNQuery) PrivateNNResult {
 		}
 	}
 	s.met.observeNNAnswer(len(res.Candidates))
-	return res
+	return res, visits
 }
 
 // dominates reports whether object at b is at least as close as object at a

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/regidx"
 	"repro/internal/rtree"
+	"repro/internal/trace"
 )
 
 // PublicObject is a public-data item: exact location, never hidden.
@@ -68,8 +69,10 @@ type Server struct {
 	// sets it.
 	privUpsertHook func(id uint64, region geo.Rect) error
 
-	// Observability series (metrics.go).
-	met *metrics
+	// Observability series (metrics.go) and span recording (trace.go;
+	// tracer is nil-safe, so an un-traced server pays only nil checks).
+	met    *metrics
+	tracer *trace.Tracer
 }
 
 // Config configures a Server.
@@ -86,6 +89,9 @@ type Config struct {
 	// QueryWorkers is the worker-pool width BatchQuery fans independent
 	// query groups out to (default GOMAXPROCS; 1 = sequential).
 	QueryWorkers int
+	// Tracer records pipeline-stage spans for traced requests (the *Ctx
+	// entry points). Optional; nil disables span recording.
+	Tracer *trace.Tracer
 }
 
 // New builds an empty server.
@@ -121,6 +127,7 @@ func New(cfg Config) (*Server, error) {
 		privIdx:        pidx,
 		queryWorkers:   workers,
 		met:            newMetrics(cfg.Metrics),
+		tracer:         cfg.Tracer,
 	}
 	s.cont = newContinuousEngine(s)
 	s.contPriv = newContPrivEngine(s)

@@ -1,0 +1,35 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sc.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context carried by ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// Start opens a child span under the context's current span and returns
+// a derived context with the new span installed as parent. When ctx
+// carries no sampled trace (or t is nil) it returns an inert span and
+// ctx unchanged — the one-liner instrumentation sites rely on this:
+//
+//	sp, ctx := trace.Start(ctx, t, "anon_cloak")
+//	defer sp.End()
+func Start(ctx context.Context, t *Tracer, name string) (Span, context.Context) {
+	sc, ok := FromContext(ctx)
+	if !ok || !sc.Sampled() {
+		return Span{}, ctx
+	}
+	sp := t.StartSpan(sc, name)
+	if !sp.Recording() {
+		return Span{}, ctx
+	}
+	return sp, NewContext(ctx, sp.Context())
+}

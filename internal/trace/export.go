@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Merge combines span sets pulled from several processes into one
+// timeline: duplicates (the same span pulled twice, or present in both a
+// main and a slow ring) are dropped, and the result is ordered by start
+// time, then by process and span ID for determinism.
+func Merge(groups ...[]SpanRecord) []SpanRecord {
+	type key struct {
+		proc    string
+		traceID uint64
+		spanID  uint64
+	}
+	seen := make(map[key]struct{})
+	var out []SpanRecord
+	for _, g := range groups {
+		for _, rec := range g {
+			k := key{rec.Proc, rec.TraceID, rec.SpanID}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		if out[a].Proc != out[b].Proc {
+			return out[a].Proc < out[b].Proc
+		}
+		return out[a].SpanID < out[b].SpanID
+	})
+	return out
+}
+
+// WriteChromeJSON writes the spans in the Chrome trace-event format
+// (the "traceEvents" array of complete "X" events), which Perfetto and
+// chrome://tracing load directly. Each process becomes one named process
+// track; within a process, spans of one trace share a thread track so a
+// request reads as one horizontal lane.
+func WriteChromeJSON(w io.Writer, spans []SpanRecord) error {
+	procs := make(map[string]int)
+	var names []string
+	for i := range spans {
+		if _, ok := procs[spans[i].Proc]; !ok {
+			procs[spans[i].Proc] = 0
+			names = append(names, spans[i].Proc)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		procs[n] = i + 1
+	}
+
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	for _, n := range names {
+		ev := fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			procs[n], strconv.Quote(n))
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	for i := range spans {
+		if err := emit(chromeEvent(&spans[i], procs[spans[i].Proc])); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// chromeEvent renders one span as a complete event. Timestamps are
+// microseconds (float, so sub-µs spans keep their duration); the thread
+// id is derived from the trace id so each request gets its own lane.
+func chromeEvent(rec *SpanRecord, pid int) string {
+	tid := int64(rec.TraceID & 0x7fffffff)
+	if tid == 0 {
+		tid = 1
+	}
+	buf := make([]byte, 0, 192)
+	buf = append(buf, fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"args":{"trace_id":"%016x","span_id":"%016x","parent_id":"%016x"`,
+		pid, tid,
+		float64(rec.Start)/1e3, float64(rec.Dur)/1e3,
+		strconv.Quote(rec.Name), rec.TraceID, rec.SpanID, rec.ParentID)...)
+	for _, a := range rec.Attrs {
+		buf = append(buf, ',')
+		buf = append(buf, strconv.Quote(a.Key)...)
+		buf = append(buf, ':')
+		if a.IsStr {
+			buf = append(buf, strconv.Quote(a.Str)...)
+		} else {
+			buf = strconv.AppendInt(buf, a.Int, 10)
+		}
+	}
+	buf = append(buf, "}}"...)
+	return string(buf)
+}
+
+// Handler serves the tracer's current snapshot as Chrome trace-event
+// JSON — the /traces endpoint a daemon mounts next to /metrics. Safe on
+// a nil tracer (404: tracing not enabled).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteChromeJSON(w, Merge(t.Snapshot()))
+	})
+}
+
+// Summary is the per-trace latency attribution the load tool prints: for
+// each trace, the root span plus self-time (span duration minus direct
+// children) aggregated per process and stage name.
+type Summary struct {
+	TraceID uint64
+	Root    SpanRecord
+	Spans   int
+	// Self maps "proc/name" to aggregate self-time across the trace.
+	Self map[string]time.Duration
+}
+
+// Summarize groups spans by trace, computes self-time attribution, and
+// returns the traces ordered slowest-root first. Spans whose root was
+// evicted from its ring are grouped under their trace anyway, with the
+// longest available span standing in as root.
+func Summarize(spans []SpanRecord) []Summary {
+	byTrace := make(map[uint64][]SpanRecord)
+	for _, rec := range spans {
+		byTrace[rec.TraceID] = append(byTrace[rec.TraceID], rec)
+	}
+	out := make([]Summary, 0, len(byTrace))
+	for id, recs := range byTrace {
+		s := Summary{TraceID: id, Spans: len(recs), Self: make(map[string]time.Duration)}
+		childDur := make(map[uint64]int64) // parent span id → Σ direct children
+		for _, rec := range recs {
+			if rec.ParentID != 0 {
+				childDur[rec.ParentID] += rec.Dur
+			}
+		}
+		var root *SpanRecord
+		for i := range recs {
+			rec := &recs[i]
+			self := rec.Dur - childDur[rec.SpanID]
+			if self < 0 {
+				self = 0 // cross-process clock skew can overlap children
+			}
+			s.Self[rec.Proc+"/"+rec.Name] += time.Duration(self)
+			if rec.ParentID == 0 && (root == nil || rec.Dur > root.Dur) {
+				root = rec
+			}
+			if root == nil || (root.ParentID != 0 && rec.Dur > root.Dur) {
+				root = rec
+			}
+		}
+		s.Root = *root
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Root.Dur != out[b].Root.Dur {
+			return out[a].Root.Dur > out[b].Root.Dur
+		}
+		return out[a].TraceID < out[b].TraceID
+	})
+	return out
+}
