@@ -1,0 +1,36 @@
+# Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test lint bench soak soak-short fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Static gates: formatting, vet, and the privacy trust boundary.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/lbsvet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full adversarial soak: every scenario in the catalog at default city
+# size, exits non-zero on any SLO violation. ~2 min on a desktop.
+soak: build
+	$(GO) run ./cmd/lbssoak -seed 1
+
+# The CI soak gate: a reduced city and compressed phase durations, still
+# covering an overload-heavy subset end to end.
+soak-short: build
+	$(GO) run ./cmd/lbssoak -scenarios flash_crowd,db_outage,query_flood \
+		-users 8000 -objs 2000 -workers 8 -scale 0.4 -seed 7
+
+fuzz-smoke:
+	@for target in FuzzReadFrame FuzzDecodeProfile FuzzDecodeResult FuzzDecodeMetrics FuzzDecodeTraced FuzzDecodeSpans; do \
+		$(GO) test ./internal/protocol/ -run='^$$' -fuzz="^$$target\$$" -fuzztime=10s || exit 1; \
+	done

@@ -44,7 +44,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	callTimeout := flag.Duration("call-timeout", 5*time.Second, "deadline for each call to the database server")
 	forwardQueue := flag.Int("forward-queue", 1024, "spill queue capacity for cloaked regions while the database is down (0 = fail updates instead)")
+	backpressure := flag.Bool("backpressure", true, "reject updates typed when the spill queue is full instead of evicting older ones")
 	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "admission budget: max in-flight requests before typed overload rejection, queries capped at half (0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of traced requests to record spans for (0 = tracing off, 1 = all)")
@@ -107,18 +109,26 @@ func main() {
 		cfg.Forward = db.UpdatePrivate
 		cfg.ForwardCtx = db.UpdatePrivateCtx
 		cfg.ForwardQueue = *forwardQueue
-		log.Printf("anonymizerd: forwarding cloaked regions to %s (spill queue %d)", *dbAddr, *forwardQueue)
+		cfg.ForwardBackpressure = *backpressure
+		log.Printf("anonymizerd: forwarding cloaked regions to %s (spill queue %d, backpressure %v)",
+			*dbAddr, *forwardQueue, *backpressure)
 	}
 
 	anon, err := anonymizer.New(cfg)
 	if err != nil {
 		log.Fatalf("anonymizerd: %v", err)
 	}
-	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf, protocol.WithMetrics(reg),
+	svcOpts := []protocol.Option{protocol.WithMetrics(reg),
 		protocol.WithTracing(tracer),
 		protocol.WithMaxConns(*maxConns),
 		protocol.WithReadTimeout(*readTimeout),
-		protocol.WithDrainTimeout(*drainTimeout))
+		protocol.WithDrainTimeout(*drainTimeout)}
+	if *maxInflight > 0 {
+		svcOpts = append(svcOpts, protocol.WithAdmission(*maxInflight))
+		log.Printf("anonymizerd: admission control on (budget %d in-flight, queries capped at %d)",
+			*maxInflight, max(1, *maxInflight/2))
+	}
+	svc, err := protocol.ServeAnonymizer(*addr, anon, log.Printf, svcOpts...)
 	if err != nil {
 		log.Fatalf("anonymizerd: %v", err)
 	}

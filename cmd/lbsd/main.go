@@ -36,6 +36,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	queryWorkers := flag.Int("query-workers", 0, "worker goroutines per batch query (0 = GOMAXPROCS, 1 = sequential)")
 	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "admission budget: max in-flight requests before typed overload rejection, queries capped at half (0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of traced requests to record spans for (0 = tracing off, 1 = all)")
@@ -70,11 +71,17 @@ func main() {
 			log.Fatalf("lbsd: restore %s: %v", *snapshot, err)
 		}
 	}
-	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf, protocol.WithMetrics(reg),
+	svcOpts := []protocol.Option{protocol.WithMetrics(reg),
 		protocol.WithTracing(tracer),
 		protocol.WithMaxConns(*maxConns),
 		protocol.WithReadTimeout(*readTimeout),
-		protocol.WithDrainTimeout(*drainTimeout))
+		protocol.WithDrainTimeout(*drainTimeout)}
+	if *maxInflight > 0 {
+		svcOpts = append(svcOpts, protocol.WithAdmission(*maxInflight))
+		log.Printf("lbsd: admission control on (budget %d in-flight, queries capped at %d)",
+			*maxInflight, max(1, *maxInflight/2))
+	}
+	svc, err := protocol.ServeDatabase(*addr, srv, log.Printf, svcOpts...)
 	if err != nil {
 		log.Fatalf("lbsd: %v", err)
 	}

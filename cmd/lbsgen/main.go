@@ -7,6 +7,7 @@
 //
 //	lbsgen -kind objects -n 10000 -dist uniform -seed 1 > pois.csv
 //	lbsgen -kind trace -n 1000 -ticks 100 -model waypoint > trace.csv
+//	lbsgen -kind trace -n 1000000 -ticks 10 -model stream > city.csv
 package main
 
 import (
@@ -28,7 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]²")
 	ticks := flag.Int("ticks", 100, "trace length in ticks")
-	model := flag.String("model", "waypoint", "trace model: waypoint | road")
+	model := flag.String("model", "waypoint", "trace model: waypoint | road | stream")
 	roadGrid := flag.Int("road-grid", 16, "road network intersections per side")
 	flag.Parse()
 
@@ -101,6 +102,22 @@ func main() {
 			for tick := 1; tick <= *ticks; tick++ {
 				sim.Tick()
 				emit(tick, sim.Users())
+			}
+		case "stream":
+			// The streaming model holds O(clusters) state, so -n here can be
+			// millions without the generator itself growing; only the CSV is
+			// O(n·ticks).
+			g, err := mobility.NewStream(mobility.StreamSpec{
+				World: world, Seed: *seed, NumClusters: *clusters,
+			})
+			if err != nil {
+				log.Fatalf("lbsgen: %v", err)
+			}
+			for tick := 0; tick <= *ticks; tick++ {
+				for id := uint64(1); id <= uint64(*n); id++ {
+					p := g.Pos(id, uint64(tick), nil)
+					fmt.Fprintf(w, "%d,%d,%.9f,%.9f\n", tick, id, p.X, p.Y)
+				}
 			}
 		default:
 			log.Fatalf("lbsgen: unknown model %q", *model)

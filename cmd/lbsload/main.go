@@ -84,6 +84,33 @@ func printLiveMetrics(name string, series []obs.MetricSnapshot, err error) {
 	}
 }
 
+// safetyCounters reads the two anonymizer counters the -check gate is
+// judged on: spill-queue evictions (acked updates that died) and cloaks
+// that missed their k requirement.
+func safetyCounters(anonAddr string) (drops, kMissed float64, err error) {
+	ac, err := protocol.DialAnonymizer(anonAddr, protocol.WithCallTimeout(5*time.Second))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ac.Close()
+	series, err := ac.Metrics()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, s := range series {
+		if s.Kind != obs.KindCounter {
+			continue
+		}
+		switch s.Name {
+		case "anon_forward_queue_drops_total":
+			drops = s.Value
+		case "anon_cloak_k_missed_total":
+			kMissed = s.Value
+		}
+	}
+	return drops, kMissed, nil
+}
+
 // spanCtx wraps the root span of one logical request in a context, so
 // every client call under it joins the same trace. With tracing off (nil
 // tracer, or this request not sampled) the span is inert and the context
@@ -117,6 +144,7 @@ func main() {
 	traceOn := flag.Bool("trace", false, "mint a trace per logical request, pull the daemons' span rings at the end, and write one merged Chrome/Perfetto timeline")
 	traceSample := flag.Float64("trace-sample", 1, "with -trace: fraction of requests to trace")
 	traceOut := flag.String("trace-out", "trace.json", "with -trace: merged timeline output file")
+	check := flag.Bool("check", true, "gate the run on safety invariants (zero lost updates, zero post-seed k violations) and exit 1 on violation")
 	flag.Parse()
 
 	world := geo.R(0, 0, 1, 1)
@@ -238,6 +266,21 @@ func main() {
 	reg.Close()
 	log.Printf("lbsload: seeded %d users, %d objects in %v", *users, *objs,
 		time.Since(t0).Round(time.Millisecond))
+
+	// Baselines for the -check gate, taken after seeding: a fresh city's
+	// first cloaks cannot find k neighbors, so seed-phase k misses are
+	// warmup, not violations.
+	var baseDrops, baseKMissed float64
+	checkArmed := false
+	if *check {
+		var cerr error
+		baseDrops, baseKMissed, cerr = safetyCounters(*anonAddr)
+		if cerr != nil {
+			log.Printf("lbsload: -check disabled, anonymizer metrics unavailable (uninstrumented peer?): %v", cerr)
+		} else {
+			checkArmed = true
+		}
+	}
 
 	// Closed-loop user workers (updates + private NN queries) and one
 	// admin worker (counts + public NN).
@@ -434,6 +477,20 @@ func main() {
 
 	if tracer != nil {
 		dumpTraces(tracer, *anonAddr, *dbAddr, *traceOut)
+	}
+
+	if checkArmed {
+		drops, kMissed, cerr := safetyCounters(*anonAddr)
+		if cerr != nil {
+			log.Fatalf("lbsload: -check: final metrics read failed: %v", cerr)
+		}
+		lost := drops - baseDrops
+		kViol := kMissed - baseKMissed
+		if lost > 0 || kViol > 0 {
+			fmt.Printf("\nCHECK FAILED: %.0f acked updates evicted (anon_forward_queue_drops_total), %.0f post-seed cloaks missed k (anon_cloak_k_missed_total)\n", lost, kViol)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncheck ok: zero lost updates, zero post-seed k violations\n")
 	}
 }
 

@@ -1,0 +1,97 @@
+// Command lbssoak runs the adversarial city-scale soak harness: it boots
+// the real three-tier stack in-process, streams a synthetic population
+// through it, drives the scenario catalog (flash crowds, mass profile
+// flips, database outages, slow links, rolling restarts, query floods)
+// and gates each run on service-level objectives read from the daemons'
+// own live metrics endpoints.
+//
+// Exit status: 0 when every scenario meets every SLO, 1 when any SLO is
+// violated, 2 on harness/setup errors. CI gates on exactly this.
+//
+// Usage:
+//
+//	lbssoak -users 20000 -workers 8 -seed 1                  # full catalog
+//	lbssoak -scenarios flash_crowd,db_outage -scale 0.4      # CI short soak
+//	lbssoak -users 1000000 -batch 64 -scale 2                # long city-scale soak
+//	lbssoak -admission=false -scenarios db_outage            # demonstrate the failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	users := flag.Int("users", 20000, "registered mobile users (streamed; try 1000000 for the city-scale soak)")
+	objs := flag.Int("objs", 5000, "stationary public objects")
+	k := flag.Int("k", 10, "baseline anonymity requirement")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "closed-loop driver connections")
+	batch := flag.Int("batch", 16, "locations per BatchUpdate frame")
+	seed := flag.Uint64("seed", 1, "run seed; same seed + flags = same workload")
+	scale := flag.Float64("scale", 1.0, "multiplier on scenario phase durations (CI uses < 1)")
+	admission := flag.Bool("admission", true, "enable daemon admission control + forward backpressure (the machinery under test)")
+	maxInflight := flag.Int("max-inflight", 256, "per-daemon admission budget (with -admission)")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario names (empty = full catalog)")
+	list := flag.Bool("list", false, "list the scenario catalog and exit")
+	flag.Parse()
+
+	if *list {
+		for _, sc := range scenario.Catalog() {
+			fmt.Printf("  %-16s %s\n", sc.Name, sc.Desc)
+		}
+		return
+	}
+
+	var run []scenario.Scenario
+	if *scenarios == "" {
+		run = scenario.Catalog()
+	} else {
+		for _, name := range strings.Split(*scenarios, ",") {
+			name = strings.TrimSpace(name)
+			sc, ok := scenario.Find(name)
+			if !ok {
+				log.Printf("lbssoak: unknown scenario %q (use -list)", name)
+				os.Exit(2)
+			}
+			run = append(run, sc)
+		}
+	}
+
+	cfg := scenario.Config{
+		Users: *users, Objects: *objs, K: *k,
+		Workers: *workers, Batch: *batch,
+		Seed: *seed, Scale: *scale,
+		Admission: *admission, MaxInflight: *maxInflight,
+		Logf: log.Printf,
+	}
+	log.Printf("lbssoak: %d scenarios, %d users, %d workers, seed %d, scale %g, admission %v",
+		len(run), *users, *workers, *seed, *scale, *admission)
+
+	failed := 0
+	for _, sc := range run {
+		log.Printf("lbssoak: === %s — %s", sc.Name, sc.Desc)
+		res, err := scenario.Run(sc, cfg)
+		if err != nil {
+			log.Printf("lbssoak: %s: harness error: %v", sc.Name, err)
+			os.Exit(2)
+		}
+		fmt.Println(res.Summary())
+		for _, v := range res.Violations {
+			fmt.Printf("  SLO VIOLATION %v\n", v)
+		}
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		log.Printf("lbssoak: %d of %d scenarios violated their SLOs", failed, len(run))
+		os.Exit(1)
+	}
+	log.Printf("lbssoak: all %d scenarios met their SLOs", len(run))
+}

@@ -141,6 +141,14 @@ type Config struct {
 	// backoff (defaults 100ms and 5s).
 	ForwardRetryBase time.Duration
 	ForwardRetryMax  time.Duration
+	// ForwardBackpressure changes what a full spill queue means. Default
+	// (false): the oldest queued region is evicted to make room — the
+	// newest state survives, but an acknowledged update is silently lost.
+	// True: the new update is refused with ErrOverloaded instead, so
+	// nothing acknowledged is ever dropped and the pressure is pushed
+	// back to the caller as a typed, retryable rejection. Updates for
+	// users already queued still coalesce and succeed either way.
+	ForwardBackpressure bool
 	// Clock supplies the time for profile resolution (default time.Now).
 	Clock func() time.Time
 	// Tariff, when set, charges users per update as a function of their
@@ -210,6 +218,11 @@ var (
 	ErrUnknownUser   = errors.New("anonymizer: unknown user")
 	ErrPassive       = errors.New("anonymizer: user is passive at this time")
 	ErrDuplicateUser = errors.New("anonymizer: user already registered")
+	// ErrOverloaded rejects an update under forward backpressure: the
+	// downstream link is behind, the spill queue is full, and accepting
+	// the update would force a silent eviction. The caller should back
+	// off and retry; queries are unaffected (they never forward).
+	ErrOverloaded = errors.New("anonymizer: forward queue full")
 )
 
 // New builds an anonymizer.
@@ -297,7 +310,7 @@ func New(cfg Config) (*Anonymizer, error) {
 	a.met.batchWorkers.Set(float64(a.workers))
 	if cfg.Forward != nil && cfg.ForwardQueue > 0 {
 		a.fq = newForwardQueue(cfg.Forward, cfg.ForwardQueue,
-			cfg.ForwardRetryBase, cfg.ForwardRetryMax, a.met)
+			cfg.ForwardRetryBase, cfg.ForwardRetryMax, a.met, cfg.ForwardBackpressure)
 	}
 	return a, nil
 }
@@ -336,10 +349,33 @@ func (a *Anonymizer) forward(ctx context.Context, id uint64, region geo.Rect) er
 	a.ctr.forwardErrs.Add(1)
 	a.met.forwardErrs.Inc()
 	if a.fq != nil {
-		a.fq.add(id, region)
-		return nil
+		if a.fq.add(id, region) {
+			return nil
+		}
+		// Backpressure: the queue is full and refusing work. The update
+		// fails typed instead of evicting someone else's acknowledged
+		// region.
+		a.met.sheds.Inc()
+		return ErrOverloaded
 	}
 	return err
+}
+
+// admitForward reports whether an update for id may enter the pipeline
+// under forward backpressure. Always true without backpressure; under it,
+// false once the spill queue is full — unless id already has a queued
+// region the new one would coalesce into. Checking before cloaking keeps
+// a shed update from paying for a cloak it cannot deliver.
+func (a *Anonymizer) admitForward(id uint64) bool {
+	return a.fq == nil || a.fq.admit(id)
+}
+
+// Saturated reports whether forward backpressure is on and the spill
+// queue is full right now — the coarse signal wire handlers use to shed
+// whole batches before paying for decode and cloaking. Always false
+// without ForwardBackpressure.
+func (a *Anonymizer) Saturated() bool {
+	return a.fq != nil && a.fq.full()
 }
 
 // validateRegion re-checks a cached region against the live population. It
@@ -560,6 +596,17 @@ func (a *Anonymizer) process(ctx context.Context, id uint64, loc geo.Point, isQu
 	if asp.Recording() {
 		asp.SetAttrs(trace.Int("k", int64(req.K)))
 		asp.End()
+	}
+	if !isQuery && a.cfg.Forward != nil && !a.admitForward(id) {
+		// Forward backpressure: the downstream link is behind and the spill
+		// queue is full. Shed before touching the indices — the update will
+		// not be deliverable, so cloaking it would only burn CPU the
+		// overloaded tier needs.
+		s.mu.Unlock()
+		a.met.sheds.Inc()
+		ssp, _ := trace.Start(ctx, a.tracer, "anon_shed")
+		ssp.End()
+		return cloak.Result{}, ErrOverloaded
 	}
 
 	// Refresh indices before cloaking so the user counts toward her own k —

@@ -2,6 +2,7 @@ package anonymizer
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,7 +19,8 @@ import (
 // computation; data-dependent algorithms fall back to per-user processing
 // (their regions depend on exact positions, so sharing would be unsound).
 // Results are returned in input order; a nil entry marks an update that
-// failed (unknown user, passive mode, out-of-world location).
+// failed (unknown user, passive mode, out-of-world location, or — under
+// forward backpressure — a full forward queue refusing the entry).
 //
 // The batch drains through a three-phase pipeline:
 //
@@ -63,6 +65,7 @@ func (a *Anonymizer) BatchUpdateCtx(ctx context.Context, updates []cloak.Request
 	asp, _ := trace.Start(ctx, a.tracer, "anon_batch_admit")
 	reqs := make([]cloak.Request, len(updates)) // resolved requirement per admitted entry
 	admitted := make([]bool, len(updates))
+	var shed atomic.Int64 // entries refused under forward backpressure
 	byShard := make([][]int, len(a.shards))
 	for i, u := range updates {
 		_, si := a.shardFor(u.ID)
@@ -82,6 +85,10 @@ func (a *Anonymizer) BatchUpdateCtx(ctx context.Context, updates []cloak.Request
 			for _, i := range idxs {
 				u := updates[i]
 				if !u.Loc.Valid() || !a.cfg.World.Contains(u.Loc) {
+					continue
+				}
+				if a.cfg.Forward != nil && !a.admitForward(u.ID) {
+					shed.Add(1)
 					continue
 				}
 				profile, ok := s.profiles[u.ID]
@@ -122,9 +129,13 @@ func (a *Anonymizer) BatchUpdateCtx(ctx context.Context, updates []cloak.Request
 		creqs[j] = reqs[i]
 	}
 	a.met.tracked.Set(float64(a.Population()))
+	if n := shed.Load(); n > 0 {
+		a.met.sheds.Add(uint64(n))
+	}
 	if asp.Recording() {
 		asp.SetAttrs(trace.Int("entries", int64(len(updates))),
-			trace.Int("admitted", int64(len(valid))))
+			trace.Int("admitted", int64(len(valid))),
+			trace.Int("shed", shed.Load()))
 		asp.End()
 	}
 
@@ -196,6 +207,7 @@ func (a *Anonymizer) BatchUpdateCtx(ctx context.Context, updates []cloak.Request
 		region geo.Rect
 	}
 	sent := make(map[fwdKey]bool, len(creqs))
+	var refused map[fwdKey]bool // keys shed by forward backpressure
 	for j := range batchResults {
 		key := fwdKey{id: creqs[j].ID, region: batchResults[j].Region}
 		if sent[key] {
@@ -205,11 +217,26 @@ func (a *Anonymizer) BatchUpdateCtx(ctx context.Context, updates []cloak.Request
 		// With a spill queue configured the error path is absorbed inside
 		// forward; without one a failed forward is already counted there
 		// and, matching the historical batch semantics, does not null the
-		// caller's result.
-		_ = a.forward(fctx, key.id, key.region)
+		// caller's result. Backpressure refusals are the exception: the
+		// region never reached the database or the queue, so the entry
+		// fails typed rather than pretending the update landed.
+		if err := a.forward(fctx, key.id, key.region); err != nil && errors.Is(err, ErrOverloaded) {
+			if refused == nil {
+				refused = make(map[fwdKey]bool)
+			}
+			refused[key] = true
+		}
+	}
+	if refused != nil {
+		for j := range batchResults {
+			if refused[fwdKey{id: creqs[j].ID, region: batchResults[j].Region}] {
+				results[valid[j]] = nil
+			}
+		}
 	}
 	if fsp.Recording() {
-		fsp.SetAttrs(trace.Int("forwarded", int64(len(sent))))
+		fsp.SetAttrs(trace.Int("forwarded", int64(len(sent)-len(refused))),
+			trace.Int("shed", int64(len(refused))))
 		fsp.End()
 	}
 	return results

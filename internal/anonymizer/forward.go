@@ -25,6 +25,10 @@ type forwardQueue struct {
 	base  time.Duration
 	max   time.Duration
 	met   *anonMetrics
+	// reject switches the full-queue policy from "evict the oldest entry"
+	// (silent loss, the historical behavior) to "refuse the new region"
+	// (backpressure: the update fails typed and visibly instead).
+	reject bool
 
 	mu       sync.Mutex
 	regions  map[uint64]geo.Rect
@@ -46,7 +50,7 @@ type queueStats struct {
 	depth                            int
 }
 
-func newForwardQueue(fwd Forwarder, limit int, base, max time.Duration, met *anonMetrics) *forwardQueue {
+func newForwardQueue(fwd Forwarder, limit int, base, max time.Duration, met *anonMetrics, reject bool) *forwardQueue {
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
@@ -62,6 +66,7 @@ func newForwardQueue(fwd Forwarder, limit int, base, max time.Duration, met *ano
 		base:    base,
 		max:     max,
 		met:     met,
+		reject:  reject,
 		regions: make(map[uint64]geo.Rect, limit),
 		wake:    make(chan struct{}, 1),
 		quit:    make(chan struct{}),
@@ -96,13 +101,14 @@ func (q *forwardQueue) enqueueIfPending(id uint64, region geo.Rect) bool {
 	return true
 }
 
-// add parks a region after a failed forward, evicting the oldest entry
-// when the queue is full.
-func (q *forwardQueue) add(id uint64, region geo.Rect) {
+// add parks a region after a failed forward. When the queue is full the
+// policy decides: evict the oldest entry (default) or refuse the new
+// region (reject mode). It reports whether the region was accepted.
+func (q *forwardQueue) add(id uint64, region geo.Rect) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return true
 	}
 	if _, ok := q.regions[id]; ok {
 		q.regions[id] = region
@@ -110,10 +116,14 @@ func (q *forwardQueue) add(id uint64, region geo.Rect) {
 		q.mu.Unlock()
 		q.met.spills.Inc()
 		q.kick()
-		return
+		return true
 	}
 	var droppedOne bool
 	if q.limit > 0 && len(q.order) >= q.limit {
+		if q.reject {
+			q.mu.Unlock()
+			return false
+		}
 		victim := q.order[0]
 		q.order = q.order[1:]
 		delete(q.regions, victim)
@@ -131,6 +141,34 @@ func (q *forwardQueue) add(id uint64, region geo.Rect) {
 	}
 	q.met.queueDepth.Set(float64(depth))
 	q.kick()
+	return true
+}
+
+// admit reports whether an update for id may enter the pipeline under
+// reject mode: true while the queue has room, or while id already has a
+// queued entry the new region would coalesce into. Always true in evict
+// mode — admission pressure only exists when the full queue refuses work.
+func (q *forwardQueue) admit(id uint64) bool {
+	if !q.reject || q.limit <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, pending := q.regions[id]; pending {
+		return true
+	}
+	return len(q.order) < q.limit
+}
+
+// full reports whether reject mode would refuse a non-coalescable region
+// right now.
+func (q *forwardQueue) full() bool {
+	if !q.reject || q.limit <= 0 {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.order) >= q.limit
 }
 
 // head returns the oldest queued entry without removing it.

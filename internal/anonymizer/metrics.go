@@ -39,6 +39,7 @@ type anonMetrics struct {
 	spills     *obs.Counter // regions parked in the replay queue
 	replays    *obs.Counter // queued regions delivered after recovery
 	queueDrops *obs.Counter // oldest entries evicted from a full queue
+	sheds      *obs.Counter // updates refused under forward backpressure
 
 	registered   *obs.Gauge
 	tracked      *obs.Gauge
@@ -83,6 +84,7 @@ func newAnonMetrics(reg *obs.Registry, alg Algorithm, shards int) *anonMetrics {
 		spills:     reg.Counter("anon_forward_spills_total", "Cloaked regions spilled into the replay queue while the database link was down."),
 		replays:    reg.Counter("anon_forward_replays_total", "Spilled regions replayed downstream after the link recovered."),
 		queueDrops: reg.Counter("anon_forward_queue_drops_total", "Oldest spilled regions evicted because the replay queue was full."),
+		sheds:      reg.Counter("anon_overload_sheds_total", "Updates refused with ErrOverloaded under forward backpressure."),
 
 		registered:   reg.Gauge("anon_registered_users", "Users registered with a privacy profile."),
 		tracked:      reg.Gauge("anon_tracked_users", "Users currently present in the spatial indices."),

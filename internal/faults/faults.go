@@ -53,6 +53,16 @@ const (
 	// Truncate lets only KeepBytes bytes of the target frame through, then
 	// closes the connection — the peer is left holding a torn frame.
 	Truncate
+	// Pause stalls the target frame mid-transfer: one byte crosses, then
+	// the operation sleeps for the rule's Delay before the rest continues.
+	// The peer holds a torn frame for the duration but the connection
+	// survives. The rule consumes itself.
+	Pause
+	// Bandwidth caps throughput in the rule's direction to Rate bytes per
+	// second from the target frame onward. Unlike every other action the
+	// rule stays live for the connection's whole life — a slow link, not a
+	// one-shot glitch.
+	Bandwidth
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +76,10 @@ func (a Action) String() string {
 		return "delay"
 	case Truncate:
 		return "truncate"
+	case Pause:
+		return "pause"
+	case Bandwidth:
+		return "bandwidth"
 	default:
 		return fmt.Sprintf("action(%d)", uint8(a))
 	}
@@ -83,11 +97,14 @@ type Rule struct {
 	Op     Op
 	Nth    int
 	Action Action
-	// Delay is the sleep for Action Delay.
+	// Delay is the sleep for Action Delay, and the mid-frame stall for
+	// Action Pause.
 	Delay time.Duration
 	// KeepBytes is how much of the target frame Truncate lets through
 	// (0 cuts even the length prefix).
 	KeepBytes int
+	// Rate is the Bandwidth cap in bytes per second.
+	Rate int
 }
 
 // tracker recovers frame boundaries from a byte stream carrying
@@ -151,10 +168,22 @@ func Wrap(conn net.Conn, rules ...Rule) *Conn {
 }
 
 // match pops the first live rule for (op, frame); nil if none fires.
+// Bandwidth rules are persistent: they fire on every frame at or past
+// their Nth and are never consumed.
 func (c *Conn) match(op Op, frame int) *Rule {
 	for i := range c.rules {
 		r := &c.rules[i]
-		if r.Nth > 0 && r.Op == op && r.Nth == frame {
+		if r.Op != op {
+			continue
+		}
+		if r.Action == Bandwidth {
+			if r.Nth > 0 && frame >= r.Nth {
+				rule := *r
+				return &rule
+			}
+			continue
+		}
+		if r.Nth > 0 && r.Nth == frame {
 			rule := *r
 			r.Nth = -1 // consumed
 			return &rule
@@ -172,14 +201,20 @@ func (c *Conn) kill(reset bool) {
 	c.Conn.Close()
 }
 
-// apply runs one operation through the rule table. It returns the byte
-// budget for this operation (-1 = unlimited) or an error if the
-// connection was killed.
-func (c *Conn) apply(op Op, n int) (int, error) {
+// verdict is what a matched rule does to the current operation.
+type verdict struct {
+	budget int           // byte budget, -1 = unlimited
+	pause  time.Duration // mid-frame stall after the first byte (Pause)
+	rate   int           // bytes/sec cap (Bandwidth), 0 = uncapped
+}
+
+// apply runs one operation through the rule table. It returns the
+// operation's verdict or an error if the connection was killed.
+func (c *Conn) apply(op Op, n int) (verdict, error) {
 	c.mu.Lock()
 	if c.killed {
 		c.mu.Unlock()
-		return 0, fmt.Errorf("%w: connection killed (%s)", ErrInjected, op)
+		return verdict{}, fmt.Errorf("%w: connection killed (%s)", ErrInjected, op)
 	}
 	t := &c.rd
 	if op == Write {
@@ -188,37 +223,50 @@ func (c *Conn) apply(op Op, n int) (int, error) {
 	rule := c.match(op, t.current())
 	if rule == nil {
 		c.mu.Unlock()
-		return -1, nil
+		return verdict{budget: -1}, nil
 	}
 	switch rule.Action {
 	case Delay:
 		c.mu.Unlock()
 		time.Sleep(rule.Delay)
-		return -1, nil
+		return verdict{budget: -1}, nil
 	case Truncate:
 		if rule.KeepBytes < n {
 			n = rule.KeepBytes
 		}
 		c.mu.Unlock()
-		return n, nil
+		return verdict{budget: n}, nil
+	case Pause:
+		c.mu.Unlock()
+		return verdict{budget: -1, pause: rule.Delay}, nil
+	case Bandwidth:
+		c.mu.Unlock()
+		return verdict{budget: -1, rate: rule.Rate}, nil
 	default: // Drop, Reset
 		c.kill(rule.Action == Reset)
 		c.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s on frame %d (%s)", ErrInjected, rule.Action, rule.Nth, op)
+		return verdict{}, fmt.Errorf("%w: %s on frame %d (%s)", ErrInjected, rule.Action, rule.Nth, op)
+	}
+}
+
+// throttle sleeps long enough that n bytes took at least n/rate seconds.
+func throttle(n, rate int) {
+	if n > 0 && rate > 0 {
+		time.Sleep(time.Duration(float64(n) / float64(rate) * float64(time.Second)))
 	}
 }
 
 // Read implements net.Conn.
 func (c *Conn) Read(p []byte) (int, error) {
-	budget, err := c.apply(Read, len(p))
+	v, err := c.apply(Read, len(p))
 	if err != nil {
 		return 0, err
 	}
-	if budget >= 0 && budget < len(p) {
+	if v.budget >= 0 && v.budget < len(p) {
 		// Let the truncated tail through, then cut the connection so the
 		// reader is left mid-frame.
-		if budget > 0 {
-			n, err := c.Conn.Read(p[:budget])
+		if v.budget > 0 {
+			n, err := c.Conn.Read(p[:v.budget])
 			c.mu.Lock()
 			c.rd.feed(p[:n])
 			c.kill(false)
@@ -230,23 +278,34 @@ func (c *Conn) Read(p []byte) (int, error) {
 		c.mu.Unlock()
 		return 0, fmt.Errorf("%w: truncated read", ErrInjected)
 	}
+	if v.pause > 0 && len(p) > 0 {
+		// Deliver one byte, then stall — the local reader (and through it
+		// the peer's frame) hangs mid-frame for the pause.
+		n, err := c.Conn.Read(p[:1])
+		c.mu.Lock()
+		c.rd.feed(p[:n])
+		c.mu.Unlock()
+		time.Sleep(v.pause)
+		return n, err
+	}
 	n, err := c.Conn.Read(p)
 	c.mu.Lock()
 	c.rd.feed(p[:n])
 	c.mu.Unlock()
+	throttle(n, v.rate)
 	return n, err
 }
 
 // Write implements net.Conn.
 func (c *Conn) Write(p []byte) (int, error) {
-	budget, err := c.apply(Write, len(p))
+	v, err := c.apply(Write, len(p))
 	if err != nil {
 		return 0, err
 	}
-	if budget >= 0 && budget < len(p) {
+	if v.budget >= 0 && v.budget < len(p) {
 		var n int
-		if budget > 0 {
-			n, err = c.Conn.Write(p[:budget])
+		if v.budget > 0 {
+			n, err = c.Conn.Write(p[:v.budget])
 		}
 		c.mu.Lock()
 		c.wr.feed(p[:n])
@@ -257,10 +316,28 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		return n, err
 	}
+	if v.pause > 0 && len(p) > 0 {
+		// Send one byte, stall, then send the rest — the peer is left
+		// holding a torn frame for the duration.
+		n, err := c.Conn.Write(p[:1])
+		c.mu.Lock()
+		c.wr.feed(p[:n])
+		c.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(v.pause)
+		m, err := c.Conn.Write(p[1:])
+		c.mu.Lock()
+		c.wr.feed(p[n : n+m])
+		c.mu.Unlock()
+		return n + m, err
+	}
 	n, err := c.Conn.Write(p)
 	c.mu.Lock()
 	c.wr.feed(p[:n])
 	c.mu.Unlock()
+	throttle(n, v.rate)
 	return n, err
 }
 

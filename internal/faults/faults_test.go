@@ -187,3 +187,99 @@ func TestFlakyListener(t *testing.T) {
 		t.Fatalf("accepts = %d, want 4", fl.Accepts())
 	}
 }
+
+// A pause rule must stall the peer mid-frame: the first byte arrives
+// promptly, the rest only after the stall — and the connection survives.
+func TestPauseStallsMidFrame(t *testing.T) {
+	client, server := pipe(t)
+	const stall = 150 * time.Millisecond
+	fc := Wrap(client, Rule{Op: Write, Nth: 1, Action: Pause, Delay: stall})
+
+	payload := frame([]byte("hello world"))
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Write(payload)
+		done <- err
+	}()
+
+	// The first byte must arrive well before the stall elapses.
+	one := make([]byte, 1)
+	server.SetReadDeadline(time.Now().Add(stall / 2))
+	if _, err := io.ReadFull(server, one); err != nil {
+		t.Fatalf("first byte did not arrive before the stall: %v", err)
+	}
+
+	// The rest arrives only after the stall.
+	rest := make([]byte, len(payload)-1)
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(server, rest); err != nil {
+		t.Fatalf("rest of frame: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("frame completed in %v, want >= %v", elapsed, stall)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("paused write failed: %v", err)
+	}
+
+	// The rule consumed itself: a second frame is instant and intact.
+	if _, err := fc.Write(frame([]byte("again"))); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	buf := make([]byte, 4+5)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+}
+
+// A bandwidth rule must cap sustained throughput and stay in force for
+// the connection's life instead of consuming itself.
+func TestBandwidthCapsThroughput(t *testing.T) {
+	client, server := pipe(t)
+	const rate = 4096 // bytes/sec
+	fc := Wrap(client, Rule{Op: Write, Nth: 1, Action: Bandwidth, Rate: rate})
+
+	// Drain the server side so writes never block on the socket buffer.
+	go io.Copy(io.Discard, server)
+
+	total := 0
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		p := frame(make([]byte, 508)) // 512 bytes on the wire per frame
+		n, err := fc.Write(p)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		total += n
+	}
+	elapsed := time.Since(start)
+	// 2048 bytes at 4096 B/s is at least ~500ms of pacing; allow slack
+	// for coarse sleeps but catch an uncapped link (which finishes in µs).
+	min := time.Duration(float64(total)/float64(rate)*float64(time.Second)) / 2
+	if elapsed < min {
+		t.Fatalf("%d bytes crossed in %v, want >= %v at %d B/s", total, elapsed, min, rate)
+	}
+}
+
+// A bandwidth rule with Nth > 1 must leave earlier frames uncapped.
+func TestBandwidthStartsAtNthFrame(t *testing.T) {
+	client, server := pipe(t)
+	fc := Wrap(client, Rule{Op: Write, Nth: 2, Action: Bandwidth, Rate: 64})
+	go io.Copy(io.Discard, server)
+
+	start := time.Now()
+	if _, err := fc.Write(frame(make([]byte, 60))); err != nil { // frame 1: free
+		t.Fatal(err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatalf("frame 1 was throttled: %v", time.Since(start))
+	}
+	start = time.Now()
+	if _, err := fc.Write(frame(make([]byte, 60))); err != nil { // frame 2: 64 B/s
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 400*time.Millisecond {
+		t.Fatalf("frame 2 crossed in %v, want >= 400ms at 64 B/s", elapsed)
+	}
+}

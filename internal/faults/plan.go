@@ -14,13 +14,17 @@ import (
 //
 // where dir is "r" (read) or "w" (write), frame is the 1-based frame
 // index the rule fires on, and action is one of drop, reset, delay,
-// truncate. delay takes a duration argument ("w1:delay:50ms"); truncate
-// takes a byte count ("r2:truncate:5", 0 cuts even the length prefix).
+// truncate, pause, bandwidth. delay takes a duration argument
+// ("w1:delay:50ms"); truncate takes a byte count ("r2:truncate:5", 0 cuts
+// even the length prefix); pause takes the mid-frame stall duration
+// ("w2:pause:100ms"); bandwidth takes a positive bytes/sec cap that stays
+// in force from the target frame onward ("r1:bandwidth:1024").
 //
 // Examples:
 //
 //	r2:drop                  kill the connection at the 2nd inbound frame
 //	w1:delay:100ms,r3:reset  delay the 1st outbound frame, RST at the 3rd inbound
+//	w1:bandwidth:4096        the whole outbound side crawls at 4 KiB/s
 //
 // An empty string parses to no rules.
 func ParseRules(s string) ([]Rule, error) {
@@ -97,8 +101,33 @@ func parseRule(s string) (Rule, error) {
 		}
 		r.KeepBytes = keep
 		return r, nil
+	case "pause":
+		r.Action = Pause
+		if arg == "" {
+			return r, fmt.Errorf("faults: rule %q: pause needs a duration argument", s)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return r, fmt.Errorf("faults: rule %q: bad pause %q: %v", s, arg, err)
+		}
+		if d <= 0 {
+			return r, fmt.Errorf("faults: rule %q: pause duration must be positive, got %v", s, d)
+		}
+		r.Delay = d
+		return r, nil
+	case "bandwidth":
+		r.Action = Bandwidth
+		if arg == "" {
+			return r, fmt.Errorf("faults: rule %q: bandwidth needs a bytes/sec argument", s)
+		}
+		rate, err := strconv.Atoi(arg)
+		if err != nil || rate < 1 {
+			return r, fmt.Errorf("faults: rule %q: bad bytes/sec %q (want a positive integer)", s, arg)
+		}
+		r.Rate = rate
+		return r, nil
 	default:
-		return r, fmt.Errorf("faults: rule %q: unknown action %q (want drop, reset, delay or truncate)", s, action)
+		return r, fmt.Errorf("faults: rule %q: unknown action %q (want drop, reset, delay, truncate, pause or bandwidth)", s, action)
 	}
 	if arg != "" {
 		return r, fmt.Errorf("faults: rule %q: action %q takes no argument", s, action)
@@ -165,4 +194,34 @@ func ParsePlan(s string) (func(conn int) []Rule, error) {
 		}
 		return append([]Rule(nil), wildcard...)
 	}, nil
+}
+
+// String renders the rule in the textual schedule syntax, the inverse of
+// parseRule: ParseRules(r.String()) yields r back.
+func (r Rule) String() string {
+	dir := "r"
+	if r.Op == Write {
+		dir = "w"
+	}
+	head := fmt.Sprintf("%s%d:%s", dir, r.Nth, r.Action)
+	switch r.Action {
+	case Delay, Pause:
+		return fmt.Sprintf("%s:%s", head, r.Delay)
+	case Truncate:
+		return fmt.Sprintf("%s:%d", head, r.KeepBytes)
+	case Bandwidth:
+		return fmt.Sprintf("%s:%d", head, r.Rate)
+	default:
+		return head
+	}
+}
+
+// FormatRules renders rules in the syntax ParseRules accepts; the empty
+// slice renders to the empty string.
+func FormatRules(rules []Rule) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
 }

@@ -139,3 +139,79 @@ func TestParsePlanAliasing(t *testing.T) {
 		t.Fatal("plan rule slices alias: consuming conn 1's rule consumed conn 2's")
 	}
 }
+
+func TestParseRulesPauseAndBandwidth(t *testing.T) {
+	rules, err := ParseRules("w2:pause:100ms, r1:bandwidth:1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: Write, Nth: 2, Action: Pause, Delay: 100 * time.Millisecond},
+		{Op: Read, Nth: 1, Action: Bandwidth, Rate: 1024},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestParseRulesPauseBandwidthErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"r1:pause", "needs a duration"},
+		{"r1:pause:soon", "bad pause"},
+		{"r1:pause:0s", "must be positive"},
+		{"r1:pause:-5ms", "must be positive"},
+		{"r1:bandwidth", "needs a bytes/sec"},
+		{"r1:bandwidth:fast", "bad bytes/sec"},
+		{"r1:bandwidth:0", "bad bytes/sec"},
+		{"r1:bandwidth:-64", "bad bytes/sec"},
+	}
+	for _, c := range cases {
+		if _, err := ParseRules(c.in); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseRules(%q) err = %v, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+// Every parseable rule must survive a parse → format → parse round trip
+// bit-identically, so plans can be captured from a failing run and
+// replayed from logs.
+func TestRuleFormatRoundTrip(t *testing.T) {
+	specs := []string{
+		"r2:drop",
+		"w4:reset",
+		"w1:delay:50ms",
+		"r3:truncate:5",
+		"r3:truncate:0",
+		"w2:pause:100ms",
+		"r1:bandwidth:1024",
+		"w7:bandwidth:1",
+	}
+	rules, err := ParseRules(strings.Join(specs, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatRules(rules)
+	back, err := ParseRules(text)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", text, err)
+	}
+	if len(back) != len(rules) {
+		t.Fatalf("round trip lost rules: %d -> %d", len(rules), len(back))
+	}
+	for i := range rules {
+		if back[i] != rules[i] {
+			t.Errorf("rule %d round-tripped %+v -> %q -> %+v", i, rules[i], text, back[i])
+		}
+	}
+	if FormatRules(nil) != "" {
+		t.Errorf("FormatRules(nil) = %q, want empty", FormatRules(nil))
+	}
+}

@@ -1,0 +1,147 @@
+package mobility
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func newStream(t *testing.T, spec StreamSpec) *Stream {
+	t.Helper()
+	if !spec.World.Valid() || spec.World.Area() <= 0 {
+		spec.World = geo.R(0, 0, 1, 1)
+	}
+	g, err := NewStream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The same (seed, id, tick) always yields the same position; a different
+// seed yields a different trajectory.
+func TestStreamDeterministic(t *testing.T) {
+	a := newStream(t, StreamSpec{Seed: 42})
+	b := newStream(t, StreamSpec{Seed: 42})
+	c := newStream(t, StreamSpec{Seed: 43})
+	var diff int
+	for id := uint64(1); id <= 200; id++ {
+		for tick := uint64(0); tick < 50; tick += 7 {
+			pa, pb := a.Pos(id, tick, nil), b.Pos(id, tick, nil)
+			if pa != pb {
+				t.Fatalf("Pos(%d,%d) differs across identical streams: %v vs %v", id, tick, pa, pb)
+			}
+			if pa != c.Pos(id, tick, nil) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed 43 reproduced seed 42's trajectories exactly")
+	}
+}
+
+// Every generated position stays inside the world.
+func TestStreamPositionsInWorld(t *testing.T) {
+	world := geo.R(2, 3, 7, 9)
+	g := newStream(t, StreamSpec{World: world, Seed: 9})
+	for id := uint64(1); id <= 500; id++ {
+		for tick := uint64(0); tick < 100; tick += 13 {
+			if p := g.Pos(id, tick, nil); !world.Contains(p) {
+				t.Fatalf("Pos(%d,%d) = %v outside %v", id, tick, p, world)
+			}
+		}
+	}
+}
+
+// Motion is continuous: consecutive ticks move a user by at most one
+// leg-step (world diagonal / MinLeg), never a teleport.
+func TestStreamMotionContinuous(t *testing.T) {
+	g := newStream(t, StreamSpec{Seed: 7, MinLeg: 25, MaxLeg: 50})
+	maxStep := geo.R(0, 0, 1, 1).Diagonal() / 25
+	for id := uint64(1); id <= 100; id++ {
+		prev := g.Pos(id, 0, nil)
+		for tick := uint64(1); tick < 200; tick++ {
+			p := g.Pos(id, tick, nil)
+			if d := p.Dist(prev); d > maxStep+1e-9 {
+				t.Fatalf("user %d jumped %g (> %g) at tick %d", id, d, maxStep, tick)
+			}
+			prev = p
+		}
+	}
+}
+
+// A hotspot with Frac 1 and a strong pull concentrates the crowd: mean
+// distance to the hotspot center drops sharply against baseline.
+func TestStreamHotspotConcentrates(t *testing.T) {
+	g := newStream(t, StreamSpec{Seed: 5})
+	hot := &Hotspot{Center: geo.Pt(0.5, 0.5), Frac: 1, Pull: 0.9}
+	var base, pulled float64
+	const users = 2000
+	for id := uint64(1); id <= users; id++ {
+		base += g.Pos(id, 40, nil).Dist(hot.Center)
+		pulled += g.Pos(id, 40, hot).Dist(hot.Center)
+	}
+	if pulled >= base/3 {
+		t.Fatalf("hotspot mean distance %g, baseline %g — pull had too little effect",
+			pulled/users, base/users)
+	}
+	// Frac 0 must be a no-op.
+	off := &Hotspot{Center: hot.Center, Frac: 0, Pull: 0.9}
+	for id := uint64(1); id <= 50; id++ {
+		if g.Pos(id, 40, off) != g.Pos(id, 40, nil) {
+			t.Fatal("Frac=0 hotspot changed a trajectory")
+		}
+	}
+}
+
+// The generator's resident state is O(clusters): streaming positions for a
+// one-million-user population allocates no per-user memory. The threshold
+// is deliberately coarse — a per-user byte would already cost 1 MB, a
+// per-user struct tens of MB.
+func TestStreamMillionUsersBoundedMemory(t *testing.T) {
+	g := newStream(t, StreamSpec{Seed: 11, NumClusters: 64})
+	const users = 1_000_000
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var sink geo.Point
+	for id := uint64(1); id <= users; id++ {
+		sink = g.Pos(id, uint64(id%97), nil)
+	}
+	_ = sink
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	const budget = 8 << 20 // 8 MiB: far below any O(users) footprint
+	if grew > budget {
+		t.Fatalf("heap grew %d bytes generating %d users, budget %d — the generator is not streaming", grew, users, budget)
+	}
+}
+
+// Pos allocates nothing on the hot path.
+func TestStreamPosDoesNotAllocate(t *testing.T) {
+	g := newStream(t, StreamSpec{Seed: 3})
+	hot := &Hotspot{Center: geo.Pt(0.2, 0.8), Frac: 0.5, Pull: 0.7}
+	avg := testing.AllocsPerRun(1000, func() {
+		g.Pos(12345, 678, hot)
+	})
+	if avg != 0 {
+		t.Fatalf("Pos allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func BenchmarkStreamPos(b *testing.B) {
+	g, err := NewStream(StreamSpec{World: geo.R(0, 0, 1, 1), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink geo.Point
+	for i := 0; i < b.N; i++ {
+		sink = g.Pos(uint64(i), uint64(i>>8), nil)
+	}
+	_ = sink
+}

@@ -1,0 +1,245 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/anonymizer"
+	"repro/internal/cloak"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/privacy"
+)
+
+// startLoaded serves a handler that parks update and query frames on a
+// gate channel (so the test controls in-flight occupancy exactly) and
+// echoes everything else immediately.
+func startLoaded(t *testing.T, max int, reg *obs.Registry) (*Service, chan struct{}) {
+	t.Helper()
+	gate := make(chan struct{})
+	svc, err := Serve("127.0.0.1:0", func(_ context.Context, typ byte, p []byte) ([]byte, error) {
+		switch typ {
+		case MsgUpdate, MsgCloakQuery:
+			<-gate
+		}
+		return p, nil
+	}, quiet, WithAdmission(max), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc, gate
+}
+
+// dialRaw opens a plain client; each concurrent in-flight request needs
+// its own connection because a Client serializes calls.
+func dialRaw(t *testing.T, addr string, opts ...DialOption) *Client {
+	t.Helper()
+	c, err := Dial(addr, append(fastRetry(), opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// occupy parks n concurrent calls of typ inside the handler and returns a
+// WaitGroup that resolves once the gate opens and they complete.
+func occupy(t *testing.T, svc *Service, addr string, typ byte, n int) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		c := dialRaw(t, addr)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(typ, []byte("held")); err != nil {
+				t.Errorf("parked %s call failed: %v", MessageName(typ), err)
+			}
+		}()
+	}
+	poll(t, 5*time.Second, func() bool { return int(svc.inflight.Load()) >= n },
+		"requests to occupy the admission budget")
+	return &wg
+}
+
+// At the in-flight cap, further updates are shed with a typed
+// MsgOverloaded the client surfaces as ErrOverloaded, the rejection is
+// counted per message type, and releasing the budget restores service.
+func TestAdmissionShedsUpdatesAtCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, gate := startLoaded(t, 2, reg)
+	wg := occupy(t, svc, svc.Addr(), MsgUpdate, 2)
+
+	c := dialRaw(t, svc.Addr())
+	_, err := c.Call(MsgUpdate, []byte("one too many"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("call over budget: err = %v, want ErrOverloaded", err)
+	}
+	if s, ok := reg.Find("proto_overload_rejections_total", obs.L("type", "update")); !ok || s.Value != 1 {
+		t.Fatalf("proto_overload_rejections_total{type=update} = %v (found=%v), want 1", s.Value, ok)
+	}
+
+	close(gate)
+	wg.Wait()
+	poll(t, 5*time.Second, func() bool { return svc.inflight.Load() == 0 }, "budget release")
+	if _, err := c.Call(MsgUpdate, []byte("after release")); err != nil {
+		t.Fatalf("call after release failed: %v — the shed must not poison the connection", err)
+	}
+}
+
+// Queries are capped at half the budget: with the query budget exhausted a
+// query sheds while an update is still admitted, so a query flood cannot
+// starve the updates that keep privacy state fresh.
+func TestAdmissionQueriesShedAtHalfBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, gate := startLoaded(t, 4, reg) // query budget = 2
+	wg := occupy(t, svc, svc.Addr(), MsgCloakQuery, 2)
+
+	c := dialRaw(t, svc.Addr())
+	if _, err := c.Call(MsgCloakQuery, []byte("q3")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third query: err = %v, want ErrOverloaded at half budget", err)
+	}
+
+	// An update rides above the query cap: admitted, parks in the handler.
+	cu := dialRaw(t, svc.Addr())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cu.Call(MsgUpdate, []byte("still welcome"))
+		done <- err
+	}()
+	poll(t, 5*time.Second, func() bool { return svc.inflight.Load() == 3 },
+		"the update to be admitted past the query cap")
+
+	close(gate)
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("update admitted past the query cap failed: %v", err)
+	}
+}
+
+// Observability traffic is never shed: with the whole budget occupied,
+// metrics snapshots and stats frames still answer, so SLO checks can see
+// an overloaded daemon.
+func TestAdmissionAlwaysAdmitsObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, gate := startLoaded(t, 1, reg)
+	wg := occupy(t, svc, svc.Addr(), MsgUpdate, 1)
+
+	c := dialRaw(t, svc.Addr())
+	if _, err := c.Call(MsgMetrics, nil); err != nil {
+		t.Fatalf("MsgMetrics during saturation: %v", err)
+	}
+	if _, err := c.Call(MsgAnonStats, nil); err != nil {
+		t.Fatalf("MsgAnonStats during saturation: %v", err)
+	}
+
+	close(gate)
+	wg.Wait()
+}
+
+// A shed is one round trip: the client counts it, does not retry (retrying
+// immediately would feed the overload), and does not tear down the
+// connection or trip the breaker.
+func TestClientDoesNotRetryOverload(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, gate := startLoaded(t, 1, obs.NewRegistry())
+	wg := occupy(t, svc, svc.Addr(), MsgUpdate, 1)
+
+	c := dialRaw(t, svc.Addr(), WithRetries(3), WithClientMetrics(reg))
+	if _, err := c.Call(MsgUpdate, []byte("shed me")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if s, ok := reg.Find("proto_overloaded_total"); !ok || s.Value != 1 {
+		t.Fatalf("proto_overloaded_total = %v (found=%v), want exactly 1 — no retries", s.Value, ok)
+	}
+
+	close(gate)
+	wg.Wait()
+}
+
+// Anonymizer backpressure crosses the wire typed: a full forward queue in
+// reject mode answers updates and whole batches with MsgOverloaded, which
+// the client surfaces as ErrOverloaded.
+func TestBackpressureCrossesTheWire(t *testing.T) {
+	anonEng, err := anonymizer.New(anonymizer.Config{
+		World:               world,
+		Forward:             func(uint64, geo.Rect) error { return errors.New("link down") },
+		ForwardQueue:        2,
+		ForwardBackpressure: true,
+		ForwardRetryBase:    5 * time.Millisecond,
+		ForwardRetryMax:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anonEng.Close()
+	anonSvc, err := ServeAnonymizer("127.0.0.1:0", anonEng, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anonSvc.Close()
+	ac, err := DialAnonymizer(anonSvc.Addr(), fastRetry()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+
+	prof := privacy.Constant(privacy.Requirement{K: 2})
+	for id := uint64(1); id <= 4; id++ {
+		if err := ac.Register(id, prof); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two distinct users fill the queue; both updates succeed by spilling.
+	for id := uint64(1); id <= 2; id++ {
+		if _, err := ac.Update(id, geo.Pt(float64(id)/8, 0.5)); err != nil {
+			t.Fatalf("update %d during outage: %v", id, err)
+		}
+	}
+	if _, err := ac.Update(3, geo.Pt(0.5, 0.5)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("update into a full queue over the wire: err = %v, want ErrOverloaded", err)
+	}
+	// The saturation gate refuses whole batches before decoding them.
+	if _, err := ac.BatchUpdate([]cloak.Request{{ID: 4, Loc: geo.Pt(0.6, 0.5)}}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch into a saturated anonymizer: err = %v, want ErrOverloaded", err)
+	}
+}
+
+// MsgUpdateProfile round-trips: a registered user's profile is replaced in
+// place, and an unknown user fails remotely without tearing the connection
+// down.
+func TestUpdateProfileOverWire(t *testing.T) {
+	anonEng, err := anonymizer.New(anonymizer.Config{World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anonEng.Close()
+	anonSvc, err := ServeAnonymizer("127.0.0.1:0", anonEng, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anonSvc.Close()
+	ac, err := DialAnonymizer(anonSvc.Addr(), fastRetry()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+
+	if err := ac.Register(1, privacy.Constant(privacy.Requirement{K: 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.UpdateProfile(1, privacy.Constant(privacy.Requirement{K: 5})); err != nil {
+		t.Fatalf("profile flip for a registered user: %v", err)
+	}
+	if err := ac.UpdateProfile(99, privacy.Constant(privacy.Requirement{K: 5})); !errors.Is(err, ErrRemote) {
+		t.Fatalf("profile flip for an unknown user: err = %v, want ErrRemote", err)
+	}
+	// The connection survived the remote error: the next flip still works.
+	if err := ac.UpdateProfile(1, privacy.Constant(privacy.Requirement{K: 3})); err != nil {
+		t.Fatalf("profile flip after a remote error: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/anonymizer"
@@ -50,11 +51,18 @@ func (h *anonHandler) handle(ctx context.Context, typ byte, payload []byte) ([]b
 			res, err = h.anon.CloakQueryCtx(ctx, id, loc)
 		}
 		if err != nil {
-			return nil, err
+			return nil, mapOverload(err)
 		}
 		return encodeResult(res), nil
 
 	case MsgBatchUpdate:
+		// Coarse whole-batch backpressure gate: when the forward queue is
+		// saturated there is no point decoding and cloaking a batch whose
+		// forwards would all be refused — the client gets one typed
+		// MsgOverloaded instead.
+		if h.anon.Saturated() {
+			return nil, fmt.Errorf("%w: anonymizer forward queue full", ErrOverloaded)
+		}
 		n := int(d.U32())
 		reqs := make([]cloak.Request, 0, capHint(n, 24, d))
 		for i := 0; i < n && d.Err() == nil; i++ {
@@ -103,9 +111,27 @@ func (h *anonHandler) handle(ctx context.Context, typ byte, payload []byte) ([]b
 		}
 		return nil, h.anon.SetMode(id, mode)
 
+	case MsgUpdateProfile:
+		id := d.U64()
+		profile, err := decodeProfile(d)
+		if err != nil {
+			return nil, err
+		}
+		return nil, h.anon.UpdateProfile(id, profile)
+
 	default:
 		return nil, fmt.Errorf("protocol: anonymizer service: unknown message type %d", typ)
 	}
+}
+
+// mapOverload translates the anonymizer engine's backpressure rejection
+// into the protocol-level sentinel so it leaves the service as a
+// MsgOverloaded frame rather than a generic error.
+func mapOverload(err error) error {
+	if errors.Is(err, anonymizer.ErrOverloaded) {
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	return err
 }
 
 // exactPoint decodes a user's exact location off the wire. It is the one
@@ -331,5 +357,15 @@ func (ac *AnonymizerClient) SetMode(id uint64, m privacy.Mode) error {
 	var e Encoder
 	e.U64(id).U8(byte(m))
 	_, err := ac.c.Call(MsgSetMode, e.Bytes())
+	return err
+}
+
+// UpdateProfile replaces the user's privacy profile in place — the "raise
+// my k" flip — keeping the user in the anonymity population throughout.
+func (ac *AnonymizerClient) UpdateProfile(id uint64, profile *privacy.Profile) error {
+	var e Encoder
+	e.U64(id)
+	encodeProfile(&e, profile)
+	_, err := ac.c.Call(MsgUpdateProfile, e.Bytes())
 	return err
 }

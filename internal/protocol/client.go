@@ -22,7 +22,7 @@ import (
 func Idempotent(typ byte) bool {
 	switch typ {
 	case MsgUpdate, MsgCloakQuery, MsgBatchUpdate, MsgDeregister, MsgSetMode, MsgAnonStats,
-		MsgUpdatePrivate, MsgRemovePrivate, MsgUpdateMoving, MsgStats,
+		MsgUpdateProfile, MsgUpdatePrivate, MsgRemovePrivate, MsgUpdateMoving, MsgStats,
 		MsgPrivateRange, MsgPrivateNN, MsgPublicCount, MsgPublicNN, MsgContCount,
 		MsgBatchQuery, MsgMetrics, MsgTraces, MsgTraceNeg:
 		return true
@@ -145,6 +145,7 @@ type clientMetrics struct {
 	breakerState *obs.Gauge
 	breakerOpens *obs.Counter
 	shed         *obs.Counter
+	overloaded   *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -155,6 +156,7 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 		breakerState: reg.Gauge("proto_breaker_state", "Circuit breaker state: 0 closed, 1 half-open, 2 open."),
 		breakerOpens: reg.Counter("proto_breaker_opens_total", "Transitions of the circuit breaker to open."),
 		shed:         reg.Counter("proto_breaker_rejected_total", "Calls shed immediately while the breaker was open."),
+		overloaded:   reg.Counter("proto_overloaded_total", "Calls answered MsgOverloaded by the peer's admission control."),
 	}
 }
 
@@ -385,9 +387,11 @@ func (c *Client) CallCtx(ctx context.Context, typ byte, payload []byte) ([]byte,
 			}
 		}
 		resp, err := c.callOnceLocked(ctx, typ, payload, attempt)
-		if err == nil || errors.Is(err, ErrRemote) {
+		if err == nil || errors.Is(err, ErrRemote) || errors.Is(err, ErrOverloaded) {
 			// The wire worked end to end; whatever the handler said is the
-			// answer.
+			// answer. An overload rejection is the peer protecting itself,
+			// not a transport failure — retrying immediately would feed the
+			// very overload that shed us, so it surfaces to the caller.
 			c.breakerSuccessLocked()
 			return resp, err
 		}
@@ -449,6 +453,11 @@ func (c *Client) callOnceLocked(ctx context.Context, typ byte, payload []byte, a
 		d := NewDecoder(resp)
 		msg := d.Str()
 		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	case MsgOverloaded:
+		d := NewDecoder(resp)
+		msg := d.Str()
+		c.met.overloaded.Inc()
+		return nil, fmt.Errorf("%w: %s", ErrOverloaded, msg)
 	default:
 		// Protocol violation: the stream is desynchronized, treat as a
 		// transport failure so the connection is torn down and retried.

@@ -3,10 +3,12 @@ package protocol
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -18,6 +20,13 @@ import (
 // inside a MsgTraced envelope (see WithTracing); handlers thread it into
 // the engine so pipeline stages can record spans under the caller's trace.
 type Handler func(ctx context.Context, typ byte, payload []byte) ([]byte, error)
+
+// ErrOverloaded marks a request deliberately shed by admission control or
+// backpressure — on the wire it travels as a MsgOverloaded response
+// rather than msgErr. Handlers return errors wrapping it to shed typed;
+// clients surface it (wrapped) from Call so callers can tell "peer is
+// protecting itself, back off" from "request failed".
+var ErrOverloaded = errors.New("protocol: peer overloaded")
 
 // svcMetrics holds the protocol tier's registered obs series. Per-message-
 // type series are looked up lazily from the registry (get-or-create), so
@@ -52,6 +61,14 @@ func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 	}
 }
 
+// shed records one admission-control rejection, labelled by the message
+// type that was refused, so dashboards can attribute every shed.
+func (m *svcMetrics) shed(typ byte) {
+	m.reg.Counter("proto_overload_rejections_total",
+		"Requests rejected with MsgOverloaded by admission control, by message type.",
+		obs.L("type", MessageName(typ))).Inc()
+}
+
 // observe records one served request. A nonzero traceID becomes the
 // latency bucket's exemplar, linking the histogram to a captured trace.
 func (m *svcMetrics) observe(typ byte, d time.Duration, traceID uint64) {
@@ -74,6 +91,10 @@ type Service struct {
 	readTimeout  time.Duration // per-frame read/idle deadline (0 = none)
 	maxConns     int           // connection cap (0 = unlimited)
 	drainTimeout time.Duration // grace for in-flight frames on Close
+
+	admMax   int          // in-flight request cap (0 = no admission control)
+	admQuery int          // stricter cap for the query class
+	inflight atomic.Int64 // requests currently inside the handler
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -119,6 +140,48 @@ func WithReadTimeout(d time.Duration) Option {
 // their retry/backoff path absorbs.
 func WithMaxConns(n int) Option {
 	return func(s *Service) { s.maxConns = n }
+}
+
+// WithAdmission bounds in-flight work: at most maxInFlight requests may
+// be inside the handler at once, and requests over the budget are
+// answered immediately with MsgOverloaded instead of queueing without
+// bound behind a saturated engine. The budget is split by priority —
+// queries are capped at half the budget so location updates (the traffic
+// that keeps privacy state fresh) are never starved by a query flood,
+// and the observability types (metrics, traces, stats) are always
+// admitted so SLO checks can still see an overloaded daemon. Zero or
+// negative disables admission control.
+func WithAdmission(maxInFlight int) Option {
+	return func(s *Service) {
+		if maxInFlight > 0 {
+			s.admMax = maxInFlight
+			s.admQuery = maxInFlight / 2
+			if s.admQuery < 1 {
+				s.admQuery = 1
+			}
+		}
+	}
+}
+
+// Admission priority classes, sheddability-ordered: queries go first,
+// updates only at the hard cap, control traffic never.
+const (
+	admitAlways = iota // observability + negotiation: must survive overload
+	admitUpdate        // writes that keep privacy state fresh
+	admitQuery         // reads: shed first, callers can retry
+)
+
+// admissionClass buckets a message type for admission control.
+func admissionClass(typ byte) int {
+	switch typ {
+	case MsgMetrics, MsgTraces, MsgTraceNeg, MsgAnonStats, MsgStats:
+		return admitAlways
+	case MsgCloakQuery, MsgPrivateRange, MsgPrivateNN, MsgPublicCount,
+		MsgPublicNN, MsgContCount, MsgBatchQuery:
+		return admitQuery
+	default:
+		return admitUpdate
+	}
 }
 
 // WithDrainTimeout makes Close graceful: the listener stops immediately,
@@ -259,7 +322,15 @@ func (s *Service) serveConn(conn net.Conn) {
 			s.met.observe(obsTyp, time.Since(t0), traceID)
 		}
 		if herr != nil {
-			if s.met != nil {
+			// A deliberate shed travels as MsgOverloaded, not msgErr, and is
+			// counted as a rejection rather than a handler failure.
+			respType := msgErr
+			if errors.Is(herr, ErrOverloaded) {
+				respType = MsgOverloaded
+				if s.met != nil {
+					s.met.shed(obsTyp)
+				}
+			} else if s.met != nil {
 				s.met.errs.Inc()
 			}
 			var e Encoder
@@ -267,7 +338,7 @@ func (s *Service) serveConn(conn net.Conn) {
 			if s.met != nil {
 				s.met.bytesOut.Add(uint64(5 + len(e.Bytes())))
 			}
-			if WriteFrame(conn, msgErr, e.Bytes()) != nil {
+			if WriteFrame(conn, respType, e.Bytes()) != nil {
 				return
 			}
 			continue
@@ -317,6 +388,27 @@ func (s *Service) dispatch(typ byte, payload []byte) (resp []byte, obsTyp byte, 
 		// any instrumented service answers it without the per-service
 		// handlers knowing about it.
 		return encodeMetrics(s.met.reg.Export()), obsTyp, traceID, nil
+	}
+	if s.admMax > 0 {
+		if cls := admissionClass(obsTyp); cls != admitAlways {
+			limit := s.admMax
+			if cls == admitQuery {
+				limit = s.admQuery
+			}
+			if n := s.inflight.Add(1); int(n) > limit {
+				s.inflight.Add(-1)
+				if s.tracer != nil {
+					if sc, ok := trace.FromContext(ctx); ok {
+						sp := s.tracer.StartSpan(sc, "proto_shed")
+						sp.SetAttrs(trace.Str("type", MessageName(obsTyp)))
+						sp.End()
+					}
+				}
+				return nil, obsTyp, traceID, fmt.Errorf(
+					"%w: %s rejected at %d requests in flight", ErrOverloaded, MessageName(obsTyp), limit)
+			}
+			defer s.inflight.Add(-1)
+		}
 	}
 	resp, err = s.handler(ctx, obsTyp, payload)
 	return resp, obsTyp, traceID, err

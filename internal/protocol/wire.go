@@ -30,6 +30,11 @@ const (
 	MsgSetMode     byte = 6
 	MsgBatchUpdate byte = 7
 	MsgAnonStats   byte = 8
+	// MsgUpdateProfile replaces a registered user's privacy profile in
+	// place — the wire form of a "raise my k" flip, without the
+	// deregister/register round trip that would drop the user from the
+	// population mid-run.
+	MsgUpdateProfile byte = 9
 
 	// Database service.
 	MsgUpdatePrivate  byte = 10
@@ -70,6 +75,13 @@ const (
 	// OK with a version byte, everything else answers with the usual
 	// unknown-type error, which the client reads as "do not wrap".
 	MsgTraceNeg byte = 33
+
+	// MsgOverloaded is the admission-control rejection response: the
+	// service refused to start the request because its in-flight budget
+	// (or the anonymizer's forward queue, under backpressure) is
+	// exhausted. Distinct from msgErr so clients can tell a deliberate
+	// shed — retry later, peer healthy — from a handler failure.
+	MsgOverloaded byte = 34
 )
 
 // MessageName returns the stable label value used for per-message-type
@@ -94,6 +106,8 @@ func MessageName(typ byte) string {
 		return "batch_update"
 	case MsgAnonStats:
 		return "anon_stats"
+	case MsgUpdateProfile:
+		return "update_profile"
 	case MsgUpdatePrivate:
 		return "update_private"
 	case MsgRemovePrivate:
@@ -130,6 +144,8 @@ func MessageName(typ byte) string {
 		return "traces"
 	case MsgTraceNeg:
 		return "trace_neg"
+	case MsgOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("type_%d", typ)
 	}

@@ -1,0 +1,620 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cloak"
+	"repro/internal/mobility"
+	"repro/internal/obs"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Env is the live harness a Scenario drives: the booted stack, the
+// streaming city, the persistent worker connections, and the accounting
+// that feeds SLO evaluation.
+type Env struct {
+	cfg Config
+	sc  Scenario
+	st  *stack
+	gen *mobility.Stream
+
+	ctrl *protocol.AnonymizerClient // control plane: metrics/stats reads
+
+	tick     atomic.Uint64
+	stopTick chan struct{}
+
+	drivers []*driver
+
+	// acked marks users whose update was acknowledged at least once — the
+	// bitmap side of the acked-vs-resident consistency check. One flag per
+	// user is the harness's only O(users) state.
+	acked      []atomic.Bool
+	ops        atomic.Uint64
+	errs       atomic.Uint64
+	sheds      atomic.Uint64
+	profileK   atomic.Int64 // current population-wide k (after flips)
+	flipCursor uint64       // users flipped so far, for logging
+
+	mu       sync.Mutex
+	updLat   stats.Latencies
+	qryLat   stats.Latencies
+	recovery time.Duration
+
+	baseDrops, baseKMissed float64
+}
+
+// driver is one closed-loop worker's connection pair and RNG.
+type driver struct {
+	anon *protocol.AnonymizerClient
+	db   *protocol.DatabaseClient
+	src  *rng.Source
+}
+
+// tickInterval is how often the streamed city advances one tick — wall
+// time, deliberately unscaled so movement speed per second is constant
+// across -scale settings.
+const tickInterval = 50 * time.Millisecond
+
+// scenarioSeed mixes the scenario name into the run seed so every
+// scenario sees a distinct but reproducible city and workload.
+func scenarioSeed(seed uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ h.Sum64()
+}
+
+// Run executes one scenario end to end: boot, seed, drive, drain,
+// evaluate. The error return covers harness failures (cannot bind, cannot
+// seed); SLO violations land in the Result instead.
+func Run(sc Scenario, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if sc.Tune != nil {
+		sc.Tune(&cfg)
+	}
+	res := Result{Scenario: sc.Name}
+	t0 := time.Now()
+
+	st, err := newStack(cfg, sc.Link)
+	if err != nil {
+		return res, fmt.Errorf("scenario %s: stack: %w", sc.Name, err)
+	}
+	defer st.Close()
+
+	gen, err := mobility.NewStream(mobility.StreamSpec{
+		World: st.world, Seed: scenarioSeed(cfg.Seed, sc.Name), NumClusters: 24,
+	})
+	if err != nil {
+		return res, err
+	}
+	e := &Env{
+		cfg: cfg, sc: sc, st: st, gen: gen,
+		stopTick: make(chan struct{}),
+		acked:    make([]atomic.Bool, cfg.Users+1),
+	}
+	e.profileK.Store(int64(cfg.K))
+	defer e.teardown()
+
+	e.ctrl, err = protocol.DialAnonymizer(st.anonSvc.Addr(),
+		protocol.WithCallTimeout(stackCallTimeout))
+	if err != nil {
+		return res, err
+	}
+	dialOpts := []protocol.DialOption{
+		protocol.WithCallTimeout(stackCallTimeout),
+		protocol.WithRetries(1),
+		protocol.WithRetryBackoff(5*time.Millisecond, 100*time.Millisecond),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		ac, err := protocol.DialAnonymizer(st.anonSvc.Addr(), dialOpts...)
+		if err != nil {
+			return res, err
+		}
+		dc, err := protocol.DialDatabase(st.dbAddr, dialOpts...)
+		if err != nil {
+			ac.Close()
+			return res, err
+		}
+		e.drivers = append(e.drivers, &driver{
+			anon: ac, db: dc,
+			src: rng.New(scenarioSeed(cfg.Seed, sc.Name) + uint64(w)*7919),
+		})
+	}
+
+	if err := e.seed(); err != nil {
+		return res, fmt.Errorf("scenario %s: seed: %w", sc.Name, err)
+	}
+
+	// Baselines after seeding: the first k-1 users of a fresh city cannot
+	// have k neighbors, so seed-phase k misses are warmup, not violations.
+	series, err := e.anonSeries()
+	if err != nil {
+		return res, err
+	}
+	e.baseDrops = counterVal(series, "anon_forward_queue_drops_total")
+	e.baseKMissed = counterVal(series, "anon_cloak_k_missed_total")
+
+	go e.runTicker()
+	if err := sc.Run(e); err != nil {
+		return res, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	close(e.stopTick)
+
+	e.evaluate(&res)
+	res.Wall = time.Since(t0)
+	return res, nil
+}
+
+func (e *Env) teardown() {
+	if e.ctrl != nil {
+		e.ctrl.Close()
+	}
+	for _, d := range e.drivers {
+		d.anon.Close()
+		d.db.Close()
+	}
+}
+
+func (e *Env) runTicker() {
+	t := time.NewTicker(tickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.tick.Add(1)
+		case <-e.stopTick:
+			return
+		}
+	}
+}
+
+// Log writes a progress line through the run's logger.
+func (e *Env) Log(format string, args ...interface{}) { e.cfg.Logf(format, args...) }
+
+// scaled applies the run's time-scale to a phase duration.
+func (e *Env) scaled(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * e.cfg.Scale)
+}
+
+// seed loads the public objects, registers every user, and streams one
+// full round of location updates through the pipeline so the database
+// holds the whole population before any adversity starts.
+func (e *Env) seed() error {
+	objPts, err := mobility.GeneratePoints(mobility.PopulationSpec{
+		N: e.cfg.Objects, World: e.st.world, Dist: mobility.Uniform,
+		Seed: scenarioSeed(e.cfg.Seed, e.sc.Name) + 1,
+	})
+	if err != nil {
+		return err
+	}
+	objs := make([]server.PublicObject, len(objPts))
+	for i, p := range objPts {
+		objs[i] = server.PublicObject{ID: uint64(i + 1), Class: "poi", Loc: p}
+	}
+	setup, err := protocol.DialDatabase(e.st.dbAddr, protocol.WithCallTimeout(stackCallTimeout))
+	if err != nil {
+		return err
+	}
+	defer setup.Close()
+	if err := setup.LoadStationary(objs); err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	prof := privacy.Constant(privacy.Requirement{K: e.cfg.K})
+	if err := e.eachUserShard(func(d *driver, from, to uint64) error {
+		for id := from; id <= to; id++ {
+			id := id
+			if err := e.overloadRetry(func() error { return d.anon.Register(id, prof) }); err != nil {
+				return fmt.Errorf("register %d: %w", id, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := e.eachUserShard(func(d *driver, from, to uint64) error {
+		// Small chunks keep each wire call far inside its deadline even
+		// when a scenario's fault plan throttles the shared forward link
+		// phase 3 of the batch pipeline drains through.
+		const chunk = 256
+		for lo := from; lo <= to; lo += chunk {
+			hi := lo + chunk - 1
+			if hi > to {
+				hi = to
+			}
+			reqs := make([]cloak.Request, 0, hi-lo+1)
+			for id := lo; id <= hi; id++ {
+				reqs = append(reqs, cloak.Request{ID: id, Loc: e.gen.Pos(id, 0, nil)})
+			}
+			var results []*cloak.Result
+			if err := e.overloadRetry(func() error {
+				var err error
+				results, err = d.anon.BatchUpdate(reqs)
+				return err
+			}); err != nil {
+				return fmt.Errorf("seed batch at %d: %w", lo, err)
+			}
+			for i, r := range results {
+				if r != nil {
+					e.acked[reqs[i].ID].Store(true)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := e.waitDrain(60 * time.Second); err != nil {
+		return err
+	}
+	if got := e.st.srv.PrivateUserCount(); got != e.cfg.Users {
+		return fmt.Errorf("database holds %d users after seeding, want %d", got, e.cfg.Users)
+	}
+	e.Log("seeded %d users + %d objects in %v", e.cfg.Users, e.cfg.Objects,
+		time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+// overloadRetry runs fn until it stops answering a typed shed — seeding
+// and control-plane sweeps must make progress even under a deliberately
+// tiny admission budget, and a shed's contract is "back off and retry".
+func (e *Env) overloadRetry(fn func() error) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := fn()
+		if err == nil || !errors.Is(err, protocol.ErrOverloaded) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("still overloaded after 30s: %w", err)
+		}
+		e.sheds.Add(1)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// eachUserShard fans a contiguous id-range task out over the worker
+// connections and collects the first error.
+func (e *Env) eachUserShard(fn func(d *driver, from, to uint64) error) error {
+	var wg sync.WaitGroup
+	errc := make(chan error, len(e.drivers))
+	per := (e.cfg.Users + len(e.drivers) - 1) / len(e.drivers)
+	for w, d := range e.drivers {
+		from := uint64(w*per) + 1
+		to := uint64((w + 1) * per)
+		if to > uint64(e.cfg.Users) {
+			to = uint64(e.cfg.Users)
+		}
+		if from > to {
+			continue
+		}
+		wg.Add(1)
+		go func(d *driver, from, to uint64) {
+			defer wg.Done()
+			if err := fn(d, from, to); err != nil {
+				errc <- err
+			}
+		}(d, from, to)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Drive runs one closed-loop phase across all workers.
+func (e *Env) Drive(ph Phase) error {
+	dur := e.scaled(ph.Dur)
+	e.Log("phase %-14s %v (query%%=%d hotspot=%v)", ph.Name, dur.Round(time.Millisecond), ph.QueryPct, ph.Hot != nil)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for _, d := range e.drivers {
+		wg.Add(1)
+		go func(d *driver) {
+			defer wg.Done()
+			e.driveWorker(d, ph, deadline)
+		}(d)
+	}
+	wg.Wait()
+	return nil
+}
+
+func (e *Env) driveWorker(d *driver, ph Phase, deadline time.Time) {
+	var upd, qry stats.Latencies
+	for time.Now().Before(deadline) {
+		tick := e.tick.Load()
+		if d.src.Intn(100) < ph.QueryPct {
+			id := uint64(d.src.Intn(e.cfg.Users)) + 1
+			loc := e.gen.Pos(id, tick, ph.Hot)
+			t := time.Now()
+			res, err := d.anon.CloakQuery(id, loc)
+			if err == nil {
+				var nn server.PrivateNNResult
+				nn, err = d.db.PrivateNN(server.PrivateNNQuery{Region: res.Region, Class: "poi"})
+				if err == nil {
+					server.RefineNN(loc, nn.Candidates)
+				}
+			}
+			e.ops.Add(1)
+			e.account(err, ph, time.Since(t), &qry)
+			continue
+		}
+		reqs := make([]cloak.Request, e.cfg.Batch)
+		for i := range reqs {
+			id := uint64(d.src.Intn(e.cfg.Users)) + 1
+			reqs[i] = cloak.Request{ID: id, Loc: e.gen.Pos(id, tick, ph.Hot)}
+		}
+		t := time.Now()
+		results, err := d.anon.BatchUpdate(reqs)
+		e.ops.Add(uint64(len(reqs)))
+		if err != nil {
+			e.account(err, ph, 0, nil)
+			continue
+		}
+		upd.Add(time.Since(t))
+		for i, r := range results {
+			if r == nil {
+				// Under backpressure a nil entry is a typed per-entry shed;
+				// the inputs are valid by construction, so nothing else
+				// produces one here.
+				e.sheds.Add(1)
+			} else {
+				e.acked[reqs[i].ID].Store(true)
+			}
+		}
+	}
+	e.mu.Lock()
+	e.updLat.Merge(&upd)
+	e.qryLat.Merge(&qry)
+	e.mu.Unlock()
+}
+
+// account books one operation outcome: typed sheds are backoff signals,
+// hard errors count toward the error-rate SLO unless the phase declared
+// them expected (e.g. querying a killed database).
+func (e *Env) account(err error, ph Phase, d time.Duration, lat *stats.Latencies) {
+	switch {
+	case err == nil:
+		if lat != nil {
+			lat.Add(d)
+		}
+	case errors.Is(err, protocol.ErrOverloaded):
+		e.sheds.Add(1)
+		time.Sleep(2 * time.Millisecond) // honor the backoff the shed asks for
+	default:
+		if !ph.AllowErrors {
+			e.errs.Add(1)
+		}
+	}
+}
+
+// KillDB takes the database tier down, leaving its address free for a
+// restart. Updates must keep flowing into the spill queue.
+func (e *Env) KillDB() {
+	e.Log("killing database at %s", e.st.dbAddr)
+	e.st.killDB()
+}
+
+// RestartDB brings the database back on the same address. fromSnapshot
+// discards the process state and restores the last SaveSnapshot — the
+// rolling-restart path; plain restart keeps the in-memory state (a
+// network-only outage).
+func (e *Env) RestartDB(fromSnapshot bool) error {
+	e.Log("restarting database (snapshot=%v)", fromSnapshot)
+	return e.st.restartDB(fromSnapshot)
+}
+
+// SaveSnapshot persists the database state for a later snapshot restart.
+func (e *Env) SaveSnapshot() error { return e.st.saveSnapshot() }
+
+// FlipProfiles raises (or lowers) every user's k at once — the mass
+// privacy-dial flip. The flip is capped at 50k users per call so a
+// million-user run doesn't serialize forever; the cap is logged, never
+// silent.
+func (e *Env) FlipProfiles(newK int) error {
+	n := e.cfg.Users
+	const flipCap = 50000
+	if n > flipCap {
+		e.Log("profile flip capped at %d of %d users", flipCap, n)
+		n = flipCap
+	}
+	e.Log("flipping %d profiles to k=%d", n, newK)
+	prof := privacy.Constant(privacy.Requirement{K: newK})
+	err := e.eachUserShard(func(d *driver, from, to uint64) error {
+		if from > uint64(n) {
+			return nil
+		}
+		if to > uint64(n) {
+			to = uint64(n)
+		}
+		for id := from; id <= to; id++ {
+			if err := d.anon.UpdateProfile(id, prof); err != nil {
+				if errors.Is(err, protocol.ErrOverloaded) {
+					e.sheds.Add(1)
+					id-- // retry after the backoff the shed asks for
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				return fmt.Errorf("flip %d: %w", id, err)
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		e.profileK.Store(int64(newK))
+		e.flipCursor += uint64(n)
+	}
+	return err
+}
+
+// AwaitRecovery blocks until the pipeline reports healthy — spill queue
+// drained and forward breaker closed, both read from the anonymizer's
+// live metrics endpoint — and records how long that took. The hard cap is
+// generous; the SLO judges the recorded duration.
+func (e *Env) AwaitRecovery() error {
+	t0 := time.Now()
+	hardCap := 60 * time.Second
+	for time.Since(t0) < hardCap {
+		series, err := e.anonSeries()
+		if err == nil {
+			depth := gaugeVal(series, "anon_forward_queue_depth")
+			breaker := gaugeVal(series, "proto_breaker_state")
+			if depth == 0 && breaker == 0 {
+				e.mu.Lock()
+				e.recovery = time.Since(t0)
+				e.mu.Unlock()
+				e.Log("recovered in %v", time.Since(t0).Round(time.Millisecond))
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	e.mu.Lock()
+	e.recovery = hardCap
+	e.mu.Unlock()
+	return fmt.Errorf("pipeline did not recover within %v", hardCap)
+}
+
+// waitDrain waits for the spill queue to empty (ignoring breaker state —
+// used after seeding and at teardown).
+func (e *Env) waitDrain(within time.Duration) error {
+	t0 := time.Now()
+	for time.Since(t0) < within {
+		series, err := e.anonSeries()
+		if err == nil && gaugeVal(series, "anon_forward_queue_depth") == 0 {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("spill queue not drained within %v", within)
+}
+
+// anonSeries pulls the anonymizer daemon's full metric snapshot over the
+// wire. MsgMetrics is in the always-admitted class, so this keeps working
+// while the daemon sheds load — the property that makes overload
+// observable at all.
+func (e *Env) anonSeries() ([]obs.MetricSnapshot, error) { return e.ctrl.Metrics() }
+
+// evaluate reads the final daemon-side metrics and scores every SLO.
+func (e *Env) evaluate(res *Result) {
+	res.Ops = e.ops.Load()
+	res.Errors = e.errs.Load()
+	res.Sheds = e.sheds.Load()
+	e.mu.Lock()
+	res.Recovery = e.recovery
+	e.mu.Unlock()
+
+	violate := func(slo, format string, args ...interface{}) {
+		res.Violations = append(res.Violations, Violation{SLO: slo, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if err := e.waitDrain(30 * time.Second); err != nil {
+		violate("drain", "%v", err)
+	}
+	series, err := e.anonSeries()
+	if err != nil {
+		violate("observability", "metrics endpoint unreadable at teardown: %v", err)
+		return
+	}
+
+	// Zero lost updates: an eviction is an acknowledged update that
+	// silently died — the failure mode backpressure exists to prevent.
+	res.LostUpdates = uint64(counterVal(series, "anon_forward_queue_drops_total") - e.baseDrops)
+	if res.LostUpdates > 0 {
+		violate("zero-lost-updates", "%d acked updates evicted from the spill queue (anon_forward_queue_drops_total)", res.LostUpdates)
+	}
+
+	// k never violated after warmup.
+	res.KViolations = uint64(counterVal(series, "anon_cloak_k_missed_total") - e.baseKMissed)
+	if res.KViolations > 0 {
+		violate("k-anonymity", "%d post-seed cloaks missed k (anon_cloak_k_missed_total)", res.KViolations)
+	}
+
+	// Acked-vs-resident consistency: every user whose update was ever
+	// acknowledged must be resident in the database after the drain.
+	ackedUsers := 0
+	for i := 1; i <= e.cfg.Users; i++ {
+		if e.acked[i].Load() {
+			ackedUsers++
+		}
+	}
+	if resident := e.st.srv.PrivateUserCount(); resident < ackedUsers {
+		violate("consistency", "database resident count %d < %d acked users", resident, ackedUsers)
+	}
+
+	// Latency budgets from the daemon's own request histograms.
+	res.UpdateP99 = histP99(series, "proto_request_seconds", "update", "batch_update")
+	res.QueryP99 = histP99(series, "proto_request_seconds", "cloak_query")
+	if e.sc.SLO.UpdateP99 > 0 && res.UpdateP99 > e.sc.SLO.UpdateP99 {
+		violate("update-p99", "daemon-side update p99 %v > budget %v", res.UpdateP99, e.sc.SLO.UpdateP99)
+	}
+	if e.sc.SLO.QueryP99 > 0 && res.QueryP99 > e.sc.SLO.QueryP99 {
+		violate("query-p99", "daemon-side cloak-query p99 %v > budget %v", res.QueryP99, e.sc.SLO.QueryP99)
+	}
+
+	if e.sc.SLO.MaxErrorRate >= 0 && res.Ops > 0 {
+		rate := float64(res.Errors) / float64(res.Ops)
+		if rate > e.sc.SLO.MaxErrorRate {
+			violate("error-rate", "hard-error rate %.4f > budget %.4f (%d/%d)", rate, e.sc.SLO.MaxErrorRate, res.Errors, res.Ops)
+		}
+	}
+	if e.sc.SLO.RecoverWithin > 0 && res.Recovery > e.sc.SLO.RecoverWithin {
+		violate("recovery", "pipeline recovery took %v > budget %v", res.Recovery, e.sc.SLO.RecoverWithin)
+	}
+}
+
+// counterVal reads one counter from a wire snapshot (0 when absent).
+func counterVal(series []obs.MetricSnapshot, name string) float64 {
+	for _, s := range series {
+		if s.Name == name && s.Kind == obs.KindCounter {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// gaugeVal reads one gauge from a wire snapshot (0 when absent).
+func gaugeVal(series []obs.MetricSnapshot, name string) float64 {
+	for _, s := range series {
+		if s.Name == name && s.Kind == obs.KindGauge {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// histP99 returns the worst p99 across the named histogram's series whose
+// "type" label matches any of types (0 when none has observations).
+func histP99(series []obs.MetricSnapshot, name string, types ...string) time.Duration {
+	var worst float64
+	for _, s := range series {
+		if s.Name != name || s.Kind != obs.KindHistogram || s.Hist.Count() == 0 {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Key != "type" {
+				continue
+			}
+			for _, t := range types {
+				if l.Value == t {
+					if q := s.Hist.Quantile(99); q > worst {
+						worst = q
+					}
+				}
+			}
+		}
+	}
+	return time.Duration(worst * float64(time.Second))
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+)
+
+// tinyCfg keeps engine smoke tests inside test-suite budgets: a small
+// city, short phases, the overload machinery on.
+func tinyCfg() Config {
+	return Config{
+		Users: 600, Objects: 200, K: 5,
+		Workers: 4, Batch: 8,
+		Seed: 42, Scale: 0.05,
+		Admission: true, MaxInflight: 64,
+	}
+}
+
+func TestCatalogFindRoundTrip(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 7 {
+		t.Fatalf("catalog has %d scenarios, want >= 7", len(cat))
+	}
+	for _, sc := range cat {
+		got, ok := Find(sc.Name)
+		if !ok || got.Name != sc.Name {
+			t.Fatalf("Find(%q) = %v, %v", sc.Name, got.Name, ok)
+		}
+		if sc.Run == nil || sc.Desc == "" {
+			t.Fatalf("scenario %q missing Run or Desc", sc.Name)
+		}
+	}
+	if _, ok := Find("no_such_scenario"); ok {
+		t.Fatal("Find accepted an unknown scenario name")
+	}
+}
+
+// TestEngineSmokePasses runs a short hotspot scenario through the full
+// stack and expects a clean verdict: operations flowed, nothing was lost,
+// k held after warmup.
+func TestEngineSmokePasses(t *testing.T) {
+	sc := Scenario{
+		Name: "smoke",
+		Desc: "short hotspot drive",
+		SLO:  SLO{MaxErrorRate: 0.001},
+		Run: func(e *Env) error {
+			hot := &mobility.Hotspot{Center: geo.Pt(0.3, 0.3), Frac: 0.5, Pull: 0.8}
+			if err := e.Drive(Phase{Name: "base", Dur: 4 * time.Second, QueryPct: 20}); err != nil {
+				return err
+			}
+			return e.Drive(Phase{Name: "hot", Dur: 4 * time.Second, Hot: hot, QueryPct: 20})
+		},
+	}
+	res, err := Run(sc, tinyCfg())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("smoke scenario failed: %v", res.Violations)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations driven")
+	}
+	if res.LostUpdates != 0 || res.KViolations != 0 {
+		t.Fatalf("lost=%d kviol=%d, want 0/0", res.LostUpdates, res.KViolations)
+	}
+}
+
+// TestOutageWithoutAdmissionLosesUpdates is the verdict-logic pin for the
+// load-bearing claim: with the overload machinery disabled, an outage
+// under a small spill queue evicts acked updates and the engine must
+// report the zero-lost-updates violation.
+func TestOutageWithoutAdmissionLosesUpdates(t *testing.T) {
+	sc := Scenario{
+		Name: "outage_unprotected",
+		Desc: "db killed with eviction-mode queue",
+		SLO:  SLO{MaxErrorRate: 0.001, RecoverWithin: 30 * time.Second},
+		Tune: func(cfg *Config) { cfg.ForwardQueue = 64 },
+		Run: func(e *Env) error {
+			if err := e.Drive(Phase{Name: "base", Dur: 2 * time.Second, QueryPct: 0}); err != nil {
+				return err
+			}
+			e.KillDB()
+			if err := e.Drive(Phase{Name: "outage", Dur: 4 * time.Second, QueryPct: 0}); err != nil {
+				return err
+			}
+			if err := e.RestartDB(false); err != nil {
+				return err
+			}
+			return e.AwaitRecovery()
+		},
+	}
+	cfg := tinyCfg()
+	cfg.Admission = false
+	cfg.Scale = 0.25
+	res, err := Run(sc, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Passed() {
+		t.Fatal("unprotected outage passed; expected lost-update violation")
+	}
+	if res.LostUpdates == 0 {
+		t.Fatalf("LostUpdates = 0, want > 0; violations: %v", res.Violations)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.SLO == "zero-lost-updates" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no zero-lost-updates violation recorded: %v", res.Violations)
+	}
+}
+
+// TestOutageWithAdmissionHoldsTheLine is the same outage with the
+// machinery on: the queue rejects typed instead of evicting, so nothing
+// acked is lost and the run passes.
+func TestOutageWithAdmissionHoldsTheLine(t *testing.T) {
+	sc := Scenario{
+		Name: "outage_protected",
+		Desc: "db killed with backpressure on",
+		SLO:  SLO{MaxErrorRate: 0.001, RecoverWithin: 30 * time.Second},
+		Tune: func(cfg *Config) { cfg.ForwardQueue = 64 },
+		Run: func(e *Env) error {
+			if err := e.Drive(Phase{Name: "base", Dur: 2 * time.Second, QueryPct: 0}); err != nil {
+				return err
+			}
+			e.KillDB()
+			if err := e.Drive(Phase{Name: "outage", Dur: 4 * time.Second, QueryPct: 0}); err != nil {
+				return err
+			}
+			if err := e.RestartDB(false); err != nil {
+				return err
+			}
+			return e.AwaitRecovery()
+		},
+	}
+	cfg := tinyCfg()
+	cfg.Scale = 0.25
+	res, err := Run(sc, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("protected outage failed: %v", res.Violations)
+	}
+	if res.Sheds == 0 {
+		t.Fatal("expected typed sheds while the queue was saturated")
+	}
+	if res.LostUpdates != 0 {
+		t.Fatalf("LostUpdates = %d, want 0", res.LostUpdates)
+	}
+}

@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/anonymizer"
+	"repro/internal/faults"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/server"
+)
+
+// stack is the in-process three-tier deployment under test: a real
+// database service and a real anonymizer service on loopback TCP, wired
+// exactly as the production daemons wire themselves (spill queue, lazy
+// redial, client metrics in the daemon registry), plus the kill/restart
+// levers the outage scenarios pull.
+type stack struct {
+	world geo.Rect
+	cfg   Config
+
+	srv    *server.Server
+	dbSvc  *protocol.Service
+	dbAddr string
+	dbReg  *obs.Registry
+
+	fwd     *protocol.DatabaseClient
+	anon    *anonymizer.Anonymizer
+	anonSvc *protocol.Service
+	anonReg *obs.Registry
+
+	snapDir string
+}
+
+const stackCallTimeout = 2 * time.Second
+
+// newStack boots the tiers. link, when non-nil, is a fault plan installed
+// on the anonymizer→database forward connections (the slow-link dial).
+func newStack(cfg Config, link func(conn int) []faults.Rule) (*stack, error) {
+	st := &stack{world: geo.R(0, 0, 1, 1), cfg: cfg}
+
+	st.dbReg = obs.NewRegistry()
+	srv, err := server.New(server.Config{World: st.world, Metrics: st.dbReg})
+	if err != nil {
+		return nil, err
+	}
+	st.srv = srv
+	st.dbSvc, err = st.serveDB("127.0.0.1:0", srv)
+	if err != nil {
+		return nil, err
+	}
+	st.dbAddr = st.dbSvc.Addr()
+
+	st.anonReg = obs.NewRegistry()
+	fwdOpts := []protocol.DialOption{
+		protocol.WithLazyDial(),
+		protocol.WithCallTimeout(stackCallTimeout),
+		protocol.WithClientMetrics(st.anonReg),
+		protocol.WithRetryBackoff(5*time.Millisecond, 100*time.Millisecond),
+	}
+	if link != nil {
+		fwdOpts = append(fwdOpts, protocol.WithDialer(faults.Dialer(link)))
+	}
+	st.fwd, err = protocol.DialDatabase(st.dbAddr, fwdOpts...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.anon, err = anonymizer.New(anonymizer.Config{
+		World:               st.world,
+		Forward:             st.fwd.UpdatePrivate,
+		ForwardCtx:          st.fwd.UpdatePrivateCtx,
+		ForwardQueue:        cfg.ForwardQueue,
+		ForwardBackpressure: cfg.Admission,
+		ForwardRetryBase:    10 * time.Millisecond,
+		ForwardRetryMax:     200 * time.Millisecond,
+		Metrics:             st.anonReg,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	anonOpts := []protocol.Option{protocol.WithMetrics(st.anonReg)}
+	if cfg.Admission {
+		anonOpts = append(anonOpts, protocol.WithAdmission(cfg.MaxInflight))
+	}
+	st.anonSvc, err = protocol.ServeAnonymizer("127.0.0.1:0", st.anon, cfg.Logf, anonOpts...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	st.snapDir, err = os.MkdirTemp("", "lbssoak-snap-")
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *stack) serveDB(addr string, srv *server.Server) (*protocol.Service, error) {
+	opts := []protocol.Option{protocol.WithMetrics(st.dbReg)}
+	if st.cfg.Admission {
+		opts = append(opts, protocol.WithAdmission(st.cfg.MaxInflight))
+	}
+	return protocol.ServeDatabase(addr, srv, st.cfg.Logf, opts...)
+}
+
+// killDB stops the database service, keeping its address for a later
+// restart. The server state stays in memory (a plain outage); rolling
+// restarts discard it and recover from the snapshot instead.
+func (st *stack) killDB() {
+	if st.dbSvc != nil {
+		st.dbSvc.Close()
+		st.dbSvc = nil
+	}
+}
+
+// restartDB rebinds the database address. fromSnapshot discards the old
+// process state and restores a brand-new server from the latest snapshot
+// file — the rolling-restart path; otherwise the surviving in-memory
+// server simply starts listening again.
+func (st *stack) restartDB(fromSnapshot bool) error {
+	if st.dbSvc != nil {
+		return fmt.Errorf("scenario: database already running")
+	}
+	if fromSnapshot {
+		srv, err := server.New(server.Config{World: st.world, Metrics: obs.NewRegistry()})
+		if err != nil {
+			return err
+		}
+		if err := srv.LoadSnapshot(st.snapPath()); err != nil {
+			return fmt.Errorf("scenario: restore snapshot: %w", err)
+		}
+		st.srv = srv
+	}
+	svc, err := st.serveDB(st.dbAddr, st.srv)
+	if err != nil {
+		return fmt.Errorf("scenario: rebind %s: %w", st.dbAddr, err)
+	}
+	st.dbSvc = svc
+	return nil
+}
+
+func (st *stack) snapPath() string { return filepath.Join(st.snapDir, "lbsd.snap") }
+
+// saveSnapshot persists the current database state — taken right before a
+// rolling restart kills the process.
+func (st *stack) saveSnapshot() error { return st.srv.SaveSnapshot(st.snapPath()) }
+
+func (st *stack) Close() {
+	if st.anonSvc != nil {
+		st.anonSvc.Close()
+	}
+	if st.anon != nil {
+		st.anon.Close()
+	}
+	if st.fwd != nil {
+		st.fwd.Close()
+	}
+	if st.dbSvc != nil {
+		st.dbSvc.Close()
+	}
+	if st.snapDir != "" {
+		os.RemoveAll(st.snapDir)
+	}
+}
