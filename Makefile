@@ -25,12 +25,13 @@ soak: build
 	$(GO) run ./cmd/lbssoak -seed 1
 
 # The CI soak gate: a reduced city and compressed phase durations, still
-# covering an overload-heavy subset end to end.
+# covering an overload-heavy subset end to end (shard_kill runs the
+# routed multi-shard database tier).
 soak-short: build
-	$(GO) run ./cmd/lbssoak -scenarios flash_crowd,db_outage,query_flood \
+	$(GO) run ./cmd/lbssoak -scenarios flash_crowd,db_outage,shard_kill,query_flood \
 		-users 8000 -objs 2000 -workers 8 -scale 0.4 -seed 7
 
 fuzz-smoke:
-	@for target in FuzzReadFrame FuzzDecodeProfile FuzzDecodeResult FuzzDecodeMetrics FuzzDecodeTraced FuzzDecodeSpans; do \
+	@for target in FuzzReadFrame FuzzDecodeProfile FuzzDecodeResult FuzzDecodeMetrics FuzzDecodeTraced FuzzDecodeSpans FuzzDecodeShardMap FuzzDecodeSubQueries FuzzDecodeSubResults; do \
 		$(GO) test ./internal/protocol/ -run='^$$' -fuzz="^$$target\$$" -fuzztime=10s || exit 1; \
 	done

@@ -53,6 +53,7 @@ var experiments = []experiment{
 	{"E15", "ablation — region index vs full scan", expRegionIndex},
 	{"E16", "sharded parallel anonymizer pipeline (regression harness)", expParallel},
 	{"E17", "shared-execution batch query engine (regression harness)", expServerBatch},
+	{"E20", "spatially-partitioned routing tier — 1 shard vs N shards (TCP)", expRouterScale},
 }
 
 // Bench-harness knobs shared with exp_parallel.go.

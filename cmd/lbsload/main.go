@@ -37,6 +37,7 @@ import (
 	"repro/internal/privacy"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -136,6 +137,7 @@ func main() {
 	batch := flag.Int("batch", 1, "locations per update message (BatchUpdate when > 1)")
 	queryBatch := flag.Int("query-batch", 1, "admin queries per database message (shared-execution BatchQuery when > 1)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "selfhost: anonymizer state shards")
+	routerShards := flag.Int("router", 0, "selfhost: boot this many lbsd shards behind a routing tier and load that as the database (0 = single lbsd)")
 	anonWorkers := flag.Int("anon-workers", runtime.GOMAXPROCS(0), "selfhost: anonymizer batch worker pool")
 	queryWorkers := flag.Int("query-workers", 0, "selfhost: database batch-query worker pool (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -185,17 +187,25 @@ func main() {
 			anonTracer = trace.New(trace.Config{Process: "anonymizer"})
 		}
 		dbReg := obs.NewRegistry()
-		srv, err := server.New(server.Config{World: world, Metrics: dbReg, QueryWorkers: *queryWorkers, Tracer: dbTracer})
-		if err != nil {
-			log.Fatalf("lbsload: %v", err)
+		var dbTierAddr string
+		if *routerShards > 1 {
+			addr, cleanup := selfhostRouter(world, *routerShards, *queryWorkers, dbReg, dbTracer, quiet)
+			defer cleanup()
+			dbTierAddr = addr
+		} else {
+			srv, err := server.New(server.Config{World: world, Metrics: dbReg, QueryWorkers: *queryWorkers, Tracer: dbTracer})
+			if err != nil {
+				log.Fatalf("lbsload: %v", err)
+			}
+			dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet, protocol.WithMetrics(dbReg),
+				protocol.WithTracing(dbTracer))
+			if err != nil {
+				log.Fatalf("lbsload: %v", err)
+			}
+			defer dbSvc.Close()
+			dbTierAddr = dbSvc.Addr()
 		}
-		dbSvc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet, protocol.WithMetrics(dbReg),
-			protocol.WithTracing(dbTracer))
-		if err != nil {
-			log.Fatalf("lbsload: %v", err)
-		}
-		defer dbSvc.Close()
-		fwd, err := protocol.DialDatabase(dbSvc.Addr(), protocol.WithCallTimeout(*callTimeout),
+		fwd, err := protocol.DialDatabase(dbTierAddr, protocol.WithCallTimeout(*callTimeout),
 			protocol.WithClientTracing(anonTracer))
 		if err != nil {
 			log.Fatalf("lbsload: %v", err)
@@ -217,9 +227,13 @@ func main() {
 		}
 		defer anonSvc.Close()
 		*anonAddr = anonSvc.Addr()
-		*dbAddr = dbSvc.Addr()
-		log.Printf("lbsload: self-hosted stack at anon=%s db=%s (%d shards, %d batch workers)",
-			*anonAddr, *dbAddr, anon.Shards(), anon.BatchWorkers())
+		*dbAddr = dbTierAddr
+		tier := "single lbsd"
+		if *routerShards > 1 {
+			tier = fmt.Sprintf("router over %d lbsd shards", *routerShards)
+		}
+		log.Printf("lbsload: self-hosted stack at anon=%s db=%s (%s, %d anon shards, %d batch workers)",
+			*anonAddr, *dbAddr, tier, anon.Shards(), anon.BatchWorkers())
 	}
 
 	// Seed the deployment: public objects + registered users.
@@ -491,6 +505,62 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\ncheck ok: zero lost updates, zero post-seed k violations\n")
+	}
+}
+
+// selfhostRouter boots the routed database tier for -selfhost -router N:
+// N lbsd shards on loopback (each with a private registry, so per-service
+// series don't collide) behind a routing service that carries the shared
+// registry and tracer — the address it returns answers MsgMetrics and
+// MsgSpans exactly as a single lbsd would, so every table and trace merge
+// below works unchanged.
+func selfhostRouter(world geo.Rect, shards, queryWorkers int, reg *obs.Registry, tracer *trace.Tracer,
+	quiet func(string, ...interface{})) (string, func()) {
+	var (
+		svcs  []*protocol.Service
+		conns []*protocol.DatabaseClient
+		links []router.Shard
+		addrs []string
+	)
+	for i := 0; i < shards; i++ {
+		srv, err := server.New(server.Config{World: world, Metrics: obs.NewRegistry(), QueryWorkers: queryWorkers})
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		svc, err := protocol.ServeDatabase("127.0.0.1:0", srv, quiet)
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		svcs = append(svcs, svc)
+		addrs = append(addrs, svc.Addr())
+		link, err := protocol.DialDatabase(svc.Addr(),
+			protocol.WithLazyDial(),
+			protocol.WithCallTimeout(10*time.Second),
+			protocol.WithClientMetrics(reg),
+			protocol.WithClientTracing(tracer))
+		if err != nil {
+			log.Fatalf("lbsload: %v", err)
+		}
+		conns = append(conns, link)
+		links = append(links, link)
+	}
+	rt, err := router.New(router.Config{World: world, Shards: links, Addrs: addrs, Metrics: reg, Tracer: tracer})
+	if err != nil {
+		log.Fatalf("lbsload: %v", err)
+	}
+	rtSvc, err := protocol.ServeRouter("127.0.0.1:0", rt, quiet,
+		protocol.WithMetrics(reg), protocol.WithTracing(tracer))
+	if err != nil {
+		log.Fatalf("lbsload: %v", err)
+	}
+	return rtSvc.Addr(), func() {
+		rtSvc.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, s := range svcs {
+			s.Close()
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+// Command lbsrouter runs the spatially-partitioned routing tier: a thin
+// server that spreads one logical privacy-aware database over N lbsd
+// shards. Space is cut into a grid of tiles, tiles are assigned to
+// shards by consistent hashing, and every request is scattered to
+// exactly the shards whose tiles its rectangle intersects, then gathered
+// back through the same combination rules the single server uses — so
+// clients dial a router exactly as they dial one lbsd and read
+// bit-identical answers.
+//
+// Shard links carry per-call deadlines, bounded retries with jittered
+// backoff, and a failure breaker, so one dead shard degrades only the
+// queries touching its tiles. With -max-inflight set, the router sheds
+// load at the edge with typed overload rejections before the fan-out
+// amplifies it.
+//
+// Usage:
+//
+//	lbsrouter -addr :7080 -shards 127.0.0.1:7070,127.0.0.1:7071 -world 1.0
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":7080", "listen address")
+	shardList := flag.String("shards", "", "comma-separated lbsd shard addresses (required)")
+	worldSize := flag.Float64("world", 1.0, "world is the square [0,size]², identical to every shard's")
+	tiles := flag.Int("tiles", 0, "grid resolution per axis (0 = default 16)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default 64)")
+	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-call deadline on shard links")
+	retries := flag.Int("retries", 2, "transport retries per idempotent shard call")
+	breakAfter := flag.Int("break-after", 5, "consecutive shard-link failures before the breaker opens (0 = no breaker)")
+	breakCooldown := flag.Duration("break-cooldown", 500*time.Millisecond, "breaker open duration before a probe")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "admission budget: max in-flight requests before typed overload rejection, queries capped at half (0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", 0, "drop connections idle for this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "grace for in-flight requests on shutdown")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of traced requests to record spans for (0 = tracing off, 1 = all)")
+	traceSlow := flag.Duration("trace-slow", 0, "pin spans at least this slow in the slow-trace ring regardless of ring wraparound (0 = off)")
+	flag.Parse()
+
+	if *shardList == "" {
+		log.Fatalf("lbsrouter: -shards is required (comma-separated lbsd addresses)")
+	}
+	var addrs []string
+	for _, a := range strings.Split(*shardList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 || len(addrs) > router.MaxShards {
+		log.Fatalf("lbsrouter: need between 1 and %d shard addresses, got %d", router.MaxShards, len(addrs))
+	}
+
+	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			Process:       "lbsrouter",
+			Sample:        *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+		log.Printf("lbsrouter: tracing %.3g of traced requests (slow threshold %v)", *traceSample, *traceSlow)
+	}
+
+	dialOpts := []protocol.DialOption{
+		protocol.WithLazyDial(),
+		protocol.WithCallTimeout(*callTimeout),
+		protocol.WithRetries(*retries),
+		protocol.WithClientMetrics(reg),
+		protocol.WithClientTracing(tracer),
+	}
+	if *breakAfter > 0 {
+		dialOpts = append(dialOpts, protocol.WithBreaker(*breakAfter, *breakCooldown))
+	}
+	links := make([]router.Shard, len(addrs))
+	for i, a := range addrs {
+		link, err := protocol.DialDatabase(a, dialOpts...)
+		if err != nil {
+			log.Fatalf("lbsrouter: shard %d (%s): %v", i, a, err)
+		}
+		defer link.Close()
+		links[i] = link
+	}
+
+	rt, err := router.New(router.Config{
+		World:   geo.R(0, 0, *worldSize, *worldSize),
+		Shards:  links,
+		Addrs:   addrs,
+		Tiles:   *tiles,
+		VNodes:  *vnodes,
+		Metrics: reg,
+		Tracer:  tracer,
+	})
+	if err != nil {
+		log.Fatalf("lbsrouter: %v", err)
+	}
+
+	svcOpts := []protocol.Option{protocol.WithMetrics(reg),
+		protocol.WithTracing(tracer),
+		protocol.WithMaxConns(*maxConns),
+		protocol.WithReadTimeout(*readTimeout),
+		protocol.WithDrainTimeout(*drainTimeout)}
+	if *maxInflight > 0 {
+		svcOpts = append(svcOpts, protocol.WithAdmission(*maxInflight))
+		log.Printf("lbsrouter: admission control on (budget %d in-flight)", *maxInflight)
+	}
+	svc, err := protocol.ServeRouter(*addr, rt, log.Printf, svcOpts...)
+	if err != nil {
+		log.Fatalf("lbsrouter: %v", err)
+	}
+	log.Printf("lbsrouter: routing tier listening on %s over %d shards (world %.3g², %d tiles)",
+		svc.Addr(), len(addrs), *worldSize, len(rt.Topology().Owners))
+
+	var metricsSrv *obs.MetricsServer
+	if *metricsAddr != "" {
+		metricsSrv, err = obs.ServeMetrics(*metricsAddr, reg,
+			obs.Route{Pattern: "/traces", Handler: tracer.Handler()})
+		if err != nil {
+			log.Fatalf("lbsrouter: metrics endpoint: %v", err)
+		}
+		log.Printf("lbsrouter: metrics on http://%s/metrics (traces on /traces, pprof under /debug/pprof/)", metricsSrv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("lbsrouter: shutting down")
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("lbsrouter: close: %v", err)
+	}
+}

@@ -14,6 +14,7 @@
 //	lbssoak -scenarios flash_crowd,db_outage -scale 0.4      # CI short soak
 //	lbssoak -users 1000000 -batch 64 -scale 2                # long city-scale soak
 //	lbssoak -admission=false -scenarios db_outage            # demonstrate the failure
+//	lbssoak -shards 4                                        # routed database tier (4 lbsd shards)
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "multiplier on scenario phase durations (CI uses < 1)")
 	admission := flag.Bool("admission", true, "enable daemon admission control + forward backpressure (the machinery under test)")
 	maxInflight := flag.Int("max-inflight", 256, "per-daemon admission budget (with -admission)")
+	shards := flag.Int("shards", 0, "deploy the database tier as this many lbsd shards behind a routing tier (0/1 = single database; shard_kill forces ≥ 2)")
 	scenarios := flag.String("scenarios", "", "comma-separated scenario names (empty = full catalog)")
 	list := flag.Bool("list", false, "list the scenario catalog and exit")
 	flag.Parse()
@@ -68,10 +70,11 @@ func main() {
 		Workers: *workers, Batch: *batch,
 		Seed: *seed, Scale: *scale,
 		Admission: *admission, MaxInflight: *maxInflight,
-		Logf: log.Printf,
+		Shards: *shards,
+		Logf:   log.Printf,
 	}
-	log.Printf("lbssoak: %d scenarios, %d users, %d workers, seed %d, scale %g, admission %v",
-		len(run), *users, *workers, *seed, *scale, *admission)
+	log.Printf("lbssoak: %d scenarios, %d users, %d workers, seed %d, scale %g, admission %v, shards %d",
+		len(run), *users, *workers, *seed, *scale, *admission, *shards)
 
 	failed := 0
 	for _, sc := range run {

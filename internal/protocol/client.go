@@ -24,7 +24,8 @@ func Idempotent(typ byte) bool {
 	case MsgUpdate, MsgCloakQuery, MsgBatchUpdate, MsgDeregister, MsgSetMode, MsgAnonStats,
 		MsgUpdateProfile, MsgUpdatePrivate, MsgRemovePrivate, MsgUpdateMoving, MsgStats,
 		MsgPrivateRange, MsgPrivateNN, MsgPublicCount, MsgPublicNN, MsgContCount,
-		MsgBatchQuery, MsgMetrics, MsgTraces, MsgTraceNeg:
+		MsgBatchQuery, MsgMetrics, MsgTraces, MsgTraceNeg,
+		MsgRemoveMoving, MsgNNParts, MsgCountProbs, MsgShardMap, MsgShardBatch:
 		return true
 	}
 	return false

@@ -183,6 +183,52 @@ func (h *dbHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byt
 		}
 		return nil, h.srv.UpdateMoving(id, loc)
 
+	case MsgRemoveMoving:
+		id := d.U64()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		var e Encoder
+		e.U8(boolByte(h.srv.RemoveMoving(id)))
+		return e.Bytes(), nil
+
+	case MsgNNParts:
+		q := server.PrivateNNQuery{Region: d.Rect(), Class: d.Str()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		parts, err := h.srv.PrivateNNParts(q)
+		if err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.F64(parts.Bound)
+		e.buf = append(e.buf, encodeObjects(parts.Candidates)...)
+		return e.Bytes(), nil
+
+	case MsgCountProbs:
+		q := server.PublicRangeCountQuery{Query: d.Rect()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		pairs, err := h.srv.PublicCountProbs(q)
+		if err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.U32(uint32(len(pairs)))
+		for _, up := range pairs {
+			e.U64(up.ID).F64(up.P)
+		}
+		return e.Bytes(), nil
+
+	case MsgShardBatch:
+		subs, err := decodeSubQueries(d)
+		if err != nil {
+			return nil, err
+		}
+		return encodeSubResults(evalSubQueries(ctx, h.srv, subs)), nil
+
 	default:
 		return nil, fmt.Errorf("protocol: database service: unknown message type %d", typ)
 	}

@@ -174,10 +174,11 @@ const (
 // admissionClass buckets a message type for admission control.
 func admissionClass(typ byte) int {
 	switch typ {
-	case MsgMetrics, MsgTraces, MsgTraceNeg, MsgAnonStats, MsgStats:
+	case MsgMetrics, MsgTraces, MsgTraceNeg, MsgAnonStats, MsgStats, MsgShardMap:
 		return admitAlways
 	case MsgCloakQuery, MsgPrivateRange, MsgPrivateNN, MsgPublicCount,
-		MsgPublicNN, MsgContCount, MsgBatchQuery:
+		MsgPublicNN, MsgContCount, MsgBatchQuery,
+		MsgNNParts, MsgCountProbs, MsgShardBatch:
 		return admitQuery
 	default:
 		return admitUpdate

@@ -82,6 +82,30 @@ const (
 	// exhausted. Distinct from msgErr so clients can tell a deliberate
 	// shed — retry later, peer healthy — from a handler failure.
 	MsgOverloaded byte = 34
+
+	// MsgRemoveMoving deletes a moving public object by id; the response
+	// reports whether it existed. The routing tier needs the wire form for
+	// tile handoffs: a moving object crossing a tile boundary is upserted
+	// on the new owner and removed from the old one.
+	MsgRemoveMoving byte = 35
+	// MsgNNParts is the shard-local half of a private NN query: the
+	// response carries the partition's min–max bound and its unpruned
+	// candidate set (server.NNParts), which the router combines across
+	// shards into the exact single-server answer.
+	MsgNNParts byte = 36
+	// MsgCountProbs is the shard-local half of a public count: the
+	// response carries (user id, overlap probability) pairs sorted by id,
+	// which the router deduplicates and folds into the exact PDF.
+	MsgCountProbs byte = 37
+	// MsgShardMap is served by the routing tier: the response describes
+	// its tile grid and the tile→shard ownership table, for operators and
+	// load tools inspecting the topology.
+	MsgShardMap byte = 38
+	// MsgShardBatch is the forwarded sub-batch the router scatters to one
+	// shard: index-tagged batch entries in, index-tagged partial results
+	// (objects, NN parts, count probs) out, preserving per-entry error
+	// semantics across the extra hop.
+	MsgShardBatch byte = 39
 )
 
 // MessageName returns the stable label value used for per-message-type
@@ -146,6 +170,16 @@ func MessageName(typ byte) string {
 		return "trace_neg"
 	case MsgOverloaded:
 		return "overloaded"
+	case MsgRemoveMoving:
+		return "remove_moving"
+	case MsgNNParts:
+		return "nn_parts"
+	case MsgCountProbs:
+		return "count_probs"
+	case MsgShardMap:
+		return "shard_map"
+	case MsgShardBatch:
+		return "shard_batch"
 	default:
 		return fmt.Sprintf("type_%d", typ)
 	}

@@ -1,0 +1,70 @@
+package router
+
+import "sort"
+
+// ring is a consistent-hash ring mapping tile ids to shards. Each shard
+// contributes vnodes points whose positions depend only on (shard index,
+// vnode index) — never on how many shards are in the ring — so adding a
+// shard steals tiles only for the new shard, and removing one reassigns
+// only the tiles it owned. Those two stability properties are exact (not
+// probabilistic) and the rehashing property test pins them down.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// newRing builds a ring for shards 0..nshards-1 with the given number of
+// virtual nodes per shard.
+func newRing(nshards, vnodes int) ring {
+	shards := make([]int, nshards)
+	for i := range shards {
+		shards[i] = i
+	}
+	return newRingOf(shards, vnodes)
+}
+
+// newRingOf builds a ring over an explicit shard set — the form the
+// rehashing stability test exercises: the ring over {0..n-1} minus shard
+// k must agree with the full ring everywhere except on tiles k owned.
+func newRingOf(shards []int, vnodes int) ring {
+	pts := make([]ringPoint, 0, len(shards)*vnodes)
+	for _, s := range shards {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, ringPoint{hash: mix64(uint64(s)<<32 | uint64(v)), shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Ties broken by shard index so the ring order is deterministic
+		// regardless of shard count.
+		return a.shard < b.shard
+	})
+	return ring{points: pts}
+}
+
+// owner returns the shard owning tile t: the first ring point at or after
+// the tile's hash, wrapping around.
+func (r ring) owner(t int) int {
+	h := mix64(0x9e3779b97f4a7c15 ^ uint64(t))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection
+// on uint64 used for both vnode placement and tile hashing.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,78 @@
+package router
+
+import "testing"
+
+const ringTestTiles = 4096
+
+// TestRingRemovalMovesOnlyRemovedTiles: dropping one shard from the ring
+// reassigns exactly the tiles that shard owned — every other tile keeps
+// its owner. This is the exact (not probabilistic) consistent-hashing
+// stability property.
+func TestRingRemovalMovesOnlyRemovedTiles(t *testing.T) {
+	const n = 8
+	full := newRing(n, 64)
+	for removed := 0; removed < n; removed++ {
+		var rest []int
+		for s := 0; s < n; s++ {
+			if s != removed {
+				rest = append(rest, s)
+			}
+		}
+		partial := newRingOf(rest, 64)
+		moved := 0
+		for tile := 0; tile < ringTestTiles; tile++ {
+			before := full.owner(tile)
+			after := partial.owner(tile)
+			if before != removed && after != before {
+				t.Fatalf("removing shard %d moved tile %d from %d to %d", removed, tile, before, after)
+			}
+			if before == removed {
+				if after == removed {
+					t.Fatalf("removed shard %d still owns tile %d", removed, tile)
+				}
+				moved++
+			}
+		}
+		// Loose load bound: the removed shard owned roughly 1/n of the
+		// tiles (vnodes smooth the distribution, they do not equalize it).
+		if lo, hi := ringTestTiles/(4*n), ringTestTiles*4/n; moved < lo || moved > hi {
+			t.Errorf("shard %d owned %d of %d tiles, outside [%d, %d]", removed, moved, ringTestTiles, lo, hi)
+		}
+	}
+}
+
+// TestRingAdditionMovesTilesOnlyToNewShard: growing the ring by one shard
+// steals tiles only for the newcomer — no tile moves between existing
+// shards.
+func TestRingAdditionMovesTilesOnlyToNewShard(t *testing.T) {
+	for n := 1; n < 9; n++ {
+		small := newRing(n, 64)
+		grown := newRing(n+1, 64)
+		moved := 0
+		for tile := 0; tile < ringTestTiles; tile++ {
+			before := small.owner(tile)
+			after := grown.owner(tile)
+			if after != before {
+				if after != n {
+					t.Fatalf("adding shard %d moved tile %d from %d to %d", n, tile, before, after)
+				}
+				moved++
+			}
+		}
+		// The newcomer takes roughly 1/(n+1) of the tiles.
+		if lo, hi := ringTestTiles/(4*(n+1)), ringTestTiles*4/(n+1); moved < lo || moved > hi {
+			t.Errorf("new shard %d of %d took %d tiles, outside [%d, %d]", n, n+1, moved, lo, hi)
+		}
+	}
+}
+
+// TestRingSingleShardOwnsEverything: the degenerate one-shard ring maps
+// every tile to shard 0.
+func TestRingSingleShardOwnsEverything(t *testing.T) {
+	r := newRing(1, 64)
+	for tile := 0; tile < ringTestTiles; tile++ {
+		if got := r.owner(tile); got != 0 {
+			t.Fatalf("tile %d owned by %d in a one-shard ring", tile, got)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package router
+
+import "repro/internal/geo"
+
+// tileGrid partitions the world into a cols×rows grid of closed tiles.
+// Tiles are the unit of ownership: consistent hashing maps tile ids to
+// shards (ring.go), and every routing decision reduces to either "which
+// tile holds this point" or "which tiles does this rectangle intersect".
+//
+// Two deliberate asymmetries keep the routing exact:
+//
+//   - Point assignment (tileOf) is a function: every world point maps to
+//     exactly one tile, boundary points to the lowest-index tile whose
+//     closed rectangle contains them. Point-addressed data (stationary
+//     and moving objects) lives on exactly one shard.
+//   - Rectangle coverage (cover) uses *closed* tile rectangles: a query
+//     rectangle touching a tile edge covers both neighbors. Coverage is
+//     therefore a superset of every tile any relevant point can live in,
+//     which is what the scatter completeness proofs need.
+type tileGrid struct {
+	world      geo.Rect
+	cols, rows int
+}
+
+// tiles returns the total tile count.
+func (g tileGrid) tiles() int { return g.cols * g.rows }
+
+// xb returns the i-th vertical tile boundary (i in 0..cols). Both
+// tileRect and tileOf derive boundaries from this one expression, so the
+// two can never disagree about where a tile ends.
+func (g tileGrid) xb(i int) float64 {
+	if i >= g.cols {
+		return g.world.Max.X
+	}
+	return g.world.Min.X + float64(i)*(g.world.Max.X-g.world.Min.X)/float64(g.cols)
+}
+
+// yb returns the j-th horizontal tile boundary (j in 0..rows).
+func (g tileGrid) yb(j int) float64 {
+	if j >= g.rows {
+		return g.world.Max.Y
+	}
+	return g.world.Min.Y + float64(j)*(g.world.Max.Y-g.world.Min.Y)/float64(g.rows)
+}
+
+// tileRect returns tile t's closed rectangle.
+func (g tileGrid) tileRect(t int) geo.Rect {
+	c, r := t%g.cols, t/g.cols
+	return geo.Rect{
+		Min: geo.Point{X: g.xb(c), Y: g.yb(r)},
+		Max: geo.Point{X: g.xb(c + 1), Y: g.yb(r + 1)},
+	}
+}
+
+// tileOf maps a world point to its unique owning tile. The float division
+// is only a first guess; the result is corrected against the exact
+// boundary expressions until tileRect(tileOf(p)) provably contains p —
+// the invariant the coverage proofs rest on.
+func (g tileGrid) tileOf(p geo.Point) int {
+	c := clampIdx(int((p.X-g.world.Min.X)/(g.world.Max.X-g.world.Min.X)*float64(g.cols)), g.cols)
+	for c > 0 && p.X < g.xb(c) {
+		c--
+	}
+	for c < g.cols-1 && p.X > g.xb(c+1) {
+		c++
+	}
+	r := clampIdx(int((p.Y-g.world.Min.Y)/(g.world.Max.Y-g.world.Min.Y)*float64(g.rows)), g.rows)
+	for r > 0 && p.Y < g.yb(r) {
+		r--
+	}
+	for r < g.rows-1 && p.Y > g.yb(r+1) {
+		r++
+	}
+	return r*g.cols + c
+}
+
+// cover returns the tiles whose closed rectangles intersect rect, in
+// ascending tile order. A rectangle that misses the world entirely (or is
+// invalid) covers nothing. The index window is estimated by division and
+// widened by two (one tile for float rounding of the guess, one for
+// closed tiles sharing the touched boundary), then filtered with the
+// exact geometric test, so the result equals the brute-force "every tile
+// t with tileRect(t) ∩ rect ≠ ∅" — the property the tile-assignment test
+// pins down.
+func (g tileGrid) cover(rect geo.Rect) []int {
+	clamped, ok := rect.Intersect(g.world)
+	if !ok {
+		return nil
+	}
+	w := g.world.Max.X - g.world.Min.X
+	h := g.world.Max.Y - g.world.Min.Y
+	c0 := clampIdx(int((clamped.Min.X-g.world.Min.X)/w*float64(g.cols))-2, g.cols)
+	c1 := clampIdx(int((clamped.Max.X-g.world.Min.X)/w*float64(g.cols))+2, g.cols)
+	r0 := clampIdx(int((clamped.Min.Y-g.world.Min.Y)/h*float64(g.rows))-2, g.rows)
+	r1 := clampIdx(int((clamped.Max.Y-g.world.Min.Y)/h*float64(g.rows))+2, g.rows)
+	var out []int
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			t := r*g.cols + c
+			if g.tileRect(t).Intersects(clamped) {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// clampIdx clamps i into [0, n).
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -19,6 +19,7 @@ func Catalog() []Scenario {
 		commuterRush(),
 		profileFlip(),
 		dbOutage(),
+		shardKill(),
 		slowLink(),
 		rollingRestart(),
 		queryFlood(),
@@ -135,6 +136,48 @@ func dbOutage() Scenario {
 				return err
 			}
 			if err := e.RestartDB(false); err != nil {
+				return err
+			}
+			if err := e.AwaitRecovery(); err != nil {
+				return err
+			}
+			return e.Drive(Phase{Name: "aftermath", Dur: 3 * time.Second, QueryPct: 10})
+		},
+	}
+}
+
+// shardKill: the database tier is a routed fleet and one shard dies
+// mid-rush. The router's breaker on that shard's link opens and isolates
+// it, so queries over surviving tiles keep their latency budget; updates
+// whose cloaked regions touch the dead shard spill at the anonymizer and
+// replay after the restart. With admission control the full spill queue
+// sheds typed; without it the queue evicts acked updates and the run
+// fails — the routed-tier twin of db_outage's load-bearing proof.
+func shardKill() Scenario {
+	return Scenario{
+		Name: "shard_kill",
+		Desc: "one shard of the routed tier killed mid-rush; breaker isolates it",
+		SLO:  SLO{UpdateP99: updateBudget, QueryP99: queryBudget, MaxErrorRate: 0.001, RecoverWithin: 20 * time.Second},
+		Tune: func(cfg *Config) {
+			if cfg.Shards < 2 {
+				cfg.Shards = 4
+			}
+			// Same undersized queue as db_outage: with only a quarter of the
+			// tiles dark the spill inflow is smaller, so the queue must be
+			// small for the full-queue policy to decide the verdict.
+			cfg.ForwardQueue = 256
+		},
+		Run: func(e *Env) error {
+			if err := e.Drive(Phase{Name: "baseline", Dur: 3 * time.Second, QueryPct: 10}); err != nil {
+				return err
+			}
+			e.KillShard(1)
+			// Queries keep flowing: most tiles survive, and the ones that
+			// don't fail fast behind the open breaker (waived here).
+			if err := e.Drive(Phase{Name: "degraded", Dur: 5 * time.Second, QueryPct: 10, AllowErrors: true}); err != nil {
+				return err
+			}
+			if err := e.RestartShard(1); err != nil {
 				return err
 			}
 			if err := e.AwaitRecovery(); err != nil {

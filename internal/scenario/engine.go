@@ -256,7 +256,7 @@ func (e *Env) seed() error {
 	if err := e.waitDrain(60 * time.Second); err != nil {
 		return err
 	}
-	if got := e.st.srv.PrivateUserCount(); got != e.cfg.Users {
+	if got := e.st.privateUserCount(); got != e.cfg.Users {
 		return fmt.Errorf("database holds %d users after seeding, want %d", got, e.cfg.Users)
 	}
 	e.Log("seeded %d users + %d objects in %v", e.cfg.Users, e.cfg.Objects,
@@ -419,6 +419,24 @@ func (e *Env) RestartDB(fromSnapshot bool) error {
 // SaveSnapshot persists the database state for a later snapshot restart.
 func (e *Env) SaveSnapshot() error { return e.st.saveSnapshot() }
 
+// KillShard takes down one shard of the routed tier; the router and the
+// other shards keep serving, and the shard's tiles fail behind the
+// router's breaker until it comes back.
+func (e *Env) KillShard(i int) {
+	e.Log("killing shard %d at %s", i, e.st.shardAddrs[i])
+	e.st.killShard(i)
+}
+
+// RestartShard rebinds a killed shard on its original address with its
+// in-memory state intact.
+func (e *Env) RestartShard(i int) error {
+	e.Log("restarting shard %d", i)
+	return e.st.restartShard(i)
+}
+
+// Shards reports the shard count of the routed tier (0 in single mode).
+func (e *Env) Shards() int { return len(e.st.shardSrvs) }
+
 // FlipProfiles raises (or lowers) every user's k at once — the mass
 // privacy-dial flip. The flip is capped at 50k users per call so a
 // million-user run doesn't serialize forever; the cap is logged, never
@@ -550,7 +568,7 @@ func (e *Env) evaluate(res *Result) {
 			ackedUsers++
 		}
 	}
-	if resident := e.st.srv.PrivateUserCount(); resident < ackedUsers {
+	if resident := e.st.privateUserCount(); resident < ackedUsers {
 		violate("consistency", "database resident count %d < %d acked users", resident, ackedUsers)
 	}
 

@@ -47,6 +47,11 @@ type Config struct {
 	// may override it (db_outage shrinks it to force pressure).
 	ForwardQueue int
 
+	// Shards > 1 deploys the database tier as that many lbsd shards
+	// behind a routing service; the anonymizer and the query drivers dial
+	// the router. Shards <= 1 is the classic single-database stack.
+	Shards int
+
 	Logf func(format string, args ...interface{})
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -114,6 +115,68 @@ func TestOutageWithoutAdmissionLosesUpdates(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no zero-lost-updates violation recorded: %v", res.Violations)
+	}
+}
+
+// TestShardKillRoutedTier drives the routed database tier through a
+// one-shard outage with the machinery on: surviving tiles keep serving,
+// the spill queue replays the dead shard's updates after the restart,
+// and nothing acked is lost.
+func TestShardKillRoutedTier(t *testing.T) {
+	sc := Scenario{
+		Name: "shard_kill_smoke",
+		Desc: "one shard killed and restarted under load",
+		SLO:  SLO{MaxErrorRate: 0.001, RecoverWithin: 30 * time.Second},
+		Tune: func(cfg *Config) { cfg.ForwardQueue = 64 },
+		Run: func(e *Env) error {
+			if e.Shards() != 3 {
+				return fmt.Errorf("routed stack has %d shards, want 3", e.Shards())
+			}
+			if err := e.Drive(Phase{Name: "base", Dur: 2 * time.Second, QueryPct: 10}); err != nil {
+				return err
+			}
+			e.KillShard(2)
+			if err := e.Drive(Phase{Name: "degraded", Dur: 3 * time.Second, QueryPct: 10, AllowErrors: true}); err != nil {
+				return err
+			}
+			if err := e.RestartShard(2); err != nil {
+				return err
+			}
+			return e.AwaitRecovery()
+		},
+	}
+	cfg := tinyCfg()
+	cfg.Shards = 3
+	cfg.Scale = 0.25
+	res, err := Run(sc, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("routed shard-kill smoke failed: %v", res.Violations)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations driven")
+	}
+	if res.LostUpdates != 0 {
+		t.Fatalf("LostUpdates = %d, want 0", res.LostUpdates)
+	}
+}
+
+// TestShardKillTuneForcesRoutedTier pins the catalog contract CI relies
+// on: running shard_kill without -shards still deploys a routed tier.
+func TestShardKillTuneForcesRoutedTier(t *testing.T) {
+	sc, ok := Find("shard_kill")
+	if !ok {
+		t.Fatal("shard_kill missing from catalog")
+	}
+	cfg := Config{}
+	sc.Tune(&cfg)
+	if cfg.Shards < 2 {
+		t.Fatalf("shard_kill Tune left Shards = %d, want >= 2", cfg.Shards)
+	}
+	if cfg.ForwardQueue == 0 || cfg.ForwardQueue > 1024 {
+		t.Fatalf("shard_kill Tune left ForwardQueue = %d, want a small eviction-prone queue", cfg.ForwardQueue)
 	}
 }
 

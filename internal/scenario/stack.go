@@ -11,22 +11,37 @@ import (
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
-// stack is the in-process three-tier deployment under test: a real
-// database service and a real anonymizer service on loopback TCP, wired
-// exactly as the production daemons wire themselves (spill queue, lazy
-// redial, client metrics in the daemon registry), plus the kill/restart
-// levers the outage scenarios pull.
+// stack is the in-process deployment under test: a real database tier and
+// a real anonymizer service on loopback TCP, wired exactly as the
+// production daemons wire themselves (spill queue, lazy redial, client
+// metrics in the daemon registry), plus the kill/restart levers the
+// outage scenarios pull. With Config.Shards > 1 the database tier is a
+// routed fleet: N lbsd shards behind an lbsrouter-style routing service,
+// and everything that dials "the database" dials the router.
 type stack struct {
 	world geo.Rect
 	cfg   Config
 
-	srv    *server.Server
-	dbSvc  *protocol.Service
+	// Single-database mode (Shards <= 1).
+	srv   *server.Server
+	dbSvc *protocol.Service
+	dbReg *obs.Registry
+
+	// Routed mode (Shards > 1).
+	shardSrvs  []*server.Server
+	shardSvcs  []*protocol.Service
+	shardAddrs []string
+	shardLinks []*protocol.DatabaseClient
+	rtr        *router.Router
+	rtrSvc     *protocol.Service
+	rtrReg     *obs.Registry
+
+	// dbAddr is what clients dial: the single database or the router.
 	dbAddr string
-	dbReg  *obs.Registry
 
 	fwd     *protocol.DatabaseClient
 	anon    *anonymizer.Anonymizer
@@ -43,17 +58,24 @@ const stackCallTimeout = 2 * time.Second
 func newStack(cfg Config, link func(conn int) []faults.Rule) (*stack, error) {
 	st := &stack{world: geo.R(0, 0, 1, 1), cfg: cfg}
 
-	st.dbReg = obs.NewRegistry()
-	srv, err := server.New(server.Config{World: st.world, Metrics: st.dbReg})
-	if err != nil {
-		return nil, err
+	if cfg.Shards > 1 {
+		if err := st.bootRouted(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	} else {
+		st.dbReg = obs.NewRegistry()
+		srv, err := server.New(server.Config{World: st.world, Metrics: st.dbReg})
+		if err != nil {
+			return nil, err
+		}
+		st.srv = srv
+		st.dbSvc, err = st.serveDB("127.0.0.1:0", srv)
+		if err != nil {
+			return nil, err
+		}
+		st.dbAddr = st.dbSvc.Addr()
 	}
-	st.srv = srv
-	st.dbSvc, err = st.serveDB("127.0.0.1:0", srv)
-	if err != nil {
-		return nil, err
-	}
-	st.dbAddr = st.dbSvc.Addr()
 
 	st.anonReg = obs.NewRegistry()
 	fwdOpts := []protocol.DialOption{
@@ -65,6 +87,7 @@ func newStack(cfg Config, link func(conn int) []faults.Rule) (*stack, error) {
 	if link != nil {
 		fwdOpts = append(fwdOpts, protocol.WithDialer(faults.Dialer(link)))
 	}
+	var err error
 	st.fwd, err = protocol.DialDatabase(st.dbAddr, fwdOpts...)
 	if err != nil {
 		st.Close()
@@ -102,6 +125,60 @@ func newStack(cfg Config, link func(conn int) []faults.Rule) (*stack, error) {
 	return st, nil
 }
 
+// bootRouted brings up the sharded database tier: N shard servers (each
+// with a private registry, so the per-service proto_* series don't
+// collide), breaker-guarded shard links, the router, and its service.
+func (st *stack) bootRouted() error {
+	st.rtrReg = obs.NewRegistry()
+	links := make([]router.Shard, st.cfg.Shards)
+	for i := 0; i < st.cfg.Shards; i++ {
+		srv, err := server.New(server.Config{World: st.world, Metrics: obs.NewRegistry()})
+		if err != nil {
+			return err
+		}
+		st.shardSrvs = append(st.shardSrvs, srv)
+		svc, err := st.serveShard("127.0.0.1:0", srv)
+		if err != nil {
+			return err
+		}
+		st.shardSvcs = append(st.shardSvcs, svc)
+		st.shardAddrs = append(st.shardAddrs, svc.Addr())
+		link, err := protocol.DialDatabase(svc.Addr(),
+			protocol.WithLazyDial(),
+			protocol.WithCallTimeout(stackCallTimeout),
+			protocol.WithClientMetrics(st.rtrReg),
+			protocol.WithRetries(1),
+			protocol.WithRetryBackoff(5*time.Millisecond, 100*time.Millisecond),
+			protocol.WithBreaker(5, 500*time.Millisecond),
+		)
+		if err != nil {
+			return err
+		}
+		st.shardLinks = append(st.shardLinks, link)
+		links[i] = link
+	}
+	rtr, err := router.New(router.Config{
+		World:   st.world,
+		Shards:  links,
+		Addrs:   st.shardAddrs,
+		Metrics: st.rtrReg,
+	})
+	if err != nil {
+		return err
+	}
+	st.rtr = rtr
+	rtrOpts := []protocol.Option{protocol.WithMetrics(st.rtrReg)}
+	if st.cfg.Admission {
+		rtrOpts = append(rtrOpts, protocol.WithAdmission(st.cfg.MaxInflight))
+	}
+	st.rtrSvc, err = protocol.ServeRouter("127.0.0.1:0", rtr, st.cfg.Logf, rtrOpts...)
+	if err != nil {
+		return err
+	}
+	st.dbAddr = st.rtrSvc.Addr()
+	return nil
+}
+
 func (st *stack) serveDB(addr string, srv *server.Server) (*protocol.Service, error) {
 	opts := []protocol.Option{protocol.WithMetrics(st.dbReg)}
 	if st.cfg.Admission {
@@ -110,21 +187,94 @@ func (st *stack) serveDB(addr string, srv *server.Server) (*protocol.Service, er
 	return protocol.ServeDatabase(addr, srv, st.cfg.Logf, opts...)
 }
 
-// killDB stops the database service, keeping its address for a later
-// restart. The server state stays in memory (a plain outage); rolling
-// restarts discard it and recover from the snapshot instead.
+// serveShard binds one shard of the routed tier. Shard services carry no
+// shared registry (each server owns a private one) but do enforce the
+// admission budget, so overload control exists at both the router edge
+// and the shards behind it.
+func (st *stack) serveShard(addr string, srv *server.Server) (*protocol.Service, error) {
+	var opts []protocol.Option
+	if st.cfg.Admission {
+		opts = append(opts, protocol.WithAdmission(st.cfg.MaxInflight))
+	}
+	return protocol.ServeDatabase(addr, srv, st.cfg.Logf, opts...)
+}
+
+// routed reports whether the database tier is the sharded deployment.
+func (st *stack) routed() bool { return st.rtr != nil }
+
+// privateUserCount is the resident-user count of the database tier: the
+// single server's map size, or the router's residency-mask count (regions
+// are replicated across shards, so summing shards would overcount).
+func (st *stack) privateUserCount() int {
+	if st.routed() {
+		return st.rtr.PrivateUserCount()
+	}
+	return st.srv.PrivateUserCount()
+}
+
+// killDB stops the database tier's services, keeping the addresses for a
+// later restart. Server state stays in memory (a plain outage); rolling
+// restarts discard it and recover from the snapshot instead. In routed
+// mode every shard goes down (the router itself stays up — it has no
+// spatial state to lose).
 func (st *stack) killDB() {
+	if st.routed() {
+		for i := range st.shardSvcs {
+			st.killShard(i)
+		}
+		return
+	}
 	if st.dbSvc != nil {
 		st.dbSvc.Close()
 		st.dbSvc = nil
 	}
 }
 
-// restartDB rebinds the database address. fromSnapshot discards the old
-// process state and restores a brand-new server from the latest snapshot
-// file — the rolling-restart path; otherwise the surviving in-memory
-// server simply starts listening again.
+// killShard stops one shard of the routed tier.
+func (st *stack) killShard(i int) {
+	if st.shardSvcs[i] != nil {
+		st.shardSvcs[i].Close()
+		st.shardSvcs[i] = nil
+	}
+}
+
+// restartShard rebinds one shard on its original address; the shard's
+// in-memory state survives the outage.
+func (st *stack) restartShard(i int) error {
+	if st.shardSvcs[i] != nil {
+		return fmt.Errorf("scenario: shard %d already running", i)
+	}
+	svc, err := st.serveShard(st.shardAddrs[i], st.shardSrvs[i])
+	if err != nil {
+		return fmt.Errorf("scenario: rebind shard %d at %s: %w", i, st.shardAddrs[i], err)
+	}
+	st.shardSvcs[i] = svc
+	return nil
+}
+
+// restartDB rebinds the database tier. fromSnapshot discards the old
+// process state and restores brand-new servers from the latest snapshot
+// files — the rolling-restart path; otherwise the surviving in-memory
+// servers simply start listening again.
 func (st *stack) restartDB(fromSnapshot bool) error {
+	if st.routed() {
+		for i := range st.shardSvcs {
+			if fromSnapshot {
+				srv, err := server.New(server.Config{World: st.world, Metrics: obs.NewRegistry()})
+				if err != nil {
+					return err
+				}
+				if err := srv.LoadSnapshot(st.snapPath(i)); err != nil {
+					return fmt.Errorf("scenario: restore shard %d snapshot: %w", i, err)
+				}
+				st.shardSrvs[i] = srv
+			}
+			if err := st.restartShard(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if st.dbSvc != nil {
 		return fmt.Errorf("scenario: database already running")
 	}
@@ -133,7 +283,7 @@ func (st *stack) restartDB(fromSnapshot bool) error {
 		if err != nil {
 			return err
 		}
-		if err := srv.LoadSnapshot(st.snapPath()); err != nil {
+		if err := srv.LoadSnapshot(st.snapPath(0)); err != nil {
 			return fmt.Errorf("scenario: restore snapshot: %w", err)
 		}
 		st.srv = srv
@@ -146,11 +296,24 @@ func (st *stack) restartDB(fromSnapshot bool) error {
 	return nil
 }
 
-func (st *stack) snapPath() string { return filepath.Join(st.snapDir, "lbsd.snap") }
+func (st *stack) snapPath(shard int) string {
+	return filepath.Join(st.snapDir, fmt.Sprintf("lbsd-%d.snap", shard))
+}
 
 // saveSnapshot persists the current database state — taken right before a
-// rolling restart kills the process.
-func (st *stack) saveSnapshot() error { return st.srv.SaveSnapshot(st.snapPath()) }
+// rolling restart kills the process. In routed mode every shard saves its
+// own partition.
+func (st *stack) saveSnapshot() error {
+	if st.routed() {
+		for i, srv := range st.shardSrvs {
+			if err := srv.SaveSnapshot(st.snapPath(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return st.srv.SaveSnapshot(st.snapPath(0))
+}
 
 func (st *stack) Close() {
 	if st.anonSvc != nil {
@@ -164,6 +327,17 @@ func (st *stack) Close() {
 	}
 	if st.dbSvc != nil {
 		st.dbSvc.Close()
+	}
+	if st.rtrSvc != nil {
+		st.rtrSvc.Close()
+	}
+	for _, link := range st.shardLinks {
+		link.Close()
+	}
+	for _, svc := range st.shardSvcs {
+		if svc != nil {
+			svc.Close()
+		}
 	}
 	if st.snapDir != "" {
 		os.RemoveAll(st.snapDir)

@@ -296,6 +296,9 @@ func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u
 				objs = append(objs, s.resolveObjectLocked(m.ID, m.Loc, true))
 			}
 		}
+		// Same canonical order as PrivateRange: the shared descent emits
+		// the same set, so sorting keeps the two paths bit-identical.
+		SortObjects(objs)
 		out[i].Range = objs
 		s.met.privateRangeQs.Inc()
 	}

@@ -98,6 +98,10 @@ func (s *Server) PrivateRange(q PrivateRangeQuery) ([]PublicObject, error) {
 			keep(m.ID, m.Loc, true)
 		}
 	}
+	// Canonical order: the answer is a set, and emitting it sorted makes
+	// the single-server result bit-identical to a scatter/gather union of
+	// per-shard results (and to the batch engine's shared-descent path).
+	SortObjects(out)
 	return out, nil
 }
 
@@ -156,16 +160,44 @@ func (q PrivateNNQuery) validate() error {
 	return nil
 }
 
-// privateNNLocked is the evaluation core of PrivateNN; the caller holds
-// (at least) the read lock. BatchQuery fans NN entries out to its worker
-// pool over this function, so the two paths cannot drift apart. The second
-// return value is the R-tree node-visit count of the browse.
-func (s *Server) privateNNLocked(q PrivateNNQuery) (PrivateNNResult, int) {
-	type cand struct {
-		obj PublicObject
-		loc geo.Point
+// NNParts is the partial private-NN evaluation one data partition
+// contributes: the objects that pass the local min–max filter, *unpruned*,
+// plus the local bound they were filtered against. A single server is the
+// degenerate case of one part over the whole dataset; the routing tier
+// gathers one part per shard and finishes both through the same
+// CombineNNParts, so the two paths cannot diverge. Candidates stay
+// unpruned because the prune-or-not decision (maxPruneSet) depends on the
+// *global* superset size, which no single partition knows.
+type NNParts struct {
+	// Bound is min MaxDist²(object, region) over every class-matching
+	// object of the partition (+Inf when there is none).
+	Bound float64
+	// Candidates are the class-matching objects with
+	// MinDist²(object, region) ≤ Bound, in browse order.
+	Candidates []PublicObject
+}
+
+// PrivateNNParts evaluates the shard-local half of a private NN query:
+// the min–max browse without the global finalize. The routing tier calls
+// this on every shard owning a tile of the query region and combines the
+// parts with CombineNNParts.
+func (s *Server) PrivateNNParts(q PrivateNNQuery) (NNParts, error) {
+	if err := q.validate(); err != nil {
+		return NNParts{}, err
 	}
-	var cands []cand
+	s.met.privateNNQs.Inc()
+	defer s.met.latPrivateNN.Since(time.Now())
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	parts, _ := s.nnPartsLocked(q)
+	return parts, nil
+}
+
+// nnPartsLocked is the browse half of the NN evaluation (step 1 of
+// Figure 5b); the caller holds (at least) the read lock. The second
+// return value is the R-tree node-visit count.
+func (s *Server) nnPartsLocked(q PrivateNNQuery) (NNParts, int) {
+	var cands []PublicObject
 
 	browser := s.stationary.NewRectBrowser(q.Region)
 	bound := math.Inf(1) // T = min MaxDist² seen so far
@@ -182,37 +214,57 @@ func (s *Server) privateNNLocked(q PrivateNNQuery) (PrivateNNResult, int) {
 		if md := geo.MaxDist2(it.Loc, q.Region); md < bound {
 			bound = md
 		}
-		cands = append(cands, cand{obj: o, loc: it.Loc})
+		cands = append(cands, o)
 	}
 	// The bound tightened as we browsed; drop entries admitted before the
 	// final bound was known.
 	kept := cands[:0]
-	for _, c := range cands {
-		if geo.MinDist2(c.loc, q.Region) <= bound {
-			kept = append(kept, c)
+	for _, o := range cands {
+		if geo.MinDist2(o.Loc, q.Region) <= bound {
+			kept = append(kept, o)
 		}
 	}
-	cands = kept
-	superset := len(cands)
 	visits := browser.Visited()
 	s.met.nodeVisits.Observe(float64(visits))
+	return NNParts{Bound: bound, Candidates: kept}, visits
+}
 
-	// Pairwise dominance pruning is O(n²); for pathological supersets (a
-	// near-world-sized cloak admits most of the dataset) pruning could not
-	// shrink the answer meaningfully anyway, so skip it and return the
-	// sound superset directly.
-	const maxPruneSet = 2048
-	if superset > maxPruneSet {
-		res := PrivateNNResult{SupersetSize: superset}
-		res.Candidates = make([]PublicObject, len(cands))
-		for i, c := range cands {
-			res.Candidates[i] = c.obj
+// maxPruneSet bounds the O(n²) dominance prune: for pathological
+// supersets (a near-world-sized cloak admits most of the dataset) pruning
+// could not shrink the answer meaningfully anyway, so past this size the
+// sound superset is returned directly.
+const maxPruneSet = 2048
+
+// CombineNNParts finishes a private NN query from partial evaluations
+// (step 2 of Figure 5b): the global bound is the minimum of the parts'
+// bounds, candidates are re-filtered against it, sorted canonically, and
+// dominance-pruned. Called with one part it is exactly the sequential
+// finalize; called with one part per shard it produces a bit-identical
+// answer, because the global bound, the kept set, the prune decision and
+// the pruned set are all functions of the union alone.
+func CombineNNParts(region geo.Rect, parts ...NNParts) PrivateNNResult {
+	bound := math.Inf(1)
+	for _, p := range parts {
+		if p.Bound < bound {
+			bound = p.Bound
 		}
-		s.met.observeNNAnswer(len(res.Candidates))
-		return res, visits
+	}
+	var cands []PublicObject
+	for _, p := range parts {
+		for _, o := range p.Candidates {
+			if geo.MinDist2(o.Loc, region) <= bound {
+				cands = append(cands, o)
+			}
+		}
+	}
+	SortObjects(cands)
+	superset := len(cands)
+
+	if superset > maxPruneSet {
+		return PrivateNNResult{Candidates: cands, SupersetSize: superset}
 	}
 
-	corners := q.Region.Corners()
+	corners := region.Corners()
 	dominated := make([]bool, len(cands))
 	for i := range cands {
 		for j := range cands {
@@ -221,18 +273,28 @@ func (s *Server) privateNNLocked(q PrivateNNQuery) (PrivateNNResult, int) {
 			if i == j {
 				continue
 			}
-			if dominates(cands[j].loc, cands[i].loc, corners) {
+			if dominates(cands[j].Loc, cands[i].Loc, corners) {
 				dominated[i] = true
 				break
 			}
 		}
 	}
 	res := PrivateNNResult{SupersetSize: superset}
-	for i, c := range cands {
+	for i, o := range cands {
 		if !dominated[i] {
-			res.Candidates = append(res.Candidates, c.obj)
+			res.Candidates = append(res.Candidates, o)
 		}
 	}
+	return res
+}
+
+// privateNNLocked is the evaluation core of PrivateNN; the caller holds
+// (at least) the read lock. BatchQuery fans NN entries out to its worker
+// pool over this function, so the two paths cannot drift apart. The second
+// return value is the R-tree node-visit count of the browse.
+func (s *Server) privateNNLocked(q PrivateNNQuery) (PrivateNNResult, int) {
+	parts, visits := s.nnPartsLocked(q)
+	res := CombineNNParts(q.Region, parts)
 	s.met.observeNNAnswer(len(res.Candidates))
 	return res, visits
 }

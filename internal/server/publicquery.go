@@ -64,6 +64,52 @@ func (s *Server) PublicRangeCount(q PublicRangeCountQuery) (PublicRangeCountResu
 	return PublicRangeCountResult{Answer: prob.RangeCount(probs), NaiveCount: naive}, nil
 }
 
+// UserProb pairs a user id with her region's overlap probability for one
+// query rectangle — the shard-local half of a probabilistic count.
+type UserProb struct {
+	ID uint64
+	P  float64
+}
+
+// PublicCountProbs evaluates the partial public count this server can
+// answer: the (id, probability) pairs of its resident users with positive
+// overlap, sorted by id. The routing tier gathers the pairs from every
+// shard owning a tile of the query, deduplicates replicated users (a
+// replica stores the same region, so its probability is bit-identical),
+// and folds the probabilities through the same sort-then-accumulate rule
+// PublicRangeCount applies — producing a bit-identical PDF.
+func (s *Server) PublicCountProbs(q PublicRangeCountQuery) ([]UserProb, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	s.met.publicCountQs.Inc()
+	defer s.met.latPublicCount.Since(time.Now())
+	s.mu.RLock()
+	ids := s.privIdx.Query(q.Query, nil)
+	pairs := make([]UserProb, 0, len(ids))
+	for _, id := range ids {
+		if p := prob.Overlap(s.private[id], q.Query); p > 0 {
+			pairs = append(pairs, UserProb{ID: id, P: p})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ID < pairs[j].ID })
+	return pairs, nil
+}
+
+// CombineCountProbs folds deduplicated per-user probabilities into the
+// final count answer, exactly as PublicRangeCount would: probabilities
+// are sorted before accumulation so partition order cannot influence the
+// floating-point result. The pairs must already be unique per user.
+func CombineCountProbs(pairs []UserProb) PublicRangeCountResult {
+	probs := make([]float64, len(pairs))
+	for i, up := range pairs {
+		probs[i] = up.P
+	}
+	sort.Float64s(probs)
+	return PublicRangeCountResult{Answer: prob.RangeCount(probs), NaiveCount: len(pairs)}
+}
+
 // PublicRangeCountScanForBench exposes the unindexed baseline for the
 // region-index ablation (experiment E15). Production callers use
 // PublicRangeCount.

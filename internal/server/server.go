@@ -39,6 +39,29 @@ type PrivateRecord struct {
 	Region geo.Rect
 }
 
+// SortObjects puts a candidate list into the canonical result order:
+// ascending by (ID, Class, Loc.X, Loc.Y). Every query path sorts its
+// answer with this one comparator, so a result assembled from partitions
+// of the data (the routing tier's scatter/gather) is bit-identical to the
+// single-server answer. The key is total over the objects any one answer
+// can contain: stationary ids are unique, and a moving object that reuses
+// a stationary id differs in class or location.
+func SortObjects(objs []PublicObject) {
+	sort.Slice(objs, func(i, j int) bool {
+		a, b := objs[i], objs[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Loc.X != b.Loc.X {
+			return a.Loc.X < b.Loc.X
+		}
+		return a.Loc.Y < b.Loc.Y
+	})
+}
+
 // Server is the privacy-aware location-based database server. All methods
 // are safe for concurrent use.
 type Server struct {
@@ -139,18 +162,35 @@ func (s *Server) World() geo.Rect { return s.world }
 
 // --- Public data management ---
 
+// ValidateStationary runs the admission checks LoadStationary applies, in
+// input order, without touching any state: duplicate ids and out-of-world
+// locations are rejected with the first offending object. The routing
+// tier calls this before partitioning a bulk load across shards, so a bad
+// batch fails with exactly the error a single server would report and no
+// shard receives a partial load.
+func ValidateStationary(world geo.Rect, objs []PublicObject) error {
+	seen := make(map[uint64]struct{}, len(objs))
+	for _, o := range objs {
+		if _, dup := seen[o.ID]; dup {
+			return fmt.Errorf("server: duplicate stationary object id %d", o.ID)
+		}
+		if !world.Contains(o.Loc) {
+			return fmt.Errorf("server: object %d at %v outside world", o.ID, o.Loc)
+		}
+		seen[o.ID] = struct{}{}
+	}
+	return nil
+}
+
 // LoadStationary bulk-loads stationary public objects, replacing any
 // previously loaded set.
 func (s *Server) LoadStationary(objs []PublicObject) error {
+	if err := ValidateStationary(s.world, objs); err != nil {
+		return err
+	}
 	items := make([]rtree.Item, len(objs))
 	meta := make(map[uint64]PublicObject, len(objs))
 	for i, o := range objs {
-		if _, dup := meta[o.ID]; dup {
-			return fmt.Errorf("server: duplicate stationary object id %d", o.ID)
-		}
-		if !s.world.Contains(o.Loc) {
-			return fmt.Errorf("server: object %d at %v outside world", o.ID, o.Loc)
-		}
 		items[i] = rtree.Item{ID: o.ID, Loc: o.Loc}
 		meta[o.ID] = o
 	}
