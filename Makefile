@@ -10,11 +10,21 @@ build:
 test:
 	$(GO) test ./...
 
-# Static gates: formatting, vet, and the privacy trust boundary.
+# Static gates: formatting, vet, the lbsvet suite (standalone and as a
+# vet tool, so both drivers stay healthy), its fixture self-tests, and —
+# when installed, as CI always has them — staticcheck and govulncheck.
+# CI's lint job runs exactly this target.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/lbsvet ./...
+	$(GO) build -o $(LBSVET) ./cmd/lbsvet
+	$(GO) vet -vettool=$(LBSVET) ./...
+	$(GO) test ./internal/lint/...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "lint: staticcheck not installed, skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "lint: govulncheck not installed, skipping (CI runs it)"; fi
+
+LBSVET ?= /tmp/lbsvet
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -32,6 +42,6 @@ soak-short: build
 		-users 8000 -objs 2000 -workers 8 -scale 0.4 -seed 7
 
 fuzz-smoke:
-	@for target in FuzzReadFrame FuzzDecodeProfile FuzzDecodeResult FuzzDecodeMetrics FuzzDecodeTraced FuzzDecodeSpans FuzzDecodeShardMap FuzzDecodeSubQueries FuzzDecodeSubResults; do \
+	@for target in FuzzReadFrame FuzzDecodeProfile FuzzDecodeResult FuzzDecodeMetrics FuzzDecodeTraced FuzzDecodeSpans FuzzDecodeShardMap FuzzDecodeSubQueries FuzzDecodeSubResults FuzzDecodeObjects FuzzDecodeCountResult FuzzDecodeUserProbs FuzzDecodeBatchQuery FuzzDecodeBatchResult FuzzDecodeBatchUpdate; do \
 		$(GO) test ./internal/protocol/ -run='^$$' -fuzz="^$$target\$$" -fuzztime=10s || exit 1; \
 	done

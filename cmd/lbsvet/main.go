@@ -1,7 +1,10 @@
-// Command lbsvet runs the repo's static-analysis suite: the four passes
-// that prove the privacy trust boundary (privleak), the lock hierarchy
-// (lockorder), the metric namespace (obsname), and deadline discipline
-// (ctxcall).
+// Command lbsvet runs the repo's static-analysis suite: the passes that
+// prove the privacy trust boundary (privleak), the lock hierarchy
+// (lockorder), the metric namespace (obsname), deadline discipline
+// (ctxcall), wire-surface symmetry with guarded decodes and fuzz
+// coverage (wiresym), the hot-path escape budgets (hotalloc), atomic vs
+// plain access mixing (atomicmix), and the health of the //lint:
+// directives themselves (dirverify).
 //
 // Standalone (the CI gate — all passes, whole-program):
 //
@@ -33,10 +36,14 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/loader"
+	"repro/internal/lint/passes/atomicmix"
 	"repro/internal/lint/passes/ctxcall"
+	"repro/internal/lint/passes/dirverify"
+	"repro/internal/lint/passes/hotalloc"
 	"repro/internal/lint/passes/lockorder"
 	"repro/internal/lint/passes/obsname"
 	"repro/internal/lint/passes/privleak"
+	"repro/internal/lint/passes/wiresym"
 )
 
 var all = []*analysis.Analyzer{
@@ -44,6 +51,10 @@ var all = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	obsname.Analyzer,
 	ctxcall.Analyzer,
+	wiresym.Analyzer,
+	hotalloc.Analyzer,
+	atomicmix.Analyzer,
+	dirverify.Analyzer,
 }
 
 func main() {

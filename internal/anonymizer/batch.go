@@ -53,6 +53,8 @@ func (a *Anonymizer) BatchUpdate(updates []cloak.Request) []*cloak.Result {
 // BatchUpdateCtx is BatchUpdate under a context: traced batches record the
 // three pipeline phases (per-shard admission, pooled cloaking, forwarding)
 // as spans with batch-size and shared-descent attributes.
+//
+//lint:hotpath allocs=15
 func (a *Anonymizer) BatchUpdateCtx(ctx context.Context, updates []cloak.Request) []*cloak.Result {
 	results := make([]*cloak.Result, len(updates))
 	if len(updates) == 0 {

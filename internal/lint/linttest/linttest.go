@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
 	"repro/internal/lint/loader"
 )
 
@@ -139,8 +140,10 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 }
 
 // collect parses the fixture's // want comments. A trailing want applies
-// to its own line; a want on a line of its own applies to the nearest
-// code line above it (for diagnostics anchored to a directive comment).
+// to its own line, and so does a want riding a //lint: directive comment
+// (doc-comment directives receive diagnostics at the comment's own
+// position, which is never a code line); a plain want on a line of its
+// own applies to the nearest code line above it.
 func collect(t *testing.T, fset *token.FileSet, pkg *loader.Package) []*expectation {
 	t.Helper()
 	var out []*expectation
@@ -160,7 +163,8 @@ func collect(t *testing.T, fset *token.FileSet, pkg *loader.Package) []*expectat
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				if !codeLines[pos.Line] {
+				_, isDirective := directive.Parse(c.Text)
+				if !isDirective && !codeLines[pos.Line] {
 					for l := pos.Line - 1; l > 0; l-- {
 						if codeLines[l] {
 							pos.Line = l

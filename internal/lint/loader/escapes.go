@@ -1,0 +1,131 @@
+package loader
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeSite is one heap allocation the compiler's escape analysis
+// reported for a package: either "moved to heap: x" (a stack variable
+// forced to the heap) or "<expr> escapes to heap" (a composite/call
+// result allocated on the heap).
+type EscapeSite struct {
+	File string // base name, e.g. "batch.go"
+	Line int
+	Col  int
+	Msg  string // the diagnostic text after "file:line:col: "
+}
+
+// EscapeSet holds the escape diagnostics for one package, indexed for
+// per-function range queries by the hotalloc pass.
+type EscapeSet struct {
+	Sites []EscapeSite
+}
+
+// CountRange returns the number of escape sites attributed to the given
+// file between startLine and endLine inclusive — the line span of an
+// annotated function declaration.
+func (s *EscapeSet) CountRange(file string, startLine, endLine int) int {
+	n := 0
+	for _, site := range s.Sites {
+		if site.File == file && site.Line >= startLine && site.Line <= endLine {
+			n++
+		}
+	}
+	return n
+}
+
+// SitesRange returns the escape sites in the given file/line span, for
+// diagnostic detail.
+func (s *EscapeSet) SitesRange(file string, startLine, endLine int) []EscapeSite {
+	var out []EscapeSite
+	for _, site := range s.Sites {
+		if site.File == file && site.Line >= startLine && site.Line <= endLine {
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+var escLineRE = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.*)$`)
+
+// isEscapeMsg reports whether one -m diagnostic line describes a heap
+// allocation. Inlining notes, "does not escape" confirmations and
+// "leaking param" summaries are informational, not allocations.
+func isEscapeMsg(msg string) bool {
+	if strings.HasPrefix(msg, "moved to heap:") {
+		return true
+	}
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.HasSuffix(msg, "escapes to heap")
+}
+
+// Escapes shells out to `go build -gcflags=-m` for the single package
+// rooted at dir and parses the compiler's escape diagnostics. The go
+// command replays cached compiler output on cache hits, so repeat runs
+// are cheap and still produce the full diagnostic stream. mainPkg
+// selects an -o /dev/null style sink so building a command does not
+// drop a binary into the package directory.
+func Escapes(dir string, mainPkg bool) (*EscapeSet, error) {
+	args := []string{"build", "-gcflags=-m"}
+	if mainPkg {
+		tmp, err := os.CreateTemp("", "lbsvet-hotalloc-*")
+		if err != nil {
+			return nil, err
+		}
+		tmp.Close()
+		defer os.Remove(tmp.Name())
+		args = append(args, "-o", tmp.Name())
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stdout = &stderr
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		// A failing build means the diagnostics are incomplete; surface
+		// the compiler output rather than reporting a bogus zero count.
+		out := stderr.String()
+		if len(out) > 2000 {
+			out = out[:2000] + "…"
+		}
+		return nil, fmt.Errorf("go build -gcflags=-m in %s: %v\n%s", dir, err, out)
+	}
+
+	set := &EscapeSet{}
+	seen := make(map[EscapeSite]bool)
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !isEscapeMsg(msg) {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		site := EscapeSite{File: filepath.Base(m[1]), Line: line, Col: col, Msg: msg}
+		if seen[site] {
+			continue
+		}
+		seen[site] = true
+		set.Sites = append(set.Sites, site)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

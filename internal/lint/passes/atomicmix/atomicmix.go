@@ -1,0 +1,328 @@
+// Package atomicmix implements the lbsvet pass that flags struct fields
+// accessed both through sync/atomic and through plain loads or stores
+// outside the guarding mutex.
+//
+// The tree's counters deliberately use the typed atomics
+// (atomic.Int64/Uint64), which make mixed access impossible by
+// construction. The hazard this pass closes is the function-style form:
+//
+//	atomic.AddUint64(&s.hits, 1)   // one call site
+//	s.hits = 0                     // ...and a plain reset elsewhere: a race
+//
+// A field becomes "atomic" the moment any `&x.f` is passed to a
+// sync/atomic function; every other plain access to that field is then
+// reported unless it is
+//
+//   - inside a function that acquires a sibling mutex of the same struct
+//     before the access (the lock-then-touch pattern; the check is
+//     positional, not flow-sensitive — an earlier Lock/RLock on a mutex
+//     field declared in the same struct exempts the access), or
+//   - annotated //lint:atomic-guarded <why> on the access line
+//     (initialization before publication, externally serialized paths).
+//
+// In whole-program mode the atomic-use census spans the module, so a
+// plain access in one package is checked against atomic uses in another;
+// in modular vet mode the pass degrades to per-package views.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+	"repro/internal/lint/loader"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag fields accessed both via sync/atomic and plain load/store\n\n" +
+		"A field with any &x.f passed to sync/atomic must not be touched\n" +
+		"plainly outside the guarding mutex or an //lint:atomic-guarded line.",
+	Run: run,
+}
+
+type cacheKey struct{}
+
+type result struct {
+	byPkg map[string][]analysis.Diagnostic
+}
+
+type pkgUnit struct {
+	path  string
+	files []*ast.File
+	info  *types.Info
+}
+
+type world struct {
+	fset *token.FileSet
+	pkgs []*pkgUnit
+	// atomicUse maps a struct field to the position of one sync/atomic
+	// call taking its address.
+	atomicUse map[types.Object]token.Pos
+	// atomicArgs marks the &x.f selector nodes consumed by those calls,
+	// so the census pass does not flag the atomic accesses themselves.
+	atomicArgs map[*ast.SelectorExpr]bool
+	// siblings maps every field of a struct that declares at least one
+	// sync.Mutex/RWMutex field to those mutex field objects.
+	siblings map[types.Object][]types.Object
+	diags    map[string][]analysis.Diagnostic
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Prog != nil {
+		res, ok := pass.Prog.Cache[cacheKey{}].(*result)
+		if !ok {
+			res = analyze(pass.Fset, programUnits(pass.Prog))
+			pass.Prog.Cache[cacheKey{}] = res
+		}
+		for _, d := range res.byPkg[pass.Pkg.Path()] {
+			pass.Report(d)
+		}
+		return nil, nil
+	}
+	res := analyze(pass.Fset, []*pkgUnit{{path: pass.Pkg.Path(), files: pass.Files, info: pass.TypesInfo}})
+	for _, d := range res.byPkg[pass.Pkg.Path()] {
+		pass.Report(d)
+	}
+	return nil, nil
+}
+
+func programUnits(prog *loader.Program) []*pkgUnit {
+	var units []*pkgUnit
+	for _, p := range prog.Packages {
+		units = append(units, &pkgUnit{path: p.Types.Path(), files: p.Files, info: p.Info})
+	}
+	return units
+}
+
+func analyze(fset *token.FileSet, pkgs []*pkgUnit) *result {
+	w := &world{
+		fset:       fset,
+		pkgs:       pkgs,
+		atomicUse:  make(map[types.Object]token.Pos),
+		atomicArgs: make(map[*ast.SelectorExpr]bool),
+		siblings:   make(map[types.Object][]types.Object),
+		diags:      make(map[string][]analysis.Diagnostic),
+	}
+	w.collectSiblings()
+	w.collectAtomicUses()
+	w.checkPlainAccesses()
+	res := &result{byPkg: w.diags}
+	for _, ds := range res.byPkg {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Pos < ds[j].Pos })
+	}
+	return res
+}
+
+func (w *world) report(pkg *pkgUnit, pos token.Pos, format string, args ...interface{}) {
+	w.diags[pkg.path] = append(w.diags[pkg.path], analysis.Diagnostic{
+		Pos: pos, Category: "atomicmix", Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectSiblings records, for every struct declaring a mutex field, the
+// mutex objects guarding its other fields.
+func (w *world) collectSiblings() {
+	for _, pkg := range w.pkgs {
+		for _, file := range pkg.files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				var mutexes []types.Object
+				var fields []types.Object
+				for _, field := range st.Fields.List {
+					for _, id := range field.Names {
+						obj := pkg.info.Defs[id]
+						if obj == nil {
+							continue
+						}
+						fields = append(fields, obj)
+						if isMutexType(obj.Type()) {
+							mutexes = append(mutexes, obj)
+						}
+					}
+				}
+				if len(mutexes) == 0 {
+					return true
+				}
+				for _, f := range fields {
+					w.siblings[f] = mutexes
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldAddrArg unwraps &x.f arguments, returning the selector and the
+// struct field it resolves to.
+func fieldAddrArg(pkg *pkgUnit, arg ast.Expr) (*ast.SelectorExpr, types.Object) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	obj := pkg.info.Uses[sel.Sel]
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return sel, obj
+	}
+	return nil, nil
+}
+
+// collectAtomicUses finds every &x.f handed to a sync/atomic function.
+func (w *world) collectAtomicUses() {
+	for _, pkg := range w.pkgs {
+		for _, file := range pkg.files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				callee, ok := pkg.info.Uses[fun.Sel].(*types.Func)
+				if !ok || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					sel, obj := fieldAddrArg(pkg, arg)
+					if obj == nil {
+						continue
+					}
+					w.atomicArgs[sel] = true
+					if _, have := w.atomicUse[obj]; !have {
+						w.atomicUse[obj] = arg.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcSpan is one function body (declaration or literal) for innermost-
+// enclosing lookups.
+type funcSpan struct {
+	body *ast.BlockStmt
+}
+
+func (w *world) checkPlainAccesses() {
+	if len(w.atomicUse) == 0 {
+		return
+	}
+	for _, pkg := range w.pkgs {
+		for _, file := range pkg.files {
+			var spans []funcSpan
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						spans = append(spans, funcSpan{body: n.Body})
+					}
+				case *ast.FuncLit:
+					spans = append(spans, funcSpan{body: n.Body})
+				}
+				return true
+			})
+			dirs := directive.ForFile(w.fset, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || w.atomicArgs[sel] {
+					return true
+				}
+				obj := pkg.info.Uses[sel.Sel]
+				if obj == nil {
+					return true
+				}
+				atomicAt, isAtomic := w.atomicUse[obj]
+				if !isAtomic {
+					return true
+				}
+				if d, ok := dirs.Find(w.fset, sel.Pos(), "atomic-guarded"); ok {
+					if d.Args == "" {
+						w.report(pkg, d.Pos, "//lint:atomic-guarded needs a justification: why is this plain access to %s safe?", obj.Name())
+					}
+					return true
+				}
+				if w.mutexHeldBefore(pkg, spans, sel.Pos(), obj) {
+					return true
+				}
+				w.report(pkg, sel.Pos(),
+					"%s is accessed atomically (e.g. %s) but read/written plainly here; hold the guarding mutex first, use sync/atomic, or annotate //lint:atomic-guarded <why>",
+					obj.Name(), w.fset.Position(atomicAt))
+				return true
+			})
+		}
+	}
+}
+
+// mutexHeldBefore reports whether the innermost function enclosing pos
+// calls Lock/RLock on a sibling mutex of field's struct at an earlier
+// position. Positional, not flow-sensitive: good enough for the
+// lock-at-entry, defer-unlock idiom this tree uses.
+func (w *world) mutexHeldBefore(pkg *pkgUnit, spans []funcSpan, pos token.Pos, field types.Object) bool {
+	mutexes := w.siblings[field]
+	if len(mutexes) == 0 {
+		return false
+	}
+	var innermost *ast.BlockStmt
+	for _, s := range spans {
+		if s.body.Pos() <= pos && pos <= s.body.End() {
+			if innermost == nil || s.body.Pos() > innermost.Pos() {
+				innermost = s.body
+			}
+		}
+	}
+	if innermost == nil {
+		return false
+	}
+	held := false
+	ast.Inspect(innermost, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || held {
+			return !held
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "RLock") {
+			return true
+		}
+		recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+		var obj types.Object
+		if ok {
+			obj = pkg.info.Uses[recv.Sel]
+		} else if id, isID := ast.Unparen(fun.X).(*ast.Ident); isID {
+			obj = pkg.info.Uses[id]
+		}
+		for _, m := range mutexes {
+			if obj == m {
+				held = true
+			}
+		}
+		return !held
+	})
+	return held
+}

@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/passes/atomicmix"
+)
+
+func TestMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-program analysis")
+	}
+	linttest.Run(t, "testdata/src/mixed", atomicmix.Analyzer)
+}

@@ -1,0 +1,54 @@
+// Package fixture exercises the atomicmix pass: once any &s.f is handed
+// to sync/atomic, plain loads and stores of f are races unless the
+// guarding mutex is held first or the line carries a justified
+// //lint:atomic-guarded annotation.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu   sync.Mutex
+	hits uint64
+	errs uint64
+	last uint64
+}
+
+func bump(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&s.errs, 1)
+	atomic.AddUint64(&s.last, 1)
+}
+
+func snapshot(s *stats) uint64 {
+	return atomic.LoadUint64(&s.hits) // the atomic access itself: fine
+}
+
+func resetPlain(s *stats) {
+	s.hits = 0 // want "hits is accessed atomically .* but read/written plainly here"
+}
+
+func readPlain(s *stats) uint64 {
+	return s.hits // want "hits is accessed atomically .* but read/written plainly here"
+}
+
+func resetLocked(s *stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errs = 0 // sibling mutex held before the access: exempt
+}
+
+// construct writes the field before the value is published; the
+// annotation records why the plain store is safe.
+func construct() *stats {
+	s := &stats{}
+	s.last = 1 //lint:atomic-guarded not yet published, no concurrent reader exists
+	return s
+}
+
+func resetUnjustified(s *stats) {
+	s.last = 0 //lint:atomic-guarded
+	// want "//lint:atomic-guarded needs a justification"
+}

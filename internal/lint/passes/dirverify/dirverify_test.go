@@ -1,0 +1,15 @@
+package dirverify_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/passes/dirverify"
+)
+
+func TestStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	linttest.Run(t, "testdata/src/stale", dirverify.Analyzer)
+}

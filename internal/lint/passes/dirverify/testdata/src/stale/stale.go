@@ -1,0 +1,29 @@
+// Package fixture exercises the dirverify pass: a typo'd verb and a
+// //lint:source params= list naming a renamed-away parameter both stop
+// being checked silently, so both must be loud; well-formed directives
+// stay quiet.
+package fixture
+
+type counter struct {
+	n int //lint:santized the decoder clamps this // want "unknown //lint: verb"
+}
+
+// report seeds taint from its parameters — but the params= list still
+// names the parameter from before the rename, so the seed is stale.
+//
+//lint:source params=lat,radius // want "names .radius., which is not a parameter of report"
+func report(lat float64, span float64) float64 {
+	return lat + span
+}
+
+// seeded is the well-formed counterpart: every listed name resolves.
+//
+//lint:source params=lat,span
+func seeded(lat float64, span float64) float64 {
+	return lat * span
+}
+
+// ordinary is a plain comment mentioning lint: nothing to parse here.
+func ordinary(c *counter) int {
+	return c.n
+}

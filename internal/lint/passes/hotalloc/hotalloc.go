@@ -1,0 +1,154 @@
+// Package hotalloc implements the lbsvet pass that turns the compiler's
+// escape analysis into a ratchet for the hot path.
+//
+// A function on the update→cloak→forward→query path is annotated with a
+// heap-allocation budget in its doc comment:
+//
+//	//lint:hotpath allocs=3
+//	func (a *Anonymizer) cloakStage(...) { ... }
+//
+// The pass shells out to `go build -gcflags=-m` for the annotated
+// package (the go command replays cached compiler output, so repeat runs
+// are cheap), counts the escape diagnostics — "moved to heap" and
+// "escapes to heap" — attributed to each annotated function's line span,
+// and reports any function whose count exceeds its budget. Budgets are a
+// one-way ratchet: the perf work lowers them, and a regression that adds
+// an escape breaks the build instead of waiting for a profile to notice.
+//
+// The count is the number of escape *sites* the compiler reports, not a
+// per-call allocation count — a site inside a loop is still one site.
+// That is the right granularity for a ratchet: new sites are what code
+// changes introduce.
+package hotalloc
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+	"repro/internal/lint/loader"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "enforce //lint:hotpath allocs=N escape budgets on hot-path functions\n\n" +
+		"Shells out to go build -gcflags=-m and counts heap-escape sites per\n" +
+		"annotated function; exceeding the budget is a build break.",
+	Run: run,
+}
+
+type target struct {
+	fd     *ast.FuncDecl
+	file   string // base name
+	budget int
+	start  int // decl line span, inclusive
+	end    int
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var targets []target
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			// Escape diagnostics come from `go build`, which does not
+			// compile test files; a budget there could never be checked.
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if d, ok := directive.FromDoc(fd.Doc, "hotpath"); ok {
+					pass.Reportf(d.Pos, "//lint:hotpath on test function %s: budgets apply to build-compiled code only", fd.Name.Name)
+				}
+			}
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			d, ok := directive.FromDoc(fd.Doc, "hotpath")
+			if !ok {
+				continue
+			}
+			budget, perr := parseBudget(d.Args)
+			if perr != "" {
+				pass.Reportf(d.Pos, "malformed //lint:hotpath directive %q: %s", d.Args, perr)
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(d.Pos, "//lint:hotpath on bodyless declaration %s", fd.Name.Name)
+				continue
+			}
+			targets = append(targets, target{
+				fd:     fd,
+				file:   filepath.Base(fname),
+				budget: budget,
+				start:  pass.Fset.Position(fd.Pos()).Line,
+				end:    pass.Fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	if len(targets) == 0 {
+		return nil, nil // no budgets, no compiler invocation
+	}
+
+	dir := filepath.Dir(pass.Fset.Position(targets[0].fd.Pos()).Filename)
+	esc, err := escapes(pass, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, t := range targets {
+		sites := esc.SitesRange(t.file, t.start, t.end)
+		if len(sites) <= t.budget {
+			continue
+		}
+		detail := make([]string, 0, len(sites))
+		for _, s := range sites {
+			detail = append(detail, s.File+":"+strconv.Itoa(s.Line)+": "+s.Msg)
+		}
+		pass.Reportf(t.fd.Name.Pos(),
+			"%s has %d heap-escape sites, over its //lint:hotpath budget allocs=%d; remove the allocation or the regression that added it (budgets only ratchet down)\n\t%s",
+			t.fd.Name.Name, len(sites), t.budget, strings.Join(detail, "\n\t"))
+	}
+	return nil, nil
+}
+
+type cacheKey struct{ dir string }
+
+// escapes runs the compiler once per package directory per process,
+// caching through Prog.Cache in whole-program mode so the fixture runner
+// and standalone driver do not rebuild per analyzer invocation.
+func escapes(pass *analysis.Pass, dir string) (*loader.EscapeSet, error) {
+	mainPkg := pass.Pkg.Name() == "main"
+	if pass.Prog == nil {
+		return loader.Escapes(dir, mainPkg)
+	}
+	if set, ok := pass.Prog.Cache[cacheKey{dir}].(*loader.EscapeSet); ok {
+		return set, nil
+	}
+	set, err := loader.Escapes(dir, mainPkg)
+	if err != nil {
+		return nil, err
+	}
+	pass.Prog.Cache[cacheKey{dir}] = set
+	return set, nil
+}
+
+func parseBudget(args string) (int, string) {
+	val, ok := strings.CutPrefix(strings.TrimSpace(args), "allocs=")
+	if !ok {
+		return 0, "want allocs=<n>"
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(val))
+	if err != nil || n < 0 {
+		return 0, "allocs wants a non-negative integer"
+	}
+	return n, ""
+}

@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/passes/hotalloc"
+)
+
+func TestOverBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build -gcflags=-m")
+	}
+	linttest.Run(t, "testdata/src/overbudget", hotalloc.Analyzer)
+}

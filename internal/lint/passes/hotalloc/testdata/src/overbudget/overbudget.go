@@ -1,0 +1,39 @@
+// Package fixture exercises the hotalloc pass: the compiler's escape
+// analysis is replayed over this package, and any annotated function
+// with more heap-escape sites than its budget is a build break.
+package fixture
+
+// sink publishes pointers so escape analysis cannot stack-allocate them.
+var sink *int
+
+// withinBudget allocates exactly the one escaping value its budget
+// allows.
+//
+//lint:hotpath allocs=1
+func withinBudget() *int {
+	v := new(int)
+	return v
+}
+
+// overBudget promises a zero-allocation body but publishes two values.
+//
+//lint:hotpath allocs=0
+func overBudget() { // want "overBudget has 2 heap-escape sites, over its //lint:hotpath budget allocs=0"
+	a := new(int)
+	b := new(int)
+	sink = a
+	sink = b
+}
+
+// badBudget's directive does not parse, so no budget is enforced — which
+// is exactly why it must be reported.
+//
+//lint:hotpath buckets=3 // want "malformed //lint:hotpath directive"
+func badBudget() int {
+	return 0
+}
+
+// unannotated escapes freely: no budget, no report.
+func unannotated() *int {
+	return new(int)
+}

@@ -1,0 +1,10 @@
+package fixture
+
+// helper carries a budget in a test file, where `go build` never
+// compiles it: the budget could never be checked, so the directive
+// itself is the defect.
+//
+//lint:hotpath allocs=1 // want "//lint:hotpath on test function helper: budgets apply to build-compiled code only"
+func helper() *int {
+	return new(int)
+}

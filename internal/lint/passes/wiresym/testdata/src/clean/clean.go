@@ -1,0 +1,117 @@
+// Package fixture is the wiresym happy path: every constant is
+// dispatched (one through the canonical handler signature, one through
+// an annotated dispatcher), both sides encode and decode the same field
+// sequences, the variable-length decode clamps through capHint, and the
+// fuzz target exists and is listed in this fixture's own Makefile —
+// which also stops the pass's module-root walk here. No diagnostics.
+package fixture
+
+import "context"
+
+const (
+	MsgItems  byte = 1
+	MsgStatus byte = 2
+)
+
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) U8(v byte) *Encoder    { e.buf = append(e.buf, v); return e }
+func (e *Encoder) U32(v uint32) *Encoder { e.buf = append(e.buf, byte(v)); return e }
+func (e *Encoder) U64(v uint64) *Encoder { e.buf = append(e.buf, byte(v)); return e }
+
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *Decoder) take() byte {
+	if d.off >= len(d.buf) {
+		d.err = errShort
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *Decoder) U8() byte       { return d.take() }
+func (d *Decoder) U32() uint32    { return uint32(d.take()) }
+func (d *Decoder) U64() uint64    { return uint64(d.take()) }
+func (d *Decoder) Err() error     { return d.err }
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+type wireError string
+
+func (e wireError) Error() string { return string(e) }
+
+const errShort = wireError("short frame")
+
+func capHint(n, elemSize int, d *Decoder) int {
+	if max := d.Remaining() / elemSize; n > max {
+		return max
+	}
+	return n
+}
+
+type conn struct{}
+
+func (c conn) call(typ byte, payload []byte) []byte { return payload }
+
+func handle(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
+	d := &Decoder{buf: payload}
+	switch typ {
+	case MsgItems:
+		items := decodeItems(d)
+		e := &Encoder{}
+		encodeItems(e, items)
+		return e.buf, nil
+	}
+	return nil, nil
+}
+
+// relay mirrors the production Service-layer dispatcher: it compares
+// rather than switches and does not have the canonical handler
+// signature, so it carries the explicit annotation.
+//
+//lint:wire-handler
+func relay(typ byte, payload []byte) []byte {
+	if typ == MsgStatus {
+		d := &Decoder{buf: payload}
+		_ = d.U8()
+		e := &Encoder{}
+		e.U8(1)
+		return e.buf
+	}
+	return payload
+}
+
+func encodeItems(e *Encoder, items []uint64) {
+	e.U32(uint32(len(items)))
+	for _, it := range items {
+		e.U64(it)
+	}
+}
+
+func decodeItems(d *Decoder) []uint64 {
+	n := int(d.U32())
+	out := make([]uint64, 0, capHint(n, 8, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, d.U64())
+	}
+	return out
+}
+
+func clientItems(c conn, items []uint64) []uint64 {
+	e := &Encoder{}
+	encodeItems(e, items)
+	d := &Decoder{buf: c.call(MsgItems, e.buf)}
+	return decodeItems(d)
+}
+
+func clientStatus(c conn) byte {
+	e := &Encoder{}
+	e.U8(0)
+	d := &Decoder{buf: c.call(MsgStatus, e.buf)}
+	return d.U8()
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "testing"
+
+// FuzzDecodeItems covers MsgItems' capHint-guarded decode path; wiresym
+// requires it to exist here and to be listed in the fixture's Makefile.
+func FuzzDecodeItems(f *testing.F) {
+	f.Add([]byte{2, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeItems(&Decoder{buf: data})
+	})
+}

@@ -1,0 +1,230 @@
+// Package fixture exercises the wiresym pass's failing shapes: orphaned
+// constants, asymmetric request/response codecs, unguarded decode
+// allocations, missing fuzz coverage and contradictory annotations. The
+// Encoder/Decoder/capHint trio mirrors the production wire package by
+// name, which is all the pass keys on.
+package fixture
+
+import "context"
+
+const (
+	MsgPing byte = 1 // symmetric, dispatched, fixed-shape: clean
+	MsgEcho byte = 2
+	MsgSkew byte = 3
+	// MsgOrphan has a client encoder but no handler case anywhere.
+	MsgOrphan byte = 4 // want "MsgOrphan is not dispatched by any wire handler"
+	MsgContra byte = 5 //lint:client-only built and consumed on the same tier
+	// want "MsgContra is annotated //lint:client-only but handle dispatches it; drop the annotation"
+	MsgNoted byte = 6 //lint:client-only
+	// want "//lint:client-only on MsgNoted needs a justification"
+	MsgRaw byte = 7 //lint:wire-asym
+	// want "//lint:wire-asym on MsgRaw needs a justification"
+	// want "MsgRaw is not dispatched by any wire handler"
+	MsgStale byte = 8 //lint:fuzzed-by FuzzNope covered by the envelope fuzzer
+	// want "//lint:fuzzed-by on MsgStale names FuzzNope, which does not exist"
+	//lint:client-only the half sub-frame never crosses the wire alone
+	MsgHalf byte = 9 //lint:fuzzed-by FuzzOnly
+	// want "//lint:fuzzed-by on MsgHalf wants <FuzzTarget> <why>"
+	// MsgGrow's decode is capHint-guarded (variable length) but nothing
+	// fuzzes it.
+	MsgGrow byte = 10 // want "MsgGrow has a capHint-guarded .variable-length. decode path but no FuzzDecodeGrow fuzz target"
+	// MsgUnbounded's decode loop is fine, but its make() trusts the
+	// decoded count.
+	MsgUnbounded byte = 11
+)
+
+// ---- codec scaffolding ----------------------------------------------------
+
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) U8(v byte) *Encoder    { e.buf = append(e.buf, v); return e }
+func (e *Encoder) U32(v uint32) *Encoder { e.buf = append(e.buf, byte(v)); return e }
+func (e *Encoder) U64(v uint64) *Encoder { e.buf = append(e.buf, byte(v)); return e }
+func (e *Encoder) Bytes() []byte         { return e.buf }
+
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *Decoder) take() byte {
+	if d.off >= len(d.buf) {
+		d.err = errShort
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *Decoder) U8() byte       { return d.take() }
+func (d *Decoder) U32() uint32    { return uint32(d.take()) }
+func (d *Decoder) U64() uint64    { return uint64(d.take()) }
+func (d *Decoder) Err() error     { return d.err }
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+type wireError string
+
+func (e wireError) Error() string { return string(e) }
+
+const errShort = wireError("short frame")
+
+func capHint(n, elemSize int, d *Decoder) int {
+	if max := d.Remaining() / elemSize; n > max {
+		return max
+	}
+	return n
+}
+
+// conn.call is the transport boundary: opaque []byte in, []byte out, so
+// its internals belong to the envelope, not the message under proof.
+type conn struct{}
+
+func (c conn) call(typ byte, payload []byte) []byte { return payload }
+
+// ---- handler --------------------------------------------------------------
+
+func handle(ctx context.Context, typ byte, payload []byte) ([]byte, error) {
+	d := &Decoder{buf: payload}
+	switch typ {
+	case MsgPing:
+		v := d.U64()
+		e := &Encoder{}
+		e.U64(v)
+		return e.buf, nil
+	case MsgEcho:
+		_ = d.U8()
+		e := &Encoder{}
+		e.U64(1).U64(2)
+		return e.buf, nil
+	case MsgSkew:
+		_ = d.U32()
+		return nil, nil
+	case MsgContra:
+		v := d.U64()
+		e := &Encoder{}
+		e.U64(v)
+		return e.buf, nil
+	case MsgStale:
+		_ = d.U8()
+		return nil, nil
+	case MsgGrow:
+		items := decodeGrow(d)
+		e := &Encoder{}
+		e.U32(uint32(len(items)))
+		for _, it := range items {
+			e.U64(it)
+		}
+		return e.buf, nil
+	case MsgUnbounded:
+		vals := decodeVals(d)
+		e := &Encoder{}
+		e.U32(uint32(len(vals)))
+		for _, v := range vals {
+			e.U64(v)
+		}
+		return e.buf, nil
+	}
+	return nil, nil
+}
+
+// decodeGrow clamps its preallocation through capHint: correct, but the
+// variable-length path then demands a fuzz target the fixture omits.
+func decodeGrow(d *Decoder) []uint64 {
+	n := int(d.U32())
+	out := make([]uint64, 0, capHint(n, 8, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, d.U64())
+	}
+	return out
+}
+
+// decodeVals sizes its allocation straight from the decoded count.
+func decodeVals(d *Decoder) []uint64 {
+	n := int(d.U32())
+	out := make([]uint64, 0, n) // want "allocation sized by a wire-decoded value without a capHint"
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, d.U64())
+	}
+	return out
+}
+
+// ---- clients --------------------------------------------------------------
+
+func clientPing(c conn) uint64 {
+	e := &Encoder{}
+	e.U64(9)
+	d := &Decoder{buf: c.call(MsgPing, e.buf)}
+	return d.U64()
+}
+
+func clientEcho(c conn) uint64 { // want "wire shape mismatch for MsgEcho response"
+	e := &Encoder{}
+	e.U8(1)
+	d := &Decoder{buf: c.call(MsgEcho, e.buf)}
+	return d.U64()
+}
+
+func clientSkew(c conn) { // want "wire shape mismatch for MsgSkew request"
+	e := &Encoder{}
+	e.U64(7)
+	_ = c.call(MsgSkew, e.buf)
+}
+
+func clientOrphan(c conn) {
+	e := &Encoder{}
+	e.U8(1)
+	_ = c.call(MsgOrphan, e.buf)
+}
+
+func clientContra(c conn) uint64 {
+	e := &Encoder{}
+	e.U64(3)
+	d := &Decoder{buf: c.call(MsgContra, e.buf)}
+	return d.U64()
+}
+
+func clientNoted(c conn) {
+	e := &Encoder{}
+	e.U8(byte(MsgNoted))
+	_ = c.call(MsgNoted, e.buf)
+}
+
+func clientRaw(c conn) {
+	e := &Encoder{}
+	e.U8(byte(MsgRaw))
+	_ = c.call(MsgRaw, e.buf)
+}
+
+func clientStale(c conn) {
+	e := &Encoder{}
+	e.U8(byte(MsgStale))
+	_ = c.call(MsgStale, e.buf)
+}
+
+func clientHalf() []byte {
+	e := &Encoder{}
+	e.U8(byte(MsgHalf))
+	return e.buf
+}
+
+func clientGrow(c conn, items []uint64) []uint64 {
+	e := &Encoder{}
+	e.U32(uint32(len(items)))
+	for _, it := range items {
+		e.U64(it)
+	}
+	d := &Decoder{buf: c.call(MsgGrow, e.buf)}
+	return decodeGrow(d)
+}
+
+func clientUnbounded(c conn, vals []uint64) []uint64 {
+	e := &Encoder{}
+	e.U32(uint32(len(vals)))
+	for _, v := range vals {
+		e.U64(v)
+	}
+	d := &Decoder{buf: c.call(MsgUnbounded, e.buf)}
+	return decodeVals(d)
+}

@@ -1,0 +1,1052 @@
+// Package wiresym implements the lbsvet pass that proves the wire
+// surface is symmetric: for every exported Msg* constant in a package
+// that declares wire message types, the encode shape on one side of the
+// connection must match the decode shape on the other.
+//
+// The pass enumerates the census — every exported `Msg*` byte constant —
+// and proves, per type:
+//
+//	(a) symmetry: the field-op sequence a client encodes into a request
+//	    is the sequence the handler decodes, and the sequence the handler
+//	    encodes into the response is the sequence the client decodes.
+//	    Fixed-shape sides compare as exact sequences; shapes with ops
+//	    under loops or branches compare as op sets.
+//	(b) guarded allocation: any make() whose size derives from a decoded
+//	    scalar must be bounded by capHint(...), the Remaining()-aware
+//	    preallocation clamp, so a 5-byte frame cannot reserve gigabytes.
+//	(c) dispatch: the type is answered by a wire handler (the canonical
+//	    func(ctx, typ, payload) signature switching on typ, or a
+//	    //lint:wire-handler annotated dispatcher) or is explicitly
+//	    //lint:client-only <why>.
+//	(d) fuzz coverage: a type whose decode path needs capHint is
+//	    variable-length and must have a FuzzDecode<Name> target (override:
+//	    //lint:fuzzed-by <target> <why>) that exists in the package's
+//	    test files and is listed in the Makefile fuzz-smoke loop and the
+//	    CI workflow found at the module root.
+//
+// Shapes are computed by symbolic inlining: same-package helpers are
+// expanded (encodeProfile's ops count as the caller's), Encoder/Decoder
+// method calls emit tokens, and transport functions that carry opaque
+// []byte payloads (Call, the Service dispatch, envelope codecs) are
+// boundaries — their internal ops belong to the envelope, not to the
+// message being proven. //lint:wire-asym <why> waives symmetry for the
+// few types threaded through the shared transport path itself.
+package wiresym
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the wiresym pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiresym",
+	Doc: "prove the Msg* wire surface symmetric, guarded and fuzzed\n\n" +
+		"Every exported Msg* byte constant must be dispatched (or\n" +
+		"//lint:client-only), encode/decode the same field sequence on both\n" +
+		"sides, capHint-guard its allocations, and carry a fuzz target when\n" +
+		"its decode path is variable-length.",
+	Run: run,
+}
+
+// Const is one census entry: an exported Msg* byte constant.
+type Const struct {
+	Name string
+	Pos  token.Pos
+	Obj  types.Object
+}
+
+// Census enumerates the exported Msg* byte constants declared in files.
+// Exported so the self-test can diff it against wire.go's const block.
+func Census(info *types.Info, files []*ast.File) []Const {
+	var out []Const
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Msg") || !name.IsExported() {
+						continue
+					}
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					b, ok := obj.Type().Underlying().(*types.Basic)
+					if !ok || b.Kind() != types.Uint8 {
+						continue
+					}
+					out = append(out, Const{Name: name.Name, Pos: name.Pos(), Obj: obj})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---- op bags -------------------------------------------------------------
+
+type opKind int
+
+const (
+	opEnc opKind = iota
+	opDec
+)
+
+type op struct {
+	kind opKind
+	name string
+}
+
+// bag is the codec summary of one region of code: the Encoder/Decoder
+// method tokens it emits in source order, whether any token sits under a
+// loop or branch (varShape: compare as a set, not a sequence), and
+// whether a capHint clamp is reached (the variable-length marker that
+// demands fuzz coverage).
+type bag struct {
+	ops      []op
+	varShape bool
+	capHint  bool
+}
+
+func (b *bag) add(o op, depth int) {
+	b.ops = append(b.ops, o)
+	if depth > 0 {
+		b.varShape = true
+	}
+}
+
+func (b *bag) merge(other *bag, depth int) {
+	if len(other.ops) > 0 {
+		b.ops = append(b.ops, other.ops...)
+		if depth > 0 || other.varShape {
+			b.varShape = true
+		}
+	}
+	b.capHint = b.capHint || other.capHint
+}
+
+func (b *bag) side(k opKind) []string {
+	var out []string
+	for _, o := range b.ops {
+		if o.kind == k {
+			out = append(out, o.name)
+		}
+	}
+	return out
+}
+
+func opSet(ops []string) map[string]bool {
+	s := make(map[string]bool, len(ops))
+	for _, o := range ops {
+		s[o] = true
+	}
+	return s
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func seqEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtOps(ops []string) string {
+	return "[" + strings.Join(ops, " ") + "]"
+}
+
+func fmtSet(s map[string]bool) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return "{" + strings.Join(keys, " ") + "}"
+}
+
+// ---- the symbolic-inlining engine ---------------------------------------
+
+var codecOps = map[string]bool{
+	"U8": true, "U16": true, "U32": true, "U64": true,
+	"F64": true, "Str": true, "Point": true, "Rect": true,
+}
+
+// scalar decoder reads that can size an allocation.
+var sizeOps = map[string]bool{"U8": true, "U16": true, "U32": true, "U64": true}
+
+type engine struct {
+	info   *types.Info
+	pkg    *types.Package
+	decls  map[*types.Func]*ast.FuncDecl
+	memo   map[*types.Func]*bag
+	active map[*types.Func]bool
+}
+
+// codecRecv classifies e.X's receiver as Encoder or Decoder.
+func (g *engine) codecRecv(x ast.Expr) (opKind, bool) {
+	t := g.info.TypeOf(x)
+	if t == nil {
+		return 0, false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0, false
+	}
+	switch named.Obj().Name() {
+	case "Encoder":
+		return opEnc, true
+	case "Decoder":
+		return opDec, true
+	}
+	return 0, false
+}
+
+// callee resolves a call to its declared function, if any.
+func (g *engine) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = g.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = g.info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// opaque reports whether fn is a transport boundary: it accepts an
+// opaque []byte payload and produces one, so its internal codec ops
+// belong to the envelope, not to the message under proof.
+func opaque(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	byteSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Uint8
+	}
+	in, out := false, false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if byteSlice(sig.Params().At(i).Type()) {
+			in = true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if byteSlice(sig.Results().At(i).Type()) {
+			out = true
+		}
+	}
+	return in && out
+}
+
+// fnBag returns fn's memoized codec summary, inlining same-package
+// callees. Cycles contribute nothing (the recursion's other ops are
+// already being collected).
+func (g *engine) fnBag(fn *types.Func) *bag {
+	if b, ok := g.memo[fn]; ok {
+		return b
+	}
+	if g.active[fn] {
+		return &bag{}
+	}
+	decl, ok := g.decls[fn]
+	if !ok || decl.Body == nil {
+		b := &bag{}
+		g.memo[fn] = b
+		return b
+	}
+	g.active[fn] = true
+	b := &bag{}
+	g.collectStmts(decl.Body.List, 0, b)
+	delete(g.active, fn)
+	g.memo[fn] = b
+	return b
+}
+
+func (g *engine) collectStmts(stmts []ast.Stmt, depth int, b *bag) {
+	for _, s := range stmts {
+		g.stmt(s, depth, b)
+	}
+}
+
+func (g *engine) stmt(s ast.Stmt, depth int, b *bag) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		g.collectStmts(s.List, depth, b)
+	case *ast.ExprStmt:
+		g.expr(s.X, depth, b)
+	case *ast.SendStmt:
+		g.expr(s.Value, depth, b)
+	case *ast.IncDecStmt:
+		g.expr(s.X, depth, b)
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			g.expr(l, depth, b)
+		}
+		for _, r := range s.Rhs {
+			g.expr(r, depth, b)
+		}
+	case *ast.GoStmt:
+		g.expr(s.Call, depth+1, b)
+	case *ast.DeferStmt:
+		g.expr(s.Call, depth+1, b)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			g.expr(r, depth, b)
+		}
+	case *ast.IfStmt:
+		g.stmt(s.Init, depth, b)
+		if s.Cond != nil {
+			g.expr(s.Cond, depth, b) // the condition always evaluates
+		}
+		g.stmt(s.Body, depth+1, b)
+		g.stmt(s.Else, depth+1, b)
+	case *ast.ForStmt:
+		g.stmt(s.Init, depth, b)
+		if s.Cond != nil {
+			g.expr(s.Cond, depth+1, b)
+		}
+		g.stmt(s.Post, depth+1, b)
+		g.stmt(s.Body, depth+1, b)
+	case *ast.RangeStmt:
+		g.expr(s.X, depth, b)
+		g.stmt(s.Body, depth+1, b)
+	case *ast.SwitchStmt:
+		g.stmt(s.Init, depth, b)
+		if s.Tag != nil {
+			g.expr(s.Tag, depth, b)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range clause.List {
+					g.expr(e, depth+1, b)
+				}
+				g.collectStmts(clause.Body, depth+1, b)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		g.stmt(s.Init, depth, b)
+		g.stmt(s.Assign, depth, b)
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				g.collectStmts(clause.Body, depth+1, b)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				g.stmt(clause.Comm, depth+1, b)
+				g.collectStmts(clause.Body, depth+1, b)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						g.expr(v, depth, b)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		g.stmt(s.Stmt, depth, b)
+	}
+}
+
+// expr walks in evaluation order: for chained calls e.U64(x).Rect(r) the
+// receiver chain (inner call) is visited before the outer call's token
+// is emitted, so sequences come out in wire order.
+func (g *engine) expr(x ast.Expr, depth int, b *bag) {
+	switch x := x.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			g.expr(sel.X, depth, b)
+		} else if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+			g.stmt(lit.Body, depth+1, b)
+		}
+		for _, a := range x.Args {
+			g.expr(a, depth, b)
+		}
+		g.classifyCall(x, depth, b)
+	case *ast.ParenExpr:
+		g.expr(x.X, depth, b)
+	case *ast.UnaryExpr:
+		g.expr(x.X, depth, b)
+	case *ast.StarExpr:
+		g.expr(x.X, depth, b)
+	case *ast.BinaryExpr:
+		g.expr(x.X, depth, b)
+		g.expr(x.Y, depth, b)
+	case *ast.SelectorExpr:
+		g.expr(x.X, depth, b)
+	case *ast.IndexExpr:
+		g.expr(x.X, depth, b)
+		g.expr(x.Index, depth, b)
+	case *ast.SliceExpr:
+		g.expr(x.X, depth, b)
+		g.expr(x.Low, depth, b)
+		g.expr(x.High, depth, b)
+		g.expr(x.Max, depth, b)
+	case *ast.TypeAssertExpr:
+		g.expr(x.X, depth, b)
+	case *ast.CompositeLit:
+		for _, e := range x.Elts {
+			g.expr(e, depth, b)
+		}
+	case *ast.KeyValueExpr:
+		g.expr(x.Value, depth, b)
+	case *ast.FuncLit:
+		g.stmt(x.Body, depth+1, b)
+	}
+}
+
+func (g *engine) classifyCall(call *ast.CallExpr, depth int, b *bag) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && codecOps[sel.Sel.Name] {
+		if kind, ok := g.codecRecv(sel.X); ok {
+			b.add(op{kind: kind, name: sel.Sel.Name}, depth)
+			return
+		}
+	}
+	fn := g.callee(call)
+	if fn == nil {
+		return
+	}
+	if fn.Name() == "capHint" {
+		b.capHint = true
+		return
+	}
+	if fn.Pkg() != g.pkg || opaque(fn) {
+		return
+	}
+	if _, ok := g.decls[fn]; ok {
+		b.merge(g.fnBag(fn), depth)
+	}
+}
+
+// ---- handler detection ---------------------------------------------------
+
+func isHandlerSig(sig *types.Signature) bool {
+	p, r := sig.Params(), sig.Results()
+	if p.Len() != 3 || r.Len() != 2 {
+		return false
+	}
+	named, ok := p.At(0).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "context" || named.Obj().Name() != "Context" {
+		return false
+	}
+	isByte := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Uint8
+	}
+	isByteSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		return ok && isByte(sl.Elem())
+	}
+	if !isByte(p.At(1).Type()) || !isByteSlice(p.At(2).Type()) {
+		return false
+	}
+	if !isByteSlice(r.At(0).Type()) {
+		return false
+	}
+	named, ok = r.At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// switchesOnByteParam reports whether fd's body contains a switch whose
+// tag is one of fd's byte-typed parameters — the dispatch shape, as
+// opposed to transport helpers that merely share the signature.
+func switchesOnByteParam(info *types.Info, fd *ast.FuncDecl) bool {
+	byteParams := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+				byteParams[obj] = true
+			}
+		}
+	}
+	if len(byteParams) == 0 || fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		if id, ok := ast.Unparen(sw.Tag).(*ast.Ident); ok && byteParams[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func refsObj(n ast.Node, info *types.Info, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- the pass ------------------------------------------------------------
+
+type site struct {
+	fnName string
+	pos    token.Pos
+	bag    *bag
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var srcFiles, testFiles []*ast.File
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			testFiles = append(testFiles, f)
+		} else {
+			srcFiles = append(srcFiles, f)
+		}
+	}
+	census := Census(pass.TypesInfo, srcFiles)
+	if len(census) == 0 {
+		return nil, nil
+	}
+
+	g := &engine{
+		info:   pass.TypesInfo,
+		pkg:    pass.Pkg,
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+		memo:   make(map[*types.Func]*bag),
+		active: make(map[*types.Func]bool),
+	}
+	type fnInfo struct {
+		fn          *types.Func
+		fd          *ast.FuncDecl
+		handler     bool
+		annotatedWH bool
+	}
+	var fns []fnInfo
+	for _, file := range srcFiles {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			_, annotated := directive.FromDoc(fd.Doc, "wire-handler")
+			sig, _ := fn.Type().(*types.Signature)
+			sigHandler := sig != nil && isHandlerSig(sig) && switchesOnByteParam(pass.TypesInfo, fd)
+			fns = append(fns, fnInfo{fn: fn, fd: fd, handler: annotated || sigHandler, annotatedWH: annotated})
+		}
+	}
+
+	// Per-constant directives.
+	dmaps := make(map[*ast.File]directive.Map)
+	for _, file := range srcFiles {
+		dmaps[file] = directive.ForFile(pass.Fset, file)
+	}
+	findDir := func(pos token.Pos, verb string) (directive.Directive, bool) {
+		for _, file := range srcFiles {
+			if file.Pos() <= pos && pos <= file.End() {
+				return dmaps[file].Find(pass.Fset, pos, verb)
+			}
+		}
+		return directive.Directive{}, false
+	}
+
+	handlerSites := make(map[types.Object][]site)
+	clientSites := make(map[types.Object][]site)
+	censusObjs := make(map[types.Object]*Const)
+	for i := range census {
+		censusObjs[census[i].Obj] = &census[i]
+	}
+
+	for _, fi := range fns {
+		if fi.handler {
+			// Dispatch sites: case clauses naming a census constant; for
+			// annotated dispatchers additionally if-conditions naming one
+			// (the Service layer's `if obsTyp == MsgMetrics` shape).
+			fd := fi.fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SwitchStmt:
+					for _, cc := range n.Body.List {
+						clause, ok := cc.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for obj := range censusObjs {
+							hit := false
+							for _, e := range clause.List {
+								if refsObj(e, pass.TypesInfo, obj) {
+									hit = true
+									break
+								}
+							}
+							if !hit {
+								continue
+							}
+							b := &bag{}
+							g.collectStmts(clause.Body, 0, b)
+							handlerSites[obj] = append(handlerSites[obj], site{fnName: fd.Name.Name, pos: clause.Pos(), bag: b})
+						}
+					}
+				case *ast.IfStmt:
+					if !fi.annotatedWH || n.Cond == nil {
+						return true
+					}
+					for obj := range censusObjs {
+						if refsObj(n.Cond, pass.TypesInfo, obj) {
+							b := &bag{}
+							g.stmt(n.Body, 0, b)
+							handlerSites[obj] = append(handlerSites[obj], site{fnName: fd.Name.Name, pos: n.Pos(), bag: b})
+						}
+					}
+				}
+				return true
+			})
+			continue
+		}
+		// Client side: any non-handler function referencing the constant.
+		var refs []types.Object
+		for obj := range censusObjs {
+			if refsObj(fi.fd.Body, pass.TypesInfo, obj) {
+				refs = append(refs, obj)
+			}
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		b := g.fnBag(fi.fn)
+		for _, obj := range refs {
+			clientSites[obj] = append(clientSites[obj], site{fnName: fi.fd.Name.Name, pos: fi.fd.Name.Pos(), bag: b})
+		}
+	}
+
+	for i := range census {
+		c := &census[i]
+		checkConst(pass, g, c, handlerSites[c.Obj], clientSites[c.Obj], findDir, srcFiles, testFiles)
+	}
+
+	checkCapHintGuards(pass, g, srcFiles)
+	return nil, nil
+}
+
+// checkConst runs the per-type proofs (a), (c) and (d).
+func checkConst(pass *analysis.Pass, g *engine, c *Const, hs, cs []site,
+	findDir func(token.Pos, string) (directive.Directive, bool), srcFiles, testFiles []*ast.File) {
+
+	clientOnly, hasClientOnly := findDir(c.Pos, "client-only")
+	wireAsym, hasWireAsym := findDir(c.Pos, "wire-asym")
+	fuzzedBy, hasFuzzedBy := findDir(c.Pos, "fuzzed-by")
+	if hasClientOnly && clientOnly.Args == "" {
+		pass.Reportf(clientOnly.Pos, "//lint:client-only on %s needs a justification", c.Name)
+	}
+	if hasWireAsym && wireAsym.Args == "" {
+		pass.Reportf(wireAsym.Pos, "//lint:wire-asym on %s needs a justification", c.Name)
+	}
+
+	// (c) dispatch.
+	dispatched := len(hs) > 0
+	switch {
+	case !dispatched && !hasClientOnly:
+		pass.Reportf(c.Pos, "%s is not dispatched by any wire handler; add a handler case or annotate //lint:client-only <why>", c.Name)
+	case dispatched && hasClientOnly:
+		pass.Reportf(clientOnly.Pos, "%s is annotated //lint:client-only but %s dispatches it; drop the annotation", c.Name, hs[0].fnName)
+	}
+	if len(cs) == 0 {
+		pass.Reportf(c.Pos, "%s has no encoder/decoder outside the handlers: dead wire type or missing client", c.Name)
+	}
+
+	// (a) symmetry.
+	if !hasWireAsym {
+		if hasClientOnly {
+			// No handler side: prove the union of client encodes matches the
+			// union of client decodes (the sub-frame is built and consumed on
+			// the same tier, e.g. MsgBatchResult inside a MsgBatchQuery OK).
+			encU, decU := map[string]bool{}, map[string]bool{}
+			for _, s := range cs {
+				for _, o := range s.bag.side(opEnc) {
+					encU[o] = true
+				}
+				for _, o := range s.bag.side(opDec) {
+					decU[o] = true
+				}
+			}
+			if len(encU) > 0 && len(decU) > 0 && !setsEqual(encU, decU) {
+				pass.Reportf(c.Pos, "wire shape mismatch for %s: encoded fields %s but decoded fields %s; the client-only pair drifted",
+					c.Name, fmtSet(encU), fmtSet(decU))
+			}
+		} else {
+			for _, h := range hs {
+				for _, cl := range cs {
+					compareShapes(pass, c, "request", cl, h, cl.bag.side(opEnc), h.bag.side(opDec), cl.bag.varShape || h.bag.varShape)
+					compareShapes(pass, c, "response", cl, h, h.bag.side(opEnc), cl.bag.side(opDec), cl.bag.varShape || h.bag.varShape)
+				}
+			}
+		}
+	}
+
+	// (d) fuzz coverage.
+	needFuzz := false
+	for _, s := range append(append([]site{}, hs...), cs...) {
+		if s.bag.capHint {
+			needFuzz = true
+		}
+	}
+	target := "FuzzDecode" + strings.TrimPrefix(c.Name, "Msg")
+	if hasFuzzedBy {
+		fields := strings.Fields(fuzzedBy.Args)
+		if len(fields) < 2 {
+			pass.Reportf(fuzzedBy.Pos, "//lint:fuzzed-by on %s wants <FuzzTarget> <why>", c.Name)
+			return
+		}
+		target = fields[0]
+	}
+	if !needFuzz && !hasFuzzedBy {
+		return
+	}
+	fuzzDecls := fuzzTargets(pass, testFiles)
+	if !fuzzDecls[target] {
+		if hasFuzzedBy {
+			pass.Reportf(fuzzedBy.Pos, "//lint:fuzzed-by on %s names %s, which does not exist in this package's test files; the annotation is stale", c.Name, target)
+		} else {
+			pass.Reportf(c.Pos, "%s has a capHint-guarded (variable-length) decode path but no %s fuzz target; add one or annotate //lint:fuzzed-by <target> <why>", c.Name, target)
+		}
+		return
+	}
+	if !needFuzz {
+		return
+	}
+	checkFuzzListed(pass, c, target, srcFiles)
+}
+
+func compareShapes(pass *analysis.Pass, c *Const, dir string, cl, h site, enc, dec []string, varShape bool) {
+	if len(enc) == 0 || len(dec) == 0 {
+		return
+	}
+	if varShape {
+		encS, decS := opSet(enc), opSet(dec)
+		if !setsEqual(encS, decS) {
+			pass.Reportf(cl.pos, "wire shape mismatch for %s %s: %s encodes fields %s but %s decodes fields %s",
+				c.Name, dir, encName(dir, cl, h), fmtSet(encS), decName(dir, cl, h), fmtSet(decS))
+		}
+		return
+	}
+	if !seqEqual(enc, dec) {
+		pass.Reportf(cl.pos, "wire shape mismatch for %s %s: %s encodes %s but %s decodes %s",
+			c.Name, dir, encName(dir, cl, h), fmtOps(enc), decName(dir, cl, h), fmtOps(dec))
+	}
+}
+
+func encName(dir string, cl, h site) string {
+	if dir == "request" {
+		return cl.fnName
+	}
+	return h.fnName
+}
+
+func decName(dir string, cl, h site) string {
+	if dir == "request" {
+		return h.fnName
+	}
+	return cl.fnName
+}
+
+// fuzzTargets collects Fuzz* function names from the package's test
+// files: the loaded ones (fixture packages include them) plus any
+// *_test.go files on disk next to the sources (the production loader
+// excludes test files, so they are parsed separately here).
+func fuzzTargets(pass *analysis.Pass, testFiles []*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	loaded := make(map[string]bool)
+	collect := func(f *ast.File) {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	for _, f := range testFiles {
+		loaded[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] = true
+		collect(f)
+	}
+	if len(pass.Files) == 0 {
+		return out
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, "_test.go") || loaded[name] {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		collect(f)
+	}
+	return out
+}
+
+// checkFuzzListed walks up from the package directory to the nearest
+// Makefile (the module root; fixtures carry their own) and requires the
+// fuzz target to appear there and in any CI workflow under
+// .github/workflows at that root.
+func checkFuzzListed(pass *analysis.Pass, c *Const, target string, srcFiles []*ast.File) {
+	dir := filepath.Dir(pass.Fset.Position(srcFiles[0].Pos()).Filename)
+	root := ""
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "Makefile")); err == nil {
+			root = d
+			break
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	if root == "" {
+		return // no Makefile anywhere above: nothing to be listed in
+	}
+	mk, err := os.ReadFile(filepath.Join(root, "Makefile"))
+	if err == nil && !containsWord(string(mk), target) {
+		pass.Reportf(c.Pos, "fuzz target %s (for %s) is not in the Makefile fuzz-smoke list at %s", target, c.Name, filepath.Join(root, "Makefile"))
+	}
+	wfDir := filepath.Join(root, ".github", "workflows")
+	entries, err := os.ReadDir(wfDir)
+	if err != nil || len(entries) == 0 {
+		return
+	}
+	found := false
+	checked := false
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".yml") && !strings.HasSuffix(e.Name(), ".yaml") {
+			continue
+		}
+		wf, err := os.ReadFile(filepath.Join(wfDir, e.Name()))
+		if err != nil {
+			continue
+		}
+		checked = true
+		if containsWord(string(wf), target) {
+			found = true
+		}
+	}
+	if checked && !found {
+		pass.Reportf(c.Pos, "fuzz target %s (for %s) is not in the CI fuzz loop under %s", target, c.Name, wfDir)
+	}
+}
+
+// containsWord reports whether s contains w as a whole identifier (no
+// [A-Za-z0-9_] on either side), so FuzzDecodeBatch does not satisfy a
+// FuzzDecodeBatchQuery requirement.
+func containsWord(s, w string) bool {
+	for i := 0; ; {
+		j := strings.Index(s[i:], w)
+		if j < 0 {
+			return false
+		}
+		j += i
+		before := j == 0 || !isWordByte(s[j-1])
+		end := j + len(w)
+		after := end >= len(s) || !isWordByte(s[end])
+		if before && after {
+			return true
+		}
+		i = j + 1
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || ('0' <= b && b <= '9') || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z')
+}
+
+// checkCapHintGuards is proof (b): inside every function of a package
+// that declares wire constants, any make() sized by a value read from a
+// Decoder scalar must clamp through capHint(...).
+func checkCapHintGuards(pass *analysis.Pass, g *engine, srcFiles []*ast.File) {
+	for _, file := range srcFiles {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tainted := make(map[types.Object]bool)
+			decoderScalar := func(n ast.Node) bool {
+				found := false
+				ast.Inspect(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || !sizeOps[sel.Sel.Name] {
+						return true
+					}
+					if kind, ok := g.codecRecv(sel.X); ok && kind == opDec {
+						found = true
+					}
+					return !found
+				})
+				return found
+			}
+			taintLHS := func(lhs []ast.Expr) {
+				for _, l := range lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							tainted[obj] = true
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, r := range n.Rhs {
+						if !decoderScalar(r) {
+							continue
+						}
+						if len(n.Lhs) == len(n.Rhs) {
+							taintLHS(n.Lhs[i : i+1])
+						} else {
+							taintLHS(n.Lhs)
+						}
+					}
+				case *ast.ValueSpec:
+					for _, v := range n.Values {
+						if decoderScalar(v) {
+							for _, id := range n.Names {
+								if obj := pass.TypesInfo.Defs[id]; obj != nil {
+									tainted[obj] = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+			usesTaint := func(e ast.Expr) bool {
+				if decoderScalar(e) {
+					return true
+				}
+				found := false
+				ast.Inspect(e, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && tainted[pass.TypesInfo.Uses[id]] && pass.TypesInfo.Uses[id] != nil {
+						found = true
+					}
+					return !found
+				})
+				return found
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "make" {
+					return true
+				}
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				for _, sz := range call.Args[1:] {
+					if !usesTaint(sz) {
+						continue
+					}
+					if isCapHintCall(pass, sz) {
+						continue
+					}
+					pass.Reportf(sz.Pos(), "allocation sized by a wire-decoded value without a capHint(...) clamp: a short frame can claim unbounded memory")
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isCapHintCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok && fn.Name() == "capHint" {
+			return true
+		}
+		// int(capHint(...)) style conversions unwrap one level.
+		if _, ok := pass.TypesInfo.Uses[fun].(*types.TypeName); ok && len(call.Args) == 1 {
+			return isCapHintCall(pass, call.Args[0])
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Name() == "capHint" {
+			return true
+		}
+	}
+	return false
+}

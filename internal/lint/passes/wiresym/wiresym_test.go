@@ -1,0 +1,82 @@
+package wiresym_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/passes/wiresym"
+)
+
+func TestSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	linttest.Run(t, "testdata/src/surface", wiresym.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	linttest.Run(t, "testdata/src/clean", wiresym.Analyzer)
+}
+
+// TestCensusMatchesWire diffs the pass's AST census of the production
+// wire package against the type-checker's view of the same package: the
+// set of exported Msg* byte constants. A census that drops or invents a
+// constant would silently shrink the proof surface, so the two
+// enumerations must agree exactly.
+func TestCensusMatchesWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the wire package")
+	}
+	_, self, _, _ := runtime.Caller(0)
+	root := filepath.Clean(filepath.Join(filepath.Dir(self), "..", "..", "..", ".."))
+	prog, err := loader.Load(root, "./internal/protocol")
+	if err != nil {
+		t.Fatalf("loading internal/protocol: %v", err)
+	}
+	pkg := prog.Lookup("repro/internal/protocol")
+	if pkg == nil {
+		t.Fatal("repro/internal/protocol not in loaded program")
+	}
+
+	census := wiresym.Census(pkg.Info, pkg.Files)
+	got := make([]string, 0, len(census))
+	seen := make(map[string]bool)
+	for _, c := range census {
+		if seen[c.Name] {
+			t.Errorf("census lists %s twice", c.Name)
+		}
+		seen[c.Name] = true
+		got = append(got, c.Name)
+	}
+	sort.Strings(got)
+
+	var want []string
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Msg") || !obj.Exported() {
+			continue
+		}
+		if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Uint8 {
+			continue
+		}
+		want = append(want, name)
+	}
+	sort.Strings(want)
+
+	if len(want) == 0 {
+		t.Fatal("no exported Msg* byte constants in internal/protocol: the census has nothing to prove")
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("census/type-checker disagreement:\n census: %v\n  scope: %v", got, want)
+	}
+}

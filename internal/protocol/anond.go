@@ -63,26 +63,12 @@ func (h *anonHandler) handle(ctx context.Context, typ byte, payload []byte) ([]b
 		if h.anon.Saturated() {
 			return nil, fmt.Errorf("%w: anonymizer forward queue full", ErrOverloaded)
 		}
-		n := int(d.U32())
-		reqs := make([]cloak.Request, 0, capHint(n, 24, d))
-		for i := 0; i < n && d.Err() == nil; i++ {
-			reqs = append(reqs, cloak.Request{ID: d.U64(), Loc: exactPoint(d)})
-		}
+		reqs := decodeBatchRequests(d)
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
 		results := h.anon.BatchUpdateCtx(ctx, reqs)
-		var e Encoder
-		e.U32(uint32(len(results)))
-		for _, res := range results {
-			if res == nil {
-				e.U8(0)
-				continue
-			}
-			e.U8(1)
-			e.buf = append(e.buf, encodeResult(*res)...)
-		}
-		return e.Bytes(), nil
+		return encodeBatchResults(results), nil
 
 	case MsgDeregister:
 		id := d.U64()
@@ -219,6 +205,50 @@ func decodeResult(d *Decoder) cloak.Result {
 	return res
 }
 
+// decodeBatchRequests reads a MsgBatchUpdate request body: a
+// length-prefixed run of (user id, exact location) pairs. Trusted-tier
+// only — the points pass through the exactPoint taint source.
+func decodeBatchRequests(d *Decoder) []cloak.Request {
+	n := int(d.U32())
+	reqs := make([]cloak.Request, 0, capHint(n, 24, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		reqs = append(reqs, cloak.Request{ID: d.U64(), Loc: exactPoint(d)})
+	}
+	return reqs
+}
+
+// encodeBatchResults writes a MsgBatchUpdate OK response: per request a
+// presence byte, then the cloak result for accepted updates. The nil
+// entries keep the response parallel to the request slice.
+func encodeBatchResults(results []*cloak.Result) []byte {
+	var e Encoder
+	e.U32(uint32(len(results)))
+	for _, res := range results {
+		if res == nil {
+			e.U8(0)
+			continue
+		}
+		e.U8(1)
+		e.buf = append(e.buf, encodeResult(*res)...)
+	}
+	return e.Bytes()
+}
+
+// decodeBatchResults is the inverse of encodeBatchResults.
+func decodeBatchResults(d *Decoder) []*cloak.Result {
+	n := int(d.U32())
+	out := make([]*cloak.Result, 0, capHint(n, 1, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		if d.U8() == 0 {
+			out = append(out, nil)
+			continue
+		}
+		res := decodeResult(d)
+		out = append(out, &res)
+	}
+	return out
+}
+
 // AnonymizerClient is the mobile user's connection to the trusted third
 // party.
 type AnonymizerClient struct {
@@ -306,16 +336,7 @@ func (ac *AnonymizerClient) BatchUpdateCtx(ctx context.Context, reqs []cloak.Req
 		return nil, err
 	}
 	d := NewDecoder(resp)
-	n := int(d.U32())
-	out := make([]*cloak.Result, 0, capHint(n, 1, d))
-	for i := 0; i < n && d.Err() == nil; i++ {
-		if d.U8() == 0 {
-			out = append(out, nil)
-			continue
-		}
-		res := decodeResult(d)
-		out = append(out, &res)
-	}
+	out := decodeBatchResults(d)
 	return out, d.Err()
 }
 

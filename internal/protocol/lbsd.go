@@ -41,17 +41,7 @@ func (h *dbHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byt
 		return nil, nil
 
 	case MsgLoadStationary:
-		n := int(d.U32())
-		// Each object needs ≥ 26 bytes on the wire; cap both the loop and
-		// the preallocation so a forged count cannot balloon memory.
-		objs := make([]server.PublicObject, 0, capHint(n, 26, d))
-		for i := 0; i < n && d.Err() == nil; i++ {
-			objs = append(objs, server.PublicObject{
-				ID:    d.U64(),
-				Class: d.Str(),
-				Loc:   d.Point(),
-			})
-		}
+		objs := decodeObjects(d)
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
@@ -216,10 +206,7 @@ func (h *dbHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byt
 			return nil, err
 		}
 		var e Encoder
-		e.U32(uint32(len(pairs)))
-		for _, up := range pairs {
-			e.U64(up.ID).F64(up.P)
-		}
+		encodeUserProbs(&e, pairs)
 		return e.Bytes(), nil
 
 	case MsgShardBatch:
@@ -476,12 +463,7 @@ func (dc *DatabaseClient) RemovePrivate(id uint64) error {
 
 // LoadStationary bulk-loads public objects.
 func (dc *DatabaseClient) LoadStationary(objs []server.PublicObject) error {
-	var e Encoder
-	e.U32(uint32(len(objs)))
-	for _, o := range objs {
-		e.U64(o.ID).Str(o.Class).Point(o.Loc)
-	}
-	_, err := dc.c.Call(MsgLoadStationary, e.Bytes())
+	_, err := dc.c.Call(MsgLoadStationary, encodeObjects(objs))
 	return err
 }
 

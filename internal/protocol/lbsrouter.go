@@ -62,15 +62,7 @@ func (h *routerHandler) serve(ctx context.Context, typ byte, payload []byte) ([]
 		return nil, h.rt.RemovePrivateCtx(ctx, id)
 
 	case MsgLoadStationary:
-		n := int(d.U32())
-		objs := make([]server.PublicObject, 0, capHint(n, 26, d))
-		for i := 0; i < n && d.Err() == nil; i++ {
-			objs = append(objs, server.PublicObject{
-				ID:    d.U64(),
-				Class: d.Str(),
-				Loc:   d.Point(),
-			})
-		}
+		objs := decodeObjects(d)
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
@@ -299,6 +291,26 @@ func decodeSubQueries(d *Decoder) ([]router.SubQuery, error) {
 	return subs, nil
 }
 
+// encodeUserProbs appends a length-prefixed (user id, probability) pair
+// list — the shard-local count payload, shared by the MsgCountProbs
+// response and the count arm of a sub-batch result.
+func encodeUserProbs(e *Encoder, pairs []server.UserProb) {
+	e.U32(uint32(len(pairs)))
+	for _, up := range pairs {
+		e.U64(up.ID).F64(up.P)
+	}
+}
+
+// decodeUserProbs is the inverse of encodeUserProbs.
+func decodeUserProbs(d *Decoder) []server.UserProb {
+	n := int(d.U32())
+	pairs := make([]server.UserProb, 0, capHint(n, 16, d))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		pairs = append(pairs, server.UserProb{ID: d.U64(), P: d.F64()})
+	}
+	return pairs
+}
+
 // encodeSubResults serializes a shard's partial answers to a forwarded
 // sub-batch: per entry a status byte, then either the failure cause or
 // the kind-tagged partial payload (objects / NN parts / count probs).
@@ -321,10 +333,7 @@ func encodeSubResults(results []router.SubResult) []byte {
 			e.F64(sr.NN.Bound)
 			e.buf = append(e.buf, encodeObjects(sr.NN.Candidates)...)
 		case server.BatchPublicCount:
-			e.U32(uint32(len(sr.Count)))
-			for _, up := range sr.Count {
-				e.U64(up.ID).F64(up.P)
-			}
+			encodeUserProbs(&e, sr.Count)
 		}
 	}
 	return e.Bytes()
@@ -355,11 +364,7 @@ func decodeSubResults(d *Decoder) ([]router.SubResult, error) {
 			sr.NN.Bound = d.F64()
 			sr.NN.Candidates = decodeObjects(d)
 		case server.BatchPublicCount:
-			m := int(d.U32())
-			sr.Count = make([]server.UserProb, 0, capHint(m, 16, d))
-			for j := 0; j < m && d.Err() == nil; j++ {
-				sr.Count = append(sr.Count, server.UserProb{ID: d.U64(), P: d.F64()})
-			}
+			sr.Count = decodeUserProbs(d)
 		default:
 			if d.Err() == nil {
 				return nil, fmt.Errorf("protocol: unknown sub-result kind %d at entry %d", byte(sr.Kind), i)
@@ -450,12 +455,7 @@ func (dc *DatabaseClient) RemoveMovingCtx(ctx context.Context, id uint64) (bool,
 
 // LoadStationaryCtx is LoadStationary under a context (deadline, trace).
 func (dc *DatabaseClient) LoadStationaryCtx(ctx context.Context, objs []server.PublicObject) error {
-	var e Encoder
-	e.U32(uint32(len(objs)))
-	for _, o := range objs {
-		e.U64(o.ID).Str(o.Class).Point(o.Loc)
-	}
-	_, err := dc.c.CallCtx(ctx, MsgLoadStationary, e.Bytes())
+	_, err := dc.c.CallCtx(ctx, MsgLoadStationary, encodeObjects(objs))
 	return err
 }
 
@@ -492,11 +492,7 @@ func (dc *DatabaseClient) CountProbsCtx(ctx context.Context, q server.PublicRang
 		return nil, err
 	}
 	d := NewDecoder(resp)
-	n := int(d.U32())
-	pairs := make([]server.UserProb, 0, capHint(n, 16, d))
-	for i := 0; i < n && d.Err() == nil; i++ {
-		pairs = append(pairs, server.UserProb{ID: d.U64(), P: d.F64()})
-	}
+	pairs := decodeUserProbs(d)
 	return pairs, d.Err()
 }
 

@@ -360,6 +360,8 @@ func (s *Service) serveConn(conn net.Conn) {
 // the request context and a proto_serve span around the exchange — and
 // obsTyp names the frame the per-type metrics should attribute the work
 // to (the inner type for envelopes).
+//
+//lint:wire-handler
 func (s *Service) dispatch(typ byte, payload []byte) (resp []byte, obsTyp byte, traceID uint64, err error) {
 	ctx := context.Background()
 	obsTyp = typ

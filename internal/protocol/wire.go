@@ -23,26 +23,35 @@ const (
 	msgErr byte = 1
 
 	// Anonymizer service.
-	MsgRegister    byte = 2
-	MsgUpdate      byte = 3
-	MsgCloakQuery  byte = 4
-	MsgDeregister  byte = 5
-	MsgSetMode     byte = 6
+	//
+	//lint:fuzzed-by FuzzDecodeProfile the registration payload's variable-length tail is the privacy profile, whose shared codec decodeProfile is the fuzzed surface
+	MsgRegister   byte = 2
+	MsgUpdate     byte = 3
+	MsgCloakQuery byte = 4
+	MsgDeregister byte = 5
+	MsgSetMode    byte = 6
+	//lint:fuzzed-by FuzzDecodeBatchUpdate request and response batch codecs (decodeBatchRequests/decodeBatchResults) are fuzzed together
 	MsgBatchUpdate byte = 7
 	MsgAnonStats   byte = 8
 	// MsgUpdateProfile replaces a registered user's privacy profile in
 	// place — the wire form of a "raise my k" flip, without the
 	// deregister/register round trip that would drop the user from the
 	// population mid-run.
+	//
+	//lint:fuzzed-by FuzzDecodeProfile the payload after the id is exactly one profile, decoded by the fuzzed decodeProfile
 	MsgUpdateProfile byte = 9
 
 	// Database service.
-	MsgUpdatePrivate  byte = 10
-	MsgRemovePrivate  byte = 11
-	MsgPrivateRange   byte = 12
-	MsgPrivateNN      byte = 13
-	MsgPublicCount    byte = 14
-	MsgPublicNN       byte = 15
+	MsgUpdatePrivate byte = 10
+	MsgRemovePrivate byte = 11
+	//lint:fuzzed-by FuzzDecodeObjects the variable-length response is an object list, whose shared codec decodeObjects is the fuzzed surface
+	MsgPrivateRange byte = 12
+	//lint:fuzzed-by FuzzDecodeObjects the variable-length response is an object list, whose shared codec decodeObjects is the fuzzed surface
+	MsgPrivateNN byte = 13
+	//lint:fuzzed-by FuzzDecodeCountResult the variable-length response is a count PDF, whose shared codec decodeCountResult is the fuzzed surface
+	MsgPublicCount byte = 14
+	MsgPublicNN    byte = 15
+	//lint:fuzzed-by FuzzDecodeObjects the bulk-load request body is the same object-list codec fuzzed as decodeObjects
 	MsgLoadStationary byte = 16
 	MsgStats          byte = 17
 	MsgRegContCount   byte = 18
@@ -52,7 +61,8 @@ const (
 	// MsgBatchQuery carries a mixed batch of range/NN/count queries into
 	// the shared-execution engine; the OK response payload is a typed
 	// MsgBatchResult sub-frame with one status-tagged result per entry.
-	MsgBatchQuery  byte = 22
+	MsgBatchQuery byte = 22
+	//lint:client-only response sub-frame built by the batch engine and decoded by the batch client; never a request type a handler switches on
 	MsgBatchResult byte = 23
 
 	// MsgMetrics is served by the Service layer itself on any instrumented
@@ -70,6 +80,9 @@ const (
 	MsgTraced byte = 31
 	// MsgTraces pulls the service's span ring buffer (served by the
 	// Service layer when tracing is configured, like MsgMetrics).
+	//
+	//lint:wire-asym the response is encodeSpans output, but the client decode threads through the shared call path whose error arm reads a Str; the span codec itself is proven by FuzzDecodeSpans round-trips
+	//lint:fuzzed-by FuzzDecodeSpans the span-ring payload's codec pair encodeSpans/DecodeSpans is the fuzzed surface
 	MsgTraces byte = 32
 	// MsgTraceNeg is the tracing negotiation probe: a traced peer answers
 	// OK with a version byte, everything else answers with the usual
@@ -81,6 +94,8 @@ const (
 	// (or the anonymizer's forward queue, under backpressure) is
 	// exhausted. Distinct from msgErr so clients can tell a deliberate
 	// shed — retry later, peer healthy — from a handler failure.
+	//
+	//lint:client-only response-only status type written by serveConn's error path; no handler dispatches on it
 	MsgOverloaded byte = 34
 
 	// MsgRemoveMoving deletes a moving public object by id; the response
@@ -92,10 +107,14 @@ const (
 	// response carries the partition's min–max bound and its unpruned
 	// candidate set (server.NNParts), which the router combines across
 	// shards into the exact single-server answer.
+	//
+	//lint:fuzzed-by FuzzDecodeObjects the response's variable-length tail is the candidate object list, fuzzed as decodeObjects
 	MsgNNParts byte = 36
 	// MsgCountProbs is the shard-local half of a public count: the
 	// response carries (user id, overlap probability) pairs sorted by id,
 	// which the router deduplicates and folds into the exact PDF.
+	//
+	//lint:fuzzed-by FuzzDecodeUserProbs the response body is the (id, probability) pair list, whose shared codec decodeUserProbs is the fuzzed surface
 	MsgCountProbs byte = 37
 	// MsgShardMap is served by the routing tier: the response describes
 	// its tile grid and the tile→shard ownership table, for operators and
@@ -105,6 +124,8 @@ const (
 	// shard: index-tagged batch entries in, index-tagged partial results
 	// (objects, NN parts, count probs) out, preserving per-entry error
 	// semantics across the extra hop.
+	//
+	//lint:fuzzed-by FuzzDecodeSubQueries the request codec decodeSubQueries and the response codec decodeSubResults (FuzzDecodeSubResults) are both under fuzz
 	MsgShardBatch byte = 39
 )
 
@@ -190,6 +211,8 @@ func MessageName(typ byte) string {
 const maxFrame = 16 << 20
 
 // WriteFrame writes [u32 length][type][payload].
+//
+//lint:hotpath allocs=2
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload)+1 > maxFrame {
 		return fmt.Errorf("protocol: frame too large (%d bytes)", len(payload))
@@ -205,6 +228,8 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 // ReadFrame reads one frame.
+//
+//lint:hotpath allocs=3
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {

@@ -125,7 +125,10 @@ type Router struct {
 	tracer *trace.Tracer
 	met    *metrics
 
-	mu          sync.Mutex
+	// Residency-map mutex. Ranked after the anonymizer tier's locks: a
+	// routed deployment may re-enter the router from a forward while a
+	// stripe or index lock is held upstream, never the reverse.
+	mu          sync.Mutex        //lint:lock ring@2
 	userOwners  map[uint64]uint64 // user id → bitmask of shards holding her region
 	movingOwner map[uint64]int    // moving object id → owning shard
 }
@@ -644,6 +647,8 @@ func errUnknownKind(kind server.BatchKind) error {
 // diagnostics here: Groups counts forwarded sub-batches, SharedHits stays
 // zero (sharing happens inside each shard, which reports its own
 // batch metrics).
+//
+//lint:hotpath allocs=12
 func (r *Router) BatchQueryCtx(ctx context.Context, entries []server.BatchEntry) (server.BatchResult, error) {
 	n := len(entries)
 	res := server.BatchResult{Items: make([]server.BatchItemResult, n)}
@@ -740,6 +745,8 @@ func (r *Router) BatchQueryCtx(ctx context.Context, entries []server.BatchEntry)
 // the returned sub-results into byEntry, keeping shard-ascending order so
 // error selection is deterministic. It returns the number of sub-batches
 // sent; a transport failure fails the whole batch call.
+//
+//lint:hotpath allocs=7
 func (r *Router) scatterSubBatches(ctx context.Context, perShard [][]SubQuery, byEntry [][]SubResult) (int, error) {
 	var targets []int
 	for s, subs := range perShard {

@@ -44,7 +44,10 @@ type Env struct {
 	profileK   atomic.Int64 // current population-wide k (after flips)
 	flipCursor uint64       // users flipped so far, for logging
 
-	mu       sync.Mutex
+	// Harness-side latency aggregation. Outermost rank: the scenario
+	// stack calls into every other tier and must never be acquired from
+	// inside one of them.
+	mu       sync.Mutex //lint:lock stack@3
 	updLat   stats.Latencies
 	qryLat   stats.Latencies
 	recovery time.Duration

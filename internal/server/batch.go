@@ -139,6 +139,8 @@ func (s *Server) BatchQuery(entries []BatchEntry) BatchResult {
 // engine phase (validate → merge → shared descent with per-unit worker
 // spans → gather) is recorded under the caller's trace, with group sizes
 // and index node-visit counts as span attributes.
+//
+//lint:hotpath allocs=8
 func (s *Server) BatchQueryCtx(ctx context.Context, entries []BatchEntry) BatchResult {
 	res := BatchResult{Items: make([]BatchItemResult, len(entries))}
 	if len(entries) == 0 {
@@ -258,6 +260,8 @@ func (s *Server) BatchQueryCtx(ctx context.Context, entries []BatchEntry) BatchR
 // member's own expanded MBR — the structural traversal order makes that
 // sequence identical to what the member's private search would emit. It
 // returns the R-tree node visits the shared descent cost.
+//
+//lint:hotpath allocs=1
 func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u batchUnit, out []BatchItemResult) int {
 	items, visits := s.stationary.SearchVisits(u.union, nil)
 	s.met.nodeVisits.Observe(float64(visits))
@@ -312,6 +316,8 @@ func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u
 // makes the resulting PDF bit-identical to the sequential answer. It
 // returns the candidate-set size as the unit's "node visits" — the probe
 // cost the region index charges.
+//
+//lint:hotpath allocs=1
 func (s *Server) runCountGroupLocked(entries []BatchEntry, u batchUnit, out []BatchItemResult) int {
 	ids := s.privIdx.Query(u.union, nil)
 	for _, i := range u.members {
