@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Synthetic reports for the comparison/gate logic shared by the two bench
+// harnesses. Throughputs are arbitrary round numbers; only the ratios and
+// the environment fields matter to the code under test.
+
+func anonReport(numcpu int, ups float64) benchReport {
+	return benchReport{
+		Schema: "anonymizer-bench/v2", NumCPU: numcpu, GoVersion: "go1.x", Users: 1000,
+		Procs: []benchProc{
+			{GoMaxProcs: 1, Entries: []benchEntry{
+				{Mode: "batch", Shards: 1, Workers: 1, UpdatesPerSec: ups},
+			}},
+			{GoMaxProcs: 8, Entries: []benchEntry{
+				{Mode: "batch", Shards: 1, Workers: 1, UpdatesPerSec: ups},
+			}},
+		},
+	}
+}
+
+func serverReport(numcpu int, perquery, batch4 float64) serverBenchReport {
+	mk := func(procs int) serverBenchProc {
+		return serverBenchProc{
+			GoMaxProcs: procs,
+			Entries: []serverBenchEntry{
+				{Mode: "perquery", Workers: 1, QueriesPerSec: perquery},
+				{Mode: "batch", Workers: 4, QueriesPerSec: batch4},
+			},
+			SpeedupBatch4: batch4 / perquery,
+		}
+	}
+	return serverBenchReport{
+		Schema: "server-bench/v2", NumCPU: numcpu, GoVersion: "go1.x",
+		Users: 1000, Objects: 1000,
+		Procs: []serverBenchProc{mk(1), mk(4), mk(8)},
+	}
+}
+
+func wantRegression(t *testing.T, regs []string, substr string) {
+	t.Helper()
+	for _, r := range regs {
+		if strings.Contains(r, substr) {
+			return
+		}
+	}
+	t.Fatalf("no regression containing %q in %q", substr, regs)
+}
+
+// A NumCPU mismatch must hard-fail in BOTH harnesses: per-proc scaling
+// numbers from different physical machines are not comparable, and a
+// warning that CI scrolls past is as good as no check at all.
+func TestNumCPUMismatchHardFailsBothHarnesses(t *testing.T) {
+	if regs := checkBenchEnv(8, 4); len(regs) != 1 {
+		t.Fatalf("checkBenchEnv(8, 4) = %q, want one hard failure", regs)
+	}
+	if regs := checkBenchEnv(4, 4); len(regs) != 0 {
+		t.Fatalf("checkBenchEnv(4, 4) = %q, want none", regs)
+	}
+	// Legacy baselines without the field (0) are exempt.
+	if regs := checkBenchEnv(0, 4); len(regs) != 0 {
+		t.Fatalf("checkBenchEnv(0, 4) = %q, want none", regs)
+	}
+
+	regs := compareBench(anonReport(4, 1000), anonReport(8, 1000), 0.5)
+	wantRegression(t, regs, "environment mismatch")
+	regs = compareServerBench(serverReport(4, 100, 250), serverReport(8, 100, 250), 0.5, 2.0)
+	wantRegression(t, regs, "environment mismatch")
+}
+
+func TestCompareBenchToleranceGate(t *testing.T) {
+	base := anonReport(4, 1000)
+	// 30% drop against a 50% tolerance: fine.
+	if regs := compareBench(anonReport(4, 700), base, 0.5); len(regs) != 0 {
+		t.Fatalf("within-tolerance drop flagged: %q", regs)
+	}
+	// 60% drop: regression on the pinned proc.
+	regs := compareBench(anonReport(4, 400), base, 0.5)
+	wantRegression(t, regs, "procs=1/batch/shards=1")
+}
+
+// Pinned procs missing from the current run are regressions; informational
+// procs (8 here, on a pinned set of {1, 4}) silently drop out.
+func TestCompareBenchMissingSeries(t *testing.T) {
+	base := anonReport(4, 1000)
+	current := anonReport(4, 1000)
+	current.Procs = current.Procs[1:] // drop the procs=1 series, keep procs=8
+	regs := compareBench(current, base, 0.5)
+	wantRegression(t, regs, "procs=1/batch/shards=1: missing")
+
+	current = anonReport(4, 1000)
+	current.Procs = current.Procs[:1] // drop the informational procs=8 series
+	if regs := compareBench(current, base, 0.5); len(regs) != 0 {
+		t.Fatalf("missing informational series flagged: %q", regs)
+	}
+}
+
+// The ≥2× shared-execution gate applies at pinned procs ≥ 4 only: procs=1
+// cannot exhibit worker parallelism and procs=8 is unpinned hardware.
+func TestServerSpeedupGate(t *testing.T) {
+	if regs := checkServerSpeedupGate(serverReport(4, 100, 250), 2.0); len(regs) != 0 {
+		t.Fatalf("2.5x flagged against a 2.0x gate: %q", regs)
+	}
+	regs := checkServerSpeedupGate(serverReport(4, 100, 150), 2.0)
+	wantRegression(t, regs, "gomaxprocs=4")
+	if len(regs) != 1 {
+		t.Fatalf("gate fired off the pinned procs≥4 cell: %q", regs)
+	}
+}
+
+// compareServerBench re-checks the gate on the BASELINE too: a committed
+// baseline that cannot prove the headline claim is itself a failure.
+func TestCompareServerBenchBaselineGate(t *testing.T) {
+	regs := compareServerBench(serverReport(4, 100, 250), serverReport(4, 100, 150), 0.5, 2.0)
+	wantRegression(t, regs, "baseline gomaxprocs=4")
+}
+
+func TestCompareServerBenchWorkloadMismatch(t *testing.T) {
+	base := serverReport(4, 100, 250)
+	current := serverReport(4, 100, 250)
+	current.Objects = 9999
+	regs := compareServerBench(current, base, 0.5, 2.0)
+	wantRegression(t, regs, "workload mismatch")
+}

@@ -58,9 +58,10 @@ var experiments = []experiment{
 
 // Bench-harness knobs shared with exp_parallel.go.
 var (
-	benchOut       string
-	benchCompare   string
-	benchTolerance float64
+	benchOut        string
+	benchCompare    string
+	benchTolerance  float64
+	benchMinSpeedup float64
 )
 
 func main() {
@@ -72,6 +73,7 @@ func main() {
 	flag.StringVar(&benchOut, "bench-out", "", "write the E16/E17 report to this JSON file (run one harness experiment at a time)")
 	flag.StringVar(&benchCompare, "bench-compare", "", "compare E16/E17 against this baseline JSON; regressions fail the run")
 	flag.Float64Var(&benchTolerance, "bench-tolerance", 0.30, "allowed throughput drop vs the baseline (fraction)")
+	flag.Float64Var(&benchMinSpeedup, "bench-min-speedup", 2.0, "E17 gate: minimum batch/workers=4 speedup over per-query at GOMAXPROCS ≥ 4")
 	flag.Parse()
 
 	if *list {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -264,6 +265,25 @@ func TestDifferentialShardedEqualsSequential(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestDifferentialAcrossGoMaxProcs re-proves sharded ≡ sequential with the
+// scheduler pinned to GOMAXPROCS 1 and 4 — the two pinned points of the
+// bench matrix (E16). The subtests are deliberately serial because
+// GOMAXPROCS is process-global.
+func TestDifferentialAcrossGoMaxProcs(t *testing.T) {
+	const users = 300
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			ops := buildDiffScript(t, 7, users, 2)
+			seq := runDiffScript(t, Config{Shards: 1, BatchWorkers: 1}, users, ops)
+			par := runDiffScript(t, Config{Shards: 4, BatchWorkers: 4}, users, ops)
+			compareTraces(t, seq, par)
+		})
 	}
 }
 

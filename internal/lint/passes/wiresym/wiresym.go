@@ -204,6 +204,12 @@ var codecOps = map[string]bool{
 	"F64": true, "Str": true, "Point": true, "Rect": true,
 }
 
+// codecAlias maps codec methods that are wire-compatible variants of a
+// canonical op to that op: StrCache decodes exactly the bytes Str does
+// (it only interns the result), so both sides of a pair stay symmetric
+// when one of them interns.
+var codecAlias = map[string]string{"StrCache": "Str"}
+
 // scalar decoder reads that can size an allocation.
 var sizeOps = map[string]bool{"U8": true, "U16": true, "U32": true, "U64": true}
 
@@ -445,10 +451,16 @@ func (g *engine) expr(x ast.Expr, depth int, b *bag) {
 }
 
 func (g *engine) classifyCall(call *ast.CallExpr, depth int, b *bag) {
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && codecOps[sel.Sel.Name] {
-		if kind, ok := g.codecRecv(sel.X); ok {
-			b.add(op{kind: kind, name: sel.Sel.Name}, depth)
-			return
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if canon, ok := codecAlias[name]; ok {
+			name = canon
+		}
+		if codecOps[name] {
+			if kind, ok := g.codecRecv(sel.X); ok {
+				b.add(op{kind: kind, name: name}, depth)
+				return
+			}
 		}
 	}
 	fn := g.callee(call)

@@ -83,8 +83,18 @@ func (a CountAnswer) ProbAtLeast(n int) float64 {
 // RangeCount combines per-user inclusion probabilities into a CountAnswer.
 // Probabilities outside [0,1] are clamped.
 func RangeCount(probs []float64) CountAnswer {
+	ans, _ := RangeCountScratch(probs, nil)
+	return ans
+}
+
+// RangeCountScratch is RangeCount with a reusable clamp buffer: the
+// second return value is the (possibly grown) buffer, handed back so a
+// caller answering many count queries stops re-allocating the
+// intermediate. The PDF always allocates fresh — it escapes into the
+// answer. Answer bytes are identical for any buffer value.
+func RangeCountScratch(probs, buf []float64) (CountAnswer, []float64) {
 	var ans CountAnswer
-	clamped := make([]float64, 0, len(probs))
+	clamped := buf[:0]
 	for _, p := range probs {
 		if math.IsNaN(p) {
 			p = 0
@@ -101,7 +111,7 @@ func RangeCount(probs []float64) CountAnswer {
 		ans.Hi++
 	}
 	ans.PDF = PoissonBinomial(clamped)
-	return ans
+	return ans, clamped
 }
 
 // PoissonBinomial returns the exact distribution of the number of

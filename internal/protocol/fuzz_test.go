@@ -36,8 +36,23 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(append(huge, 0x05))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		// ReadFrameBuf with a dirty reused buffer must agree with ReadFrame
+		// on every input: same error disposition, same type, same payload
+		// bytes. The 0xA5 fill catches any path that returns stale reused
+		// bytes the read did not overwrite.
+		dirty := bytes.Repeat([]byte{0xa5}, 64)
+		btyp, bpayload, bufOut, berr := ReadFrameBuf(bytes.NewReader(data), dirty)
+		if (err == nil) != (berr == nil) {
+			t.Fatalf("ReadFrame err %v vs ReadFrameBuf err %v", err, berr)
+		}
 		if err != nil {
 			return
+		}
+		if btyp != typ || !bytes.Equal(bpayload, payload) {
+			t.Fatalf("ReadFrameBuf mismatch: (%d, %x) vs (%d, %x)", btyp, bpayload, typ, payload)
+		}
+		if len(payload)+1 <= len(dirty) && &bufOut[0] != &dirty[0] {
+			t.Fatal("ReadFrameBuf did not reuse a large-enough buffer")
 		}
 		// A successful read must be consistent with the input: the payload
 		// cannot exceed what was actually supplied (no over-allocation from

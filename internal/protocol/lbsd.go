@@ -74,7 +74,7 @@ func (h *dbHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byt
 		}
 		var e Encoder
 		e.U32(uint32(res.SupersetSize))
-		e.buf = append(e.buf, encodeObjects(res.Candidates)...)
+		encodeObjectsTo(&e, res.Candidates)
 		return e.Bytes(), nil
 
 	case MsgPublicCount:
@@ -193,7 +193,7 @@ func (h *dbHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byt
 		}
 		var e Encoder
 		e.F64(parts.Bound)
-		e.buf = append(e.buf, encodeObjects(parts.Candidates)...)
+		encodeObjectsTo(&e, parts.Candidates)
 		return e.Bytes(), nil
 
 	case MsgCountProbs:
@@ -223,18 +223,39 @@ func (h *dbHandler) handle(ctx context.Context, typ byte, payload []byte) ([]byt
 
 func encodeObjects(objs []server.PublicObject) []byte {
 	var e Encoder
+	encodeObjectsTo(&e, objs)
+	return e.Bytes()
+}
+
+// encodeObjectsTo appends an object list in place — the batch result
+// encoder emits one list per range/NN item, so building each list in a
+// throwaway Encoder and copying it over would double the allocation
+// count of the whole response.
+func encodeObjectsTo(e *Encoder, objs []server.PublicObject) {
+	e.Grow(objectsSize(objs))
 	e.U32(uint32(len(objs)))
 	for _, o := range objs {
 		e.U64(o.ID).Str(o.Class).Point(o.Loc)
 	}
-	return e.Bytes()
+}
+
+// objectsSize is the exact wire size of an encoded object list.
+func objectsSize(objs []server.PublicObject) int {
+	n := 4 + 26*len(objs)
+	for _, o := range objs {
+		n += len(o.Class)
+	}
+	return n
 }
 
 func decodeObjects(d *Decoder) []server.PublicObject {
 	n := int(d.U32())
 	objs := make([]server.PublicObject, 0, capHint(n, 26, d))
+	// Intern the class column: result lists repeat a few class names, so
+	// decoding costs one string per run of equal values, not one per object.
+	var class string
 	for i := 0; i < n; i++ {
-		objs = append(objs, server.PublicObject{ID: d.U64(), Class: d.Str(), Loc: d.Point()})
+		objs = append(objs, server.PublicObject{ID: d.U64(), Class: d.StrCache(&class), Loc: d.Point()})
 		if d.Err() != nil {
 			return nil
 		}
@@ -276,6 +297,7 @@ const maxBatchEntries = 4096
 
 // encodeBatchEntries appends a batch-query request body.
 func encodeBatchEntries(e *Encoder, entries []server.BatchEntry) {
+	e.Grow(4 + 48*len(entries))
 	e.U32(uint32(len(entries)))
 	for _, be := range entries {
 		e.U8(byte(be.Kind))
@@ -301,6 +323,9 @@ func decodeBatchEntries(d *Decoder) ([]server.BatchEntry, error) {
 	}
 	// Every entry needs ≥ 33 bytes (kind + rectangle).
 	entries := make([]server.BatchEntry, 0, capHint(n, 33, d))
+	// Intern the class column: batches repeat a few class names, so
+	// decoding costs one string per run of equal values, not one per entry.
+	var class string
 	for i := 0; i < n && d.Err() == nil; i++ {
 		kind := server.BatchKind(d.U8())
 		be := server.BatchEntry{Kind: kind}
@@ -309,11 +334,11 @@ func decodeBatchEntries(d *Decoder) ([]server.BatchEntry, error) {
 			be.Range = server.PrivateRangeQuery{
 				Region: d.Rect(),
 				Radius: d.F64(),
-				Class:  d.Str(),
+				Class:  d.StrCache(&class),
 				Mode:   server.RangeMode(d.U8()),
 			}
 		case server.BatchPrivateNN:
-			be.NN = server.PrivateNNQuery{Region: d.Rect(), Class: d.Str()}
+			be.NN = server.PrivateNNQuery{Region: d.Rect(), Class: d.StrCache(&class)}
 		case server.BatchPublicCount:
 			be.Count = server.PublicRangeCountQuery{Query: d.Rect()}
 		default:
@@ -332,7 +357,26 @@ func decodeBatchEntries(d *Decoder) ([]server.BatchEntry, error) {
 // wire. Each entry carries a status byte and its kind tag, then the same
 // per-kind encoding the single-query responses use.
 func encodeBatchResult(entries []server.BatchEntry, res server.BatchResult) []byte {
+	// Pre-scan the exact response size so the whole frame is built in one
+	// allocation. Failed entries are skipped (error strings are rare and
+	// cheap to absorb through Grow's geometric fallback).
+	size := 13
+	for i, it := range res.Items {
+		if it.Err != nil {
+			continue
+		}
+		size += 2
+		switch entries[i].Kind {
+		case server.BatchPrivateRange:
+			size += objectsSize(it.Range)
+		case server.BatchPrivateNN:
+			size += 4 + objectsSize(it.NN.Candidates)
+		case server.BatchPublicCount:
+			size += 24 + 8*len(it.Count.Answer.PDF)
+		}
+	}
 	var e Encoder
+	e.Grow(size)
 	e.U8(MsgBatchResult)
 	e.U32(uint32(res.Groups)).U32(uint32(res.SharedHits))
 	e.U32(uint32(len(res.Items)))
@@ -354,10 +398,10 @@ func encodeBatchResult(entries []server.BatchEntry, res server.BatchResult) []by
 		e.U8(byte(kind))
 		switch kind {
 		case server.BatchPrivateRange:
-			e.buf = append(e.buf, encodeObjects(it.Range)...)
+			encodeObjectsTo(&e, it.Range)
 		case server.BatchPrivateNN:
 			e.U32(uint32(it.NN.SupersetSize))
-			e.buf = append(e.buf, encodeObjects(it.NN.Candidates)...)
+			encodeObjectsTo(&e, it.NN.Candidates)
 		case server.BatchPublicCount:
 			encodeCountResult(&e, it.Count)
 		}
@@ -544,7 +588,12 @@ func (dc *DatabaseClient) BatchQueryCtx(ctx context.Context, entries []server.Ba
 	}
 	// The wire carries only each failed entry's cause; restore the kind
 	// from the request so client-side errors print like server-side ones.
+	// The Err != nil guard keeps errors.As — whose target pointer escapes
+	// — off the all-success path entirely.
 	for i := range res.Items {
+		if res.Items[i].Err == nil {
+			continue
+		}
 		var bee *server.BatchEntryError
 		if errors.As(res.Items[i].Err, &bee) && i < len(entries) {
 			bee.Kind = entries[i].Kind

@@ -293,11 +293,19 @@ func (s *Service) serveConn(conn net.Conn) {
 			s.met.active.Dec()
 		}
 	}()
+	// The read buffer is reused across frames (ReadFrameBuf): the request
+	// payload is handled fully — dispatch and the response write — before
+	// the next read, and no handler retains a payload view past its
+	// return (Decoder numeric reads and Str copy out), so the reuse is
+	// invisible to handlers. The no-alias stress test and FuzzReadFrame
+	// pin this contract.
+	var rbuf []byte
 	for {
 		if s.readTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
 		}
-		typ, payload, err := ReadFrame(conn)
+		typ, payload, nbuf, err := ReadFrameBuf(conn, rbuf)
+		rbuf = nbuf
 		if err != nil {
 			// EOF or broken peer: drop the connection. A clean close reads
 			// io.EOF at a frame boundary; anything else is a dropped frame,

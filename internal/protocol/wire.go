@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/geo"
 )
@@ -210,40 +211,99 @@ func MessageName(typ byte) string {
 // memory: 16 MiB fits any realistic candidate list.
 const maxFrame = 16 << 20
 
-// WriteFrame writes [u32 length][type][payload].
+// maxPooledBuf caps what the frame pools retain: a rare jumbo frame
+// (bulk load, big candidate list) must not pin megabytes in a pool — or
+// in a connection's reused read buffer — for the process lifetime.
+const maxPooledBuf = 64 << 10
+
+// framePool recycles the header+payload staging buffers WriteFrame
+// copies frames into. The copy buys a single Write call per frame — on
+// a net.Conn the second syscall of the old hdr/payload write pair cost
+// far more than memmove — and the pool makes the staging allocation-free
+// in steady state.
+var framePool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// WriteFrame writes [u32 length][type][payload] as one Write call. The
+// single remaining escape site is the oversize-frame error format, never
+// reached on a well-behaved path.
 //
-//lint:hotpath allocs=2
+//lint:hotpath allocs=1
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload)+1 > maxFrame {
 		return fmt.Errorf("protocol: frame too large (%d bytes)", len(payload))
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = typ
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0, typ)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)+1))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		framePool.Put(bp)
 	}
-	_, err := w.Write(payload)
 	return err
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame into a fresh buffer. The payload is owned by
+// the caller; loops that control the payload's lifetime (one frame fully
+// handled before the next read) should use ReadFrameBuf instead.
+//
+//lint:hotpath allocs=0
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	typ, payload, _, err = ReadFrameBuf(r, nil)
+	return typ, payload, err
+}
+
+// ReadFrameBuf reads one frame, reusing buf's backing array when it is
+// large enough and returning the (possibly grown) buffer for the next
+// call. The payload ALIASES the returned buffer: it is valid only until
+// buf is passed to ReadFrameBuf again, so the caller must fully consume
+// (or copy out of) the frame before reading the next one. Decoder reads
+// of numeric fields and Str copy out of the payload, so a decode
+// completed before the next read never retains a view. Frames larger
+// than maxPooledBuf get a fresh buffer and buf is returned unchanged, so
+// one jumbo frame cannot pin its backing array on an idle connection.
+//
+// The three escape sites are all off the steady-state path: the initial
+// buffer (first call on a connection), growth past the current capacity,
+// and the invalid-length error format. A warm connection reads frames
+// with zero allocations.
 //
 //lint:hotpath allocs=3
-func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
-	var lenBuf [4]byte
-	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
+func ReadFrameBuf(r io.Reader, buf []byte) (typ byte, payload, bufOut []byte, err error) {
+	// The 4-byte length prefix is read into the reused buffer too: a
+	// local array would be moved to the heap on every call (it escapes
+	// into the io.Reader), which is exactly the per-frame cost this
+	// function exists to avoid.
+	if cap(buf) < 8 {
+		buf = make([]byte, 0, 512)
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
+	hdr := buf[:4]
+	if _, err = io.ReadFull(r, hdr); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
 	if n < 1 || n > maxFrame {
-		return 0, nil, fmt.Errorf("protocol: invalid frame length %d", n)
+		return 0, nil, buf, fmt.Errorf("protocol: invalid frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+	frame := buf
+	if cap(frame) < n {
+		frame = make([]byte, n)
+		if n <= maxPooledBuf {
+			buf = frame
+		}
+	} else {
+		frame = frame[:n]
 	}
-	return buf[0], buf[1:], nil
+	if _, err = io.ReadFull(r, frame); err != nil {
+		return 0, nil, buf, err
+	}
+	return frame[0], frame[1:n], buf, nil
 }
 
 // Encoder builds a payload. The zero value is ready to use.
@@ -253,6 +313,23 @@ type Encoder struct {
 
 // Bytes returns the accumulated payload.
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Grow reserves capacity for at least n more bytes, so a caller that
+// knows its payload size pays one allocation instead of a doubling
+// cascade. Growth is geometric: a sequence of small exact Grows (one
+// per sub-list of a response) must amortize like append, not trigger a
+// copy each.
+func (e *Encoder) Grow(n int) {
+	if free := cap(e.buf) - len(e.buf); free < n {
+		want := len(e.buf) + n
+		if min := 2 * cap(e.buf); want < min {
+			want = min
+		}
+		nb := make([]byte, len(e.buf), want)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+}
 
 // U8 appends one byte.
 func (e *Encoder) U8(v byte) *Encoder { e.buf = append(e.buf, v); return e }
@@ -373,6 +450,27 @@ func (d *Decoder) Str() string {
 		return ""
 	}
 	return string(b)
+}
+
+// StrCache reads a length-prefixed string, returning *last instead of a
+// fresh string when the bytes match it, and updating *last otherwise.
+// Decode loops over object lists use it to intern the class column —
+// a 10k-object response names a handful of classes, so the per-object
+// string allocation collapses into one per run of equal values. The
+// comparison itself does not allocate (the compiler recognizes
+// string(b) == s), so the miss path costs the same as Str.
+func (d *Decoder) StrCache(last *string) string {
+	n := int(d.U16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	if string(b) == *last {
+		return *last
+	}
+	s := string(b)
+	*last = s
+	return s
 }
 
 // Point reads a point.

@@ -137,8 +137,12 @@ func (x *Index) removeFromCells(id uint64, region geo.Rect) {
 // Query appends to dst the ids of all regions intersecting q (exactly —
 // the per-candidate rectangle test is applied here) and returns dst.
 // Query does not mutate the index, so concurrent queries are safe under a
-// shared lock. A dedup set is allocated only when the query spans more
-// than one cell (ids within a single cell are already unique).
+// shared lock. Multi-cell queries dedup without allocating: a region is
+// bucketed under every cell it touches, so each candidate is processed
+// only at its first cell inside the query window — the cell at
+// (max of the two ranges' starts) — which is also exactly where a
+// first-encounter scan would have seen it, so emission order is
+// unchanged.
 func (x *Index) Query(q geo.Rect, dst []uint64) []uint64 {
 	c0, r0, c1, r1 := x.cellRange(q)
 	if c0 == c1 && r0 == r1 {
@@ -149,15 +153,21 @@ func (x *Index) Query(q geo.Rect, dst []uint64) []uint64 {
 		}
 		return dst
 	}
-	seen := make(map[uint64]struct{})
 	for row := r0; row <= r1; row++ {
 		for col := c0; col <= c1; col++ {
 			for _, id := range x.cells[row*x.cols+col] {
-				if _, dup := seen[id]; dup {
-					continue
+				reg := x.regions[id]
+				ic0, ir0, _, _ := x.cellRange(reg)
+				if ir0 < r0 {
+					ir0 = r0
 				}
-				seen[id] = struct{}{}
-				if x.regions[id].Intersects(q) {
+				if ic0 < c0 {
+					ic0 = c0
+				}
+				if row != ir0 || col != ic0 {
+					continue // seen at an earlier window cell
+				}
+				if reg.Intersects(q) {
 					dst = append(dst, id)
 				}
 			}

@@ -2,10 +2,24 @@ package rtree
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/geo"
 )
+
+// cmpF is a three-way float comparator for the pointer-free STR sorts;
+// slices.SortFunc avoids sort.Slice's reflect-based swapping, which
+// matters now that the batch engine bulk-loads small per-group subtrees
+// on the query path.
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
 
 // BulkLoad builds a tree from items using Sort-Tile-Recursive (STR)
 // packing, which produces near-optimally packed leaves and is the standard
@@ -35,7 +49,7 @@ func strPack(items []Item) []*node {
 	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
 	perSlice := sliceCount * maxEntries
 
-	sort.Slice(items, func(i, j int) bool { return items[i].Loc.X < items[j].Loc.X })
+	slices.SortFunc(items, func(a, b Item) int { return cmpF(a.Loc.X, b.Loc.X) })
 	var leaves []*node
 	for start := 0; start < n; start += perSlice {
 		end := start + perSlice
@@ -43,7 +57,7 @@ func strPack(items []Item) []*node {
 			end = n
 		}
 		slice := items[start:end]
-		sort.Slice(slice, func(i, j int) bool { return slice[i].Loc.Y < slice[j].Loc.Y })
+		slices.SortFunc(slice, func(a, b Item) int { return cmpF(a.Loc.Y, b.Loc.Y) })
 		for ls := 0; ls < len(slice); ls += maxEntries {
 			le := ls + maxEntries
 			if le > len(slice) {
@@ -65,9 +79,7 @@ func packNodes(level []*node) []*node {
 	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
 	perSlice := sliceCount * maxEntries
 
-	sort.Slice(level, func(i, j int) bool {
-		return level[i].bounds.Center().X < level[j].bounds.Center().X
-	})
+	slices.SortFunc(level, func(a, b *node) int { return cmpF(a.bounds.Center().X, b.bounds.Center().X) })
 	var parents []*node
 	for start := 0; start < n; start += perSlice {
 		end := start + perSlice
@@ -75,15 +87,16 @@ func packNodes(level []*node) []*node {
 			end = n
 		}
 		slice := level[start:end]
-		sort.Slice(slice, func(i, j int) bool {
-			return slice[i].bounds.Center().Y < slice[j].bounds.Center().Y
-		})
+		slices.SortFunc(slice, func(a, b *node) int { return cmpF(a.bounds.Center().Y, b.bounds.Center().Y) })
 		for ls := 0; ls < len(slice); ls += maxEntries {
 			le := ls + maxEntries
 			if le > len(slice) {
 				le = len(slice)
 			}
-			p := &node{leaf: false, children: append([]*node(nil), slice[ls:le]...)}
+			p := &node{leaf: false, children: make([]child, le-ls)}
+			for ci, c := range slice[ls:le] {
+				p.children[ci] = child{bounds: c.bounds, n: c}
+			}
 			p.recomputeBounds()
 			parents = append(parents, p)
 		}

@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"container/heap"
+	"math"
 
 	"repro/internal/geo"
 )
@@ -32,9 +33,9 @@ func (q *distQueue) Pop() interface{} {
 
 // Browser yields the indexed items in non-decreasing distance from a query
 // point or rectangle — Hjaltason–Samet incremental distance browsing. The
-// private-NN candidate computation pulls neighbors until its stop condition
-// fires, which is why an incremental iterator (rather than a fixed-k query)
-// is the core primitive.
+// incremental iterator serves the cold k-NN paths (Nearest, NearestOne);
+// the private-NN candidate computation uses the allocation-free
+// MinMaxCandidates descent below instead.
 type Browser struct {
 	q       distQueue
 	origin  func(*node) float64 // min dist² from query to a node's bounds
@@ -71,6 +72,20 @@ func (t *Tree) NewRectBrowser(r geo.Rect) *Browser {
 	return b
 }
 
+// expand pushes the contents of node n onto the frontier.
+func (b *Browser) expand(n *node) {
+	b.visited++
+	if n.leaf {
+		for _, item := range n.items {
+			heap.Push(&b.q, queueEntry{dist2: b.opoint(item), item: item, isItem: true})
+		}
+		return
+	}
+	for i := range n.children {
+		heap.Push(&b.q, queueEntry{dist2: b.origin(n.children[i].n), node: n.children[i].n})
+	}
+}
+
 // Next returns the next-nearest item and its squared distance, or ok=false
 // when the index is exhausted.
 func (b *Browser) Next() (it Item, dist2 float64, ok bool) {
@@ -79,17 +94,7 @@ func (b *Browser) Next() (it Item, dist2 float64, ok bool) {
 		if e.isItem {
 			return e.item, e.dist2, true
 		}
-		n := e.node
-		b.visited++
-		if n.leaf {
-			for _, item := range n.items {
-				heap.Push(&b.q, queueEntry{dist2: b.opoint(item), item: item, isItem: true})
-			}
-			continue
-		}
-		for _, c := range n.children {
-			heap.Push(&b.q, queueEntry{dist2: b.origin(c), node: c})
-		}
+		b.expand(e.node)
 	}
 	return Item{}, 0, false
 }
@@ -102,17 +107,7 @@ func (b *Browser) Peek2() (dist2 float64, ok bool) {
 			return b.q[0].dist2, true
 		}
 		e := heap.Pop(&b.q).(queueEntry)
-		n := e.node
-		b.visited++
-		if n.leaf {
-			for _, item := range n.items {
-				heap.Push(&b.q, queueEntry{dist2: b.opoint(item), item: item, isItem: true})
-			}
-			continue
-		}
-		for _, c := range n.children {
-			heap.Push(&b.q, queueEntry{dist2: b.origin(c), node: c})
-		}
+		b.expand(e.node)
 	}
 	return 0, false
 }
@@ -142,4 +137,90 @@ func (t *Tree) NearestOne(p geo.Point) (Item, bool) {
 		return Item{}, false
 	}
 	return r[0], true
+}
+
+// minmaxEnt is a pending subtree of the MinMaxCandidates descent, keyed by
+// the minimum squared distance from the query region to its bounds.
+type minmaxEnt struct {
+	d2 float64
+	n  *node
+}
+
+// MinMaxCandidates computes the min–max candidate set of a rectangle query
+// in one allocation-free depth-first descent: it appends to dst every item
+// o accepted by match with MinDist²(o, r) ≤ B, where B is the minimum of
+// MaxDist²(o, r) over all accepted items (+Inf when there is none), and
+// returns the extended slice, B, and the number of nodes visited.
+//
+// This is the same set the incremental browse + refilter construction
+// produces (the private-NN superset of Figure 5b): B is order-independent
+// because any item never visited sits in a subtree with
+// MinDist² > running-bound ≥ B, so its MaxDist² ≥ MinDist² > B cannot
+// lower the minimum, and the subtree holding the minimizer o* can never be
+// pruned since its MinDist² ≤ MinDist²(o*) ≤ MaxDist²(o*) = B ≤ every
+// running bound. Children are expanded nearest-first so the bound
+// tightens as fast as the best-first browse, without the priority-queue
+// boxing that made the browse the hottest allocation site of the batch
+// engine. A nil match accepts every item.
+func (t *Tree) MinMaxCandidates(r geo.Rect, match func(Item) bool, dst []Item) ([]Item, float64, int) {
+	bound := math.Inf(1)
+	if t.root == nil || t.size == 0 {
+		return dst, bound, 0
+	}
+	start := len(dst)
+	visited := 0
+	// The stack bound is depth×fan-out; 128 covers any realistic tree
+	// (depth 8 at 40% minimum fill already holds >100k points) and the
+	// append below spills to the heap rather than truncating if exceeded.
+	var arr [128]minmaxEnt
+	stk := append(arr[:0], minmaxEnt{geo.MinDistRects2(r, t.root.bounds), t.root})
+	for len(stk) > 0 {
+		e := stk[len(stk)-1]
+		stk = stk[:len(stk)-1]
+		// Re-check at pop: the bound may have tightened since push.
+		if e.d2 > bound {
+			continue
+		}
+		visited++
+		n := e.n
+		if n.leaf {
+			for _, it := range n.items {
+				if match != nil && !match(it) {
+					continue
+				}
+				if md := geo.MaxDist2(it.Loc, r); md < bound {
+					bound = md
+				}
+				if geo.MinDist2(it.Loc, r) <= bound {
+					dst = append(dst, it)
+				}
+			}
+			continue
+		}
+		mark := len(stk)
+		for i := range n.children {
+			c := &n.children[i]
+			d2 := geo.MinDistRects2(r, c.bounds)
+			if d2 > bound {
+				continue
+			}
+			stk = append(stk, minmaxEnt{d2, c.n})
+		}
+		// Order the fresh entries farthest-first so the nearest child is on
+		// top of the stack; fan-out is ≤ maxEntries, so insertion sort.
+		sub := stk[mark:]
+		for i := 1; i < len(sub); i++ {
+			for j := i; j > 0 && sub[j].d2 > sub[j-1].d2; j-- {
+				sub[j], sub[j-1] = sub[j-1], sub[j]
+			}
+		}
+	}
+	// Drop entries admitted before the bound reached its final value.
+	kept := dst[:start]
+	for _, it := range dst[start:] {
+		if geo.MinDist2(it.Loc, r) <= bound {
+			kept = append(kept, it)
+		}
+	}
+	return kept, bound, visited
 }

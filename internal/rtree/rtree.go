@@ -26,11 +26,21 @@ const (
 	minEntries = maxEntries * 2 / 5 // 40% minimum fill, the classic choice
 )
 
+// child is an inner-node entry: the child's bounding rectangle stored
+// inline next to the pointer so a descent decides which subtrees to enter
+// from one contiguous scan of the parent's entry array, without chasing a
+// pointer per child just to read its rectangle. The inline copy must equal
+// child.n.bounds at all times (checkInvariants enforces it).
+type child struct {
+	bounds geo.Rect
+	n      *node
+}
+
 type node struct {
 	bounds   geo.Rect
 	leaf     bool
 	items    []Item  // populated when leaf
-	children []*node // populated when !leaf
+	children []child // populated when !leaf
 }
 
 func (n *node) recomputeBounds() {
@@ -92,8 +102,11 @@ func (t *Tree) Insert(it Item) {
 		// Root split: grow the tree by one level.
 		old := t.root
 		t.root = &node{
-			leaf:     false,
-			children: []*node{old, split},
+			leaf: false,
+			children: []child{
+				{bounds: old.bounds, n: old},
+				{bounds: split.bounds, n: split},
+			},
 		}
 		t.root.recomputeBounds()
 	}
@@ -112,9 +125,10 @@ func (t *Tree) insert(n *node, it Item) *node {
 		return nil
 	}
 	best := chooseSubtree(n.children, it.Loc)
-	split := t.insert(n.children[best], it)
+	split := t.insert(n.children[best].n, it)
+	n.children[best].bounds = n.children[best].n.bounds
 	if split != nil {
-		n.children = append(n.children, split)
+		n.children = append(n.children, child{bounds: split.bounds, n: split})
 		if len(n.children) > maxEntries {
 			return splitInner(n)
 		}
@@ -124,13 +138,14 @@ func (t *Tree) insert(n *node, it Item) *node {
 
 // chooseSubtree picks the child whose bounds need the least enlargement to
 // include p, breaking ties by smaller area (the classic Guttman heuristic).
-func chooseSubtree(children []*node, p geo.Point) int {
+func chooseSubtree(children []child, p geo.Point) int {
 	best := 0
 	bestEnlarge := math.Inf(1)
 	bestArea := math.Inf(1)
-	for i, c := range children {
-		area := c.bounds.Area()
-		enlarged := c.bounds.UnionPoint(p).Area() - area
+	for i := range children {
+		b := children[i].bounds
+		area := b.Area()
+		enlarged := b.UnionPoint(p).Area() - area
 		if enlarged < bestEnlarge || (enlarged == bestEnlarge && area < bestArea) {
 			best, bestEnlarge, bestArea = i, enlarged, area
 		}
@@ -205,11 +220,11 @@ func splitInner(n *node) *node {
 			}
 		}
 	}
-	g1 := []*node{ch[si]}
-	g2 := []*node{ch[sj]}
+	g1 := []child{ch[si]}
+	g2 := []child{ch[sj]}
 	b1 := ch[si].bounds
 	b2 := ch[sj].bounds
-	rest := make([]*node, 0, len(ch)-2)
+	rest := make([]child, 0, len(ch)-2)
 	for k, c := range ch {
 		if k != si && k != sj {
 			rest = append(rest, c)
@@ -257,7 +272,7 @@ func (t *Tree) Delete(id uint64, loc geo.Point) bool {
 	t.size--
 	// Collapse a root with a single child.
 	for !t.root.leaf && len(t.root.children) == 1 {
-		t.root = t.root.children[0]
+		t.root = t.root.children[0].n
 	}
 	if t.root.leaf && len(t.root.items) == 0 {
 		t.root = nil
@@ -283,7 +298,8 @@ func (t *Tree) remove(n *node, id uint64, loc geo.Point, orphans *[]Item) bool {
 		}
 		return false
 	}
-	for i, c := range n.children {
+	for i := range n.children {
+		c := n.children[i].n
 		if !t.remove(c, id, loc, orphans) {
 			continue
 		}
@@ -291,6 +307,8 @@ func (t *Tree) remove(n *node, id uint64, loc geo.Point, orphans *[]Item) bool {
 		if (c.leaf && len(c.items) < minEntries) || (!c.leaf && len(c.children) < minEntries) {
 			collectItems(c, orphans)
 			n.children = append(n.children[:i], n.children[i+1:]...)
+		} else {
+			n.children[i].bounds = c.bounds
 		}
 		n.recomputeBounds()
 		return true
@@ -303,8 +321,8 @@ func collectItems(n *node, out *[]Item) {
 		*out = append(*out, n.items...)
 		return
 	}
-	for _, c := range n.children {
-		collectItems(c, out)
+	for i := range n.children {
+		collectItems(n.children[i].n, out)
 	}
 }
 
@@ -318,7 +336,7 @@ func (t *Tree) Search(r geo.Rect, dst []Item) []Item {
 // SearchVisits is Search plus the number of tree nodes visited — the index
 // I/O proxy the observability layer exports per query.
 func (t *Tree) SearchVisits(r geo.Rect, dst []Item) ([]Item, int) {
-	if t.root == nil {
+	if t.root == nil || !t.root.bounds.Intersects(r) {
 		return dst, 0
 	}
 	visits := 0
@@ -326,10 +344,10 @@ func (t *Tree) SearchVisits(r geo.Rect, dst []Item) ([]Item, int) {
 	return dst, visits
 }
 
+// searchNode collects matches from a subtree whose bounds are already
+// known to intersect r (the caller filters on the inline child rectangles,
+// so a non-intersecting subtree is never entered).
 func searchNode(n *node, r geo.Rect, dst []Item, visits *int) []Item {
-	if !n.bounds.Intersects(r) {
-		return dst
-	}
 	*visits++
 	if n.leaf {
 		for _, it := range n.items {
@@ -339,24 +357,25 @@ func searchNode(n *node, r geo.Rect, dst []Item, visits *int) []Item {
 		}
 		return dst
 	}
-	for _, c := range n.children {
-		dst = searchNode(c, r, dst, visits)
+	for i := range n.children {
+		c := &n.children[i]
+		if c.bounds.Intersects(r) {
+			dst = searchNode(c.n, r, dst, visits)
+		}
 	}
 	return dst
 }
 
 // Count returns the number of items inside r without materializing them.
 func (t *Tree) Count(r geo.Rect) int {
-	if t.root == nil {
+	if t.root == nil || !t.root.bounds.Intersects(r) {
 		return 0
 	}
 	return countNode(t.root, r)
 }
 
+// countNode counts matches in a subtree already known to intersect r.
 func countNode(n *node, r geo.Rect) int {
-	if !n.bounds.Intersects(r) {
-		return 0
-	}
 	if n.leaf {
 		c := 0
 		for _, it := range n.items {
@@ -370,8 +389,11 @@ func countNode(n *node, r geo.Rect) int {
 		return subtreeSize(n)
 	}
 	c := 0
-	for _, ch := range n.children {
-		c += countNode(ch, r)
+	for i := range n.children {
+		ch := &n.children[i]
+		if ch.bounds.Intersects(r) {
+			c += countNode(ch.n, r)
+		}
 	}
 	return c
 }
@@ -381,8 +403,8 @@ func subtreeSize(n *node) int {
 		return len(n.items)
 	}
 	c := 0
-	for _, ch := range n.children {
-		c += subtreeSize(ch)
+	for i := range n.children {
+		c += subtreeSize(n.children[i].n)
 	}
 	return c
 }
@@ -398,8 +420,8 @@ func (t *Tree) All(dst []Item) []Item {
 			dst = append(dst, n.items...)
 			return
 		}
-		for _, c := range n.children {
-			walk(c)
+		for i := range n.children {
+			walk(n.children[i].n)
 		}
 	}
 	walk(t.root)
@@ -416,7 +438,7 @@ func (t *Tree) Depth() int {
 		if n.leaf {
 			break
 		}
-		n = n.children[0]
+		n = n.children[0].n
 	}
 	return d
 }
@@ -458,11 +480,17 @@ func checkNode(n *node, isRoot bool) (int, error) {
 		return 0, fmt.Errorf("inner fill %d outside [1,%d]", len(n.children), maxEntries)
 	}
 	total := 0
-	for _, c := range n.children {
+	for i := range n.children {
+		c := &n.children[i]
+		// The inline rectangle is a cache of the child's own bounds; any
+		// drift means a mutation path forgot to refresh it.
+		if !c.bounds.Eq(c.n.bounds) {
+			return 0, fmt.Errorf("inline child bounds %v stale vs node bounds %v", c.bounds, c.n.bounds)
+		}
 		if !n.bounds.ContainsRect(c.bounds) {
 			return 0, fmt.Errorf("child bounds %v escape parent %v", c.bounds, n.bounds)
 		}
-		sub, err := checkNode(c, false)
+		sub, err := checkNode(c.n, false)
 		if err != nil {
 			return 0, err
 		}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/prob"
+	"repro/internal/rtree"
 	"repro/internal/trace"
 )
 
@@ -126,6 +128,39 @@ type batchUnit struct {
 	union   geo.Rect // union rectangle of the members' probe rects
 }
 
+// batchScratch is one worker's reusable buffer set. Each worker of the
+// fan-out owns exactly one (indexed by worker id), so units processed by
+// the same worker reuse the same backing arrays instead of reallocating
+// per unit. Nothing here escapes into results: result slices are always
+// freshly built, scratch only carries the intermediate streams.
+type batchScratch struct {
+	items      []rtree.Item   // union-descent / NN-candidate item stream
+	subItems   []rtree.Item   // per-member descent output over a group subtree
+	resolved   []PublicObject // resolve-once cache for the union stream
+	order      []int          // X-order permutation over resolved
+	idxs       []int          // per-member match positions awaiting index sort
+	movingObjs []PublicObject // per-member moving matches awaiting merge
+	keptObjs   []PublicObject // per-member NN candidates handed to the prune
+	ids        []uint64       // region-index probe output
+	regions    []geo.Rect     // resolve-once cloaked regions, Min.X-sorted
+	probs      []float64      // per-member overlap probabilities
+	clamped    []float64      // RangeCountScratch clamp buffer
+	comb       combineScratch // dominance-prune working set
+}
+
+// batchCoord is the per-call coordination scratch of one BatchQuery:
+// the admission index lists, the grouping arena, the unit list and the
+// per-worker buffer sets. Calls borrow one from the server's pool, so a
+// steady stream of batches reuses the same backing arrays instead of
+// rebuilding them per frame — nothing in here escapes into results.
+type batchCoord struct {
+	rangeIdx, nnIdx, countIdx []int
+	filters                   []geo.Rect
+	units                     []batchUnit
+	gs                        groupScratch
+	scratches                 []batchScratch
+}
+
 // BatchQuery evaluates a mixed batch of queries in one shared pass and
 // returns per-entry results in input order. Invalid entries fail alone
 // with a *BatchEntryError; valid entries are grouped, fanned out to the
@@ -149,12 +184,23 @@ func (s *Server) BatchQueryCtx(ctx context.Context, entries []BatchEntry) BatchR
 	t0 := time.Now()
 	bsp, ctx := trace.Start(ctx, s.tracer, "lbs_batch")
 
+	c, _ := s.batchPool.Get().(*batchCoord)
+	if c == nil {
+		c = &batchCoord{}
+	}
+	defer s.batchPool.Put(c)
+
 	// Phase 1 — admission: validate every entry with exactly the checks
 	// the sequential methods apply. Failures are recorded per entry and
 	// excluded from grouping, so a bad entry cannot poison a descent.
 	vsp, _ := trace.Start(ctx, s.tracer, "lbs_batch_validate")
-	var rangeIdx, nnIdx, countIdx []int
-	filters := make([]geo.Rect, len(entries)) // expanded MBR per range entry
+	rangeIdx, nnIdx, countIdx := c.rangeIdx[:0], c.nnIdx[:0], c.countIdx[:0]
+	// Expanded MBR per range entry. Stale values from the previous borrow
+	// are harmless: filters[i] is only read after being set for entry i.
+	if cap(c.filters) < len(entries) {
+		c.filters = make([]geo.Rect, len(entries))
+	}
+	filters := c.filters[:len(entries)]
 	for i, e := range entries {
 		var err error
 		switch e.Kind {
@@ -178,26 +224,60 @@ func (s *Server) BatchQueryCtx(ctx context.Context, entries []BatchEntry) BatchR
 			res.Items[i].Err = &BatchEntryError{Index: i, Kind: e.Kind, Err: err}
 		}
 	}
+	c.rangeIdx, c.nnIdx, c.countIdx, c.filters = rangeIdx, nnIdx, countIdx, filters
 	if vsp.Recording() {
 		vsp.SetAttrs(trace.Int("entries", int64(len(entries))),
 			trace.Int("admitted", int64(len(rangeIdx)+len(nnIdx)+len(countIdx))))
 		vsp.End()
 	}
 
-	// Phase 2 — grouping: connected components of the rectangle-overlap
-	// graph, per query class (range entries probe the public indices,
-	// count entries the region index — they cannot share a descent).
+	// Phase 2 — grouping: growth-capped greedy packing of the
+	// rectangle-overlap graph, per query class (range entries probe the
+	// public indices, count entries the region index — they cannot share
+	// a descent).
 	msp, _ := trace.Start(ctx, s.tracer, "lbs_batch_merge")
-	units := make([]batchUnit, 0, len(entries))
-	for _, g := range groupOverlapping(rangeIdx, func(i int) geo.Rect { return filters[i] }) {
-		units = append(units, batchUnit{kind: BatchPrivateRange, members: g, union: unionRect(g, func(i int) geo.Rect { return filters[i] })})
+	c.gs.reset()
+	units := c.units[:0]
+	for _, g := range c.gs.groupShared(rangeIdx, func(i int) geo.Rect { return filters[i] }) {
+		units = append(units, batchUnit{kind: BatchPrivateRange, members: g.members, union: g.union})
 	}
-	for _, g := range groupOverlapping(countIdx, func(i int) geo.Rect { return entries[i].Count.Query }) {
-		units = append(units, batchUnit{kind: BatchPublicCount, members: g, union: unionRect(g, func(i int) geo.Rect { return entries[i].Count.Query })})
+	for _, g := range c.gs.groupShared(countIdx, func(i int) geo.Rect { return entries[i].Count.Query }) {
+		units = append(units, batchUnit{kind: BatchPublicCount, members: g.members, union: g.union})
 	}
+	// NN entries share a descent only within one class: the class filter is
+	// part of the min–max descent, so members of a group must agree on it.
+	// Classes are visited in first-appearance order to keep grouping
+	// deterministic. One class per batch is the overwhelmingly common
+	// shape, and then nnIdx already IS the class list — the map partition
+	// only runs on genuinely mixed batches.
+	sameClass := true
 	for _, i := range nnIdx {
-		units = append(units, batchUnit{kind: BatchPrivateNN, members: []int{i}})
+		if entries[i].NN.Class != entries[nnIdx[0]].NN.Class {
+			sameClass = false
+			break
+		}
 	}
+	if sameClass {
+		for _, g := range c.gs.groupShared(nnIdx, func(i int) geo.Rect { return entries[i].NN.Region }) {
+			units = append(units, batchUnit{kind: BatchPrivateNN, members: g.members, union: g.union})
+		}
+	} else {
+		var nnClasses []string
+		nnByClass := make(map[string][]int)
+		for _, i := range nnIdx {
+			cl := entries[i].NN.Class
+			if _, ok := nnByClass[cl]; !ok {
+				nnClasses = append(nnClasses, cl)
+			}
+			nnByClass[cl] = append(nnByClass[cl], i)
+		}
+		for _, cl := range nnClasses {
+			for _, g := range c.gs.groupShared(nnByClass[cl], func(i int) geo.Rect { return entries[i].NN.Region }) {
+				units = append(units, batchUnit{kind: BatchPrivateNN, members: g.members, union: g.union})
+			}
+		}
+	}
+	c.units = units
 	res.Groups = len(units)
 	for _, u := range units {
 		res.SharedHits += len(u.members) - 1
@@ -215,20 +295,30 @@ func (s *Server) BatchQueryCtx(ctx context.Context, entries []BatchEntry) BatchR
 	// Worker spans record into the lock-free ring, so tracing adds no
 	// synchronization to the fan-out.
 	dsp, dctx := trace.Start(ctx, s.tracer, "lbs_batch_descent")
+	workers := s.queryWorkers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if cap(c.scratches) < workers {
+		c.scratches = make([]batchScratch, workers)
+	}
+	scratches := c.scratches[:workers]
 	s.mu.RLock()
-	parallelFor(len(units), s.queryWorkers, func(ui int) {
+	parallelForWorkers(len(units), workers, func(w, ui int) {
 		u := units[ui]
+		sc := &scratches[w]
 		usp, _ := trace.Start(dctx, s.tracer, "lbs_batch_unit")
 		var visits int
 		switch u.kind {
 		case BatchPrivateRange:
-			visits = s.runRangeGroupLocked(entries, filters, u, res.Items)
+			visits = s.runRangeGroupLocked(entries, filters, u, res.Items, sc)
 		case BatchPublicCount:
-			visits = s.runCountGroupLocked(entries, u, res.Items)
+			visits = s.runCountGroupLocked(entries, u, res.Items, sc)
 		case BatchPrivateNN:
-			i := u.members[0]
-			s.met.privateNNQs.Inc()
-			res.Items[i].NN, visits = s.privateNNLocked(entries[i].NN)
+			visits = s.runNNGroupLocked(entries, u, res.Items, sc)
 		}
 		if usp.Recording() {
 			usp.SetAttrs(trace.Str("kind", u.kind.String()),
@@ -257,14 +347,54 @@ func (s *Server) BatchQueryCtx(ctx context.Context, entries []BatchEntry) BatchR
 // a single descent of the stationary R-tree (and, if any member admits
 // moving objects, a single scan of the moving grid) over the group's union
 // rectangle. Per member, the union's item stream is filtered down to the
-// member's own expanded MBR — the structural traversal order makes that
-// sequence identical to what the member's private search would emit. It
-// returns the R-tree node visits the shared descent cost.
+// member's own expanded MBR; the stream is canonically sorted once, so
+// gathering ascending stream positions reproduces the sequential answer
+// order without a per-member object sort. It returns the R-tree node
+// visits the shared descent cost.
 //
 //lint:hotpath allocs=1
-func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u batchUnit, out []BatchItemResult) int {
-	items, visits := s.stationary.SearchVisits(u.union, nil)
+func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u batchUnit, out []BatchItemResult, sc *batchScratch) int {
+	items, visits := s.stationary.SearchVisits(u.union, sc.items[:0])
+	sc.items = items
 	s.met.nodeVisits.Observe(float64(visits))
+	// Canonical-sort the union stream once — on the raw item stream, by ID.
+	// Stationary IDs are unique, so ascending ID IS SortObjects order, and
+	// sorting 16-byte pointer-free items costs a fraction of shuffling
+	// resolved PublicObjects (whose string field drags write barriers into
+	// every swap). Resolving in that order makes `resolved` canonically
+	// sorted by construction; each member then gathers matches as ascending
+	// positions and the per-member object sort collapses to an int sort.
+	slices.SortFunc(items, func(a, b rtree.Item) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	resolved := sc.resolved[:0]
+	for _, it := range items {
+		resolved = append(resolved, s.resolveObjectLocked(it.ID, it.Loc, false))
+	}
+	sc.resolved = resolved
+	// A second, X-ordered permutation narrows each member's scan to the
+	// stream positions inside its own X-extent (binary-searched ends)
+	// instead of the whole union stream.
+	xorder := sc.order[:0]
+	for k := range items {
+		xorder = append(xorder, k)
+	}
+	sc.order = xorder
+	slices.SortFunc(xorder, func(a, b int) int {
+		switch {
+		case items[a].Loc.X < items[b].Loc.X:
+			return -1
+		case items[a].Loc.X > items[b].Loc.X:
+			return 1
+		}
+		return 0
+	})
 	var movingItems []grid.Object
 	for _, i := range u.members {
 		if entries[i].Range.Class == "" {
@@ -275,21 +405,44 @@ func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u
 	for _, i := range u.members {
 		q := entries[i].Range
 		f := filters[i]
-		var objs []PublicObject
-		for _, it := range items {
-			if !f.Contains(it.Loc) {
+		// Contains is inclusive on both ends, so the window is
+		// [first X ≥ f.Min.X, first X > f.Max.X). Geometric checks read
+		// the tree item's location — exactly what the member's own index
+		// search would have tested — while class comes off the resolved
+		// record, mirroring the sequential keep() closure.
+		lo := sort.Search(len(xorder), func(k int) bool { return items[xorder[k]].Loc.X >= f.Min.X })
+		hi := sort.Search(len(xorder), func(k int) bool { return items[xorder[k]].Loc.X > f.Max.X })
+		idxs := sc.idxs[:0]
+		for _, k := range xorder[lo:hi] {
+			it := items[k]
+			if it.Loc.Y < f.Min.Y || it.Loc.Y > f.Max.Y {
 				continue
 			}
 			if q.Mode == RangeRounded && geo.MinDist(it.Loc, q.Region) > q.Radius {
 				continue
 			}
-			o := s.resolveObjectLocked(it.ID, it.Loc, false)
-			if q.Class != "" && o.Class != q.Class {
+			if q.Class != "" && resolved[k].Class != q.Class {
 				continue
 			}
-			objs = append(objs, o)
+			idxs = append(idxs, k)
 		}
-		if q.Class == "" {
+		sc.idxs = idxs
+		sort.Ints(idxs)
+		// Exact-size the answer (it escapes into the result); an empty
+		// answer stays nil, like the sequential path's.
+		var objs []PublicObject
+		if len(idxs) > 0 {
+			objs = make([]PublicObject, 0, len(idxs))
+		}
+		for _, k := range idxs {
+			objs = append(objs, resolved[k])
+		}
+		if q.Class == "" && len(movingItems) > 0 {
+			// Moving matches are the member's own; sort just those and
+			// merge the two canonically-ordered runs. The comparator key is
+			// total over any one answer's objects (SortObjects's contract),
+			// so the merged order is byte-identical to sorting the union.
+			moving := sc.movingObjs[:0]
 			for _, m := range movingItems {
 				if !f.Contains(m.Loc) {
 					continue
@@ -297,14 +450,125 @@ func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u
 				if q.Mode == RangeRounded && geo.MinDist(m.Loc, q.Region) > q.Radius {
 					continue
 				}
-				objs = append(objs, s.resolveObjectLocked(m.ID, m.Loc, true))
+				moving = append(moving, s.resolveObjectLocked(m.ID, m.Loc, true))
+			}
+			sc.movingObjs = moving
+			if len(moving) > 0 {
+				SortObjects(moving)
+				objs = mergeSorted(objs, moving)
 			}
 		}
-		// Same canonical order as PrivateRange: the shared descent emits
-		// the same set, so sorting keeps the two paths bit-identical.
-		SortObjects(objs)
+		// Same canonical order as PrivateRange, produced by construction
+		// rather than a per-member sort.
 		out[i].Range = objs
 		s.met.privateRangeQs.Inc()
+	}
+	return visits
+}
+
+// mergeSorted merges two canonically-ordered runs into a fresh slice in
+// lessObjects order.
+func mergeSorted(a, b []PublicObject) []PublicObject {
+	out := make([]PublicObject, 0, len(a)+len(b))
+	ai, bi := 0, 0
+	for ai < len(a) && bi < len(b) {
+		if lessObjects(b[bi], a[ai]) {
+			out = append(out, b[bi])
+			bi++
+		} else {
+			out = append(out, a[ai])
+			ai++
+		}
+	}
+	out = append(out, a[ai:]...)
+	return append(out, b[bi:]...)
+}
+
+// runNNGroupLocked answers every private-NN member of one group (same
+// class, overlapping regions) from a single min–max descent over the
+// group's union region. The union's min–max superset S contains every
+// member's candidate set and bound minimizer: for a member region r ⊆ U,
+// B(r) = min MaxDist²(o, r) ≤ MaxDist²(o*ᵤ, r) ≤ MaxDist²(o*ᵤ, U) = B(U),
+// and any object with MinDist²(o, r) ≤ B(r) has
+// MinDist²(o, U) ≤ MinDist²(o, r) ≤ B(U), so it sits in S. In particular
+// r's own bound minimizer sits in S, so min MaxDist² over S equals the
+// exact B(r), and the min–max filter of S under it is the exact candidate
+// set. The runner therefore resolves and canonically sorts S once, bulk-
+// loads a position-keyed subtree over it, and answers each member with a
+// bounded min–max descent of that subtree — class filtering and metadata
+// resolution are already paid, and ascending positions are canonical
+// order. A singleton group degenerates to the sequential evaluation.
+//
+//lint:hotpath allocs=4
+func (s *Server) runNNGroupLocked(entries []BatchEntry, u batchUnit, out []BatchItemResult, sc *batchScratch) int {
+	if len(u.members) == 1 {
+		i := u.members[0]
+		s.met.privateNNQs.Inc()
+		var visits int
+		out[i].NN, visits = s.privateNNScratchLocked(entries[i].NN, sc)
+		return visits
+	}
+	class := entries[u.members[0]].NN.Class
+	var match func(rtree.Item) bool
+	if class != "" {
+		match = func(it rtree.Item) bool {
+			o, ok := s.stationaryMeta[it.ID]
+			return ok && o.Class == class
+		}
+	}
+	items, _, visits := s.stationary.MinMaxCandidates(u.union, match, sc.items[:0])
+	sc.items = items
+	s.met.nodeVisits.Observe(float64(visits))
+	// Unique stationary IDs make ascending ID the canonical SortObjects
+	// order, so sorting the raw item stream and resolving in that order
+	// yields a canonically-sorted resolve-once cache.
+	slices.SortFunc(items, func(a, b rtree.Item) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	resolved := sc.resolved[:0]
+	for _, it := range items {
+		resolved = append(resolved, s.resolveObjectLocked(it.ID, it.Loc, false))
+	}
+	sc.resolved = resolved
+	// Rekey the item stream by position in the canonically-sorted stream
+	// and bulk-load a group-local subtree over it. Member descents against
+	// the subtree then cost a bounded DFS over |S| pre-filtered candidates
+	// instead of an O(|S|) linear scan — and because the returned IDs are
+	// positions, sorting them ascending yields the member's candidate set
+	// already in canonical order, with no metadata lookups at all. The
+	// subtree keeps the tree-side locations, so per-member bounds are
+	// computed from exactly the points the sequential descent measures.
+	for k := range items {
+		items[k] = rtree.Item{ID: uint64(k), Loc: items[k].Loc}
+	}
+	sub := rtree.BulkLoad(items)
+	for _, i := range u.members {
+		q := entries[i].NN
+		s.met.privateNNQs.Inc()
+		cand, bound, _ := sub.MinMaxCandidates(q.Region, nil, sc.subItems[:0])
+		sc.subItems = cand
+		idxs := sc.idxs[:0]
+		for _, it := range cand {
+			idxs = append(idxs, int(it.ID))
+		}
+		sc.idxs = idxs
+		sort.Ints(idxs)
+		// The candidate list is scratch: the prune copies what it keeps,
+		// so nothing from here escapes into the result.
+		kept := sc.keptObjs[:0]
+		for _, k := range idxs {
+			kept = append(kept, resolved[k])
+		}
+		sc.keptObjs = kept
+		res := combineNNPartsScratch(q.Region, &sc.comb, NNParts{Bound: bound, Candidates: kept})
+		s.met.observeNNAnswer(len(res.Candidates))
+		out[i].NN = res
 	}
 	return visits
 }
@@ -317,22 +581,55 @@ func (s *Server) runRangeGroupLocked(entries []BatchEntry, filters []geo.Rect, u
 // returns the candidate-set size as the unit's "node visits" — the probe
 // cost the region index charges.
 //
-//lint:hotpath allocs=1
-func (s *Server) runCountGroupLocked(entries []BatchEntry, u batchUnit, out []BatchItemResult) int {
-	ids := s.privIdx.Query(u.union, nil)
+//lint:hotpath allocs=0
+func (s *Server) runCountGroupLocked(entries []BatchEntry, u batchUnit, out []BatchItemResult, sc *batchScratch) int {
+	ids := s.privIdx.Query(u.union, sc.ids[:0])
+	sc.ids = ids
+	// Resolve every candidate's cloaked region once; a group of k members
+	// then costs len(ids) map lookups instead of k×len(ids). The regions
+	// are sorted by their left edge so each member scans only the X-window
+	// that can overlap its query: a positive overlap needs
+	// r.Min.X < q.Max.X and r.Max.X > q.Min.X, and with maxW the widest
+	// cloak in the group the latter implies r.Min.X > q.Min.X − maxW.
+	// The probability list is sorted before accumulation, so candidate
+	// order is free to change.
+	regions := sc.regions[:0]
+	maxW := 0.0
+	for _, id := range ids {
+		r := s.private[id]
+		regions = append(regions, r)
+		if w := r.Max.X - r.Min.X; w > maxW {
+			maxW = w
+		}
+	}
+	sc.regions = regions
+	slices.SortFunc(regions, func(a, b geo.Rect) int {
+		switch {
+		case a.Min.X < b.Min.X:
+			return -1
+		case a.Min.X > b.Min.X:
+			return 1
+		}
+		return 0
+	})
 	for _, i := range u.members {
 		q := entries[i].Count.Query
-		probs := make([]float64, 0, len(ids))
+		lo := sort.Search(len(regions), func(k int) bool { return regions[k].Min.X >= q.Min.X-maxW })
+		hi := sort.Search(len(regions), func(k int) bool { return regions[k].Min.X > q.Max.X })
+		probs := sc.probs[:0]
 		naive := 0
-		for _, id := range ids {
-			if p := prob.Overlap(s.private[id], q); p > 0 {
+		for _, r := range regions[lo:hi] {
+			if p := prob.Overlap(r, q); p > 0 {
 				probs = append(probs, p)
 				naive++
 			}
 		}
 		sort.Float64s(probs)
-		out[i].Count = PublicRangeCountResult{Answer: prob.RangeCount(probs), NaiveCount: naive}
+		var ans prob.CountAnswer
+		ans, sc.clamped = prob.RangeCountScratch(probs, sc.clamped)
+		out[i].Count = PublicRangeCountResult{Answer: ans, NaiveCount: naive}
 		s.met.publicCountQs.Inc()
+		sc.probs = probs
 	}
 	return len(ids)
 }
@@ -393,6 +690,125 @@ func groupOverlapping(idx []int, rect func(i int) geo.Rect) [][]int {
 	return groups
 }
 
+// sharedGroup is one shared-descent group: member entry indices plus the
+// union rectangle their probes are answered from.
+type sharedGroup struct {
+	members []int
+	union   geo.Rect
+}
+
+// groupGrowthCap bounds how fat a group's union rectangle may grow
+// relative to its largest member. Pure connected-component grouping
+// chains barely-overlapping probes into unions far wider than any single
+// member, and then every per-group cost (descent, resolve, sort) scales
+// with the bloated union stream instead of a member-sized one. Capping
+// the union area at this multiple of the largest member keeps the shared
+// stream within a constant factor of what each member would have scanned
+// alone, which is the regime where amortizing it over k members wins.
+const groupGrowthCap = 3.0
+
+// groupScratch carries the grouping working set across calls. The
+// members of every returned group are views into one arena slice, so a
+// whole batch's grouping costs zero steady-state allocations; reset()
+// runs once per batch, before the first grouping call, and the arena
+// then only grows across that batch's calls (growth keeps old backing
+// arrays alive, so earlier groups' views stay valid).
+type groupScratch struct {
+	groups   []sharedGroup
+	maxAreas []float64
+	gid      []int // per-entry group assignment (pass 1)
+	offs     []int // per-group arena write cursor (pass 2)
+	arena    []int // backing store for all member slices of one batch
+}
+
+func (gs *groupScratch) reset() { gs.arena = gs.arena[:0] }
+
+// groupShared greedily packs the entries (by index, in input order) into
+// shared-descent groups: an entry joins the first open group whose union
+// it intersects and whose union-after-join stays within groupGrowthCap ×
+// the largest member's area; otherwise it opens a new group. The packing
+// is deterministic in input order and independent of the worker count
+// (grouping runs before the fan-out). Any partition is correct — members
+// only need to be contained in their group's union — so the cap trades
+// shared hits for stream tightness without touching answer bytes.
+//
+// Pass 1 assigns each entry a group id (the membership test reads only
+// the running union and max member area); pass 2 counts members per
+// group and fills the arena by cursor, which reproduces exactly the
+// member order the append-per-group formulation built — input order
+// within each group. The returned slice is valid until the next call.
+//
+//lint:hotpath allocs=1
+func (gs *groupScratch) groupShared(idx []int, rect func(i int) geo.Rect) []sharedGroup {
+	groups := gs.groups[:0]
+	maxAreas := gs.maxAreas[:0]
+	gid := gs.gid[:0]
+	for _, i := range idx {
+		r := rect(i)
+		ra := r.Width() * r.Height()
+		placed := -1
+		for gi := range groups {
+			if !groups[gi].union.Intersects(r) {
+				continue
+			}
+			merged := groups[gi].union.Union(r)
+			ma := maxAreas[gi]
+			if ra > ma {
+				ma = ra
+			}
+			if merged.Width()*merged.Height() <= groupGrowthCap*ma {
+				groups[gi].union = merged
+				maxAreas[gi] = ma
+				placed = gi
+				break
+			}
+		}
+		if placed < 0 {
+			placed = len(groups)
+			groups = append(groups, sharedGroup{union: r})
+			maxAreas = append(maxAreas, ra)
+		}
+		gid = append(gid, placed)
+	}
+	// Pass 2: count members per group, lay the groups out contiguously in
+	// the arena (in group order), and fill by per-group cursor.
+	offs := gs.offs[:0]
+	for range groups {
+		offs = append(offs, 0)
+	}
+	for _, g := range gid {
+		offs[g]++
+	}
+	base := len(gs.arena)
+	// Manual growth: the single make is the budget's one static site, and
+	// it goes quiet once the arena has warmed to the steady batch size.
+	if need := base + len(idx); cap(gs.arena) < need {
+		na := make([]int, need, 2*need)
+		copy(na, gs.arena)
+		gs.arena = na
+	}
+	gs.arena = gs.arena[:base+len(idx)]
+	start := base
+	for gi := range groups {
+		n := offs[gi]
+		offs[gi] = start
+		start += n
+	}
+	for j, i := range idx {
+		g := gid[j]
+		gs.arena[offs[g]] = i
+		offs[g]++
+	}
+	start = base
+	for gi := range groups {
+		end := offs[gi] // cursor stopped at the group's region end
+		groups[gi].members = gs.arena[start:end]
+		start = end
+	}
+	gs.groups, gs.maxAreas, gs.gid, gs.offs = groups, maxAreas, gid, offs
+	return groups
+}
+
 // unionRect returns the union of the members' rectangles.
 func unionRect(members []int, rect func(i int) geo.Rect) geo.Rect {
 	u := rect(members[0])
@@ -407,12 +823,19 @@ func unionRect(members []int, rect func(i int) geo.Rect) geo.Rect {
 // touch disjoint state. workers ≤ 1 degenerates to a plain loop — the
 // sequential reference point of the differential suite.
 func parallelFor(n, workers int, fn func(i int)) {
+	parallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with the worker id passed to fn, so a
+// caller can hand each worker exclusive scratch state: fn(w, i) and
+// fn(w, j) for the same w never run concurrently.
+func parallelForWorkers(n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -420,16 +843,16 @@ func parallelFor(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -176,6 +177,30 @@ func TestDifferentialBatchEqualsSequential(t *testing.T) {
 				if shared0 == 0 {
 					t.Error("clustered batch produced no shared descents")
 				}
+			}
+		})
+	}
+}
+
+// TestDifferentialAcrossGoMaxProcs re-proves batch ≡ sequential with the
+// scheduler pinned to GOMAXPROCS 1 and 4 — the two pinned points of the
+// bench matrix (E17). The worker fan-out must be correct whether goroutines
+// truly interleave on one P or run on four; the subtests are deliberately
+// serial because GOMAXPROCS is process-global.
+func TestDifferentialAcrossGoMaxProcs(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			s := buildDiffServer(t, 7)
+			s.queryWorkers = 4
+			src := rng.New(0xD1FF)
+			for round := 0; round < 3; round++ {
+				entries := buildDiffBatch(src, 40)
+				want := sequentialBatch(s, entries)
+				res := s.BatchQuery(entries)
+				assertItemsEqual(t, res.Items, want)
 			}
 		})
 	}

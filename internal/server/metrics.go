@@ -140,8 +140,16 @@ func (m *metrics) observeNNAnswer(n int) {
 // daemon mounts on its /metrics endpoint and exposes over the wire.
 func (s *Server) Registry() *obs.Registry { return s.met.reg }
 
-// Metrics returns a snapshot of the counters.
+// Metrics returns a snapshot of the counters. The snapshot is not
+// atomic across fields, so ordered pairs are read dependent-first:
+// BatchQuery adds entries before shared hits, and reading shared hits
+// before entries here means any interleaving observes
+// SharedHits ≤ Entries — reading them the other way round lets batches
+// that complete between the two loads inflate SharedHits past the
+// already-captured Entries value.
 func (s *Server) Metrics() Metrics {
+	sharedHits := s.met.batchSharedHits.Value()
+	batchEntries := s.met.batchEntries.Value()
 	return Metrics{
 		PrivateUpdates:  s.met.privateUpdates.Value(),
 		PrivateRemovals: s.met.privateRemovals.Value(),
@@ -154,7 +162,7 @@ func (s *Server) Metrics() Metrics {
 		SnapshotsTaken:  s.met.snapshotsTaken.Value(),
 		RestoresApplied: s.met.restoresApplied.Value(),
 		Batches:         s.met.batches.Value(),
-		BatchEntries:    s.met.batchEntries.Value(),
-		BatchSharedHits: s.met.batchSharedHits.Value(),
+		BatchEntries:    batchEntries,
+		BatchSharedHits: sharedHits,
 	}
 }

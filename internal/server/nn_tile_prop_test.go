@@ -1,0 +1,193 @@
+package server
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// This file is the tile-boundary property suite for the private-NN
+// pipeline: the two-phase scatter protocol the routing tier runs (phase 1
+// covers the tiles intersecting the cloaked region, phase 2 expands by
+// √T0·(1+slack) once the phase-1 bound T0 is known) must never lose a
+// true nearest neighbor, no matter where objects sit relative to tile
+// edges. It guards the R-tree descent rewrite: any pruning-order bug in
+// the min–max browse surfaces here as a dropped boundary object.
+
+// nnBoundSlack mirrors internal/router's expansion slack; the test pins
+// the exact factor the router ships so the two cannot drift silently.
+const nnBoundSlack = 1e-9
+
+// tileOf single-homes a point the way the routing tier does: floor
+// mapping with the top edge clamped into the last tile.
+func tileOf(p geo.Point, world geo.Rect, tiles int) (int, int) {
+	tx := int(float64(tiles) * (p.X - world.Min.X) / world.Width())
+	ty := int(float64(tiles) * (p.Y - world.Min.Y) / world.Height())
+	if tx >= tiles {
+		tx = tiles - 1
+	}
+	if ty >= tiles {
+		ty = tiles - 1
+	}
+	return tx, ty
+}
+
+// tileRect returns the closed rectangle of one tile.
+func tileRect(tx, ty, tiles int, world geo.Rect) geo.Rect {
+	w, h := world.Width()/float64(tiles), world.Height()/float64(tiles)
+	return geo.R(
+		world.Min.X+float64(tx)*w, world.Min.Y+float64(ty)*h,
+		world.Min.X+float64(tx+1)*w, world.Min.Y+float64(ty+1)*h)
+}
+
+func TestTwoPhaseTileNNNeverLosesTrueNeighbor(t *testing.T) {
+	world := geo.R(0, 0, 1, 1)
+	const tiles = 4
+	for seed := uint64(1); seed <= 30; seed++ {
+		src := rng.New(seed)
+
+		// A population with a deliberate share of points exactly on tile
+		// edges — the adversarial placements for any cover computation.
+		n := 60 + src.Intn(140)
+		objs := make([]PublicObject, n)
+		for i := range objs {
+			p := geo.Pt(src.Float64(), src.Float64())
+			switch src.Intn(5) {
+			case 0:
+				p.X = math.Round(p.X*tiles) / tiles
+			case 1:
+				p.Y = math.Round(p.Y*tiles) / tiles
+			}
+			class := "gas"
+			if src.Intn(3) == 0 {
+				class = "food"
+			}
+			objs[i] = PublicObject{ID: uint64(i + 1), Class: class, Loc: world.ClampPoint(p)}
+		}
+
+		full := newServer(t)
+		if err := full.LoadStationary(objs); err != nil {
+			t.Fatal(err)
+		}
+
+		// One server per tile, objects single-homed by tileOf — the routed
+		// tier's stationary placement.
+		shard := make([]*Server, tiles*tiles)
+		byTile := make([][]PublicObject, tiles*tiles)
+		for _, o := range objs {
+			tx, ty := tileOf(o.Loc, world, tiles)
+			byTile[ty*tiles+tx] = append(byTile[ty*tiles+tx], o)
+		}
+		for ti := range shard {
+			shard[ti] = newServer(t)
+			if len(byTile[ti]) > 0 {
+				if err := shard[ti].LoadStationary(byTile[ti]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		for trial := 0; trial < 20; trial++ {
+			// Regions biased toward tile edges: half are centered on a
+			// boundary line so phase-1 coverage straddles tiles.
+			c := geo.Pt(src.Float64(), src.Float64())
+			if trial%2 == 0 {
+				c.X = math.Round(c.X*tiles) / tiles
+			}
+			half := 0.002 + 0.06*src.Float64()
+			region := geo.RectAround(world.ClampPoint(c), half).Clip(world)
+			class := ""
+			if trial%3 == 0 {
+				class = "gas"
+			}
+			q := PrivateNNQuery{Region: region, Class: class}
+
+			want, err := full.PrivateNN(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Phase 1: every tile whose rectangle intersects the region.
+			queried := make([]bool, tiles*tiles)
+			var parts []NNParts
+			t0 := math.Inf(1)
+			for ti := range shard {
+				if !tileRect(ti%tiles, ti/tiles, tiles, world).Intersects(region) {
+					continue
+				}
+				part, err := shard[ti].PrivateNNParts(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				queried[ti] = true
+				parts = append(parts, part)
+				if part.Bound < t0 {
+					t0 = part.Bound
+				}
+			}
+			// Phase 2: tiles intersecting the √T0-expanded region, exactly
+			// as the router computes the second wave.
+			want2 := region.Expand(math.Sqrt(t0) * (1 + nnBoundSlack))
+			for ti := range shard {
+				if queried[ti] || !tileRect(ti%tiles, ti/tiles, tiles, world).Intersects(want2) {
+					continue
+				}
+				part, err := shard[ti].PrivateNNParts(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts = append(parts, part)
+			}
+			got := CombineNNParts(region, parts...)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d trial %d: two-phase tile answer diverged\nregion %v class %q\n got %+v\nwant %+v",
+					seed, trial, region, class, got, want)
+			}
+
+			// Ground truth: at adversarial sample points (corners, center,
+			// every object's projection into the region, random points) the
+			// brute-force nearest neighbor must be reachable through the
+			// candidate set.
+			inCand := func(d2 float64, p geo.Point) bool {
+				for _, cd := range got.Candidates {
+					if p.Dist2(cd.Loc) == d2 {
+						return true
+					}
+				}
+				return false
+			}
+			samples := []geo.Point{region.Min, region.Max, region.Center(),
+				geo.Pt(region.Min.X, region.Max.Y), geo.Pt(region.Max.X, region.Min.Y)}
+			for _, o := range objs {
+				samples = append(samples, region.ClampPoint(o.Loc))
+			}
+			for k := 0; k < 10; k++ {
+				samples = append(samples, geo.Pt(
+					region.Min.X+region.Width()*src.Float64(),
+					region.Min.Y+region.Height()*src.Float64()))
+			}
+			for _, p := range samples {
+				best := math.Inf(1)
+				for _, o := range objs {
+					if class != "" && o.Class != class {
+						continue
+					}
+					if d2 := p.Dist2(o.Loc); d2 < best {
+						best = d2
+					}
+				}
+				if math.IsInf(best, 1) {
+					continue
+				}
+				if !inCand(best, p) {
+					t.Fatalf("seed %d trial %d: true nearest neighbor of %v (dist² %g) lost by the two-phase protocol; region %v class %q, %d candidates",
+						seed, trial, p, best, region, class, len(got.Candidates))
+				}
+			}
+		}
+	}
+}

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/rtree"
 )
 
 // RangeMode selects how the private range query builds its candidate set
@@ -173,7 +175,9 @@ type NNParts struct {
 	// object of the partition (+Inf when there is none).
 	Bound float64
 	// Candidates are the class-matching objects with
-	// MinDist²(object, region) ≤ Bound, in browse order.
+	// MinDist²(object, region) ≤ Bound. Their order is an index-traversal
+	// artifact and carries no meaning: CombineNNParts sorts the union
+	// canonically before anything downstream sees it.
 	Candidates []PublicObject
 }
 
@@ -193,38 +197,66 @@ func (s *Server) PrivateNNParts(q PrivateNNQuery) (NNParts, error) {
 	return parts, nil
 }
 
-// nnPartsLocked is the browse half of the NN evaluation (step 1 of
-// Figure 5b); the caller holds (at least) the read lock. The second
+// nnPartsLocked is the min–max filter half of the NN evaluation (step 1
+// of Figure 5b); the caller holds (at least) the read lock. The second
 // return value is the R-tree node-visit count.
 func (s *Server) nnPartsLocked(q PrivateNNQuery) (NNParts, int) {
-	var cands []PublicObject
+	return s.nnPartsScratchLocked(q, nil)
+}
 
-	browser := s.stationary.NewRectBrowser(q.Region)
-	bound := math.Inf(1) // T = min MaxDist² seen so far
-	for {
-		d2, ok := browser.Peek2()
-		if !ok || d2 > bound {
-			break
-		}
-		it, _, _ := browser.Next()
-		o := s.resolveObjectLocked(it.ID, it.Loc, false)
-		if q.Class != "" && o.Class != q.Class {
-			continue
-		}
-		if md := geo.MaxDist2(it.Loc, q.Region); md < bound {
-			bound = md
-		}
-		cands = append(cands, o)
-	}
-	// The bound tightened as we browsed; drop entries admitted before the
-	// final bound was known.
-	kept := cands[:0]
-	for _, o := range cands {
-		if geo.MinDist2(o.Loc, q.Region) <= bound {
-			kept = append(kept, o)
+// nnPartsScratchLocked is nnPartsLocked with an optional per-worker
+// scratch: the R-tree item buffer — and, with a scratch, the candidate
+// slice too — is borrowed from sc, so the batch engine's repeated NN
+// units reuse one allocation set. Scratch-borrowed candidates are valid
+// only until the worker's next unit: every scratch caller must consume
+// them synchronously (combineNNPartsScratch copies what it keeps).
+// Without a scratch the candidate slice allocates fresh, because the
+// NNParts escapes into results on that path (PrivateNNParts over the
+// wire). The descent is rtree.MinMaxCandidates, which produces exactly
+// the set and bound of the incremental browse + refilter construction
+// (the equivalence argument lives on that function).
+func (s *Server) nnPartsScratchLocked(q PrivateNNQuery, sc *batchScratch) (NNParts, int) {
+	var match func(rtree.Item) bool
+	if q.Class != "" {
+		match = func(it rtree.Item) bool {
+			o, ok := s.stationaryMeta[it.ID]
+			return ok && o.Class == q.Class
 		}
 	}
-	visits := browser.Visited()
+	var buf []rtree.Item
+	if sc != nil {
+		buf = sc.items[:0]
+	}
+	items, bound, visits := s.stationary.MinMaxCandidates(q.Region, match, buf)
+	if sc != nil {
+		sc.items = items
+	}
+	// Emit candidates by ascending ID — canonical SortObjects order for
+	// unique stationary IDs — so CombineNNParts's sort runs over an
+	// already-ordered slice instead of re-shuffling DFS emission order.
+	slices.SortFunc(items, func(a, b rtree.Item) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	var kept []PublicObject
+	if len(items) > 0 {
+		if sc != nil {
+			kept = sc.keptObjs[:0]
+		} else {
+			kept = make([]PublicObject, 0, len(items))
+		}
+		for _, it := range items {
+			kept = append(kept, s.resolveObjectLocked(it.ID, it.Loc, false))
+		}
+		if sc != nil {
+			sc.keptObjs = kept
+		}
+	}
 	s.met.nodeVisits.Observe(float64(visits))
 	return NNParts{Bound: bound, Candidates: kept}, visits
 }
@@ -243,46 +275,128 @@ const maxPruneSet = 2048
 // answer, because the global bound, the kept set, the prune decision and
 // the pruned set are all functions of the union alone.
 func CombineNNParts(region geo.Rect, parts ...NNParts) PrivateNNResult {
+	return combineNNPartsScratch(region, nil, parts...)
+}
+
+// combineScratch carries the reusable working set of the dominance prune.
+// The batch engine hands one per worker so the prune's O(n) side arrays
+// stop churning the heap on every member; a nil scratch (the sequential
+// public API) allocates locally.
+type combineScratch struct {
+	cands     []PublicObject
+	cdist     [][4]float64
+	totals    []float64
+	order     []int
+	frontier  []int
+	dominated []bool
+}
+
+// combineNNPartsScratch is CombineNNParts with an optional reusable
+// scratch. The answer bytes are identical for any scratch value.
+func combineNNPartsScratch(region geo.Rect, sc *combineScratch, parts ...NNParts) PrivateNNResult {
 	bound := math.Inf(1)
 	for _, p := range parts {
 		if p.Bound < bound {
 			bound = p.Bound
 		}
 	}
-	var cands []PublicObject
-	for _, p := range parts {
-		for _, o := range p.Candidates {
-			if geo.MinDist2(o.Loc, region) <= bound {
-				cands = append(cands, o)
+	if sc == nil {
+		sc = &combineScratch{}
+	}
+	cands := sc.cands[:0]
+	if len(parts) == 1 {
+		// A single part's candidates are already its producer's min–max
+		// filter output (every NNParts constructor — the sequential
+		// descent, the batch group runner, a remote shard — refilters
+		// against its own final bound, which here IS the global bound),
+		// so the distance test would keep everything.
+		cands = append(cands, parts[0].Candidates...)
+	} else {
+		for _, p := range parts {
+			for _, o := range p.Candidates {
+				if geo.MinDist2(o.Loc, region) <= bound {
+					cands = append(cands, o)
+				}
 			}
 		}
 	}
+	sc.cands = cands
 	SortObjects(cands)
 	superset := len(cands)
 
 	if superset > maxPruneSet {
-		return PrivateNNResult{Candidates: cands, SupersetSize: superset}
+		out := make([]PublicObject, len(cands))
+		copy(out, cands)
+		return PrivateNNResult{Candidates: out, SupersetSize: superset}
 	}
 
+	// The pairwise prune compares only corner distances, so compute each
+	// candidate's four squared corner distances once instead of eight
+	// Dist² evaluations per pair. Dominance b→a needs every corner of b at
+	// most as close and one strictly closer, which forces
+	// Σ corners(b) < Σ corners(a): a witness for a candidate can only sit
+	// strictly before it in ascending total order. And because dominance
+	// is transitive (coordinate-wise ≤ composes; strictness survives), a
+	// dominated candidate always has an *undominated* dominator with a
+	// strictly smaller total — so testing each candidate against the
+	// running Pareto frontier alone reproduces the full pairwise scan's
+	// dominated set at a fraction of the witness tests.
+	if sc == nil {
+		sc = &combineScratch{}
+	}
 	corners := region.Corners()
-	dominated := make([]bool, len(cands))
-	for i := range cands {
-		for j := range cands {
-			// Corner dominance is transitive, so a j that is itself later
-			// found dominated is still a sound witness here.
-			if i == j {
-				continue
+	// Every cell below is (re)written before it is read, so growing the
+	// scratch without clearing stale contents is safe.
+	cdist := slices.Grow(sc.cdist[:0], len(cands))[:len(cands)]
+	totals := slices.Grow(sc.totals[:0], len(cands))[:len(cands)]
+	order := slices.Grow(sc.order[:0], len(cands))[:len(cands)]
+	dominated := slices.Grow(sc.dominated[:0], len(cands))[:len(cands)]
+	sc.cdist, sc.totals, sc.order, sc.dominated = cdist, totals, order, dominated
+	for i, o := range cands {
+		for k := range corners {
+			cdist[i][k] = corners[k].Dist2(o.Loc)
+		}
+		totals[i] = cdist[i][0] + cdist[i][1] + cdist[i][2] + cdist[i][3]
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case totals[a] < totals[b]:
+			return -1
+		case totals[a] > totals[b]:
+			return 1
+		}
+		return 0
+	})
+	frontier := sc.frontier[:0]
+	for _, i := range order {
+		dom := false
+		for _, j := range frontier {
+			// The frontier is in ascending-total order too; equal totals
+			// cannot dominate (strictness), so stop at the candidate's own.
+			if totals[j] >= totals[i] {
+				break
 			}
-			if dominates(cands[j].Loc, cands[i].Loc, corners) {
-				dominated[i] = true
+			if dominatesDist(cdist[j], cdist[i]) {
+				dom = true
 				break
 			}
 		}
+		dominated[i] = dom
+		if !dom {
+			frontier = append(frontier, i)
+		}
 	}
+	sc.frontier = frontier
 	res := PrivateNNResult{SupersetSize: superset}
-	for i, o := range cands {
-		if !dominated[i] {
-			res.Candidates = append(res.Candidates, o)
+	if len(frontier) > 0 {
+		// The frontier holds exactly the undominated candidates, so the
+		// answer (which escapes) is sized exactly instead of grown.
+		res.Candidates = make([]PublicObject, 0, len(frontier))
+		for i, o := range cands {
+			if !dominated[i] {
+				res.Candidates = append(res.Candidates, o)
+			}
 		}
 	}
 	return res
@@ -290,11 +404,22 @@ func CombineNNParts(region geo.Rect, parts ...NNParts) PrivateNNResult {
 
 // privateNNLocked is the evaluation core of PrivateNN; the caller holds
 // (at least) the read lock. BatchQuery fans NN entries out to its worker
-// pool over this function, so the two paths cannot drift apart. The second
-// return value is the R-tree node-visit count of the browse.
+// pool over this function (with a per-worker scratch), so the two paths
+// cannot drift apart. The second return value is the R-tree node-visit
+// count of the descent.
 func (s *Server) privateNNLocked(q PrivateNNQuery) (PrivateNNResult, int) {
-	parts, visits := s.nnPartsLocked(q)
-	res := CombineNNParts(q.Region, parts)
+	return s.privateNNScratchLocked(q, nil)
+}
+
+// privateNNScratchLocked is privateNNLocked with an optional reusable
+// scratch (nil is valid and means "allocate locally").
+func (s *Server) privateNNScratchLocked(q PrivateNNQuery, sc *batchScratch) (PrivateNNResult, int) {
+	parts, visits := s.nnPartsScratchLocked(q, sc)
+	var comb *combineScratch
+	if sc != nil {
+		comb = &sc.comb
+	}
+	res := combineNNPartsScratch(q.Region, comb, parts)
 	s.met.observeNNAnswer(len(res.Candidates))
 	return res, visits
 }
@@ -312,6 +437,21 @@ func dominates(b, a geo.Point, corners [4]geo.Point) bool {
 			return false
 		}
 		if db < da {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// dominatesDist is dominates over precomputed squared corner distances —
+// the same comparisons, fed from CombineNNParts's per-candidate cache.
+func dominatesDist(db, da [4]float64) bool {
+	strict := false
+	for k := range db {
+		if db[k] > da[k] {
+			return false
+		}
+		if db[k] < da[k] {
 			strict = true
 		}
 	}

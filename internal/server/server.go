@@ -14,6 +14,7 @@ package server
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -47,19 +48,56 @@ type PrivateRecord struct {
 // can contain: stationary ids are unique, and a moving object that reuses
 // a stationary id differs in class or location.
 func SortObjects(objs []PublicObject) {
-	sort.Slice(objs, func(i, j int) bool {
-		a, b := objs[i], objs[j]
-		if a.ID != b.ID {
-			return a.ID < b.ID
+	slices.SortFunc(objs, cmpObjects)
+}
+
+// cmpObjects is the three-way form of lessObjects for slices.SortFunc
+// (which avoids the reflect-based swapping of sort.Slice on this hot
+// comparator). Ties across every key mean the structs are identical, so
+// the unstable sort cannot produce an observable reordering.
+func cmpObjects(a, b PublicObject) int {
+	if a.ID != b.ID {
+		if a.ID < b.ID {
+			return -1
 		}
-		if a.Class != b.Class {
-			return a.Class < b.Class
+		return 1
+	}
+	if a.Class != b.Class {
+		if a.Class < b.Class {
+			return -1
 		}
-		if a.Loc.X != b.Loc.X {
-			return a.Loc.X < b.Loc.X
+		return 1
+	}
+	if a.Loc.X != b.Loc.X {
+		if a.Loc.X < b.Loc.X {
+			return -1
 		}
-		return a.Loc.Y < b.Loc.Y
-	})
+		return 1
+	}
+	switch {
+	case a.Loc.Y < b.Loc.Y:
+		return -1
+	case a.Loc.Y > b.Loc.Y:
+		return 1
+	}
+	return 0
+}
+
+// lessObjects is the canonical result-order comparator behind SortObjects.
+// The batch engine sorts shared streams and merges per-member subsequences
+// with the same comparator, which keeps batch answers byte-identical to
+// the sequential sort.
+func lessObjects(a, b PublicObject) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.Loc.X != b.Loc.X {
+		return a.Loc.X < b.Loc.X
+	}
+	return a.Loc.Y < b.Loc.Y
 }
 
 // Server is the privacy-aware location-based database server. All methods
@@ -83,8 +121,11 @@ type Server struct {
 	cont     *continuousEngine
 	contPriv *contPrivEngine
 
-	// queryWorkers is the BatchQuery worker-pool width (batch.go).
+	// queryWorkers is the BatchQuery worker-pool width (batch.go), and
+	// batchPool recycles each call's coordination scratch (*batchCoord)
+	// so a steady stream of batch frames stops allocating per call.
 	queryWorkers int
+	batchPool    sync.Pool
 
 	// privUpsertHook, when non-nil, replaces privIdx.Upsert inside
 	// UpdatePrivate. Tests use it to force the region-index write to fail
